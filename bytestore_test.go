@@ -1,0 +1,81 @@
+package spandex
+
+import (
+	"fmt"
+	"testing"
+)
+
+// byteWorkload has four threads each own one byte lane of every word in a
+// shared region, writing their lane repeatedly while others write theirs.
+// Any protocol that performs byte stores as plain word writes would clobber
+// the other lanes; the paper's §III-B rule (byte stores become
+// word-granularity ReqWT+data / ReqO+data) makes it safe.
+type byteWorkload struct{ words, iters int }
+
+func (w *byteWorkload) Meta() Meta {
+	return Meta{Name: "bytelanes", Suite: "Conformance",
+		Pattern:      "per-thread byte lanes of shared words",
+		Partitioning: "data", Synchronization: "coarse-grain",
+		Sharing: "flat", Locality: "low", Params: "conformance"}
+}
+
+func (w *byteWorkload) Build(m Machine, seed uint64) *Program {
+	lay := NewLayout()
+	region := lay.Words(w.words)
+	p := &Program{}
+	body := func(lane int) func(*Thread) {
+		return func(t *Thread) {
+			for it := 1; it <= w.iters; it++ {
+				for k := 0; k < w.words; k++ {
+					t.StoreByte(WordAddr(region, k), lane, uint8(0x10*lane+it))
+				}
+			}
+		}
+	}
+	// Four writers: two CPU threads, two GPU warps, one lane each.
+	p.CPU = append(p.CPU, GoThread(body(0)), GoThread(body(1)))
+	for i := 2; i < m.CPUThreads; i++ {
+		p.CPU = append(p.CPU, nil)
+	}
+	p.GPU = append(p.GPU, []OpStream{GoThread(body(2)), GoThread(body(3))})
+
+	p.Validate = func(read func(Addr) uint32) error {
+		var want uint32
+		for lane := 0; lane < 4; lane++ {
+			want |= uint32(0x10*lane+w.iters) << (8 * lane)
+		}
+		for k := 0; k < w.words; k++ {
+			if got := read(WordAddr(region, k)); got != want {
+				return fmt.Errorf("bytelanes: word %d = %#08x, want %#08x", k, got, want)
+			}
+		}
+		return nil
+	}
+	return p
+}
+
+// TestByteGranularityStores runs the byte-lane conformance program on every
+// configuration: concurrent byte stores to the same words must never
+// clobber each other's lanes (paper §III-B).
+func TestByteGranularityStores(t *testing.T) {
+	w := &byteWorkload{words: 32, iters: 4}
+	for _, cn := range ConfigNames() {
+		cn := cn
+		t.Run(cn, func(t *testing.T) {
+			params := FastParams()
+			if _, err := Run(w, Options{Config: mustCfg(t, cn), Params: &params,
+				Seed: 5, CheckInvariants: true, Validate: true}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func mustCfg(t *testing.T, name string) CacheConfig {
+	t.Helper()
+	c, err := ConfigByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

@@ -1,0 +1,101 @@
+// Command spandex-bench regenerates every table and figure of the Spandex
+// paper's evaluation (Alsop, Sinclair, Adve — ISCA 2018).
+//
+// Usage:
+//
+//	spandex-bench                  # everything: tables, figures, headline
+//	spandex-bench -figure 2        # only Figure 2 (microbenchmarks)
+//	spandex-bench -figure 3        # only Figure 3 (applications)
+//	spandex-bench -table III       # only one table
+//	spandex-bench -headline        # only the Sbest-vs-Hbest summary
+//	spandex-bench -seed 7 -check   # different input seed; invariant checks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spandex"
+)
+
+func main() {
+	figure := flag.Int("figure", 0, "regenerate only figure 2 or 3")
+	table := flag.String("table", "", "regenerate only one table (I..VII)")
+	headline := flag.Bool("headline", false, "print only the headline summary")
+	seed := flag.Uint64("seed", 42, "workload input seed")
+	check := flag.Bool("check", false, "enable coherence invariant checking (slower)")
+	validate := flag.Bool("validate", true, "validate final memory state against each workload's oracle")
+	flag.Parse()
+
+	opt := spandex.Options{
+		Seed:            *seed,
+		CheckInvariants: *check,
+		Validate:        *validate,
+	}
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "spandex-bench:", err)
+		os.Exit(1)
+	}
+
+	if *table != "" {
+		out, err := spandex.RenderTable(*table)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	runFig := func(n int) *spandex.FigureData {
+		var f *spandex.FigureData
+		var err error
+		if n == 2 {
+			f, err = spandex.RunFigure2(opt)
+		} else {
+			f, err = spandex.RunFigure3(opt)
+		}
+		if err != nil {
+			die(err)
+		}
+		return f
+	}
+
+	if *figure == 2 || *figure == 3 {
+		fmt.Println(runFig(*figure).Render())
+		return
+	}
+
+	if *headline {
+		printHeadline(runFig(2), runFig(3))
+		return
+	}
+
+	// Everything.
+	for _, t := range []string{"I", "II", "III", "IV", "V", "VI", "VII"} {
+		out, err := spandex.RenderTable(t)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(out)
+	}
+	f2 := runFig(2)
+	fmt.Println(f2.Render())
+	f3 := runFig(3)
+	fmt.Println(f3.Render())
+	printHeadline(f2, f3)
+}
+
+func printHeadline(f2, f3 *spandex.FigureData) {
+	h2 := f2.ComputeHeadline()
+	h3 := f3.ComputeHeadline()
+	fmt.Println("Headline (best Spandex configuration vs best hierarchical configuration)")
+	fmt.Println("========================================================================")
+	fmt.Printf("Microbenchmarks: execution time -%.0f%% (max %.0f%%), network traffic -%.0f%% (max %.0f%%)\n",
+		h2.AvgTime*100, h2.MaxTime*100, h2.AvgTraffic*100, h2.MaxTraffic*100)
+	fmt.Printf("  paper reports: -18%% (max 31%%), -40%% (max 69%%)\n")
+	fmt.Printf("Applications:    execution time -%.0f%% (max %.0f%%), network traffic -%.0f%% (max %.0f%%)\n",
+		h3.AvgTime*100, h3.MaxTime*100, h3.AvgTraffic*100, h3.MaxTraffic*100)
+	fmt.Printf("  paper reports: -16%% (max 29%%), -27%% (max 58%%)\n")
+}

@@ -1,0 +1,73 @@
+// Command spandex-sim runs one workload on one cache configuration and
+// prints detailed statistics.
+//
+// Usage:
+//
+//	spandex-sim -config SDD -workload bc
+//	spandex-sim -config HMG -workload litmus -seed 3 -check
+//	spandex-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"spandex"
+	"spandex/internal/proto"
+)
+
+func main() {
+	cfg := flag.String("config", "SDD", "cache configuration (HMG HMD SMG SMD SDG SDD)")
+	wl := flag.String("workload", "pr", "workload name (see -list)")
+	seed := flag.Uint64("seed", 42, "workload input seed")
+	check := flag.Bool("check", false, "enable coherence invariant checking")
+	validate := flag.Bool("validate", true, "validate final memory state")
+	list := flag.Bool("list", false, "list workloads and configurations")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("configurations:")
+		for _, c := range spandex.Configurations() {
+			fmt.Printf("  %-5s LLC=%s CPU=%s GPU=%s\n", c.Name, c.LLC, c.CPU, c.GPU)
+		}
+		fmt.Println("workloads:")
+		for _, n := range spandex.WorkloadNames() {
+			w, _ := spandex.WorkloadByName(n)
+			fmt.Printf("  %-12s %s\n", n, w.Meta().Pattern)
+		}
+		return
+	}
+
+	w, err := spandex.WorkloadByName(*wl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spandex-sim:", err)
+		fmt.Fprintln(os.Stderr, "use -list to see available workloads")
+		os.Exit(1)
+	}
+	res, err := spandex.Run(w, spandex.Options{
+		ConfigName:      *cfg,
+		Seed:            *seed,
+		CheckInvariants: *check,
+		Validate:        *validate,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spandex-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload:   %s (%s)\n", res.Workload, w.Meta().Pattern)
+	fmt.Printf("config:     %s\n", res.Config)
+	fmt.Printf("exec time:  %.3f ms simulated\n", res.ExecMillis())
+	fmt.Printf("operations: %d\n", res.Ops)
+	fmt.Printf("traffic:    %d KB total (excluding DRAM)\n", res.Traffic.TotalBytes(false)/1024)
+	for c := proto.Class(0); c < proto.NumClasses; c++ {
+		if res.Traffic.Bytes[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-8s %10d bytes %8d msgs\n", c, res.Traffic.Bytes[c], res.Traffic.Messages[c])
+	}
+	if *validate {
+		fmt.Println("validation: final memory state matches the workload oracle")
+	}
+}

@@ -1,0 +1,31 @@
+// Graphanalytics sweeps the two Pannotia graph workloads (BC and PR)
+// across all six cache configurations and prints a comparison report —
+// a self-contained slice of the paper's Figure 3.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spandex"
+)
+
+func main() {
+	workloads := []string{"bc", "pr"}
+	cells := spandex.Sweep(workloads, spandex.ConfigNames(), spandex.Options{
+		Seed:     42,
+		Validate: true,
+	})
+	fig, err := spandex.BuildFigure("Graph analytics (BC + PR) across Table V configurations",
+		workloads, cells)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig.Render())
+
+	fmt.Println("Reading the result:")
+	fmt.Println("- BC pushes updates through atomics with high temporal locality;")
+	fmt.Println("  DeNovo GPU caches (HMD/SMD/SDD) own the hot words and win big.")
+	fmt.Println("- PR pulls ranks with plain loads and is throughput-bound; the flat")
+	fmt.Println("  Spandex LLC saves the hierarchy's extra level on every miss.")
+}

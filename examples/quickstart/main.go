@@ -1,0 +1,43 @@
+// Quickstart: run one workload on one cache configuration and print the
+// paper's two metrics — simulated execution time and network traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spandex"
+)
+
+func main() {
+	// Pick a workload (Pannotia PageRank) and a configuration (SDD: flat
+	// Spandex LLC, DeNovo CPU and GPU L1s).
+	w, err := spandex.WorkloadByName("pr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := spandex.Run(w, spandex.Options{
+		ConfigName:      "SDD",
+		Seed:            42,
+		Validate:        true, // check the final memory state against PR's oracle
+		CheckInvariants: true, // audit Spandex coherence invariants throughout
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload:  %s — %s\n", res.Workload, w.Meta().Pattern)
+	fmt.Printf("config:    %s\n", res.Config)
+	fmt.Printf("exec time: %.3f ms (simulated)\n", res.ExecMillis())
+	fmt.Printf("ops:       %d memory operations\n", res.Ops)
+	fmt.Printf("traffic:   %d KB on the interconnect\n", res.Traffic.TotalBytes(false)/1024)
+
+	// Compare against the conventional hierarchical MESI baseline.
+	base, err := spandex.Run(w, spandex.Options{ConfigName: "HMG", Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvs HMG baseline: %.2fx time, %.2fx traffic\n",
+		float64(res.ExecTime)/float64(base.ExecTime),
+		float64(res.Traffic.TotalBytes(false))/float64(base.Traffic.TotalBytes(false)))
+}

@@ -1,0 +1,3 @@
+module spandex
+
+go 1.22

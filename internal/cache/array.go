@@ -1,0 +1,145 @@
+// Package cache provides the storage structures every cache controller is
+// built from: a set-associative tag/data array with LRU replacement, a
+// miss-status holding register (MSHR) file, and a coalescing write buffer.
+// Protocol state machines live in the per-protocol packages; this package
+// is purely structural.
+package cache
+
+import (
+	"fmt"
+
+	"spandex/internal/memaddr"
+)
+
+// Entry is one line frame in a set-associative array. State holds the
+// protocol's per-line payload.
+type Entry[S any] struct {
+	Valid bool
+	Line  memaddr.LineAddr
+	State S
+
+	lru uint64
+}
+
+// Array is a set-associative cache array with true-LRU replacement.
+type Array[S any] struct {
+	sets, ways int
+	frames     []Entry[S]
+	tick       uint64
+}
+
+// NewArray builds an array with the given geometry. sizeBytes must be a
+// multiple of ways*LineBytes and the resulting set count a power of two.
+func NewArray[S any](sizeBytes, ways int) *Array[S] {
+	lines := sizeBytes / memaddr.LineBytes
+	if lines%ways != 0 {
+		panic(fmt.Sprintf("cache: %d lines not divisible by %d ways", lines, ways))
+	}
+	sets := lines / ways
+	if sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
+	}
+	return &Array[S]{sets: sets, ways: ways, frames: make([]Entry[S], lines)}
+}
+
+// Sets returns the number of sets.
+func (a *Array[S]) Sets() int { return a.sets }
+
+// Ways returns the associativity.
+func (a *Array[S]) Ways() int { return a.ways }
+
+func (a *Array[S]) setOf(line memaddr.LineAddr) int {
+	return int(uint64(line)>>memaddr.LineShift) & (a.sets - 1)
+}
+
+// Lookup returns the entry holding line, or nil. It refreshes LRU state.
+func (a *Array[S]) Lookup(line memaddr.LineAddr) *Entry[S] {
+	base := a.setOf(line) * a.ways
+	for i := 0; i < a.ways; i++ {
+		e := &a.frames[base+i]
+		if e.Valid && e.Line == line {
+			a.tick++
+			e.lru = a.tick
+			return e
+		}
+	}
+	return nil
+}
+
+// Peek is Lookup without the LRU update (probes must not perturb reuse).
+func (a *Array[S]) Peek(line memaddr.LineAddr) *Entry[S] {
+	base := a.setOf(line) * a.ways
+	for i := 0; i < a.ways; i++ {
+		e := &a.frames[base+i]
+		if e.Valid && e.Line == line {
+			return e
+		}
+	}
+	return nil
+}
+
+// Victim returns the frame that would hold line: an invalid frame in the
+// set if one exists, otherwise the least recently used entry. The caller
+// is responsible for evicting a valid victim before reusing the frame.
+func (a *Array[S]) Victim(line memaddr.LineAddr) *Entry[S] {
+	base := a.setOf(line) * a.ways
+	var victim *Entry[S]
+	for i := 0; i < a.ways; i++ {
+		e := &a.frames[base+i]
+		if !e.Valid {
+			return e
+		}
+		if victim == nil || e.lru < victim.lru {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// VictimWhere is Victim restricted to frames satisfying ok (invalid frames
+// always satisfy). It returns nil when every frame in the set is excluded —
+// the caller must retry later.
+func (a *Array[S]) VictimWhere(line memaddr.LineAddr, ok func(e *Entry[S]) bool) *Entry[S] {
+	base := a.setOf(line) * a.ways
+	var victim *Entry[S]
+	for i := 0; i < a.ways; i++ {
+		e := &a.frames[base+i]
+		if !e.Valid {
+			return e
+		}
+		if !ok(e) {
+			continue
+		}
+		if victim == nil || e.lru < victim.lru {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// Install claims frame e for line, resetting its state to the zero value
+// and marking it most recently used. e must come from Victim for the same
+// set as line.
+func (a *Array[S]) Install(e *Entry[S], line memaddr.LineAddr) {
+	var zero S
+	a.tick++
+	*e = Entry[S]{Valid: true, Line: line, State: zero, lru: a.tick}
+}
+
+// Invalidate releases the frame holding line, if any.
+func (a *Array[S]) Invalidate(line memaddr.LineAddr) {
+	if e := a.Peek(line); e != nil {
+		var zero S
+		*e = Entry[S]{State: zero}
+	}
+}
+
+// ForEach visits every valid entry. The callback must not install or
+// invalidate entries.
+func (a *Array[S]) ForEach(fn func(e *Entry[S])) {
+	for i := range a.frames {
+		if a.frames[i].Valid {
+			fn(&a.frames[i])
+		}
+	}
+}

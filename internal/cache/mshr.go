@@ -1,0 +1,49 @@
+package cache
+
+import "spandex/internal/memaddr"
+
+// MSHR is a miss-status holding register file: one entry per outstanding
+// line transaction, with protocol-specific payload T.
+type MSHR[T any] struct {
+	cap     int
+	entries map[memaddr.LineAddr]*T
+}
+
+// NewMSHR creates an MSHR file with the given capacity.
+func NewMSHR[T any](capacity int) *MSHR[T] {
+	return &MSHR[T]{cap: capacity, entries: make(map[memaddr.LineAddr]*T)}
+}
+
+// Full reports whether a new allocation would exceed capacity.
+func (m *MSHR[T]) Full() bool { return len(m.entries) >= m.cap }
+
+// Len returns the number of live entries.
+func (m *MSHR[T]) Len() int { return len(m.entries) }
+
+// Lookup returns the entry for line, or nil.
+func (m *MSHR[T]) Lookup(line memaddr.LineAddr) *T { return m.entries[line] }
+
+// Alloc creates and returns a new zero entry for line. It panics if the
+// line already has an entry or the file is full; callers must check first.
+func (m *MSHR[T]) Alloc(line memaddr.LineAddr) *T {
+	if m.Full() {
+		panic("cache: MSHR overflow")
+	}
+	if _, ok := m.entries[line]; ok {
+		panic("cache: duplicate MSHR allocation")
+	}
+	e := new(T)
+	m.entries[line] = e
+	return e
+}
+
+// Free releases the entry for line.
+func (m *MSHR[T]) Free(line memaddr.LineAddr) { delete(m.entries, line) }
+
+// ForEach visits all entries (iteration order unspecified; callers needing
+// determinism must not depend on order).
+func (m *MSHR[T]) ForEach(fn func(line memaddr.LineAddr, e *T)) {
+	for l, e := range m.entries {
+		fn(l, e)
+	}
+}

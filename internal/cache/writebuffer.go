@@ -1,0 +1,131 @@
+package cache
+
+import "spandex/internal/memaddr"
+
+// WBEntry is one coalesced write-buffer slot: pending store data for one
+// line. Stores to the same line coalesce into a single slot until the slot
+// is issued to the memory system (paper §II-B, §II-C: "writes to the same
+// line can be coalesced into a single request in the write buffer").
+type WBEntry struct {
+	Line   memaddr.LineAddr
+	Mask   memaddr.WordMask
+	Data   memaddr.LineData
+	Issued bool
+}
+
+// WriteBuffer is a FIFO of coalescing store entries. The zero value is not
+// usable; use NewWriteBuffer.
+type WriteBuffer struct {
+	cap      int
+	fifo     []*WBEntry
+	byLine   map[memaddr.LineAddr]*WBEntry
+	unissued int
+}
+
+// NewWriteBuffer creates a write buffer holding up to capacity line slots.
+func NewWriteBuffer(capacity int) *WriteBuffer {
+	return &WriteBuffer{cap: capacity, byLine: make(map[memaddr.LineAddr]*WBEntry)}
+}
+
+// Full reports whether a store to a new line would overflow the buffer.
+func (w *WriteBuffer) Full() bool { return len(w.fifo) >= w.cap }
+
+// Empty reports whether no stores are pending.
+func (w *WriteBuffer) Empty() bool { return len(w.fifo) == 0 }
+
+// Len returns the number of occupied line slots.
+func (w *WriteBuffer) Len() int { return len(w.fifo) }
+
+// Put records a store of value to addr. It coalesces into an existing
+// un-issued slot for the same line; otherwise it allocates a new slot
+// (panicking if full — callers must check Full for new lines first).
+// It reports whether a new slot was allocated.
+func (w *WriteBuffer) Put(addr memaddr.Addr, value uint32) bool {
+	line := addr.Line()
+	if e, ok := w.byLine[line]; ok && !e.Issued {
+		e.Mask |= addr.WordMaskOf()
+		e.Data[addr.WordIndex()] = value
+		return false
+	}
+	if w.Full() {
+		panic("cache: write buffer overflow")
+	}
+	e := &WBEntry{Line: line, Mask: addr.WordMaskOf()}
+	e.Data[addr.WordIndex()] = value
+	w.fifo = append(w.fifo, e)
+	w.byLine[line] = e
+	w.unissued++
+	return true
+}
+
+// UnissuedCount reports how many entries have not been issued yet.
+func (w *WriteBuffer) UnissuedCount() int { return w.unissued }
+
+// MarkIssued transitions an entry to issued state (callers must not set
+// the Issued field directly once using pressure-based draining).
+func (w *WriteBuffer) MarkIssued(e *WBEntry) {
+	if !e.Issued {
+		e.Issued = true
+		w.unissued--
+	}
+}
+
+// CanCoalesce reports whether a store to addr would coalesce (not needing
+// a free slot).
+func (w *WriteBuffer) CanCoalesce(addr memaddr.Addr) bool {
+	e, ok := w.byLine[addr.Line()]
+	return ok && !e.Issued
+}
+
+// NextUnissued returns the oldest entry not yet issued, or nil.
+func (w *WriteBuffer) NextUnissued() *WBEntry {
+	for _, e := range w.fifo {
+		if !e.Issued {
+			return e
+		}
+	}
+	return nil
+}
+
+// Unissued returns every entry not yet issued, in FIFO order.
+func (w *WriteBuffer) Unissued() []*WBEntry {
+	var out []*WBEntry
+	for _, e := range w.fifo {
+		if !e.Issued {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Complete removes the slot for line (its write has been acknowledged).
+func (w *WriteBuffer) Complete(line memaddr.LineAddr) {
+	e, ok := w.byLine[line]
+	if !ok {
+		return
+	}
+	if !e.Issued {
+		w.unissued--
+	}
+	delete(w.byLine, line)
+	for i, f := range w.fifo {
+		if f == e {
+			w.fifo = append(w.fifo[:i], w.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// Lookup returns the slot for line, or nil.
+func (w *WriteBuffer) Lookup(line memaddr.LineAddr) *WBEntry { return w.byLine[line] }
+
+// ReadForward returns the buffered value for addr if the buffer holds a
+// store to that word (store→load forwarding), preserving read-your-writes
+// even while the store is in flight.
+func (w *WriteBuffer) ReadForward(addr memaddr.Addr) (uint32, bool) {
+	e, ok := w.byLine[addr.Line()]
+	if !ok || !e.Mask.Has(addr.WordIndex()) {
+		return 0, false
+	}
+	return e.Data[addr.WordIndex()], true
+}

@@ -1,0 +1,178 @@
+// Package config defines the six evaluated cache configurations (paper
+// Table V) and the simulated system parameters (paper Table VI).
+package config
+
+import (
+	"fmt"
+
+	"spandex/internal/sim"
+)
+
+// LLCKind selects the last-level organization.
+type LLCKind uint8
+
+const (
+	// LLCSpandex is the flat Spandex LLC (this paper's design).
+	LLCSpandex LLCKind = iota
+	// LLCHierarchicalMESI is the baseline: MESI L3 directory with an
+	// intermediate GPU L2.
+	LLCHierarchicalMESI
+)
+
+func (k LLCKind) String() string {
+	if k == LLCSpandex {
+		return "Spandex"
+	}
+	return "H-MESI"
+}
+
+// CPUProto selects the CPU L1 protocol.
+type CPUProto uint8
+
+const (
+	CPUMESI CPUProto = iota
+	CPUDeNovo
+)
+
+func (p CPUProto) String() string {
+	if p == CPUMESI {
+		return "MESI"
+	}
+	return "DeNovo"
+}
+
+// GPUProto selects the GPU L1 protocol.
+type GPUProto uint8
+
+const (
+	GPUCoherence GPUProto = iota
+	GPUDeNovo
+)
+
+func (p GPUProto) String() string {
+	if p == GPUCoherence {
+		return "GPU coherence"
+	}
+	return "DeNovo"
+}
+
+// CacheConfig is one row of Table V.
+type CacheConfig struct {
+	Name string
+	LLC  LLCKind
+	CPU  CPUProto
+	GPU  GPUProto
+}
+
+// TableV returns the six evaluated configurations (paper Table V). The
+// hierarchical MESI LLC only supports MESI CPU caches; Spandex supports
+// MESI or DeNovo CPU caches and GPU coherence or DeNovo GPU caches.
+func TableV() []CacheConfig {
+	return []CacheConfig{
+		{"HMG", LLCHierarchicalMESI, CPUMESI, GPUCoherence},
+		{"HMD", LLCHierarchicalMESI, CPUMESI, GPUDeNovo},
+		{"SMG", LLCSpandex, CPUMESI, GPUCoherence},
+		{"SMD", LLCSpandex, CPUMESI, GPUDeNovo},
+		{"SDG", LLCSpandex, CPUDeNovo, GPUCoherence},
+		{"SDD", LLCSpandex, CPUDeNovo, GPUDeNovo},
+	}
+}
+
+// ByName returns the named Table V configuration.
+func ByName(name string) (CacheConfig, error) {
+	for _, c := range TableV() {
+		if c.Name == name {
+			return c, nil
+		}
+	}
+	return CacheConfig{}, fmt.Errorf("config: unknown configuration %q", name)
+}
+
+// SystemParams mirrors the paper's Table VI. The published table's latency
+// values were corrupted in the source text, so representative 2018-era
+// values are used; only their ratios matter for the normalized results the
+// paper reports (see DESIGN.md §2).
+type SystemParams struct {
+	CPUCores   int
+	GPUCUs     int
+	WarpsPerCU int
+
+	// L1 geometry (both CPU and GPU, paper: 32 KB, 8 banks, 8-way).
+	L1SizeBytes int
+	L1Ways      int
+
+	// Spandex LLC: 8 MB; hierarchical: 4 MB GPU L2 + 8 MB L3.
+	SpandexLLCBytes int
+	SpandexLLCWays  int
+	GPUL2Bytes      int
+	GPUL2Ways       int
+	L3Bytes         int
+	L3Ways          int
+
+	StoreBufferEntries int
+	MSHREntries        int
+
+	// Latencies, in CPU cycles unless noted.
+	L1HitCPUCycles   uint64 // applied in the device's own clock domain
+	L2HitCycles      uint64
+	L3HitCycles      uint64
+	MemLatencyCycles uint64
+	TULatencyCycles  uint64
+
+	// Interconnect.
+	NoCHopCycles   uint64
+	NoCBytesPerCyc int
+	NoCMeshWidth   int
+}
+
+// DefaultParams returns the Table VI configuration.
+func DefaultParams() SystemParams {
+	return SystemParams{
+		CPUCores:   8,
+		GPUCUs:     16,
+		WarpsPerCU: 4,
+
+		L1SizeBytes: 32 * 1024,
+		L1Ways:      8,
+
+		SpandexLLCBytes: 8 * 1024 * 1024,
+		SpandexLLCWays:  16,
+		GPUL2Bytes:      4 * 1024 * 1024,
+		GPUL2Ways:       16,
+		L3Bytes:         8 * 1024 * 1024,
+		L3Ways:          16,
+
+		StoreBufferEntries: 128,
+		MSHREntries:        128,
+
+		L1HitCPUCycles:   1,
+		L2HitCycles:      24,
+		L3HitCycles:      48,
+		MemLatencyCycles: 160,
+		TULatencyCycles:  1,
+
+		NoCHopCycles:   2,
+		NoCBytesPerCyc: 32,
+		NoCMeshWidth:   6,
+	}
+}
+
+// FastParams shrinks the system for unit tests: fewer cores, small caches.
+func FastParams() SystemParams {
+	p := DefaultParams()
+	p.CPUCores = 2
+	p.GPUCUs = 2
+	p.WarpsPerCU = 2
+	p.SpandexLLCBytes = 256 * 1024
+	p.GPUL2Bytes = 128 * 1024
+	p.L3Bytes = 256 * 1024
+	return p
+}
+
+// TUTicks converts the TU latency to ticks.
+func (p SystemParams) TUTicks() sim.Time { return sim.CPUCycles(p.TULatencyCycles) }
+
+// NoCTicksPerByte converts link bandwidth to serialization cost per byte.
+func (p SystemParams) NoCTicksPerByte() sim.Time {
+	return sim.Time(uint64(sim.CPUCycle) / uint64(p.NoCBytesPerCyc))
+}

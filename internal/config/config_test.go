@@ -1,0 +1,126 @@
+package config
+
+import (
+	"testing"
+
+	"spandex/internal/sim"
+)
+
+func TestTableVShape(t *testing.T) {
+	cfgs := TableV()
+	if len(cfgs) != 6 {
+		t.Fatalf("Table V has %d rows, want 6", len(cfgs))
+	}
+	wantNames := []string{"HMG", "HMD", "SMG", "SMD", "SDG", "SDD"}
+	for i, c := range cfgs {
+		if c.Name != wantNames[i] {
+			t.Errorf("row %d = %s, want %s", i, c.Name, wantNames[i])
+		}
+	}
+	// Naming convention: first letter = LLC, second = CPU, third = GPU.
+	for _, c := range cfgs {
+		wantLLC := LLCSpandex
+		if c.Name[0] == 'H' {
+			wantLLC = LLCHierarchicalMESI
+		}
+		if c.LLC != wantLLC {
+			t.Errorf("%s: LLC %v", c.Name, c.LLC)
+		}
+		wantCPU := CPUDeNovo
+		if c.Name[1] == 'M' {
+			wantCPU = CPUMESI
+		}
+		if c.CPU != wantCPU {
+			t.Errorf("%s: CPU %v", c.Name, c.CPU)
+		}
+		wantGPU := GPUDeNovo
+		if c.Name[2] == 'G' {
+			wantGPU = GPUCoherence
+		}
+		if c.GPU != wantGPU {
+			t.Errorf("%s: GPU %v", c.Name, c.GPU)
+		}
+	}
+	// The hierarchical baseline never pairs with a DeNovo CPU (§IV-A).
+	for _, c := range cfgs {
+		if c.LLC == LLCHierarchicalMESI && c.CPU != CPUMESI {
+			t.Errorf("%s: hierarchical with non-MESI CPU", c.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, c := range TableV() {
+		got, err := ByName(c.Name)
+		if err != nil || got != c {
+			t.Errorf("ByName(%s) = %+v, %v", c.Name, got, err)
+		}
+	}
+	if _, err := ByName("XYZ"); err == nil {
+		t.Error("ByName accepted a bogus name")
+	}
+}
+
+func TestDefaultParamsMatchTableVI(t *testing.T) {
+	p := DefaultParams()
+	if p.CPUCores != 8 || p.GPUCUs != 16 {
+		t.Errorf("core counts %d/%d, want 8/16", p.CPUCores, p.GPUCUs)
+	}
+	if p.L1SizeBytes != 32*1024 || p.L1Ways != 8 {
+		t.Errorf("L1 geometry %d/%d", p.L1SizeBytes, p.L1Ways)
+	}
+	if p.SpandexLLCBytes != 8<<20 {
+		t.Errorf("Spandex LLC %d, want 8MB", p.SpandexLLCBytes)
+	}
+	if p.GPUL2Bytes != 4<<20 || p.L3Bytes != 8<<20 {
+		t.Errorf("hierarchical sizes %d/%d", p.GPUL2Bytes, p.L3Bytes)
+	}
+	if p.StoreBufferEntries != 128 || p.MSHREntries != 128 {
+		t.Errorf("buffer entries %d/%d, want 128", p.StoreBufferEntries, p.MSHREntries)
+	}
+	// The flat LLC must not be slower than the hierarchy's L3 — the
+	// paper's Table VI gives the 8MB Spandex LLC L2-class latency.
+	if p.L2HitCycles >= p.L3HitCycles {
+		t.Error("LLC latency ordering violated")
+	}
+}
+
+func TestDerivedTimings(t *testing.T) {
+	p := DefaultParams()
+	if p.TUTicks() != sim.CPUCycles(p.TULatencyCycles) {
+		t.Error("TUTicks mismatch")
+	}
+	// 32 B/cycle at a 500-tick cycle = ~15 ticks per byte.
+	if got := p.NoCTicksPerByte(); got != sim.Time(500/32) {
+		t.Errorf("NoCTicksPerByte = %d", got)
+	}
+}
+
+func TestFastParamsSmaller(t *testing.T) {
+	f, d := FastParams(), DefaultParams()
+	if f.CPUCores >= d.CPUCores || f.GPUCUs >= d.GPUCUs {
+		t.Error("FastParams not smaller in cores")
+	}
+	if f.SpandexLLCBytes >= d.SpandexLLCBytes {
+		t.Error("FastParams not smaller in LLC")
+	}
+	// Still valid cache geometries (power-of-two sets).
+	for _, size := range []int{f.SpandexLLCBytes, f.GPUL2Bytes, f.L3Bytes, f.L1SizeBytes} {
+		sets := size / 64 / 16
+		if sets > 0 && sets&(sets-1) != 0 {
+			t.Errorf("size %d gives non-power-of-two sets", size)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if LLCSpandex.String() != "Spandex" || LLCHierarchicalMESI.String() != "H-MESI" {
+		t.Error("LLCKind strings")
+	}
+	if CPUMESI.String() != "MESI" || CPUDeNovo.String() != "DeNovo" {
+		t.Error("CPUProto strings")
+	}
+	if GPUCoherence.String() != "GPU coherence" || GPUDeNovo.String() != "DeNovo" {
+		t.Error("GPUProto strings")
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+// DeviceProbe lets the checker inspect a device cache's coherence state
+// without going through the protocol.
+type DeviceProbe interface {
+	// ProbeOwned returns every word the device currently holds in Owned
+	// state (including words whose ownership grant is still in flight
+	// toward the device are excluded — only stable O).
+	ProbeOwned() map[memaddr.LineAddr]memaddr.WordMask
+}
+
+// Checker validates Spandex coherence invariants. Per-transition checks
+// are structural and cheap; CheckQuiescent performs a global cross-device
+// audit once the system has drained.
+type Checker struct {
+	probes map[proto.NodeID]DeviceProbe
+	// Violations collects failed invariants instead of panicking when
+	// Collect is true (used by tests asserting detection).
+	Collect    bool
+	Violations []string
+}
+
+// NewChecker creates an empty checker.
+func NewChecker() *Checker {
+	return &Checker{probes: make(map[proto.NodeID]DeviceProbe)}
+}
+
+// AttachDevice registers a device's probe for quiescent auditing.
+func (c *Checker) AttachDevice(id proto.NodeID, p DeviceProbe) {
+	c.probes[id] = p
+}
+
+func (c *Checker) fail(format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	if c.Collect {
+		c.Violations = append(c.Violations, msg)
+		return
+	}
+	panic("core: invariant violated: " + msg)
+}
+
+// CheckLine validates the structural invariants of one LLC line after a
+// transition.
+func (c *Checker) CheckLine(l *LLC, line memaddr.LineAddr) {
+	e := l.array.Peek(line)
+	if e == nil {
+		return
+	}
+	st := &e.State
+	for i := 0; i < memaddr.WordsPerLine; i++ {
+		owned := st.ownedMask.Has(i)
+		if owned && (st.owner[i] < 0 || int(st.owner[i]) >= len(l.devices)) {
+			c.fail("line %#x word %d owned with bad owner %d", uint64(line), i, st.owner[i])
+		}
+		if !owned && st.owner[i] != noOwner {
+			c.fail("line %#x word %d not owned but owner %d recorded", uint64(line), i, st.owner[i])
+		}
+	}
+	if st.shared {
+		// Shared and Owned coexist only during a blocking ReqS(1)
+		// revocation (paper §III-B).
+		if st.ownedMask != 0 {
+			if t, ok := l.txns[line]; !ok || t.kind != txnRvk {
+				c.fail("line %#x Shared with owned words %#04x outside a revocation",
+					uint64(line), uint16(st.ownedMask))
+			}
+		}
+		if st.sharers == 0 {
+			c.fail("line %#x Shared with empty sharer set", uint64(line))
+		}
+	}
+	if st.fetching {
+		if _, ok := l.txns[line]; !ok {
+			c.fail("line %#x fetching without a transaction", uint64(line))
+		}
+	}
+}
+
+// CheckQuiescent audits the whole system after the simulation drains:
+// every word the LLC records as owned must be owned by exactly that
+// device, every device-owned word must be recorded at the LLC (the
+// inclusivity requirement, paper §III-F), and no transactions may remain.
+func (c *Checker) CheckQuiescent(l *LLC) error {
+	if len(l.txns) != 0 {
+		for line, t := range l.txns {
+			return fmt.Errorf("core: line %#x still has %s txn with %d waiters at quiescence",
+				uint64(line), t.kind, len(t.waiting))
+		}
+	}
+
+	deviceOwned := make(map[memaddr.LineAddr][memaddr.WordsPerLine]int8)
+	for id, p := range c.probes {
+		idx := int8(l.devIdx[id])
+		for line, mask := range p.ProbeOwned() {
+			owners := deviceOwned[line]
+			conflict := error(nil)
+			mask.ForEach(func(i int) {
+				if owners[i] != 0 {
+					conflict = fmt.Errorf("core: word %d of line %#x owned by two devices (%d and %d)",
+						i, uint64(line), owners[i]-1, idx)
+				}
+				owners[i] = idx + 1 // +1 so zero means "none"
+			})
+			if conflict != nil {
+				return conflict
+			}
+			deviceOwned[line] = owners
+		}
+	}
+
+	var err error
+	l.array.ForEach(func(e *cacheEntry) {
+		if err != nil {
+			return
+		}
+		st := &e.State
+		owners := deviceOwned[e.Line]
+		for i := 0; i < memaddr.WordsPerLine; i++ {
+			llcSays := st.ownedMask.Has(i)
+			devSays := owners[i] != 0
+			switch {
+			case llcSays && !devSays:
+				err = fmt.Errorf("core: LLC thinks device %d owns word %d of line %#x; no device agrees",
+					st.owner[i], i, uint64(e.Line))
+			case !llcSays && devSays:
+				err = fmt.Errorf("core: device %d owns word %d of line %#x but the LLC lost the record (inclusivity)",
+					owners[i]-1, i, uint64(e.Line))
+			case llcSays && devSays && st.owner[i] != owners[i]-1:
+				err = fmt.Errorf("core: owner mismatch on word %d of line %#x: LLC=%d device=%d",
+					i, uint64(e.Line), st.owner[i], owners[i]-1)
+			}
+			if err != nil {
+				return
+			}
+		}
+		delete(deviceOwned, e.Line)
+	})
+	if err != nil {
+		return err
+	}
+	for line, owners := range deviceOwned {
+		for i, o := range owners {
+			if o != 0 {
+				return fmt.Errorf("core: device %d owns word %d of uncached line %#x (inclusivity)",
+					o-1, i, uint64(line))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"spandex/internal/dram"
+	"spandex/internal/memaddr"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// testDev is a scriptable device endpoint. By default it behaves like a
+// well-formed word-granularity owner cache: it answers probes and forwards
+// from its local owned-word store, which tests populate via ReqO/ReqO+data
+// or directly.
+type testDev struct {
+	id   proto.NodeID
+	h    *harness
+	mesi bool
+
+	owned map[memaddr.LineAddr]memaddr.WordMask
+	data  map[memaddr.LineAddr]memaddr.LineData
+
+	recv []proto.Message
+
+	// nackReqV makes the device Nack forwarded ReqVs (simulating an owner
+	// that already transitioned away, paper §III-C3).
+	nackReqV bool
+	// mute suppresses all automatic probe responses.
+	mute bool
+}
+
+func (d *testDev) ProbeOwned() map[memaddr.LineAddr]memaddr.WordMask { return d.owned }
+
+func (d *testDev) HandleMessage(m *proto.Message) {
+	d.recv = append(d.recv, *m)
+	if d.mute {
+		return
+	}
+	switch m.Type {
+	case proto.RspO, proto.RspOData:
+		// Ownership grant: record it.
+		d.owned[m.Line] |= m.Mask
+		ld := d.data[m.Line]
+		if m.HasData {
+			ld.Merge(&m.Data, m.Mask)
+		}
+		d.data[m.Line] = ld
+	case proto.RspV, proto.RspS, proto.RspWT, proto.RspWTData, proto.RspWB,
+		proto.NackV, proto.RspRvkO:
+		// responses: recorded only
+	case proto.RvkO:
+		d.respondRvk(m)
+	case proto.Inv:
+		d.send(&proto.Message{Type: proto.InvAck, Dst: d.h.llc.ID, Line: m.Line, Mask: m.Mask})
+	case proto.ReqV:
+		if d.nackReqV || d.owned[m.Line]&m.Mask != m.Mask {
+			d.send(&proto.Message{Type: proto.NackV, Dst: m.Requestor,
+				Requestor: m.Requestor, ReqID: m.ReqID, Line: m.Line, Mask: m.Mask})
+			return
+		}
+		d.send(&proto.Message{Type: proto.RspV, Dst: m.Requestor, Requestor: m.Requestor,
+			ReqID: m.ReqID, Line: m.Line, Mask: m.Mask, HasData: true, Data: d.data[m.Line]})
+	case proto.ReqO:
+		d.owned[m.Line] &^= m.Mask
+		d.send(&proto.Message{Type: proto.RspO, Dst: m.Requestor, Requestor: m.Requestor,
+			ReqID: m.ReqID, Line: m.Line, Mask: m.Mask})
+	case proto.ReqOData:
+		rsp := &proto.Message{Type: proto.RspOData, Dst: m.Requestor, Requestor: m.Requestor,
+			ReqID: m.ReqID, Line: m.Line, Mask: m.Mask, HasData: true, Data: d.data[m.Line]}
+		d.owned[m.Line] &^= m.Mask
+		d.send(rsp)
+	case proto.ReqWT:
+		// Fig 1d: downgrade the written words and ack the requestor.
+		d.owned[m.Line] &^= m.Mask
+		d.send(&proto.Message{Type: proto.RspWT, Dst: m.Requestor, Requestor: m.Requestor,
+			ReqID: m.ReqID, Line: m.Line, Mask: m.Mask})
+	case proto.ReqS:
+		// Owner downgrades to S: data to requestor, write-back to LLC.
+		d.send(&proto.Message{Type: proto.RspS, Dst: m.Requestor, Requestor: m.Requestor,
+			ReqID: m.ReqID, Line: m.Line, Mask: m.Mask, HasData: true, Data: d.data[m.Line]})
+		d.respondRvk(&proto.Message{Type: proto.RvkO, Line: m.Line, Mask: m.Mask})
+	default:
+		panic("testDev: unhandled " + m.Type.String())
+	}
+}
+
+func (d *testDev) respondRvk(m *proto.Message) {
+	mask := d.owned[m.Line]
+	if mask == 0 {
+		mask = m.Mask
+	}
+	d.owned[m.Line] = 0
+	d.send(&proto.Message{Type: proto.RspRvkO, Dst: d.h.llc.ID, Line: m.Line,
+		Mask: mask, HasData: true, Data: d.data[m.Line]})
+}
+
+func (d *testDev) send(m *proto.Message) {
+	m.Src = d.id
+	d.h.net.Send(m)
+}
+
+// req sends a Spandex request from the device and returns its ReqID.
+func (d *testDev) req(typ proto.MsgType, line memaddr.LineAddr, mask memaddr.WordMask, mod func(*proto.Message)) uint64 {
+	d.h.reqID++
+	m := &proto.Message{Type: typ, Dst: d.h.llc.ID, Requestor: d.id,
+		ReqID: d.h.reqID, Line: line, Mask: mask}
+	if mod != nil {
+		mod(m)
+	}
+	d.send(m)
+	return d.h.reqID
+}
+
+// rspOf returns the recorded responses matching a request id.
+func (d *testDev) rspOf(id uint64) []proto.Message {
+	var out []proto.Message
+	for _, m := range d.recv {
+		if m.ReqID == id {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+type harness struct {
+	t     *testing.T
+	eng   *sim.Engine
+	st    *stats.Stats
+	net   *noc.Network
+	llc   *LLC
+	mem   *dram.Memory
+	devs  []*testDev
+	chk   *Checker
+	reqID uint64
+}
+
+// newHarness builds an LLC with n scriptable devices; devs[i].mesi is set
+// for indices in mesiIdx.
+func newHarness(t *testing.T, n int, mesiIdx ...int) *harness {
+	h := &harness{t: t, eng: sim.New(), st: stats.New()}
+	h.net = noc.New(h.eng, h.st, noc.DefaultConfig(), n+2)
+	llcID := proto.NodeID(n)
+	memID := proto.NodeID(n + 1)
+	h.llc = NewLLC(llcID, memID, h.eng, h.net, h.st, Config{
+		SizeBytes: 16 * 1024, Ways: 8, AccessLatency: 10 * sim.CPUCycle,
+	})
+	h.mem = dram.New(memID, h.eng, h.net, 100*sim.CPUCycle)
+	h.chk = NewChecker()
+	h.llc.SetChecker(h.chk)
+	isMESI := map[int]bool{}
+	for _, i := range mesiIdx {
+		isMESI[i] = true
+	}
+	for i := 0; i < n; i++ {
+		d := &testDev{id: proto.NodeID(i), h: h, mesi: isMESI[i],
+			owned: map[memaddr.LineAddr]memaddr.WordMask{},
+			data:  map[memaddr.LineAddr]memaddr.LineData{}}
+		h.devs = append(h.devs, d)
+		h.net.Register(d.id, d)
+		h.llc.RegisterDevice(d.id, isMESI[i])
+		h.chk.AttachDevice(d.id, d)
+	}
+	return h
+}
+
+func (h *harness) run() {
+	if !h.eng.RunUntil(1 << 40) {
+		h.t.Fatal("harness: simulation did not drain")
+	}
+}
+
+// line returns the LLC state of a line, or nil.
+func (h *harness) line(line memaddr.LineAddr) *llcLine {
+	e := h.llc.array.Peek(line)
+	if e == nil {
+		return nil
+	}
+	return &e.State
+}
+
+func (h *harness) quiesce() {
+	h.run()
+	if err := h.chk.CheckQuiescent(h.llc); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+const L0 = memaddr.LineAddr(0x1000)

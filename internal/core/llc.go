@@ -1,0 +1,714 @@
+// Package core implements the paper's primary contribution: the Spandex
+// LLC (paper §III-B) and the per-device translation units (§III-D) that
+// let MESI, GPU-coherence and DeNovo caches — and future devices — share
+// one flat coherence interface.
+//
+// The LLC tracks four stable states. Invalid/Valid/Shared are line-level
+// (two bits per line), while Owned is tracked per word with the owning
+// device's ID (paper: the owner ID is stored in the data field of owned
+// words; we model that with an explicit owner array and charge the storage
+// overhead in documentation rather than bytes). In the common case requests
+// are handled immediately with no blocking state; the only blocking
+// transitions are (1) writes to Shared lines, which wait for sharer
+// invalidations, (2) ReqS/ReqWT+data to remotely-owned words, which wait
+// for the owner's write-back, and (3) structural line fetches/evictions.
+package core
+
+import (
+	"fmt"
+
+	"spandex/internal/cache"
+	"spandex/internal/memaddr"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// noOwner marks an un-owned word in the owner array.
+const noOwner = -1
+
+// cacheEntry abbreviates the LLC's array entry type.
+type cacheEntry = cache.Entry[llcLine]
+
+// llcLine is the Spandex LLC's per-line state.
+type llcLine struct {
+	// shared is the line-level S state (writer-invalidated sharers exist).
+	shared bool
+	// fetching marks a line whose data is still arriving from memory.
+	fetching bool
+	// sharers is a bitset of device indices holding the line in S.
+	sharers uint64
+	// ownedMask marks words owned by some device.
+	ownedMask memaddr.WordMask
+	// owner[i] is the device index owning word i (valid iff ownedMask bit).
+	owner [memaddr.WordsPerLine]int8
+	// data holds the up-to-date value of every non-owned word.
+	data memaddr.LineData
+	// dirty marks words modified relative to DRAM.
+	dirty memaddr.WordMask
+}
+
+// txnKind classifies an in-flight blocking transaction on a line.
+type txnKind uint8
+
+const (
+	// txnFetch: line being allocated and fetched from memory.
+	txnFetch txnKind = iota
+	// txnInv: waiting for sharer invalidation acks.
+	txnInv
+	// txnRvk: waiting for an owner's write-back (RvkO or forwarded ReqS).
+	txnRvk
+	// txnEvict: victim line being revoked/flushed before replacement.
+	txnEvict
+)
+
+func (k txnKind) String() string {
+	switch k {
+	case txnFetch:
+		return "fetch"
+	case txnInv:
+		return "inv"
+	case txnRvk:
+		return "rvk"
+	case txnEvict:
+		return "evict"
+	}
+	return "txn?"
+}
+
+// llcTxn is one blocking transaction. While it exists, new requests to the
+// same line queue in waiting and are re-dispatched in order on completion.
+type llcTxn struct {
+	kind    txnKind
+	line    memaddr.LineAddr
+	waiting []*proto.Message
+
+	// origin is the request that started a txnInv/txnRvk, completed when
+	// the transaction resolves.
+	origin *proto.Message
+
+	// pendingAcks counts outstanding InvAcks (txnInv).
+	pendingAcks int
+	// rvkMask is the set of words whose ownership must clear (txnRvk).
+	rvkMask memaddr.WordMask
+	// serveMask: words of a blocked ReqS the LLC itself must answer once
+	// their (non-MESI) owners have written back.
+	serveMask memaddr.WordMask
+
+	// evict bookkeeping (txnEvict): the fetch transaction to resume.
+	resume func()
+}
+
+// Config holds the Spandex LLC parameters.
+type Config struct {
+	SizeBytes int
+	Ways      int
+	// AccessLatency is charged to every request the LLC processes.
+	AccessLatency sim.Time
+	// ReqSOption2 selects Table III's option (2) for every ReqS: treat it
+	// as a ReqV, with the requesting cache downgrading to Invalid after
+	// the read. It avoids Shared-state complexity entirely but precludes
+	// requestor-side reuse; the paper's evaluation uses options (1)/(3)
+	// (the default here), and this knob exists for the ablation the
+	// paper's discussion invites.
+	ReqSOption2 bool
+}
+
+// LLC is the Spandex last-level cache and coherence point.
+type LLC struct {
+	ID    proto.NodeID
+	MemID proto.NodeID
+
+	eng *sim.Engine
+	net *noc.Network
+	st  *stats.Stats
+	cfg Config
+
+	array *cache.Array[llcLine]
+	txns  map[memaddr.LineAddr]*llcTxn
+
+	devices []proto.NodeID
+	devIdx  map[proto.NodeID]int
+	isMESI  []bool
+
+	checker *Checker
+}
+
+// NewLLC creates a Spandex LLC endpoint.
+func NewLLC(id, memID proto.NodeID, eng *sim.Engine, net *noc.Network, st *stats.Stats, cfg Config) *LLC {
+	l := &LLC{
+		ID: id, MemID: memID, eng: eng, net: net, st: st, cfg: cfg,
+		array:  cache.NewArray[llcLine](cfg.SizeBytes, cfg.Ways),
+		txns:   make(map[memaddr.LineAddr]*llcTxn),
+		devIdx: make(map[proto.NodeID]int),
+	}
+	net.Register(id, l)
+	return l
+}
+
+// RegisterDevice declares a device endpoint attached to the LLC. isMESI
+// devices trigger the ReqS option-(1) policy when they own target words
+// (paper §III-B "Supporting Shared State").
+func (l *LLC) RegisterDevice(id proto.NodeID, isMESI bool) {
+	if _, ok := l.devIdx[id]; ok {
+		panic("core: device registered twice")
+	}
+	if len(l.devices) >= 64 {
+		panic("core: more than 64 devices")
+	}
+	l.devIdx[id] = len(l.devices)
+	l.devices = append(l.devices, id)
+	l.isMESI = append(l.isMESI, isMESI)
+}
+
+// SetChecker installs an invariant checker consulted on every transition.
+func (l *LLC) SetChecker(c *Checker) { l.checker = c }
+
+func (l *LLC) dev(id proto.NodeID) int {
+	i, ok := l.devIdx[id]
+	if !ok {
+		panic(fmt.Sprintf("core: message from unregistered device %d", id))
+	}
+	return i
+}
+
+// HandleMessage implements noc.Handler. Requests are charged the LLC
+// access latency and then processed atomically in arrival order.
+func (l *LLC) HandleMessage(m *proto.Message) {
+	l.eng.Schedule(l.cfg.AccessLatency, func() { l.dispatch(m) })
+}
+
+// dispatch routes a message, queuing requests that hit a blocked line.
+func (l *LLC) dispatch(m *proto.Message) {
+	switch m.Type {
+	case proto.RspRvkO:
+		l.handleRspRvkO(m)
+		return
+	case proto.InvAck:
+		l.handleInvAck(m)
+		return
+	case proto.MemReadRsp:
+		l.handleMemRsp(m)
+		return
+	case proto.ReqWB:
+		// Write-backs are never queued: they may be exactly what a txnRvk
+		// is waiting for, and the writer retains data until acked, so
+		// processing them immediately is always safe.
+		l.handleReqWB(m)
+		return
+	}
+
+	if t, ok := l.txns[m.Line]; ok {
+		t.waiting = append(t.waiting, m)
+		l.st.Inc("llc.queued", 1)
+		return
+	}
+
+	e := l.array.Lookup(m.Line)
+	if e == nil {
+		l.startFetch(m)
+		return
+	}
+	l.process(e, m)
+}
+
+// process handles a request against a present, unblocked line.
+func (l *LLC) process(e *cache.Entry[llcLine], m *proto.Message) {
+	switch m.Type {
+	case proto.ReqV:
+		l.handleReqV(e, m)
+	case proto.ReqS:
+		l.handleReqS(e, m)
+	case proto.ReqWT:
+		l.handleReqWT(e, m)
+	case proto.ReqO:
+		l.handleReqO(e, m)
+	case proto.ReqWTData:
+		l.handleReqWTData(e, m)
+	case proto.ReqOData:
+		l.handleReqOData(e, m)
+	default:
+		panic("core: LLC cannot handle " + m.Type.String())
+	}
+	if l.checker != nil {
+		l.checker.CheckLine(l, m.Line)
+	}
+}
+
+// send transmits a message from the LLC.
+func (l *LLC) send(m *proto.Message) {
+	m.Src = l.ID
+	l.net.Send(m)
+}
+
+// respond sends a response type for the masked words of m's line.
+func (l *LLC) respond(m *proto.Message, typ proto.MsgType, mask memaddr.WordMask, withData bool, e *cache.Entry[llcLine]) {
+	if mask == 0 {
+		return
+	}
+	rsp := &proto.Message{
+		Type: typ, Dst: m.Requestor, Requestor: m.Requestor, ReqID: m.ReqID,
+		Line: m.Line, Mask: mask,
+	}
+	if withData {
+		rsp.HasData = true
+		rsp.Data = e.State.data
+	}
+	l.send(rsp)
+}
+
+// ownerWords pairs a device index with the words it owns in one line.
+type ownerWords struct {
+	owner int
+	words memaddr.WordMask
+}
+
+// ownersOf groups the owned words of mask by owning device index, in
+// ascending owner order (deterministic message emission).
+func ownersOf(st *llcLine, mask memaddr.WordMask) []ownerWords {
+	owned := mask & st.ownedMask
+	if owned == 0 {
+		return nil
+	}
+	var byOwner [64]memaddr.WordMask
+	max := -1
+	owned.ForEach(func(i int) {
+		o := int(st.owner[i])
+		byOwner[o] |= memaddr.MaskOf(i)
+		if o > max {
+			max = o
+		}
+	})
+	var out []ownerWords
+	for o := 0; o <= max; o++ {
+		if byOwner[o] != 0 {
+			out = append(out, ownerWords{owner: o, words: byOwner[o]})
+		}
+	}
+	return out
+}
+
+// forward relays a request to each owner of the masked words, preserving
+// the original requestor so owners respond directly (paper Fig. 1c/1d).
+func (l *LLC) forward(e *cache.Entry[llcLine], m *proto.Message, typ proto.MsgType, mask memaddr.WordMask) {
+	for _, ow := range ownersOf(&e.State, mask) {
+		fwd := &proto.Message{
+			Type: typ, Dst: l.devices[ow.owner],
+			Requestor: m.Requestor, ReqID: m.ReqID,
+			Line: m.Line, Mask: ow.words,
+			Atomic: m.Atomic, Operand: m.Operand, Compare: m.Compare,
+		}
+		l.send(fwd)
+		l.st.Inc("llc.forwards", 1)
+	}
+}
+
+// --- request handlers (paper Table III) ---
+
+// handleReqV: no LLC state change ever. Non-owned words answered from the
+// LLC copy — including any other non-owned words of the line, implementing
+// DeNovo's flexible-granularity responses ("the responding device may
+// include any available up-to-date data in the line"). Owned words are
+// forwarded to their owners, who respond directly to the requestor.
+func (l *LLC) handleReqV(e *cache.Entry[llcLine], m *proto.Message) {
+	st := &e.State
+	fromLLC := memaddr.FullMask &^ st.ownedMask
+	if m.Mask == 0 {
+		panic("core: empty ReqV")
+	}
+	if m.Mask&^st.ownedMask != 0 {
+		l.respond(m, proto.RspV, fromLLC, true, e)
+	}
+	l.forward(e, m, proto.ReqV, m.Mask&st.ownedMask)
+}
+
+// reqSPolicyOption1 decides between ReqS handling options (paper §IV:
+// option (1) — grant Shared — if the line is already Shared or any target
+// word is owned in a MESI core; otherwise option (3) — treat the request
+// as ReqO+data, granting ownership).
+func (l *LLC) reqSPolicyOption1(st *llcLine, mask memaddr.WordMask) bool {
+	if st.shared {
+		return true
+	}
+	opt1 := false
+	(mask & st.ownedMask).ForEach(func(i int) {
+		if l.isMESI[st.owner[i]] {
+			opt1 = true
+		}
+	})
+	return opt1
+}
+
+func (l *LLC) handleReqS(e *cache.Entry[llcLine], m *proto.Message) {
+	st := &e.State
+	if l.cfg.ReqSOption2 {
+		// Option (2): answer like a ReqV; the requestor's TU downgrades
+		// its cache to Invalid once the read is satisfied, so no Shared
+		// state or ownership transfer is needed.
+		l.st.Inc("llc.reqs.opt2", 1)
+		l.handleReqV(e, m)
+		return
+	}
+	if !l.reqSPolicyOption1(st, m.Mask) {
+		// Option (3): grant ownership instead of Shared state.
+		l.st.Inc("llc.reqs.opt3", 1)
+		l.handleReqOData(e, m)
+		return
+	}
+	l.st.Inc("llc.reqs.opt1", 1)
+	st.shared = true
+	st.sharers |= 1 << l.dev(m.Requestor)
+
+	immediate := m.Mask &^ st.ownedMask
+	l.respond(m, proto.RspS, immediate, true, e)
+
+	ownedReq := m.Mask & st.ownedMask
+	if ownedReq == 0 {
+		return
+	}
+	// Owned words block the line until ownership clears (Table III:
+	// ReqS(1) on O is a blocking transition to S). MESI owners handle a
+	// forwarded ReqS natively: they downgrade M→S (joining the sharer
+	// set), answer the requestor with RspS, and write back here. Words
+	// owned by self-invalidating devices — which have no Shared state to
+	// downgrade into — are revoked with RvkO instead, and the LLC answers
+	// for them once the write-back lands.
+	var mesiOwned, otherOwned memaddr.WordMask
+	ownedReq.ForEach(func(i int) {
+		if l.isMESI[st.owner[i]] {
+			mesiOwned |= memaddr.MaskOf(i)
+		} else {
+			otherOwned |= memaddr.MaskOf(i)
+		}
+	})
+	for _, ow := range ownersOf(st, mesiOwned) {
+		st.sharers |= 1 << ow.owner
+	}
+	l.forward(e, m, proto.ReqS, mesiOwned)
+	l.forward(e, m, proto.RvkO, otherOwned)
+	l.txns[m.Line] = &llcTxn{kind: txnRvk, line: m.Line, origin: m,
+		rvkMask: ownedReq, serveMask: otherOwned}
+	l.st.Inc("llc.blocked.rvk", 1)
+}
+
+// invalidateSharers begins a txnInv for a write request to a Shared line.
+// The original message is re-processed once all acks arrive.
+func (l *LLC) invalidateSharers(e *cache.Entry[llcLine], m *proto.Message) {
+	st := &e.State
+	t := &llcTxn{kind: txnInv, line: m.Line, origin: m}
+	reqIdx := -1
+	if i, ok := l.devIdx[m.Requestor]; ok {
+		reqIdx = i
+	}
+	for i := 0; i < len(l.devices); i++ {
+		if st.sharers&(1<<i) == 0 || i == reqIdx {
+			continue
+		}
+		t.pendingAcks++
+		l.send(&proto.Message{
+			Type: proto.Inv, Dst: l.devices[i], Requestor: l.devices[i],
+			Line: m.Line, Mask: memaddr.FullMask,
+		})
+	}
+	// The requestor's own copy (if it was a sharer) upgrades in place;
+	// the sharer set clears and the write re-processes once acks arrive.
+	st.sharers = 0
+	st.shared = false
+	if t.pendingAcks == 0 {
+		// No remote sharers: proceed immediately.
+		l.process(e, m)
+		return
+	}
+	l.txns[m.Line] = t
+	l.st.Inc("llc.blocked.inv", 1)
+}
+
+func (l *LLC) handleReqWT(e *cache.Entry[llcLine], m *proto.Message) {
+	st := &e.State
+	if st.shared {
+		l.invalidateSharers(e, m)
+		return
+	}
+	owned := m.Mask & st.ownedMask
+	plain := m.Mask &^ owned
+
+	// Non-owned words: update the LLC copy and respond data-lessly.
+	if plain != 0 {
+		st.data.Merge(&m.Data, plain)
+		st.dirty |= plain
+	}
+	l.respond(m, proto.RspWT, plain, false, e)
+
+	// Owned words (Table III: ReqWT on O → V, forward ReqWT): the LLC
+	// takes the new value immediately, clears ownership, and the old
+	// owner — told via the forward — downgrades and acks the requestor
+	// directly (paper Fig. 1d).
+	if owned != 0 {
+		l.forward(e, m, proto.ReqWT, owned)
+		st.data.Merge(&m.Data, owned)
+		st.dirty |= owned
+		st.ownedMask &^= owned
+		owned.ForEach(func(i int) { st.owner[i] = noOwner })
+	}
+}
+
+func (l *LLC) handleReqO(e *cache.Entry[llcLine], m *proto.Message) {
+	st := &e.State
+	if st.shared {
+		l.invalidateSharers(e, m)
+		return
+	}
+	reqIdx := int8(l.dev(m.Requestor))
+	owned := m.Mask & st.ownedMask
+	// Words the requestor already owns (e.g. replays) need no transfer.
+	var self memaddr.WordMask
+	owned.ForEach(func(i int) {
+		if st.owner[i] == reqIdx {
+			self |= memaddr.MaskOf(i)
+		}
+	})
+	transfer := owned &^ self
+	plain := m.Mask &^ owned
+
+	// Non-blocking ownership transfer (Table III: ReqO on O → O, fwd ReqO):
+	// old owners are told to downgrade and ack the requestor directly.
+	l.forward(e, m, proto.ReqO, transfer)
+	m.Mask.ForEach(func(i int) { st.owner[i] = reqIdx })
+	st.ownedMask |= m.Mask
+	// Owned words' LLC copy is stale by definition; mark dirty so eviction
+	// write-back fetches from the owner first.
+	l.respond(m, proto.RspO, plain|self, false, e)
+}
+
+func (l *LLC) handleReqWTData(e *cache.Entry[llcLine], m *proto.Message) {
+	st := &e.State
+	if st.shared {
+		l.invalidateSharers(e, m)
+		return
+	}
+	owned := m.Mask & st.ownedMask
+	if owned != 0 {
+		// Table III: ReqWT+data on O → blocking RvkO to the owner; the
+		// update is performed here once up-to-date data returns (Fig. 1b).
+		l.forward(e, m, proto.RvkO, owned)
+		l.txns[m.Line] = &llcTxn{kind: txnRvk, line: m.Line, origin: m, rvkMask: owned}
+		l.st.Inc("llc.blocked.rvk", 1)
+		return
+	}
+	l.performUpdate(e, m)
+}
+
+// performUpdate applies a ReqWT+data operation at the LLC and responds
+// with the pre-update value (paper §III-A).
+func (l *LLC) performUpdate(e *cache.Entry[llcLine], m *proto.Message) {
+	st := &e.State
+	rsp := &proto.Message{
+		Type: proto.RspWTData, Dst: m.Requestor, Requestor: m.Requestor,
+		ReqID: m.ReqID, Line: m.Line, Mask: m.Mask, HasData: true,
+	}
+	m.Mask.ForEach(func(i int) {
+		old := st.data[i]
+		var operand uint32
+		if m.HasData {
+			operand = m.Data[i]
+		} else {
+			operand = m.Operand
+		}
+		nv, wrote := m.Atomic.Apply(old, operand, m.Compare)
+		rsp.Data[i] = old
+		if wrote {
+			st.data[i] = nv
+			st.dirty |= memaddr.MaskOf(i)
+		}
+	})
+	l.send(rsp)
+	l.st.Inc("llc.atomics", 1)
+}
+
+func (l *LLC) handleReqOData(e *cache.Entry[llcLine], m *proto.Message) {
+	st := &e.State
+	if st.shared {
+		l.invalidateSharers(e, m)
+		return
+	}
+	reqIdx := int8(l.dev(m.Requestor))
+	owned := m.Mask & st.ownedMask
+	var self memaddr.WordMask
+	owned.ForEach(func(i int) {
+		if st.owner[i] == reqIdx {
+			self |= memaddr.MaskOf(i)
+		}
+	})
+	transfer := owned &^ self
+	plain := m.Mask &^ owned
+
+	// Old owners hand data and ownership directly to the requestor;
+	// no blocking state (paper §II-C / Table III: ReqO+data on O → O).
+	// A ReqS resolved via option (3) also lands here; its requestor's TU
+	// expects RspOData and grants Exclusive to the MESI cache.
+	l.forward(e, m, proto.ReqOData, transfer)
+	m.Mask.ForEach(func(i int) { st.owner[i] = reqIdx })
+	st.ownedMask |= m.Mask
+	if plain|self != 0 {
+		l.respond(m, proto.RspOData, plain|self, true, e)
+	}
+}
+
+// handleReqWB applies a write-back. Words the sender still owns are
+// updated; words it no longer owns raced with an ownership transfer and
+// are dropped (Table III: "ReqWB from non-owner → —").
+func (l *LLC) handleReqWB(m *proto.Message) {
+	e := l.array.Peek(m.Line)
+	senderIdx := int8(l.dev(m.Src))
+	if e != nil {
+		st := &e.State
+		applied := memaddr.WordMask(0)
+		(m.Mask & st.ownedMask).ForEach(func(i int) {
+			if st.owner[i] == senderIdx {
+				applied |= memaddr.MaskOf(i)
+			}
+		})
+		if applied != 0 {
+			st.data.Merge(&m.Data, applied)
+			st.dirty |= applied
+			st.ownedMask &^= applied
+			applied.ForEach(func(i int) { st.owner[i] = noOwner })
+		} else {
+			l.st.Inc("llc.wb.nonowner", 1)
+		}
+	} else {
+		// Inclusivity for owned data means the line must be present while
+		// owned; a miss here means the sender lost ownership to an
+		// eviction race and the data is stale.
+		l.st.Inc("llc.wb.nonowner", 1)
+	}
+	l.send(&proto.Message{
+		Type: proto.RspWB, Dst: m.Src, Requestor: m.Src, ReqID: m.ReqID,
+		Line: m.Line, Mask: m.Mask,
+	})
+	l.maybeCompleteRvk(m.Line)
+	if l.checker != nil {
+		l.checker.CheckLine(l, m.Line)
+	}
+}
+
+// handleRspRvkO absorbs an owner's write-back triggered by RvkO or a
+// forwarded ReqS. Data is applied for words the sender still owns; the
+// mask may be larger than requested (line-granularity devices write back
+// the whole line, paper Fig. 1b).
+func (l *LLC) handleRspRvkO(m *proto.Message) {
+	e := l.array.Peek(m.Line)
+	if e == nil {
+		panic("core: RspRvkO for absent line")
+	}
+	if !m.HasData {
+		// Data-less RspRvkO: the owner's write-back is already in flight
+		// with the data (paper §III-C2, footnote 5); ownership clears when
+		// that ReqWB arrives, which also resolves the waiting transaction.
+		return
+	}
+	st := &e.State
+	senderIdx := int8(l.dev(m.Src))
+	applied := memaddr.WordMask(0)
+	(m.Mask & st.ownedMask).ForEach(func(i int) {
+		if st.owner[i] == senderIdx {
+			applied |= memaddr.MaskOf(i)
+		}
+	})
+	if applied != 0 {
+		st.data.Merge(&m.Data, applied)
+		st.dirty |= applied
+		st.ownedMask &^= applied
+		applied.ForEach(func(i int) { st.owner[i] = noOwner })
+	}
+	l.maybeCompleteRvk(m.Line)
+	if l.checker != nil {
+		l.checker.CheckLine(l, m.Line)
+	}
+}
+
+// maybeCompleteRvk resolves a txnRvk (or txnEvict) once every word it was
+// waiting on has ceased to be owned — whether via RspRvkO or a racing
+// ReqWB from the owner (paper §III-C2).
+func (l *LLC) maybeCompleteRvk(line memaddr.LineAddr) {
+	t, ok := l.txns[line]
+	if !ok || (t.kind != txnRvk && t.kind != txnEvict) {
+		return
+	}
+	e := l.array.Peek(line)
+	if e == nil {
+		panic("core: revocation txn on absent line")
+	}
+	if e.State.ownedMask&t.rvkMask != 0 {
+		return // still waiting on some word
+	}
+	delete(l.txns, line)
+	if t.kind == txnEvict {
+		t.resume()
+		l.drain(t)
+		return
+	}
+	if t.origin != nil {
+		// The blocked request resumes: for ReqWT+data, perform the update
+		// now that data is home; for ReqS(1), MESI owners already sent
+		// RspS directly, and the LLC now answers for any words it revoked
+		// from self-invalidating owners.
+		switch t.origin.Type {
+		case proto.ReqWTData:
+			l.performUpdate(e, t.origin)
+		case proto.ReqS:
+			l.respond(t.origin, proto.RspS, t.serveMask, true, e)
+		default:
+			panic("core: unexpected rvk origin " + t.origin.Type.String())
+		}
+	}
+	l.drain(t)
+}
+
+// handleInvAck counts sharer invalidation acks; when the last arrives the
+// blocked write request proceeds.
+func (l *LLC) handleInvAck(m *proto.Message) {
+	t, ok := l.txns[m.Line]
+	if !ok || (t.kind != txnInv && t.kind != txnEvict) {
+		panic("core: stray InvAck")
+	}
+	t.pendingAcks--
+	if t.pendingAcks > 0 {
+		return
+	}
+	delete(l.txns, m.Line)
+	if t.kind == txnEvict {
+		t.resume()
+		l.drain(t)
+		return
+	}
+	e := l.array.Peek(m.Line)
+	if e == nil {
+		panic("core: InvAck for absent line")
+	}
+	l.process(e, t.origin)
+	l.drain(t)
+}
+
+// drain re-dispatches requests queued behind a completed transaction. If a
+// re-dispatched request starts a new transaction, the remainder transfers
+// to its queue, preserving order.
+func (l *LLC) drain(t *llcTxn) {
+	for i, m := range t.waiting {
+		if nt, ok := l.txns[t.line]; ok {
+			nt.waiting = append(nt.waiting, t.waiting[i:]...)
+			return
+		}
+		e := l.array.Lookup(t.line)
+		if e == nil {
+			rest := t.waiting[i:]
+			l.startFetch(m)
+			if nt, ok := l.txns[t.line]; ok && len(rest) > 1 {
+				nt.waiting = append(nt.waiting, rest[1:]...)
+			}
+			return
+		}
+		l.process(e, m)
+	}
+}

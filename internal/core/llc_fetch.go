@@ -1,0 +1,147 @@
+package core
+
+import (
+	"spandex/internal/cache"
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+)
+
+// victimRetry is the delay before re-attempting allocation when every frame
+// in the target set is tied up by in-flight transactions (rare).
+const victimRetry = 8 * sim.CPUCycle
+
+// startFetch begins allocating and fetching a missing line to serve m.
+// The request (and any later ones) queue on a txnFetch until data arrives.
+func (l *LLC) startFetch(m *proto.Message) {
+	t := &llcTxn{kind: txnFetch, line: m.Line, waiting: []*proto.Message{m}}
+	l.txns[m.Line] = t
+	l.st.Inc("llc.miss", 1)
+
+	victim := l.pickVictim(m.Line)
+	if victim == nil {
+		// Every frame in the set is mid-transaction; retry shortly.
+		l.eng.Schedule(victimRetry, func() { l.retryAlloc(m.Line) })
+		return
+	}
+	if !victim.Valid {
+		l.installAndRead(victim, m.Line)
+		return
+	}
+	l.evict(victim, func() {
+		l.installAndRead(victim, m.Line)
+	})
+}
+
+// retryAlloc re-attempts frame allocation for a pending fetch.
+func (l *LLC) retryAlloc(line memaddr.LineAddr) {
+	t, ok := l.txns[line]
+	if !ok || t.kind != txnFetch {
+		return
+	}
+	victim := l.pickVictim(line)
+	if victim == nil {
+		l.eng.Schedule(victimRetry, func() { l.retryAlloc(line) })
+		return
+	}
+	if !victim.Valid {
+		l.installAndRead(victim, line)
+		return
+	}
+	l.evict(victim, func() { l.installAndRead(victim, line) })
+}
+
+// pickVictim selects a replacement frame, never choosing a line with an
+// active transaction (it may be mid-revocation or mid-fetch).
+func (l *LLC) pickVictim(line memaddr.LineAddr) *cache.Entry[llcLine] {
+	return l.array.VictimWhere(line, func(e *cache.Entry[llcLine]) bool {
+		_, busy := l.txns[e.Line]
+		return !busy
+	})
+}
+
+// evict removes a valid victim line: revoking owners / invalidating
+// sharers, writing dirty words to memory, then invoking resume. Requests
+// targeting the victim line queue on a txnEvict meanwhile.
+func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
+	st := &victim.State
+	line := victim.Line
+	l.st.Inc("llc.evict", 1)
+
+	finish := func() {
+		e := l.array.Peek(line)
+		if e == nil {
+			panic("core: victim vanished during eviction")
+		}
+		if e.State.dirty != 0 {
+			l.send(&proto.Message{
+				Type: proto.MemWrite, Dst: l.MemID, Requestor: l.ID,
+				Line: line, Mask: e.State.dirty, HasData: true, Data: e.State.data,
+			})
+		}
+		l.array.Invalidate(line)
+		resume()
+	}
+
+	t := &llcTxn{kind: txnEvict, line: line, resume: finish}
+
+	if st.ownedMask != 0 {
+		t.rvkMask = st.ownedMask
+		for _, ow := range ownersOf(st, st.ownedMask) {
+			l.send(&proto.Message{
+				Type: proto.RvkO, Dst: l.devices[ow.owner], Requestor: l.ID,
+				Line: line, Mask: ow.words,
+			})
+		}
+		l.txns[line] = t
+		return
+	}
+	if st.shared {
+		for i := 0; i < len(l.devices); i++ {
+			if st.sharers&(1<<i) == 0 {
+				continue
+			}
+			t.pendingAcks++
+			l.send(&proto.Message{
+				Type: proto.Inv, Dst: l.devices[i], Requestor: l.devices[i],
+				Line: line, Mask: memaddr.FullMask,
+			})
+		}
+		st.shared = false
+		st.sharers = 0
+		if t.pendingAcks > 0 {
+			l.txns[line] = t
+			return
+		}
+	}
+	finish()
+}
+
+// installAndRead claims the frame for line and requests its data.
+func (l *LLC) installAndRead(frame *cache.Entry[llcLine], line memaddr.LineAddr) {
+	l.array.Install(frame, line)
+	frame.State.fetching = true
+	for i := range frame.State.owner {
+		frame.State.owner[i] = noOwner
+	}
+	l.send(&proto.Message{
+		Type: proto.MemRead, Dst: l.MemID, Requestor: l.ID,
+		Line: line, Mask: memaddr.FullMask,
+	})
+}
+
+// handleMemRsp fills a fetched line and replays the queued requests.
+func (l *LLC) handleMemRsp(m *proto.Message) {
+	e := l.array.Peek(m.Line)
+	if e == nil || !e.State.fetching {
+		panic("core: memory response for non-fetching line")
+	}
+	e.State.data = m.Data
+	e.State.fetching = false
+	t, ok := l.txns[m.Line]
+	if !ok || t.kind != txnFetch {
+		panic("core: memory response without fetch txn")
+	}
+	delete(l.txns, m.Line)
+	l.drain(t)
+}

@@ -1,0 +1,300 @@
+package core
+
+import (
+	"testing"
+
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+func TestCheckerDetectsDoubleOwner(t *testing.T) {
+	h := newHarness(t, 2)
+	h.devs[0].req(proto.ReqO, L0, 0b1, nil)
+	h.quiesce()
+	// Corrupt device 1's view: it claims a word the LLC assigned to dev 0.
+	h.devs[1].owned[L0] = 0b1
+	h.run()
+	if err := h.chk.CheckQuiescent(h.llc); err == nil {
+		t.Fatal("checker missed a double owner")
+	}
+}
+
+func TestCheckerDetectsLostOwnership(t *testing.T) {
+	h := newHarness(t, 2)
+	h.devs[0].req(proto.ReqO, L0, 0b1, nil)
+	h.quiesce()
+	// The device silently drops its ownership (a protocol bug).
+	h.devs[0].owned[L0] = 0
+	if err := h.chk.CheckQuiescent(h.llc); err == nil {
+		t.Fatal("checker missed LLC-side stale ownership")
+	}
+}
+
+func TestCheckerDetectsInclusivityViolation(t *testing.T) {
+	h := newHarness(t, 2)
+	// Device claims a word of a line the LLC never cached.
+	h.devs[0].owned[0x777000] = 0b1
+	if err := h.chk.CheckQuiescent(h.llc); err == nil {
+		t.Fatal("checker missed an inclusivity violation")
+	}
+}
+
+func TestCheckerCollectMode(t *testing.T) {
+	h := newHarness(t, 1)
+	h.chk.Collect = true
+	h.devs[0].req(proto.ReqV, L0, memaddr.FullMask, nil)
+	h.run()
+	// Corrupt the line in place: Shared with empty sharer set.
+	e := h.llc.array.Peek(L0)
+	e.State.shared = true
+	h.chk.CheckLine(h.llc, L0)
+	if len(h.chk.Violations) == 0 {
+		t.Fatal("collect mode recorded nothing")
+	}
+}
+
+func TestSharedLineEvictionInvalidatesSharers(t *testing.T) {
+	h := newHarness(t, 2, 0, 1) // both MESI
+	m0, m1 := h.devs[0], h.devs[1]
+	// Two sharers of line 0 (16KB/8way = 32 sets; 2KB stride conflicts).
+	conflict := func(i uint64) memaddr.LineAddr { return memaddr.LineAddr(i * 32 * 64) }
+	m0.req(proto.ReqS, conflict(0), memaddr.FullMask, nil)
+	h.quiesce()
+	m1.req(proto.ReqS, conflict(0), memaddr.FullMask, nil)
+	h.quiesce()
+	if !h.line(conflict(0)).shared {
+		t.Fatal("line not Shared")
+	}
+	// Stream conflicting lines until the Shared victim is evicted.
+	for i := uint64(1); i <= 8; i++ {
+		m0.req(proto.ReqV, conflict(i), memaddr.FullMask, nil)
+		h.quiesce()
+	}
+	if h.line(conflict(0)) != nil {
+		t.Fatal("shared victim still cached")
+	}
+	inv0, inv1 := 0, 0
+	for _, m := range m0.recv {
+		if m.Type == proto.Inv && m.Line == conflict(0) {
+			inv0++
+		}
+	}
+	for _, m := range m1.recv {
+		if m.Type == proto.Inv && m.Line == conflict(0) {
+			inv1++
+		}
+	}
+	if inv0 == 0 || inv1 == 0 {
+		t.Fatalf("sharers not invalidated on eviction: %d/%d", inv0, inv1)
+	}
+}
+
+func TestReqSMixedMESIAndDeNovoOwners(t *testing.T) {
+	// Line with word 0 owned by a MESI device and word 1 by a DeNovo-like
+	// device: option 1 applies; the MESI owner gets a forwarded ReqS, the
+	// other owner gets RvkO, and the LLC serves the revoked word itself.
+	h := newHarness(t, 3, 0) // dev0 MESI; dev1 plain
+	mesiDev, dnDev, reader := h.devs[0], h.devs[1], h.devs[2]
+	mesiDev.req(proto.ReqOData, L0, 0b1, nil)
+	h.quiesce()
+	dnDev.req(proto.ReqO, L0, 0b10, nil)
+	h.quiesce()
+	d := mesiDev.data[L0]
+	d[0] = 10
+	mesiDev.data[L0] = d
+	d = dnDev.data[L0]
+	d[1] = 20
+	dnDev.data[L0] = d
+
+	// Make the reader a MESI device so option 1 triggers... the policy
+	// keys on the *owners*, so any reader works; use dev2.
+	id := reader.req(proto.ReqS, L0, memaddr.FullMask, nil)
+	h.quiesce()
+
+	var total memaddr.WordMask
+	var w0, w1 uint32
+	for _, m := range reader.rspOf(id) {
+		if m.Type != proto.RspS {
+			t.Fatalf("non-RspS response %v", m.Type)
+		}
+		total |= m.Mask
+		if m.Mask.Has(0) {
+			w0 = m.Data[0]
+		}
+		if m.Mask.Has(1) {
+			w1 = m.Data[1]
+		}
+	}
+	if total != memaddr.FullMask {
+		t.Fatalf("coverage %#x", total)
+	}
+	if w0 != 10 || w1 != 20 {
+		t.Fatalf("data %d/%d, want 10/20", w0, w1)
+	}
+	st := h.line(L0)
+	if !st.shared || st.ownedMask != 0 {
+		t.Fatalf("post state shared=%v owned=%#x", st.shared, st.ownedMask)
+	}
+	// The MESI owner saw ReqS; the other owner saw RvkO.
+	sawReqS, sawRvk := false, false
+	for _, m := range mesiDev.recv {
+		if m.Type == proto.ReqS {
+			sawReqS = true
+		}
+	}
+	for _, m := range dnDev.recv {
+		if m.Type == proto.RvkO {
+			sawRvk = true
+		}
+	}
+	if !sawReqS || !sawRvk {
+		t.Fatalf("probe types wrong: ReqS=%v RvkO=%v", sawReqS, sawRvk)
+	}
+}
+
+func TestRvkOOnLLCEvictionWithMultipleOwners(t *testing.T) {
+	h := newHarness(t, 3)
+	conflict := func(i uint64) memaddr.LineAddr { return memaddr.LineAddr(i * 32 * 64) }
+	h.devs[0].req(proto.ReqO, conflict(0), 0b0011, nil)
+	h.quiesce()
+	h.devs[1].req(proto.ReqO, conflict(0), 0b1100, nil)
+	h.quiesce()
+	d := h.devs[0].data[conflict(0)]
+	d[0], d[1] = 1, 2
+	h.devs[0].data[conflict(0)] = d
+	d = h.devs[1].data[conflict(0)]
+	d[2], d[3] = 3, 4
+	h.devs[1].data[conflict(0)] = d
+
+	for i := uint64(1); i <= 8; i++ {
+		h.devs[2].req(proto.ReqV, conflict(i), memaddr.FullMask, nil)
+		h.quiesce()
+	}
+	if h.devs[0].owned[conflict(0)] != 0 || h.devs[1].owned[conflict(0)] != 0 {
+		t.Fatal("eviction did not revoke both owners")
+	}
+	got := h.mem.Peek(conflict(0))
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 || got[3] != 4 {
+		t.Fatalf("multi-owner eviction lost data: %v", got[:4])
+	}
+}
+
+func TestWriteToFetchingLineQueues(t *testing.T) {
+	h := newHarness(t, 2)
+	// Two requests race on a cold line: both must be served after the
+	// single memory fetch, in order.
+	id1 := h.devs[0].req(proto.ReqWTData, L0, 0b1, func(m *proto.Message) {
+		m.Atomic = proto.AtomicFetchAdd
+		m.Operand = 5
+	})
+	id2 := h.devs[1].req(proto.ReqWTData, L0, 0b1, func(m *proto.Message) {
+		m.Atomic = proto.AtomicFetchAdd
+		m.Operand = 7
+	})
+	h.quiesce()
+	r1, r2 := h.devs[0].rspOf(id1), h.devs[1].rspOf(id2)
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Fatal("atomics lost during fetch")
+	}
+	if r1[0].Data[0] != 0 || r2[0].Data[0] != 5 {
+		t.Fatalf("fetch-queued atomics misordered: %d, %d", r1[0].Data[0], r2[0].Data[0])
+	}
+	if h.st.Get("llc.miss") != 1 {
+		t.Fatalf("misses = %d, want 1 (second request queued)", h.st.Get("llc.miss"))
+	}
+}
+
+func TestReqVRetryThenEscalationForcedStarvation(t *testing.T) {
+	// A device that always Nacks models an owner whose ownership keeps
+	// moving (§III-C3). The LLC still believes it owns the word, so plain
+	// retries starve; the requestor's escape is escalation, which the
+	// harness device cannot perform — so here we verify the LLC forwards
+	// each retry and the requestor escalates exactly once via ReqWT+data
+	// (observed at the LLC as a performed update).
+	h := newHarness(t, 2)
+	owner, reader := h.devs[0], h.devs[1]
+	owner.req(proto.ReqO, L0, 0b1, func(m *proto.Message) { m.HasData = true })
+	h.quiesce()
+	owner.nackReqV = true
+
+	// First try + one retry, both Nacked.
+	id := reader.req(proto.ReqV, L0, 0b1, nil)
+	h.quiesce()
+	nacks := 0
+	for _, m := range reader.rspOf(id) {
+		if m.Type == proto.NackV {
+			nacks++
+		}
+	}
+	if nacks == 0 {
+		t.Fatal("no Nack observed")
+	}
+	// Escalate by hand (the real L1s do this automatically — covered by
+	// their own tests): a ReqWT+data read is globally ordered and revokes.
+	id2 := reader.req(proto.ReqWTData, L0, 0b1, func(m *proto.Message) {
+		m.Atomic = proto.AtomicRead
+	})
+	h.quiesce()
+	r := reader.rspOf(id2)
+	if len(r) != 1 || r[0].Type != proto.RspWTData {
+		t.Fatalf("escalation failed: %v", r)
+	}
+	if h.line(L0).ownedMask != 0 {
+		t.Fatal("escalation did not revoke the racing owner")
+	}
+}
+
+func TestLLCAtomicMinAndExchange(t *testing.T) {
+	h := newHarness(t, 1)
+	d := h.devs[0]
+	d.req(proto.ReqWTData, L0, 0b1, func(m *proto.Message) {
+		m.Atomic = proto.AtomicExchange
+		m.Operand = 50
+	})
+	h.quiesce()
+	id := d.req(proto.ReqWTData, L0, 0b1, func(m *proto.Message) {
+		m.Atomic = proto.AtomicMin
+		m.Operand = 30
+	})
+	h.quiesce()
+	if r := d.rspOf(id); r[0].Data[0] != 50 {
+		t.Fatalf("min returned %d", r[0].Data[0])
+	}
+	if h.line(L0).data[0] != 30 {
+		t.Fatalf("min result %d", h.line(L0).data[0])
+	}
+	id2 := d.req(proto.ReqWTData, L0, 0b1, func(m *proto.Message) {
+		m.Atomic = proto.AtomicMin
+		m.Operand = 99
+	})
+	h.quiesce()
+	if r := d.rspOf(id2); r[0].Data[0] != 30 || h.line(L0).data[0] != 30 {
+		t.Fatal("min overwrote a smaller value")
+	}
+}
+
+func TestMultiWordAtomicUpdate(t *testing.T) {
+	// A multi-word ReqWT+data applies the operation per word and returns
+	// all pre-update values.
+	h := newHarness(t, 1)
+	d := h.devs[0]
+	d.req(proto.ReqWT, L0, 0b11, func(m *proto.Message) {
+		m.HasData = true
+		m.Data[0], m.Data[1] = 10, 20
+	})
+	h.quiesce()
+	id := d.req(proto.ReqWTData, L0, 0b11, func(m *proto.Message) {
+		m.Atomic = proto.AtomicFetchAdd
+		m.HasData = true
+		m.Data[0], m.Data[1] = 1, 2
+	})
+	h.quiesce()
+	r := d.rspOf(id)
+	if len(r) != 1 || r[0].Data[0] != 10 || r[0].Data[1] != 20 {
+		t.Fatalf("pre-update values %v", r[0].Data[:2])
+	}
+	st := h.line(L0)
+	if st.data[0] != 11 || st.data[1] != 22 {
+		t.Fatalf("post state %v", st.data[:2])
+	}
+}

@@ -1,0 +1,540 @@
+package core
+
+import (
+	"testing"
+
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+func TestReqVFetchesAndResponds(t *testing.T) {
+	h := newHarness(t, 2)
+	var init memaddr.LineData
+	for i := range init {
+		init[i] = uint32(100 + i)
+	}
+	h.mem.Poke(L0, init)
+
+	id := h.devs[0].req(proto.ReqV, L0, memaddr.FullMask, nil)
+	h.quiesce()
+
+	rsps := h.devs[0].rspOf(id)
+	if len(rsps) != 1 || rsps[0].Type != proto.RspV {
+		t.Fatalf("rsps = %v", rsps)
+	}
+	if !rsps[0].HasData || rsps[0].Data != init {
+		t.Fatalf("data = %v", rsps[0].Data)
+	}
+	st := h.line(L0)
+	if st == nil || st.shared || st.ownedMask != 0 {
+		t.Fatalf("LLC state after ReqV: %+v", st)
+	}
+	if h.st.Get("llc.miss") != 1 {
+		t.Fatal("expected one LLC miss")
+	}
+}
+
+func TestReqWTUpdatesLLCNoData(t *testing.T) {
+	h := newHarness(t, 2)
+	id := h.devs[0].req(proto.ReqWT, L0, 0b101, func(m *proto.Message) {
+		m.HasData = true
+		m.Data[0] = 7
+		m.Data[2] = 9
+	})
+	h.quiesce()
+	rsps := h.devs[0].rspOf(id)
+	if len(rsps) != 1 || rsps[0].Type != proto.RspWT || rsps[0].HasData {
+		t.Fatalf("rsps = %v", rsps)
+	}
+	st := h.line(L0)
+	if st.data[0] != 7 || st.data[2] != 9 {
+		t.Fatalf("LLC data = %v", st.data)
+	}
+	if st.dirty != 0b101 {
+		t.Fatalf("dirty = %#x", st.dirty)
+	}
+	// A later ReqV sees the written values.
+	id2 := h.devs[1].req(proto.ReqV, L0, memaddr.FullMask, nil)
+	h.quiesce()
+	r := h.devs[1].rspOf(id2)
+	if r[0].Data[0] != 7 || r[0].Data[2] != 9 {
+		t.Fatal("ReqV did not observe write-through")
+	}
+}
+
+// TestFigure1a reproduces paper Fig. 1a: a word-granularity ReqO triggers
+// an immediate ownership transition and data-less RspO; a ReqWT from
+// another device to *different* words of the same line proceeds without
+// blocking, data responses, or false sharing.
+func TestFigure1a(t *testing.T) {
+	h := newHarness(t, 3)
+	acc, gpu := h.devs[0], h.devs[1]
+
+	idO := acc.req(proto.ReqO, L0, 0b0011, func(m *proto.Message) {
+		m.HasData = true
+		m.Data[0], m.Data[1] = 11, 22
+	})
+	h.quiesce()
+	r := acc.rspOf(idO)
+	if len(r) != 1 || r[0].Type != proto.RspO || r[0].HasData {
+		t.Fatalf("ReqO rsps = %v", r)
+	}
+	st := h.line(L0)
+	if st.ownedMask != 0b0011 || st.owner[0] != 0 || st.owner[1] != 0 {
+		t.Fatalf("owned=%#x owners=%v", st.ownedMask, st.owner[:2])
+	}
+
+	// GPU writes through disparate words: handled immediately, data-less,
+	// no blocking, no probe traffic.
+	probesBefore := h.st.Traffic.Messages[proto.ClassProbe]
+	idW := gpu.req(proto.ReqWT, L0, 0b1100, func(m *proto.Message) {
+		m.HasData = true
+		m.Data[2], m.Data[3] = 33, 44
+	})
+	h.quiesce()
+	r = gpu.rspOf(idW)
+	if len(r) != 1 || r[0].Type != proto.RspWT || r[0].HasData {
+		t.Fatalf("ReqWT rsps = %v", r)
+	}
+	if h.st.Traffic.Messages[proto.ClassProbe] != probesBefore {
+		t.Fatal("false sharing: probes sent for disjoint-word accesses")
+	}
+	st = h.line(L0)
+	if st.ownedMask != 0b0011 || st.data[2] != 33 || st.data[3] != 44 {
+		t.Fatalf("line state after disjoint WT: owned=%#x data=%v", st.ownedMask, st.data[:4])
+	}
+}
+
+// TestFigure1b reproduces paper Fig. 1b: ReqWT+data to a remotely-owned
+// word revokes ownership (RvkO), blocks, and performs the update at the
+// LLC once the owner writes the line back.
+func TestFigure1b(t *testing.T) {
+	h := newHarness(t, 3)
+	acc, gpu := h.devs[0], h.devs[1]
+
+	// Accelerator owns words 0-1 with values 5, 6.
+	acc.req(proto.ReqO, L0, 0b0011, nil)
+	h.quiesce()
+	d := acc.data[L0]
+	d[0], d[1] = 5, 6
+	acc.data[L0] = d
+
+	id := gpu.req(proto.ReqWTData, L0, 0b0001, func(m *proto.Message) {
+		m.Atomic = proto.AtomicFetchAdd
+		m.Operand = 10
+	})
+	h.quiesce()
+
+	r := gpu.rspOf(id)
+	if len(r) != 1 || r[0].Type != proto.RspWTData {
+		t.Fatalf("rsps = %v", r)
+	}
+	if r[0].Data[0] != 5 {
+		t.Fatalf("atomic returned %d, want pre-update 5", r[0].Data[0])
+	}
+	st := h.line(L0)
+	if st.ownedMask != 0 {
+		t.Fatalf("ownership not revoked: %#x", st.ownedMask)
+	}
+	if st.data[0] != 15 || st.data[1] != 6 {
+		t.Fatalf("update not applied: %v", st.data[:2])
+	}
+	// The accelerator received a RvkO probe.
+	sawRvk := false
+	for _, m := range acc.recv {
+		if m.Type == proto.RvkO {
+			sawRvk = true
+		}
+	}
+	if !sawRvk {
+		t.Fatal("owner never received RvkO")
+	}
+	if h.st.Get("llc.blocked.rvk") != 1 {
+		t.Fatal("expected one blocking revocation")
+	}
+}
+
+// TestFigure1c reproduces paper Fig. 1c: a line-granularity ReqV for a
+// line with remotely-owned words gets an immediate partial RspV from the
+// LLC plus a direct RspV from the owner; no LLC state transition.
+func TestFigure1c(t *testing.T) {
+	h := newHarness(t, 3)
+	acc, gpu := h.devs[0], h.devs[1]
+
+	acc.req(proto.ReqO, L0, 0b0011, nil)
+	h.quiesce()
+	d := acc.data[L0]
+	d[0], d[1] = 77, 88
+	acc.data[L0] = d
+
+	id := gpu.req(proto.ReqV, L0, memaddr.FullMask, nil)
+	h.quiesce()
+
+	r := gpu.rspOf(id)
+	if len(r) != 2 {
+		t.Fatalf("want 2 partial responses, got %v", r)
+	}
+	var fromLLC, fromOwner *proto.Message
+	for i := range r {
+		if r[i].Src == h.llc.ID {
+			fromLLC = &r[i]
+		} else if r[i].Src == acc.id {
+			fromOwner = &r[i]
+		}
+	}
+	if fromLLC == nil || fromOwner == nil {
+		t.Fatalf("responses from wrong sources: %v", r)
+	}
+	if fromOwner.Mask != 0b0011 || fromOwner.Data[0] != 77 || fromOwner.Data[1] != 88 {
+		t.Fatalf("owner response wrong: %+v", fromOwner)
+	}
+	if fromLLC.Mask&0b0011 != 0 {
+		t.Fatal("LLC responded for owned words")
+	}
+	if fromLLC.Mask|fromOwner.Mask != memaddr.FullMask {
+		t.Fatal("partial responses do not cover the line")
+	}
+	// No state transition: accelerator still owns words 0-1.
+	st := h.line(L0)
+	if st.ownedMask != 0b0011 {
+		t.Fatalf("ReqV changed ownership: %#x", st.ownedMask)
+	}
+}
+
+// TestFigure1d reproduces paper Fig. 1d: word ReqWT to a word owned by a
+// line-granularity cache — the LLC updates immediately and forwards; the
+// owner downgrades and acks the requestor directly.
+func TestFigure1d(t *testing.T) {
+	h := newHarness(t, 3, 2) // dev 2 is a MESI cache
+	gpu, mesi := h.devs[0], h.devs[2]
+
+	mesi.req(proto.ReqOData, L0, memaddr.FullMask, nil)
+	h.quiesce()
+
+	id := gpu.req(proto.ReqWT, L0, 0b0100, func(m *proto.Message) {
+		m.HasData = true
+		m.Data[2] = 99
+	})
+	h.quiesce()
+
+	r := gpu.rspOf(id)
+	if len(r) != 1 || r[0].Type != proto.RspWT || r[0].Src != mesi.id {
+		t.Fatalf("requestor must be acked by the old owner: %v", r)
+	}
+	st := h.line(L0)
+	if st.ownedMask.Has(2) {
+		t.Fatal("written word still owned")
+	}
+	if st.data[2] != 99 {
+		t.Fatalf("LLC data[2] = %d", st.data[2])
+	}
+	if st.ownedMask != memaddr.FullMask&^0b0100 {
+		t.Fatalf("other words lost ownership: %#x", st.ownedMask)
+	}
+}
+
+func TestReqOTransfersOwnershipNonBlocking(t *testing.T) {
+	h := newHarness(t, 3)
+	a, b := h.devs[0], h.devs[1]
+	a.req(proto.ReqO, L0, 0b1111, nil)
+	h.quiesce()
+
+	blockedBefore := h.st.Get("llc.blocked.rvk") + h.st.Get("llc.blocked.inv")
+	id := b.req(proto.ReqO, L0, 0b0110, nil)
+	h.quiesce()
+
+	r := b.rspOf(id)
+	if len(r) != 1 || r[0].Type != proto.RspO || r[0].Src != a.id {
+		t.Fatalf("rsps = %v", r)
+	}
+	st := h.line(L0)
+	if st.owner[1] != 1 || st.owner[2] != 1 || st.owner[0] != 0 || st.owner[3] != 0 {
+		t.Fatalf("owners = %v", st.owner[:4])
+	}
+	if h.st.Get("llc.blocked.rvk")+h.st.Get("llc.blocked.inv") != blockedBefore {
+		t.Fatal("ownership transfer blocked at the LLC")
+	}
+	if a.owned[L0] != 0b1001 {
+		t.Fatalf("old owner mask = %#x", a.owned[L0])
+	}
+}
+
+func TestReqSOption1SharersInvalidatedOnWrite(t *testing.T) {
+	h := newHarness(t, 3, 0, 1) // devs 0,1 MESI
+	m0, m1, w := h.devs[0], h.devs[1], h.devs[2]
+
+	m0.req(proto.ReqS, L0, memaddr.FullMask, nil)
+	h.quiesce()
+	m1.req(proto.ReqS, L0, memaddr.FullMask, nil)
+	h.quiesce()
+
+	st := h.line(L0)
+	if !st.shared || st.sharers != 0b11 {
+		t.Fatalf("shared=%v sharers=%#x", st.shared, st.sharers)
+	}
+
+	// Write from dev 2: both sharers must be invalidated first.
+	id := w.req(proto.ReqWT, L0, 0b1, func(m *proto.Message) {
+		m.HasData = true
+		m.Data[0] = 5
+	})
+	h.quiesce()
+	st = h.line(L0)
+	if st.shared || st.sharers != 0 {
+		t.Fatalf("sharers survive write: %+v", st)
+	}
+	if st.data[0] != 5 {
+		t.Fatal("write lost")
+	}
+	inv0, inv1 := 0, 0
+	for _, m := range m0.recv {
+		if m.Type == proto.Inv {
+			inv0++
+		}
+	}
+	for _, m := range m1.recv {
+		if m.Type == proto.Inv {
+			inv1++
+		}
+	}
+	if inv0 != 1 || inv1 != 1 {
+		t.Fatalf("inv counts = %d,%d", inv0, inv1)
+	}
+	if len(w.rspOf(id)) != 1 {
+		t.Fatal("write never completed")
+	}
+	if h.st.Get("llc.blocked.inv") != 1 {
+		t.Fatal("expected one blocking invalidation")
+	}
+}
+
+func TestReqSFromMESIOwnedByMESIUsesOption1(t *testing.T) {
+	h := newHarness(t, 3, 0, 1)
+	owner, reader := h.devs[0], h.devs[1]
+	owner.req(proto.ReqOData, L0, memaddr.FullMask, nil)
+	h.quiesce()
+	d := owner.data[L0]
+	d[0] = 42
+	owner.data[L0] = d
+
+	id := reader.req(proto.ReqS, L0, memaddr.FullMask, nil)
+	h.quiesce()
+
+	r := reader.rspOf(id)
+	if len(r) != 1 || r[0].Type != proto.RspS || r[0].Src != owner.id {
+		t.Fatalf("rsps = %v", r)
+	}
+	if r[0].Data[0] != 42 {
+		t.Fatal("stale data from downgraded owner")
+	}
+	st := h.line(L0)
+	if !st.shared || st.ownedMask != 0 {
+		t.Fatalf("post state: shared=%v owned=%#x", st.shared, st.ownedMask)
+	}
+	// Both the old owner and the reader are sharers.
+	if st.sharers != 0b11 {
+		t.Fatalf("sharers = %#x", st.sharers)
+	}
+	// LLC must have absorbed the written-back data.
+	if st.data[0] != 42 {
+		t.Fatal("write-back not absorbed")
+	}
+}
+
+func TestReqSUnownedUsesOption3(t *testing.T) {
+	h := newHarness(t, 2, 0)
+	m0 := h.devs[0]
+	id := m0.req(proto.ReqS, L0, memaddr.FullMask, nil)
+	h.quiesce()
+	r := m0.rspOf(id)
+	if len(r) != 1 || r[0].Type != proto.RspOData {
+		t.Fatalf("want RspOData (option 3 / E-state grant), got %v", r)
+	}
+	st := h.line(L0)
+	if st.shared || st.ownedMask != memaddr.FullMask {
+		t.Fatalf("option 3 state wrong: shared=%v owned=%#x", st.shared, st.ownedMask)
+	}
+}
+
+func TestReqSOwnedByNonMESIUsesOption3(t *testing.T) {
+	h := newHarness(t, 3, 1) // dev1 MESI; dev0 is DeNovo-like
+	dn, mesi := h.devs[0], h.devs[1]
+	dn.req(proto.ReqO, L0, 0b0011, nil)
+	h.quiesce()
+	d := dn.data[L0]
+	d[0], d[1] = 3, 4
+	dn.data[L0] = d
+
+	id := mesi.req(proto.ReqS, L0, memaddr.FullMask, nil)
+	h.quiesce()
+	r := mesi.rspOf(id)
+	// Option 3: ownership grant; words 0-1 come from the DeNovo owner, the
+	// rest from the LLC — all as RspOData.
+	total := memaddr.WordMask(0)
+	for _, m := range r {
+		if m.Type != proto.RspOData {
+			t.Fatalf("non-option-3 response: %v", m)
+		}
+		total |= m.Mask
+	}
+	if total != memaddr.FullMask {
+		t.Fatalf("coverage = %#x", total)
+	}
+	st := h.line(L0)
+	if st.ownedMask != memaddr.FullMask || st.owner[0] != 1 {
+		t.Fatalf("ownership not transferred: %#x owner0=%d", st.ownedMask, st.owner[0])
+	}
+	if dn.owned[L0] != 0 {
+		t.Fatal("old owner kept words")
+	}
+}
+
+func TestReqWBFromNonOwnerDropped(t *testing.T) {
+	h := newHarness(t, 3)
+	a, b := h.devs[0], h.devs[1]
+	a.req(proto.ReqO, L0, 0b1, func(m *proto.Message) { m.HasData = true; m.Data[0] = 10 })
+	h.quiesce()
+	ad := a.data[L0]
+	ad[0] = 10
+	a.data[L0] = ad
+
+	// b (never an owner) writes back garbage: must be dropped but acked.
+	id := b.req(proto.ReqWB, L0, 0b1, func(m *proto.Message) {
+		m.HasData = true
+		m.Data[0] = 666
+	})
+	h.quiesce()
+	r := b.rspOf(id)
+	if len(r) != 1 || r[0].Type != proto.RspWB {
+		t.Fatalf("non-owner WB not acked: %v", r)
+	}
+	st := h.line(L0)
+	if !st.ownedMask.Has(0) || st.owner[0] != 0 {
+		t.Fatal("non-owner WB disturbed ownership")
+	}
+	if h.st.Get("llc.wb.nonowner") != 1 {
+		t.Fatal("non-owner WB not counted")
+	}
+
+	// Owner's WB applies.
+	a.req(proto.ReqWB, L0, 0b1, func(m *proto.Message) {
+		m.HasData = true
+		m.Data[0] = 10
+	})
+	a.owned[L0] = 0
+	h.quiesce()
+	st = h.line(L0)
+	if st.ownedMask != 0 || st.data[0] != 10 {
+		t.Fatalf("owner WB failed: owned=%#x data0=%d", st.ownedMask, st.data[0])
+	}
+}
+
+func TestForwardedReqVNack(t *testing.T) {
+	h := newHarness(t, 3)
+	a, b := h.devs[0], h.devs[1]
+	a.req(proto.ReqO, L0, 0b1, nil)
+	h.quiesce()
+	a.nackReqV = true
+
+	id := b.req(proto.ReqV, L0, 0b1, nil)
+	h.quiesce()
+	sawNack := false
+	for _, m := range b.rspOf(id) {
+		if m.Type == proto.NackV {
+			sawNack = true
+		}
+	}
+	if !sawNack {
+		t.Fatal("requestor never saw the Nack")
+	}
+}
+
+func TestEvictionRevokesOwnersAndWritesBack(t *testing.T) {
+	h := newHarness(t, 2)
+	a := h.devs[0]
+	// LLC: 16KB, 8-way, 64B lines → 32 sets. Lines that collide in set 0
+	// are 32 lines (2KB) apart.
+	conflict := func(i uint64) memaddr.LineAddr {
+		return memaddr.LineAddr(i * 32 * 64)
+	}
+	// Own a word in the first line, then stream 8 more conflicting lines.
+	a.req(proto.ReqO, conflict(0), 0b1, nil)
+	h.quiesce()
+	d := a.data[conflict(0)]
+	d[0] = 123
+	a.data[conflict(0)] = d
+
+	for i := uint64(1); i <= 8; i++ {
+		a.req(proto.ReqV, conflict(i), memaddr.FullMask, nil)
+		h.quiesce()
+	}
+	if h.st.Get("llc.evict") == 0 {
+		t.Fatal("no eviction occurred")
+	}
+	if a.owned[conflict(0)] != 0 {
+		t.Fatal("owner not revoked by eviction")
+	}
+	if h.line(conflict(0)) != nil {
+		t.Fatal("victim still present")
+	}
+	if got := h.mem.Peek(conflict(0)); got[0] != 123 {
+		t.Fatalf("dirty owned data lost on eviction: %v", got[0])
+	}
+	// Refetch sees the written-back value.
+	id := a.req(proto.ReqV, conflict(0), 0b1, nil)
+	h.quiesce()
+	r := a.rspOf(id)
+	if len(r) == 0 || r[0].Data[0] != 123 {
+		t.Fatal("refetch lost data")
+	}
+}
+
+func TestQueuedRequestsDrainInOrder(t *testing.T) {
+	h := newHarness(t, 3)
+	a, b, c := h.devs[0], h.devs[1], h.devs[2]
+	// Warm the line.
+	a.req(proto.ReqV, L0, 0b1, nil)
+	h.quiesce()
+	// a owns word 0; two atomics queue behind the revocation.
+	a.req(proto.ReqO, L0, 0b1, func(m *proto.Message) { m.HasData = true })
+	h.quiesce()
+	d := a.data[L0]
+	d[0] = 100
+	a.data[L0] = d
+
+	id1 := b.req(proto.ReqWTData, L0, 0b1, func(m *proto.Message) {
+		m.Atomic = proto.AtomicFetchAdd
+		m.Operand = 1
+	})
+	id2 := c.req(proto.ReqWTData, L0, 0b1, func(m *proto.Message) {
+		m.Atomic = proto.AtomicFetchAdd
+		m.Operand = 1
+	})
+	h.quiesce()
+	r1, r2 := b.rspOf(id1), c.rspOf(id2)
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Fatalf("rsps %v %v", r1, r2)
+	}
+	if r1[0].Data[0] != 100 || r2[0].Data[0] != 101 {
+		t.Fatalf("atomics not serialized in order: %d, %d", r1[0].Data[0], r2[0].Data[0])
+	}
+	if h.line(L0).data[0] != 102 {
+		t.Fatalf("final value %d", h.line(L0).data[0])
+	}
+}
+
+func TestMultiDeviceOwnershipPingPong(t *testing.T) {
+	h := newHarness(t, 3)
+	a, b := h.devs[0], h.devs[1]
+	for i := 0; i < 10; i++ {
+		a.req(proto.ReqO, L0, 0b1, nil)
+		h.quiesce()
+		b.req(proto.ReqO, L0, 0b1, nil)
+		h.quiesce()
+	}
+	st := h.line(L0)
+	if st.owner[0] != 1 || a.owned[L0] != 0 || b.owned[L0] != 0b1 {
+		t.Fatalf("ping-pong end state wrong: llc=%d a=%#x b=%#x",
+			st.owner[0], a.owned[L0], b.owned[L0])
+	}
+}

@@ -1,0 +1,101 @@
+package core_test
+
+import (
+	"testing"
+
+	"spandex/internal/core"
+	"spandex/internal/denovo"
+	"spandex/internal/dram"
+	"spandex/internal/mesi"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// opt2Rig: one MESI CPU (behind a TU) and one DeNovo device on an LLC
+// configured for ReqS option (2) — every MESI read is answered as a ReqV
+// and the requestor downgrades afterwards (Table III option 2).
+func newOpt2Rig(t *testing.T) *srig {
+	r := &srig{t: t, eng: sim.New(), st: stats.New()}
+	r.net = noc.New(r.eng, r.st, noc.DefaultConfig(), 4)
+	llcID, memID := proto.NodeID(2), proto.NodeID(3)
+	r.llc = core.NewLLC(llcID, memID, r.eng, r.net, r.st,
+		core.Config{SizeBytes: 64 * 1024, Ways: 8,
+			AccessLatency: 12 * sim.CPUCycle, ReqSOption2: true})
+	r.mem = dram.New(memID, r.eng, r.net, 80*sim.CPUCycle)
+	r.chk = core.NewChecker()
+	r.llc.SetChecker(r.chk)
+
+	tu := core.NewMESITU(0, r.eng, r.net, r.st, llcID, sim.CPUCycle)
+	m := mesi.New(0, r.eng, tu, r.st, mesi.DefaultConfig(llcID))
+	tu.Bind(m)
+	r.llc.RegisterDevice(0, true)
+	r.chk.AttachDevice(0, tu)
+	r.mesi = append(r.mesi, m)
+
+	ptu := core.NewPassTU(1, r.eng, r.net, sim.CPUCycle)
+	d := denovo.New(1, r.eng, ptu, r.st, denovo.DefaultConfig(llcID, false))
+	ptu.Bind(d)
+	r.llc.RegisterDevice(1, false)
+	r.chk.AttachDevice(1, d)
+	r.dn = append(r.dn, d)
+	return r
+}
+
+func TestReqSOption2ReadCompletesButDoesNotCache(t *testing.T) {
+	r := newOpt2Rig(t)
+	cpu := r.mesi[0]
+	// Seed memory through the DeNovo device.
+	r.store(r.dn[0], 0x1000, 42)
+
+	if v := r.load(cpu, 0x1000); v != 42 {
+		t.Fatalf("v = %d", v)
+	}
+	if r.st.Get("llc.reqs.opt2") == 0 {
+		t.Fatal("option 2 path not taken")
+	}
+	// Option 2: the line must NOT be cached afterwards — the next read
+	// misses again.
+	if s := cpu.State(0x1000); s != mesi.I {
+		t.Fatalf("state = %v, want I (downgrade after read)", s)
+	}
+	misses := r.st.Get("mesil1.miss")
+	if v := r.load(cpu, 0x1000); v != 42 {
+		t.Fatalf("v = %d", v)
+	}
+	if r.st.Get("mesil1.miss") != misses+1 {
+		t.Fatal("second read did not miss")
+	}
+	// No Shared state and no ownership transfer at the LLC (the whole
+	// point of option 2: zero coherence-state overhead for reads).
+	if r.st.Get("llc.reqs.opt1") != 0 || r.st.Get("llc.reqs.opt3") != 0 {
+		t.Fatal("other ReqS options used under ReqSOption2")
+	}
+}
+
+func TestReqSOption2ReadFromOwner(t *testing.T) {
+	// The DeNovo device keeps ownership across an option-2 read: the read
+	// is forwarded as ReqV and the owner is not downgraded.
+	r := newOpt2Rig(t)
+	r.store(r.dn[0], 0x2000, 7)
+	if v := r.load(r.mesi[0], 0x2000); v != 7 {
+		t.Fatalf("v = %d", v)
+	}
+	if r.dn[0].ProbeOwned()[0x2000] != 0b1 {
+		t.Fatal("option-2 read revoked the owner")
+	}
+}
+
+func TestReqSOption2WritesStillWork(t *testing.T) {
+	r := newOpt2Rig(t)
+	cpu := r.mesi[0]
+	r.store(cpu, 0x3000, 9)
+	if s := cpu.State(0x3000); s != mesi.M {
+		t.Fatalf("state = %v", s)
+	}
+	if v := r.load(r.dn[0], 0x3000); v != 9 {
+		t.Fatalf("remote v = %d", v)
+	}
+	r.run()
+}

@@ -1,0 +1,530 @@
+package core
+
+import (
+	"spandex/internal/memaddr"
+	"spandex/internal/mesi"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// MESITU is the per-device translation unit that attaches an unmodified
+// line-granularity MESI cache to the Spandex LLC (paper §III-D). It
+// translates the cache's directory-protocol requests into Spandex requests
+// (Table II: Read→ReqS line, Write/RMW→ReqO+data line, Owned
+// Repl→ReqWB line), coalesces word-granularity partial responses from
+// multiple sources into single line grants, and implements the three
+// pending-state cases for word-granularity external requests:
+//
+//  1. stable O — external requests are converted to line granularity; a
+//     partial-line downgrade triggers a ReqWB for the untouched words;
+//  2. pending O request — ownership-only downgrades are answered
+//     immediately and remembered; data-requiring requests wait for the
+//     grant; afterwards the line transitions to I, writing back words that
+//     received no downgrade request;
+//  3. pending write-back — requests are answered from the retained copy.
+type MESITU struct {
+	ID  proto.NodeID
+	eng *sim.Engine
+	net *noc.Network
+	st  *stats.Stats
+
+	llcID proto.NodeID
+	// Latency models the TU's single-cycle lookup in each direction
+	// (paper §III-F / §IV).
+	latency sim.Time
+
+	l1 *mesi.L1
+
+	pend   map[memaddr.LineAddr]*tuPending
+	wbs    map[memaddr.LineAddr]*tuWB
+	probes map[uint64]*tuProbe
+	// probeLines marks lines with an in-flight synthesized probe; externals
+	// arriving in that window queue behind it (the line is already
+	// invalidated at the L1 but its data has not reached the TU yet).
+	probeLines map[memaddr.LineAddr]uint64
+	// internalInvs are synthesized MInv ids (option-2 downgrades) whose
+	// acks must not be relayed to the LLC.
+	internalInvs map[uint64]bool
+	reqSeq       uint64
+}
+
+type tuKind uint8
+
+const (
+	pendS tuKind = iota // MGetS → ReqS outstanding
+	pendM               // MGetM → ReqO+data outstanding
+)
+
+type tuPending struct {
+	kind    tuKind
+	l1ReqID uint64
+	arrived memaddr.WordMask
+	data    memaddr.LineData
+	// owned marks words granted with ownership (RspO+data parts).
+	owned memaddr.WordMask
+	// opt2 marks a ReqS the LLC answered as a ReqV (Table III option 2):
+	// the cache must downgrade to Invalid after the read completes.
+	opt2 bool
+	// retried/escalated track the §III-C3 Nack handling for option-2
+	// reads, whose forwarded ReqVs can fail.
+	retried   memaddr.WordMask
+	escalated memaddr.WordMask
+	// downgraded: words answered to external ownership requests while the
+	// grant was pending (case 2).
+	downgraded memaddr.WordMask
+	deferred   []*proto.Message
+}
+
+type tuWB struct {
+	mask memaddr.WordMask
+	data memaddr.LineData
+}
+
+type tuProbe struct {
+	// orig is the external Spandex request that triggered the synthesized
+	// MESI probe; nil for the case-2 post-grant cleanup.
+	orig *proto.Message
+	// downgraded: words not written back after a case-2 cleanup.
+	downgraded memaddr.WordMask
+	// afterward: externals that arrived while the probe was in flight.
+	afterward []*proto.Message
+}
+
+// NewMESITU creates the TU for one MESI device. Call Bind with the L1
+// (constructed with the TU as its port) before running.
+func NewMESITU(id proto.NodeID, eng *sim.Engine, net *noc.Network, st *stats.Stats, llcID proto.NodeID, latency sim.Time) *MESITU {
+	tu := &MESITU{
+		ID: id, eng: eng, net: net, st: st, llcID: llcID, latency: latency,
+		pend:         make(map[memaddr.LineAddr]*tuPending),
+		wbs:          make(map[memaddr.LineAddr]*tuWB),
+		probes:       make(map[uint64]*tuProbe),
+		probeLines:   make(map[memaddr.LineAddr]uint64),
+		internalInvs: make(map[uint64]bool),
+	}
+	net.Register(id, tu)
+	return tu
+}
+
+// Bind attaches the MESI cache behind this TU.
+func (tu *MESITU) Bind(l1 *mesi.L1) { tu.l1 = l1 }
+
+// ProbeOwned reports the device's owned words for the system checker.
+func (tu *MESITU) ProbeOwned() map[memaddr.LineAddr]memaddr.WordMask {
+	return tu.l1.ProbeOwned()
+}
+
+var _ noc.Port = (*MESITU)(nil)
+
+func (tu *MESITU) nextReq() uint64 {
+	tu.reqSeq++
+	return tu.reqSeq
+}
+
+func (tu *MESITU) sendLLC(m *proto.Message) {
+	m.Src = tu.ID
+	m.Dst = tu.llcID
+	tu.net.Send(m)
+}
+
+func (tu *MESITU) sendNet(m *proto.Message) {
+	m.Src = tu.ID
+	tu.net.Send(m)
+}
+
+// Send implements noc.Port: it receives everything the MESI L1 emits.
+func (tu *MESITU) Send(m *proto.Message) {
+	cp := *m
+	tu.eng.Schedule(tu.latency, func() { tu.fromL1(&cp) })
+}
+
+func (tu *MESITU) fromL1(m *proto.Message) {
+	switch m.Type {
+	case proto.MGetS:
+		p := &tuPending{kind: pendS, l1ReqID: m.ReqID}
+		tu.pend[m.Line] = p
+		tu.sendLLC(&proto.Message{
+			Type: proto.ReqS, Requestor: tu.ID, ReqID: m.ReqID,
+			Line: m.Line, Mask: memaddr.FullMask,
+		})
+	case proto.MGetM:
+		p := &tuPending{kind: pendM, l1ReqID: m.ReqID}
+		tu.pend[m.Line] = p
+		tu.sendLLC(&proto.Message{
+			Type: proto.ReqOData, Requestor: tu.ID, ReqID: m.ReqID,
+			Line: m.Line, Mask: memaddr.FullMask,
+		})
+	case proto.MPutM:
+		tu.wbs[m.Line] = &tuWB{mask: memaddr.FullMask, data: m.Data}
+		tu.sendLLC(&proto.Message{
+			Type: proto.ReqWB, Requestor: tu.ID, ReqID: m.ReqID,
+			Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: m.Data,
+		})
+	case proto.MInvAck:
+		if tu.internalInvs[m.ReqID] {
+			delete(tu.internalInvs, m.ReqID)
+			return
+		}
+		tu.sendLLC(&proto.Message{
+			Type: proto.InvAck, Requestor: tu.ID, ReqID: m.ReqID,
+			Line: m.Line, Mask: m.Mask,
+		})
+	case proto.MWBData:
+		probe, ok := tu.probes[m.ReqID]
+		if !ok {
+			panic("core: TU got WBData for unknown probe")
+		}
+		delete(tu.probes, m.ReqID)
+		tu.probeDone(probe, m)
+	case proto.MDataS, proto.MDataM:
+		// Duplicate copies of probe responses addressed to ourselves;
+		// MWBData carries everything the TU needs.
+		if _, ok := tu.probes[m.ReqID]; !ok {
+			panic("core: TU got stray data response from L1")
+		}
+	default:
+		panic("core: TU cannot translate L1 message " + m.Type.String())
+	}
+}
+
+// HandleMessage implements noc.Handler for network-side traffic.
+func (tu *MESITU) HandleMessage(m *proto.Message) {
+	cp := *m
+	tu.eng.Schedule(tu.latency, func() { tu.fromNet(&cp) })
+}
+
+func (tu *MESITU) fromNet(m *proto.Message) {
+	switch m.Type {
+	case proto.RspS:
+		tu.handleGrantPart(m, false)
+	case proto.RspOData:
+		tu.handleGrantPart(m, true)
+	case proto.RspV:
+		// Only an option-2 ReqS produces RspV parts for this TU.
+		if p, ok := tu.pend[m.Line]; ok {
+			p.opt2 = true
+		}
+		tu.handleGrantPart(m, false)
+	case proto.NackV:
+		tu.handleOpt2Nack(m)
+	case proto.RspWB:
+		if wb, ok := tu.wbs[m.Line]; ok {
+			wb.mask &^= m.Mask
+			if wb.mask == 0 {
+				delete(tu.wbs, m.Line)
+			}
+		}
+		tu.l1.HandleMessage(&proto.Message{
+			Type: proto.MAckWB, Src: tu.ID, Requestor: tu.ID,
+			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+		})
+	case proto.Inv:
+		tu.l1.HandleMessage(&proto.Message{
+			Type: proto.MInv, Src: tu.ID, Requestor: tu.ID,
+			ReqID: m.ReqID, Line: m.Line, Mask: m.Mask,
+		})
+	case proto.ReqV, proto.ReqO, proto.ReqOData, proto.ReqWT, proto.ReqS, proto.RvkO:
+		tu.handleExternal(m)
+	default:
+		panic("core: TU cannot handle " + m.Type.String())
+	}
+}
+
+// handleOpt2Nack retries a Nacked forwarded ReqV once, then escalates the
+// starving words to ReqO+data (paper §III-C3) — only option-2 reads can be
+// Nacked, since options (1) and (3) never forward ReqV.
+func (tu *MESITU) handleOpt2Nack(m *proto.Message) {
+	p, ok := tu.pend[m.Line]
+	if !ok {
+		return
+	}
+	fresh := m.Mask &^ p.retried &^ p.arrived
+	if fresh != 0 {
+		p.retried |= fresh
+		tu.st.Inc("tu.nack_retry", 1)
+		tu.sendLLC(&proto.Message{
+			Type: proto.ReqS, Requestor: tu.ID, ReqID: p.l1ReqID,
+			Line: m.Line, Mask: fresh,
+		})
+	}
+	escalate := (m.Mask & p.retried &^ p.arrived &^ p.escalated) & ^fresh
+	if escalate != 0 {
+		p.escalated |= escalate
+		tu.st.Inc("tu.nack_escalate", 1)
+		tu.sendLLC(&proto.Message{
+			Type: proto.ReqOData, Requestor: tu.ID, ReqID: p.l1ReqID,
+			Line: m.Line, Mask: escalate,
+		})
+	}
+}
+
+// handleGrantPart coalesces partial grant responses (which may come from
+// the LLC and several previous owners) into a single line grant.
+func (tu *MESITU) handleGrantPart(m *proto.Message, owned bool) {
+	p, ok := tu.pend[m.Line]
+	if !ok {
+		return
+	}
+	fresh := m.Mask &^ p.arrived
+	p.arrived |= fresh
+	p.data.Merge(&m.Data, fresh)
+	if owned {
+		p.owned |= fresh
+	}
+	if p.arrived != memaddr.FullMask {
+		return
+	}
+	delete(tu.pend, m.Line)
+
+	var grant proto.MsgType
+	switch {
+	case p.kind == pendM:
+		grant = proto.MDataM
+	case p.owned == memaddr.FullMask && !p.opt2:
+		// ReqS answered via option (3): exclusive ownership (paper §IV:
+		// "similar to MESI's response to a Shared request with Exclusive
+		// state").
+		grant = proto.MDataE
+	default:
+		grant = proto.MDataS
+	}
+	tu.l1.HandleMessage(&proto.Message{
+		Type: grant, Src: tu.ID, Requestor: tu.ID, ReqID: p.l1ReqID,
+		Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: p.data,
+	})
+
+	if p.opt2 {
+		// Option (2) contract: downgrade to Invalid after the read is
+		// satisfied (the waiting loads completed off the grant above),
+		// and release any words the Nack escalation left us owning.
+		id := tu.nextReq()
+		tu.internalInvs[id] = true
+		tu.l1.HandleMessage(&proto.Message{
+			Type: proto.MInv, Src: tu.ID, Requestor: tu.ID, ReqID: id,
+			Line: m.Line, Mask: memaddr.FullMask,
+		})
+		tu.writeBack(m.Line, p.owned, p.data)
+	}
+
+	if p.downgraded != 0 {
+		// Case 2 epilogue: the line must end Invalid; write back every
+		// word that received no downgrade request (paper §III-D). The
+		// deferred externals resume once the write-back record exists.
+		id := tu.probe(m.Line, proto.MFwdGetM, nil, p.downgraded)
+		tu.probes[id].afterward = p.deferred
+		return
+	}
+	for _, d := range p.deferred {
+		tu.fromNet(d)
+	}
+}
+
+// probe synthesizes a MESI-native probe so the unmodified cache performs
+// the downgrade; the response returns through Send as MWBData.
+func (tu *MESITU) probe(line memaddr.LineAddr, typ proto.MsgType, orig *proto.Message, downgraded memaddr.WordMask) uint64 {
+	id := tu.nextReq()
+	tu.probes[id] = &tuProbe{orig: orig, downgraded: downgraded}
+	tu.probeLines[line] = id
+	tu.st.Inc("tu.probe", 1)
+	tu.l1.HandleMessage(&proto.Message{
+		Type: typ, Src: tu.ID, Requestor: tu.ID, ReqID: id,
+		Line: line, Mask: memaddr.FullMask,
+	})
+	return id
+}
+
+// probeDone finishes an external request once the cache surrendered the
+// line (wb carries the line data), then replays externals that queued
+// behind the probe — by then the write-back record (if any) exists.
+func (tu *MESITU) probeDone(p *tuProbe, wb *proto.Message) {
+	delete(tu.probeLines, wb.Line)
+	defer func() {
+		for _, d := range p.afterward {
+			tu.handleExternal(d)
+		}
+	}()
+	if p.orig == nil {
+		// Case-2 cleanup: write back the words that were not downgraded.
+		rest := memaddr.FullMask &^ p.downgraded
+		tu.writeBack(wb.Line, rest, wb.Data)
+		return
+	}
+	m := p.orig
+	rest := memaddr.FullMask &^ m.Mask
+	switch m.Type {
+	case proto.ReqO:
+		tu.respond(m, proto.RspO, m.Mask, nil)
+		tu.writeBack(m.Line, rest, wb.Data)
+	case proto.ReqOData:
+		tu.respond(m, proto.RspOData, m.Mask, &wb.Data)
+		tu.writeBack(m.Line, rest, wb.Data)
+	case proto.ReqWT:
+		// The writer's data is already home at the LLC (Fig. 1d); ack the
+		// requestor and write back the untouched words.
+		tu.respond(m, proto.RspWT, m.Mask, nil)
+		tu.writeBack(m.Line, rest, wb.Data)
+	case proto.ReqS:
+		// M→S downgrade: data to the reader, write-back to the LLC. The
+		// full line's ownership clears at the LLC.
+		tu.respond(m, proto.RspS, m.Mask, &wb.Data)
+		tu.sendLLC(&proto.Message{
+			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
+			Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: wb.Data,
+		})
+	case proto.RvkO:
+		tu.sendLLC(&proto.Message{
+			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
+			Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: wb.Data,
+		})
+	default:
+		panic("core: TU probe for " + m.Type.String())
+	}
+}
+
+// writeBack sends the masked words home and records them until acked.
+func (tu *MESITU) writeBack(line memaddr.LineAddr, mask memaddr.WordMask, data memaddr.LineData) {
+	if mask == 0 {
+		return
+	}
+	if wb, ok := tu.wbs[line]; ok {
+		wb.mask |= mask
+		wb.data.Merge(&data, mask)
+	} else {
+		tu.wbs[line] = &tuWB{mask: mask, data: data}
+	}
+	tu.sendLLC(&proto.Message{
+		Type: proto.ReqWB, Requestor: tu.ID, ReqID: tu.nextReq(),
+		Line: line, Mask: mask, HasData: true, Data: data,
+	})
+}
+
+func (tu *MESITU) respond(m *proto.Message, typ proto.MsgType, mask memaddr.WordMask, data *memaddr.LineData) {
+	rsp := &proto.Message{
+		Type: typ, Dst: m.Requestor, Requestor: m.Requestor, ReqID: m.ReqID,
+		Line: m.Line, Mask: mask,
+	}
+	if data != nil {
+		rsp.HasData = true
+		rsp.Data = *data
+	}
+	tu.sendNet(rsp)
+}
+
+// handleExternal routes a forwarded request or probe by the line's current
+// condition (paper §III-D cases 1-3).
+//
+// Words still covered by an unacknowledged write-back record are always
+// served from that record first: the LLC's RspWB precedes any forward that
+// could concern a newer ownership epoch (point-to-point FIFO), so a live
+// record proves the forward targets the epoch being written back. Checking
+// the pending-request state first instead can deadlock — the forward would
+// wait on our grant while our grant waits, through the LLC, on this very
+// response.
+func (tu *MESITU) handleExternal(m *proto.Message) {
+	if wb, ok := tu.wbs[m.Line]; ok && m.Mask&wb.mask != 0 {
+		if rest := m.Mask &^ wb.mask; rest != 0 {
+			sub := *m
+			sub.Mask = rest
+			defer tu.handleExternal(&sub)
+		}
+		sub := *m
+		sub.Mask = m.Mask & wb.mask
+		tu.fromWBRecord(&sub, wb)
+		return
+	}
+	if id, ok := tu.probeLines[m.Line]; ok {
+		cp := *m
+		tu.probes[id].afterward = append(tu.probes[id].afterward, &cp)
+		return
+	}
+	if p, ok := tu.pend[m.Line]; ok {
+		if p.kind == pendM && (m.Type == proto.ReqO || m.Type == proto.ReqWT) {
+			// Case 2: ownership-only downgrades are answered immediately.
+			typ := proto.RspO
+			if m.Type == proto.ReqWT {
+				typ = proto.RspWT
+			}
+			p.downgraded |= m.Mask
+			tu.respond(m, typ, m.Mask, nil)
+			tu.st.Inc("tu.case2_immediate", 1)
+			return
+		}
+		// Data-requiring requests wait for the grant.
+		cp := *m
+		p.deferred = append(p.deferred, &cp)
+		tu.st.Inc("tu.case2_deferred", 1)
+		return
+	}
+	_, st := tu.l1.PeekLine(m.Line)
+	if st == mesi.M || st == mesi.E {
+		if m.Type == proto.ReqV {
+			// ReqV changes no state at the owning core (paper §III-C3).
+			// Respond with the whole line: "the responding device may
+			// include any available up-to-date data in the line".
+			data, _ := tu.l1.PeekLine(m.Line)
+			tu.respond(m, proto.RspV, memaddr.FullMask, &data)
+			return
+		}
+		fwd := proto.MFwdGetM
+		if m.Type == proto.ReqS {
+			fwd = proto.MFwdGetS
+		}
+		tu.probe(m.Line, fwd, m, 0)
+		return
+	}
+	// Stable state other than expected: only ReqV may arrive (the line
+	// moved on before the forward landed) and must be Nacked (§III-C3).
+	if m.Type == proto.ReqV {
+		tu.st.Inc("tu.nack_sent", 1)
+		tu.respond(m, proto.NackV, m.Mask, nil)
+		return
+	}
+	panic("core: TU external " + m.Type.String() + " for line in state " + st.String())
+}
+
+// fromWBRecord answers externals for a line whose write-back is in flight
+// (case 3); downgrades complete the record locally.
+func (tu *MESITU) fromWBRecord(m *proto.Message, wb *tuWB) {
+	avail := m.Mask & wb.mask
+	missing := m.Mask &^ wb.mask
+	clear := func(mask memaddr.WordMask) {
+		wb.mask &^= mask
+		if wb.mask == 0 {
+			delete(tu.wbs, m.Line)
+		}
+	}
+	switch m.Type {
+	case proto.ReqV:
+		if avail != 0 {
+			tu.respond(m, proto.RspV, avail, &wb.data)
+		}
+		if missing != 0 {
+			tu.respond(m, proto.NackV, missing, nil)
+		}
+	case proto.ReqO:
+		tu.respond(m, proto.RspO, m.Mask, nil)
+		clear(m.Mask)
+	case proto.ReqOData:
+		tu.respond(m, proto.RspOData, m.Mask, &wb.data)
+		clear(m.Mask)
+	case proto.ReqWT:
+		tu.respond(m, proto.RspWT, m.Mask, nil)
+		clear(m.Mask)
+	case proto.ReqS:
+		tu.respond(m, proto.RspS, m.Mask, &wb.data)
+		tu.sendLLC(&proto.Message{
+			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
+			Line: m.Line, Mask: m.Mask, HasData: true, Data: wb.data,
+		})
+		clear(m.Mask)
+	case proto.RvkO:
+		tu.sendLLC(&proto.Message{
+			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
+			Line: m.Line, Mask: m.Mask, HasData: true, Data: wb.data,
+		})
+		clear(m.Mask)
+	default:
+		panic("core: TU WB-record external " + m.Type.String())
+	}
+}

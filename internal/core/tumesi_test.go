@@ -1,0 +1,304 @@
+package core_test
+
+import (
+	"testing"
+
+	"spandex/internal/core"
+	"spandex/internal/denovo"
+	"spandex/internal/device"
+	"spandex/internal/dram"
+	"spandex/internal/gpucoh"
+	"spandex/internal/memaddr"
+	"spandex/internal/mesi"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// srig builds a flat Spandex system with MESI CPUs (behind MESITUs) plus
+// DeNovo and GPU-coherence devices (behind PassTUs) — the SM*/SD* shapes.
+type srig struct {
+	t    *testing.T
+	eng  *sim.Engine
+	st   *stats.Stats
+	net  *noc.Network
+	llc  *core.LLC
+	mem  *dram.Memory
+	chk  *core.Checker
+	mesi []*mesi.L1
+	dn   []*denovo.L1
+	gpu  []*gpucoh.L1
+}
+
+func newSRig(t *testing.T, nMESI, nDN, nGPU int) *srig {
+	r := &srig{t: t, eng: sim.New(), st: stats.New()}
+	n := nMESI + nDN + nGPU
+	r.net = noc.New(r.eng, r.st, noc.DefaultConfig(), n+2)
+	llcID, memID := proto.NodeID(n), proto.NodeID(n+1)
+	r.llc = core.NewLLC(llcID, memID, r.eng, r.net, r.st,
+		core.Config{SizeBytes: 64 * 1024, Ways: 8, AccessLatency: 12 * sim.CPUCycle})
+	r.mem = dram.New(memID, r.eng, r.net, 80*sim.CPUCycle)
+	r.chk = core.NewChecker()
+	r.llc.SetChecker(r.chk)
+	id := proto.NodeID(0)
+	for i := 0; i < nMESI; i++ {
+		tu := core.NewMESITU(id, r.eng, r.net, r.st, llcID, sim.CPUCycle)
+		l1 := mesi.New(id, r.eng, tu, r.st, mesi.DefaultConfig(llcID))
+		tu.Bind(l1)
+		r.llc.RegisterDevice(id, true)
+		r.chk.AttachDevice(id, tu)
+		r.mesi = append(r.mesi, l1)
+		id++
+	}
+	for i := 0; i < nDN; i++ {
+		tu := core.NewPassTU(id, r.eng, r.net, sim.CPUCycle)
+		l1 := denovo.New(id, r.eng, tu, r.st, denovo.DefaultConfig(llcID, false))
+		tu.Bind(l1)
+		r.llc.RegisterDevice(id, false)
+		r.chk.AttachDevice(id, l1)
+		r.dn = append(r.dn, l1)
+		id++
+	}
+	for i := 0; i < nGPU; i++ {
+		tu := core.NewPassTU(id, r.eng, r.net, sim.GPUCycle)
+		l1 := gpucoh.New(id, r.eng, tu, r.st, gpucoh.DefaultConfig(llcID))
+		tu.Bind(l1)
+		r.llc.RegisterDevice(id, false)
+		r.chk.AttachDevice(id, l1)
+		r.gpu = append(r.gpu, l1)
+		id++
+	}
+	return r
+}
+
+func (r *srig) run() {
+	if !r.eng.RunUntil(1 << 42) {
+		r.t.Fatal("srig: did not drain")
+	}
+	if err := r.chk.CheckQuiescent(r.llc); err != nil {
+		r.t.Fatal(err)
+	}
+}
+
+func (r *srig) access(l1 device.L1Cache, op device.Op) uint32 {
+	var got uint32
+	ok := false
+	for tries := 0; ; tries++ {
+		if l1.Access(op, func(v uint32) { got = v; ok = true }) {
+			break
+		}
+		if !r.eng.Step() || tries > 1<<20 {
+			r.t.Fatal("access rejected forever")
+		}
+	}
+	r.run()
+	if !ok {
+		r.t.Fatalf("%v never completed", op.Kind)
+	}
+	return got
+}
+
+func (r *srig) load(l1 device.L1Cache, a memaddr.Addr) uint32 {
+	return r.access(l1, device.Op{Kind: device.OpLoad, Addr: a})
+}
+
+// store buffers a write and flushes it to global visibility.
+func (r *srig) store(l1 device.L1Cache, a memaddr.Addr, v uint32) {
+	r.access(l1, device.Op{Kind: device.OpStore, Addr: a, Value: v})
+	l1.Flush(func() {})
+	r.run()
+}
+func (r *srig) rmw(l1 device.L1Cache, a memaddr.Addr, k proto.AtomicKind, v uint32) uint32 {
+	return r.access(l1, device.Op{Kind: device.OpAtomic, Addr: a, Atomic: k, Value: v})
+}
+
+func TestMESIUnderSpandexBasics(t *testing.T) {
+	r := newSRig(t, 2, 0, 0)
+	var init memaddr.LineData
+	init[0] = 5
+	r.mem.Poke(0x1000, init)
+
+	// First read: ReqS answered via option 3 → Exclusive grant.
+	if v := r.load(r.mesi[0], 0x1000); v != 5 {
+		t.Fatalf("v = %d", v)
+	}
+	if s := r.mesi[0].State(0x1000); s != mesi.E {
+		t.Fatalf("state = %v, want E", s)
+	}
+	// Second reader: option 1 — first owner downgrades to S.
+	if v := r.load(r.mesi[1], 0x1000); v != 5 {
+		t.Fatalf("v = %d", v)
+	}
+	if s := r.mesi[0].State(0x1000); s != mesi.S {
+		t.Fatalf("owner state = %v, want S", s)
+	}
+	if s := r.mesi[1].State(0x1000); s != mesi.S {
+		t.Fatalf("reader state = %v, want S", s)
+	}
+	// Writer invalidates both sharers.
+	r.store(r.mesi[0], 0x1000, 9)
+	if s := r.mesi[1].State(0x1000); s != mesi.I {
+		t.Fatalf("sharer = %v, want I", s)
+	}
+	if v := r.load(r.mesi[1], 0x1000); v != 9 {
+		t.Fatalf("reload = %d", v)
+	}
+}
+
+func TestMESIWriteMigrationUnderSpandex(t *testing.T) {
+	r := newSRig(t, 2, 0, 0)
+	r.store(r.mesi[0], 0x2000, 1)
+	r.store(r.mesi[1], 0x2000, 2)
+	if s := r.mesi[0].State(0x2000); s != mesi.I {
+		t.Fatalf("old owner = %v", s)
+	}
+	if v := r.load(r.mesi[0], 0x2000); v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestGPUWriteThroughToMESIOwnedLine(t *testing.T) {
+	// Paper Fig. 1d end to end: GPU word write to a MESI-owned line. The
+	// MESI cache invalidates, acks the GPU directly, and writes back the
+	// other 15 words.
+	r := newSRig(t, 1, 0, 1)
+	cpu, gpu := r.mesi[0], r.gpu[0]
+	for i := 0; i < 16; i++ {
+		r.store(cpu, memaddr.Addr(0x3000+i*4), uint32(100+i))
+	}
+	r.store(gpu, 0x3008, 7)
+	r.run()
+	if s := cpu.State(0x3000); s != mesi.I {
+		t.Fatalf("cpu state = %v, want I", s)
+	}
+	// All 16 words must be recoverable: 15 from the MESI write-back, one
+	// from the GPU write.
+	for i := 0; i < 16; i++ {
+		want := uint32(100 + i)
+		if i == 2 {
+			want = 7
+		}
+		if v := r.load(r.gpu[0], memaddr.Addr(0x3000+i*4)); v != want {
+			t.Fatalf("word %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestDeNovoWordOwnershipInsideMESILine(t *testing.T) {
+	// False-sharing avoidance: DeNovo owns word 0; MESI writes the line.
+	r := newSRig(t, 1, 1, 0)
+	cpu, dn := r.mesi[0], r.dn[0]
+	r.store(dn, 0x4000, 11)
+	r.store(cpu, 0x4004, 22)
+	r.run()
+	// The MESI GetM (ReqO+data) must have revoked DeNovo's word.
+	if dn.ProbeOwned()[0x4000] != 0 {
+		t.Fatal("DeNovo still owns after MESI ReqO+data")
+	}
+	if v := r.load(r.dn[0], 0x4000); v != 11 {
+		t.Fatalf("word0 = %d", v)
+	}
+	if v := r.load(r.dn[0], 0x4004); v != 22 {
+		t.Fatalf("word1 = %d", v)
+	}
+}
+
+func TestMESIReadsDeNovoOwnedWord(t *testing.T) {
+	r := newSRig(t, 1, 1, 0)
+	cpu, dn := r.mesi[0], r.dn[0]
+	r.store(dn, 0x5000, 33)
+	// CPU ReqS: option 1 does not apply (owner is not MESI) → option 3
+	// with a forwarded ReqO+data to the DeNovo owner.
+	if v := r.load(cpu, 0x5000); v != 33 {
+		t.Fatalf("v = %d", v)
+	}
+	if s := cpu.State(0x5000); s != mesi.E {
+		t.Fatalf("cpu state = %v, want E (option 3)", s)
+	}
+	if dn.ProbeOwned()[0x5000] != 0 {
+		t.Fatal("DeNovo kept ownership")
+	}
+}
+
+func TestAtomicAcrossThreeProtocols(t *testing.T) {
+	r := newSRig(t, 1, 1, 1)
+	devs := []device.L1Cache{r.mesi[0], r.dn[0], r.gpu[0]}
+	for i := 0; i < 9; i++ {
+		who := devs[i%3]
+		if old := r.rmw(who, 0x6000, proto.AtomicFetchAdd, 1); old != uint32(i) {
+			t.Fatalf("iter %d: old = %d", i, old)
+		}
+	}
+	if v := r.load(r.gpu[0], 0x6000); v != 9 {
+		t.Fatalf("final = %d", v)
+	}
+}
+
+func TestMESIEvictionUnderSpandex(t *testing.T) {
+	r := newSRig(t, 1, 0, 0)
+	cpu := r.mesi[0]
+	conflict := func(i int) memaddr.Addr { return memaddr.Addr(0x100000 + i*64*64) }
+	for i := 0; i < 12; i++ {
+		r.store(cpu, conflict(i), uint32(i+1))
+	}
+	r.run()
+	for i := 0; i < 12; i++ {
+		if v := r.load(cpu, conflict(i)); v != uint32(i+1) {
+			t.Fatalf("line %d = %d", i, v)
+		}
+	}
+}
+
+func TestGPUReqVToMESIOwnerServedWithoutDowngrade(t *testing.T) {
+	r := newSRig(t, 1, 0, 1)
+	cpu, gpu := r.mesi[0], r.gpu[0]
+	r.store(cpu, 0x7000, 44)
+	if v := r.load(gpu, 0x7000); v != 44 {
+		t.Fatalf("v = %d", v)
+	}
+	// ReqV affects no coherence state: the CPU keeps M.
+	if s := cpu.State(0x7000); s != mesi.M {
+		t.Fatalf("cpu state = %v, want M", s)
+	}
+}
+
+func TestMixedStressThreeProtocols(t *testing.T) {
+	r := newSRig(t, 2, 2, 2)
+	devs := []device.L1Cache{r.mesi[0], r.mesi[1], r.dn[0], r.dn[1], r.gpu[0], r.gpu[1]}
+	total := 0
+	for round := 0; round < 6; round++ {
+		for di, d := range devs {
+			for !d.Access(device.Op{Kind: device.OpAtomic, Addr: 0x8000,
+				Atomic: proto.AtomicFetchAdd, Value: 1}, func(uint32) {}) {
+				if !r.eng.Step() {
+					t.Fatal("stuck")
+				}
+			}
+			total++
+			for !d.Access(device.Op{Kind: device.OpStore,
+				Addr: memaddr.Addr(0x9000 + di*4), Value: uint32(round + 1)}, func(uint32) {}) {
+				if !r.eng.Step() {
+					t.Fatal("stuck")
+				}
+			}
+			d.Access(device.Op{Kind: device.OpLoad,
+				Addr: memaddr.Addr(0x8040)}, func(uint32) {})
+		}
+		for i := 0; i < 100; i++ {
+			r.eng.Step()
+		}
+	}
+	for _, d := range devs {
+		d.Flush(func() {})
+	}
+	r.run()
+	if v := r.load(r.dn[0], 0x8000); v != uint32(total) {
+		t.Fatalf("counter = %d, want %d", v, total)
+	}
+	for di := range devs {
+		if v := r.load(r.gpu[0], memaddr.Addr(0x9000+di*4)); v != 6 {
+			t.Fatalf("slot %d = %d", di, v)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+)
+
+// PassTU is the translation unit for devices that speak the Spandex
+// vocabulary natively (GPU coherence and DeNovo caches). Their translation
+// needs — partial-response coalescing and Nack retry/escalation — live in
+// the controllers themselves (see those packages), so this shim models
+// only the TU's lookup latency in each direction (paper §III-F: "we model
+// TU queuing latency, assuming a single-cycle lookup").
+type PassTU struct {
+	ID      proto.NodeID
+	eng     *sim.Engine
+	net     *noc.Network
+	latency sim.Time
+	inner   noc.Handler
+}
+
+// NewPassTU creates the shim and registers it as node id's handler. Attach
+// the device with Bind, and give the device the TU as its port.
+func NewPassTU(id proto.NodeID, eng *sim.Engine, net *noc.Network, latency sim.Time) *PassTU {
+	tu := &PassTU{ID: id, eng: eng, net: net, latency: latency}
+	net.Register(id, tu)
+	return tu
+}
+
+// Bind attaches the device controller behind the shim.
+func (tu *PassTU) Bind(h noc.Handler) { tu.inner = h }
+
+// Send implements noc.Port for the device's outbound messages.
+func (tu *PassTU) Send(m *proto.Message) {
+	cp := *m
+	cp.Src = tu.ID
+	tu.eng.Schedule(tu.latency, func() { tu.net.Send(&cp) })
+}
+
+// HandleMessage implements noc.Handler for inbound messages.
+func (tu *PassTU) HandleMessage(m *proto.Message) {
+	cp := *m
+	tu.eng.Schedule(tu.latency, func() { tu.inner.HandleMessage(&cp) })
+}

@@ -1,0 +1,395 @@
+package denovo
+
+import (
+	"testing"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// scriptPort captures outbound messages for hand-driven protocol tests.
+type scriptPort struct{ sent []proto.Message }
+
+func (p *scriptPort) Send(m *proto.Message) { p.sent = append(p.sent, *m) }
+func (p *scriptPort) take() []proto.Message {
+	out := p.sent
+	p.sent = nil
+	return out
+}
+func (p *scriptPort) last() *proto.Message {
+	if len(p.sent) == 0 {
+		return nil
+	}
+	return &p.sent[len(p.sent)-1]
+}
+
+type drig struct {
+	t    *testing.T
+	eng  *sim.Engine
+	port *scriptPort
+	l1   *L1
+}
+
+func newDRig(t *testing.T) *drig {
+	eng := sim.New()
+	port := &scriptPort{}
+	l1 := New(0, eng, port, stats.New(), DefaultConfig(99, false))
+	return &drig{t: t, eng: eng, port: port, l1: l1}
+}
+
+// own makes the L1 the stable owner of the masked words with given values.
+func (r *drig) own(line memaddr.LineAddr, mask memaddr.WordMask, data memaddr.LineData) {
+	for i := 0; i < memaddr.WordsPerLine; i++ {
+		if mask.Has(i) {
+			if !r.l1.Access(device.Op{Kind: device.OpStore,
+				Addr: line.Addr(i), Value: data[i]}, func(uint32) {}) {
+				r.t.Fatal("store rejected")
+			}
+		}
+	}
+	r.l1.Flush(func() {})
+	r.eng.Run()
+	req := r.port.last()
+	if req == nil || req.Type != proto.ReqO {
+		r.t.Fatalf("expected ReqO, got %v", req)
+	}
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspO, Src: 99,
+		ReqID: req.ReqID, Line: line, Mask: mask})
+	r.eng.Run()
+	r.port.take()
+	if r.l1.ProbeOwned()[line]&mask != mask {
+		r.t.Fatal("ownership setup failed")
+	}
+}
+
+// --- Table IV rows against a stable owner ---
+
+func TestExtReqVOnOwned(t *testing.T) {
+	r := newDRig(t)
+	var d memaddr.LineData
+	d[2] = 7
+	r.own(0x1000, 0b100, d)
+	r.l1.HandleMessage(&proto.Message{Type: proto.ReqV, Src: 99, Requestor: 5,
+		ReqID: 40, Line: 0x1000, Mask: 0b100})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.RspV || sent[0].Dst != 5 || sent[0].Data[2] != 7 {
+		t.Fatalf("RspV wrong: %v", sent)
+	}
+	// Table IV: ReqV leaves the owner in O.
+	if r.l1.ProbeOwned()[0x1000] != 0b100 {
+		t.Fatal("ReqV changed owner state")
+	}
+}
+
+func TestExtReqVOnMissingNacks(t *testing.T) {
+	r := newDRig(t)
+	r.l1.HandleMessage(&proto.Message{Type: proto.ReqV, Src: 99, Requestor: 5,
+		ReqID: 41, Line: 0x2000, Mask: 0b1})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.NackV || sent[0].Dst != 5 {
+		t.Fatalf("expected NackV, got %v", sent)
+	}
+}
+
+func TestExtReqOOnOwnedDowngrades(t *testing.T) {
+	r := newDRig(t)
+	var d memaddr.LineData
+	d[0] = 3
+	r.own(0x3000, 0b1, d)
+	r.l1.HandleMessage(&proto.Message{Type: proto.ReqO, Src: 99, Requestor: 6,
+		ReqID: 42, Line: 0x3000, Mask: 0b1})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.RspO || sent[0].Dst != 6 || sent[0].HasData {
+		t.Fatalf("RspO wrong: %v", sent)
+	}
+	if r.l1.ProbeOwned()[0x3000] != 0 {
+		t.Fatal("Table IV: ReqO must leave the old owner in I")
+	}
+}
+
+func TestExtReqODataCarriesData(t *testing.T) {
+	r := newDRig(t)
+	var d memaddr.LineData
+	d[1] = 9
+	r.own(0x4000, 0b10, d)
+	r.l1.HandleMessage(&proto.Message{Type: proto.ReqOData, Src: 99, Requestor: 7,
+		ReqID: 43, Line: 0x4000, Mask: 0b10})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.RspOData || !sent[0].HasData || sent[0].Data[1] != 9 {
+		t.Fatalf("RspO+data wrong: %v", sent)
+	}
+	if r.l1.ProbeOwned()[0x4000] != 0 {
+		t.Fatal("ownership not surrendered")
+	}
+}
+
+func TestRvkOWritesBackToLLC(t *testing.T) {
+	r := newDRig(t)
+	var d memaddr.LineData
+	d[3] = 12
+	r.own(0x5000, 0b1000, d)
+	r.l1.HandleMessage(&proto.Message{Type: proto.RvkO, Src: 99, Requestor: 99,
+		Line: 0x5000, Mask: 0b1000})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.RspRvkO || sent[0].Dst != 99 ||
+		!sent[0].HasData || sent[0].Data[3] != 12 {
+		t.Fatalf("RspRvkO wrong: %v", sent)
+	}
+	if r.l1.ProbeOwned()[0x5000] != 0 {
+		t.Fatal("Table IV: RvkO must end in I")
+	}
+}
+
+func TestExtReqWTDowngradesAndAcksRequestor(t *testing.T) {
+	r := newDRig(t)
+	var d memaddr.LineData
+	r.own(0x6000, 0b1, d)
+	r.l1.HandleMessage(&proto.Message{Type: proto.ReqWT, Src: 99, Requestor: 8,
+		ReqID: 44, Line: 0x6000, Mask: 0b1})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.RspWT || sent[0].Dst != 8 {
+		t.Fatalf("RspWT wrong: %v", sent)
+	}
+	if r.l1.ProbeOwned()[0x6000] != 0 {
+		t.Fatal("ReqWT must downgrade the written word")
+	}
+	// The local copy must also be dropped (the LLC has the new value).
+	if v, ok := r.loadLocal(0x6000); ok {
+		t.Fatalf("stale local copy survived: %d", v)
+	}
+}
+
+func (r *drig) loadLocal(a memaddr.Addr) (uint32, bool) {
+	e := r.l1.array.Peek(a.Line())
+	if e == nil || !e.State.valid.Has(a.WordIndex()) {
+		return 0, false
+	}
+	return e.State.data[a.WordIndex()], true
+}
+
+func TestInvAckedWithoutState(t *testing.T) {
+	r := newDRig(t)
+	r.l1.HandleMessage(&proto.Message{Type: proto.Inv, Src: 99,
+		Line: 0x7000, Mask: memaddr.FullMask})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.InvAck {
+		t.Fatalf("Inv not acked: %v", sent)
+	}
+}
+
+// --- §III-C races ---
+
+func TestExtReqOAgainstPendingGrant(t *testing.T) {
+	// Our ReqO is outstanding; a forwarded ReqO for the same word arrives
+	// first (the LLC already serialized our grant, then the transfer).
+	// §III-C2: respond immediately; the eventual grant must not install
+	// ownership.
+	r := newDRig(t)
+	r.l1.Access(device.Op{Kind: device.OpStore, Addr: 0x8000, Value: 5}, func(uint32) {})
+	r.l1.Flush(func() {})
+	r.eng.Run()
+	req := r.port.last()
+	if req == nil || req.Type != proto.ReqO {
+		t.Fatalf("no ReqO: %v", req)
+	}
+	r.port.take()
+	// The racing forward arrives before our RspO.
+	r.l1.HandleMessage(&proto.Message{Type: proto.ReqO, Src: 99, Requestor: 6,
+		ReqID: 45, Line: 0x8000, Mask: 0b1})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.RspO || sent[0].Dst != 6 {
+		t.Fatalf("pending-grant downgrade not answered: %v", sent)
+	}
+	// Our grant lands afterwards: the word must NOT become owned.
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspO, Src: 99,
+		ReqID: req.ReqID, Line: 0x8000, Mask: 0b1})
+	r.eng.Run()
+	if r.l1.ProbeOwned()[0x8000] != 0 {
+		t.Fatal("downgraded word installed as owned")
+	}
+}
+
+func TestExtReqODataAgainstPendingGrantSuppliesStoreValue(t *testing.T) {
+	// §III-C1: for a pending ReqO the up-to-date data IS our store value;
+	// the external data request is answered immediately from it.
+	r := newDRig(t)
+	r.l1.Access(device.Op{Kind: device.OpStore, Addr: 0x9000, Value: 77}, func(uint32) {})
+	r.l1.Flush(func() {})
+	r.eng.Run()
+	req := r.port.last()
+	r.port.take()
+	r.l1.HandleMessage(&proto.Message{Type: proto.ReqOData, Src: 99, Requestor: 4,
+		ReqID: 46, Line: 0x9000, Mask: 0b1})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.RspOData || sent[0].Data[0] != 77 {
+		t.Fatalf("store value not supplied: %v", sent)
+	}
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspO, Src: 99,
+		ReqID: req.ReqID, Line: 0x9000, Mask: 0b1})
+	r.eng.Run()
+	if r.l1.ProbeOwned()[0x9000] != 0 {
+		t.Fatal("downgraded word installed as owned")
+	}
+}
+
+func TestExtAgainstPendingWriteBack(t *testing.T) {
+	// §III-C2: requests for words with an in-flight ReqWB are served from
+	// the retained copy, and downgrades complete the write-back locally.
+	r := newDRig(t)
+	var d memaddr.LineData
+	d[0] = 21
+	r.own(0xa000, 0b1, d)
+	// Evict by filling the set (64 sets; 4KB stride).
+	conflict := func(i int) memaddr.Addr { return memaddr.Addr(0xa000 + i*64*64) }
+	for i := 1; i <= 8; i++ {
+		var dd memaddr.LineData
+		dd[0] = uint32(i)
+		r.own(conflict(i).Line(), 0b1, dd)
+	}
+	// The ReqWB for 0xa000 must be among the sent messages, unacked.
+	if _, ok := r.l1.wbs[0xa000]; !ok {
+		t.Fatal("no pending write-back record")
+	}
+	r.port.take()
+	// A forwarded ReqV is served from the record...
+	r.l1.HandleMessage(&proto.Message{Type: proto.ReqV, Src: 99, Requestor: 3,
+		ReqID: 47, Line: 0xa000, Mask: 0b1})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.RspV || sent[0].Data[0] != 21 {
+		t.Fatalf("pending-WB ReqV wrong: %v", sent)
+	}
+	// ...and a downgrade completes the record locally.
+	r.l1.HandleMessage(&proto.Message{Type: proto.ReqO, Src: 99, Requestor: 3,
+		ReqID: 48, Line: 0xa000, Mask: 0b1})
+	r.eng.Run()
+	if _, ok := r.l1.wbs[0xa000]; ok {
+		t.Fatal("downgrade did not complete the pending write-back")
+	}
+	// The late RspWB is now a no-op.
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspWB, Src: 99,
+		Line: 0xa000, Mask: 0b1})
+	r.eng.Run()
+}
+
+func TestExtDeferredBehindPendingAtomic(t *testing.T) {
+	// §III-C1: an external request for a word with a pending ReqO+data
+	// (atomic) waits until the data arrives, then observes the atomic's
+	// result.
+	r := newDRig(t)
+	var got uint32
+	done := false
+	r.l1.Access(device.Op{Kind: device.OpAtomic, Addr: 0xb000,
+		Atomic: proto.AtomicFetchAdd, Value: 5}, func(v uint32) { got = v; done = true })
+	r.eng.Run()
+	req := r.port.last()
+	if req == nil || req.Type != proto.ReqOData {
+		t.Fatalf("no ReqOData: %v", req)
+	}
+	r.port.take()
+	// A revocation races in before our data.
+	r.l1.HandleMessage(&proto.Message{Type: proto.RvkO, Src: 99, Requestor: 99,
+		Line: 0xb000, Mask: 0b1})
+	r.eng.Run()
+	if len(r.port.take()) != 0 {
+		t.Fatal("revocation answered before the atomic's data arrived")
+	}
+	// Data arrives: atomic applies, then the deferred RvkO drains with the
+	// post-atomic value.
+	var d memaddr.LineData
+	d[0] = 10
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspOData, Src: 99,
+		ReqID: req.ReqID, Line: 0xb000, Mask: 0b1, HasData: true, Data: d})
+	r.eng.Run()
+	if !done || got != 10 {
+		t.Fatalf("atomic result %d,%v", got, done)
+	}
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.RspRvkO || sent[0].Data[0] != 15 {
+		t.Fatalf("deferred RvkO wrong: %v", sent)
+	}
+	if r.l1.ProbeOwned()[0xb000] != 0 {
+		t.Fatal("revoked word still owned")
+	}
+}
+
+func TestNackRetryThenEscalateToReqOData(t *testing.T) {
+	r := newDRig(t)
+	var got uint32
+	done := false
+	r.l1.Access(device.Op{Kind: device.OpLoad, Addr: 0xc000},
+		func(v uint32) { got = v; done = true })
+	r.eng.Run()
+	first := r.port.take()
+	if len(first) != 1 || first[0].Type != proto.ReqV {
+		t.Fatalf("first = %v", first)
+	}
+	// First Nack → retry as ReqV.
+	r.l1.HandleMessage(&proto.Message{Type: proto.NackV, Src: 50,
+		ReqID: first[0].ReqID, Line: 0xc000, Mask: 0b1})
+	r.eng.Run()
+	second := r.port.take()
+	if len(second) != 1 || second[0].Type != proto.ReqV {
+		t.Fatalf("retry = %v", second)
+	}
+	// Second Nack → escalate to ReqO+data (§III-C3).
+	r.l1.HandleMessage(&proto.Message{Type: proto.NackV, Src: 50,
+		ReqID: second[0].ReqID, Line: 0xc000, Mask: 0b1})
+	r.eng.Run()
+	third := r.port.take()
+	if len(third) != 1 || third[0].Type != proto.ReqOData {
+		t.Fatalf("escalation = %v", third)
+	}
+	var d memaddr.LineData
+	d[0] = 5
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspOData, Src: 99,
+		ReqID: third[0].ReqID, Line: 0xc000, Mask: 0b1, HasData: true, Data: d})
+	r.eng.Run()
+	if !done || got != 5 {
+		t.Fatalf("escalated load got %d,%v", got, done)
+	}
+	if r.l1.ProbeOwned()[0xc000] != 0b1 {
+		t.Fatal("escalated word not owned")
+	}
+}
+
+func TestRegionInvalidate(t *testing.T) {
+	r := newDRig(t)
+	// Two valid lines via fills.
+	for i, la := range []memaddr.LineAddr{0xd000, 0xe000} {
+		r.l1.Access(device.Op{Kind: device.OpLoad, Addr: memaddr.Addr(la)}, func(uint32) {})
+		r.eng.Run()
+		req := r.port.last()
+		var d memaddr.LineData
+		d[0] = uint32(i + 1)
+		r.l1.HandleMessage(&proto.Message{Type: proto.RspV, Src: 99,
+			ReqID: req.ReqID, Line: la, Mask: memaddr.FullMask, HasData: true, Data: d})
+		r.eng.Run()
+		r.port.take()
+	}
+	// Region covering only the first line.
+	r.l1.SelfInvalidateRegion(0xd000, 0xd040)
+	if _, ok := r.loadLocal(0xd000); ok {
+		t.Fatal("region line survived")
+	}
+	if v, ok := r.loadLocal(0xe000); !ok || v != 2 {
+		t.Fatal("out-of-region line dropped")
+	}
+	// Full flash drops the rest.
+	r.l1.SelfInvalidate()
+	if _, ok := r.loadLocal(0xe000); ok {
+		t.Fatal("full flash missed a line")
+	}
+}

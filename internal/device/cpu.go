@@ -1,0 +1,114 @@
+package device
+
+import (
+	"fmt"
+
+	"spandex/internal/sim"
+)
+
+// CPUCore is an in-order, latency-sensitive core (paper §II-A): loads and
+// atomics block the core until they complete; stores retire into the L1's
+// store buffer; synchronization drains the buffer (release) and
+// self-invalidates stale data (acquire, protocol-permitting).
+type CPUCore struct {
+	Name   string
+	eng    *sim.Engine
+	l1     L1Cache
+	stream OpStream
+	onDone func()
+
+	// IssueCost is the fixed per-operation pipeline cost.
+	IssueCost sim.Time
+
+	ops      uint64
+	finished bool
+}
+
+// NewCPUCore creates a core executing stream against l1. onDone fires when
+// the stream is exhausted and the final operation has completed.
+func NewCPUCore(name string, eng *sim.Engine, l1 L1Cache, stream OpStream, onDone func()) *CPUCore {
+	return &CPUCore{Name: name, eng: eng, l1: l1, stream: stream,
+		onDone: onDone, IssueCost: sim.CPUCycle}
+}
+
+// Start begins execution (call once, before running the engine).
+func (c *CPUCore) Start() {
+	c.eng.Schedule(0, func() { c.next(OpResult{}) })
+}
+
+// Ops reports how many operations the core has completed.
+func (c *CPUCore) Ops() uint64 { return c.ops }
+
+// Finished reports whether the stream has been fully executed.
+func (c *CPUCore) Finished() bool { return c.finished }
+
+func (c *CPUCore) next(prev OpResult) {
+	op, ok := c.stream.Next(prev)
+	if !ok {
+		// Drain buffered stores before retiring: lazily coalesced writes
+		// must reach the memory system.
+		c.l1.Flush(func() {
+			c.finished = true
+			if c.onDone != nil {
+				c.onDone()
+			}
+		})
+		return
+	}
+	c.ops++
+	c.exec(op)
+}
+
+func (c *CPUCore) exec(op Op) {
+	switch op.Kind {
+	case OpCompute:
+		c.eng.Schedule(sim.CPUCycles(uint64(op.Cycles)), func() {
+			c.next(OpResult{Valid: true})
+		})
+
+	case OpFence:
+		finish := func() {
+			if op.Acq {
+				AcquireInvalidate(c.l1, op)
+			}
+			c.eng.Schedule(c.IssueCost, func() { c.next(OpResult{Valid: true}) })
+		}
+		if op.Rel {
+			c.l1.Flush(finish)
+		} else {
+			finish()
+		}
+
+	case OpLoad, OpStore, OpAtomic:
+		issue := func() { c.issueMem(op) }
+		// Release semantics: drain buffered stores and pending ownership
+		// before the releasing operation issues (paper §III-E).
+		if op.Rel {
+			c.l1.Flush(issue)
+		} else {
+			issue()
+		}
+
+	default:
+		panic(fmt.Sprintf("device: unknown op kind %v", op.Kind))
+	}
+}
+
+func (c *CPUCore) issueMem(op Op) {
+	accepted := c.l1.Access(op, func(value uint32) {
+		if op.Acq {
+			// Acquire: self-invalidate before any subsequent access can
+			// read stale Valid data. Modeled as a single-cycle flash
+			// (paper §IV-A), charged as part of the issue cost; a region
+			// hint narrows the flash on caches that support it.
+			AcquireInvalidate(c.l1, op)
+		}
+		c.eng.Schedule(c.IssueCost, func() {
+			c.next(OpResult{Valid: true, Value: value})
+		})
+	})
+	if !accepted {
+		// Structural stall: retry next cycle.
+		c.eng.Schedule(sim.CPUCycle, func() { c.issueMem(op) })
+	}
+}

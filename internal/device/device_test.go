@@ -1,0 +1,335 @@
+package device
+
+import (
+	"testing"
+
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+)
+
+// fakeL1 is a scriptable L1 for device-model tests.
+type fakeL1 struct {
+	eng       *sim.Engine
+	loadLat   sim.Time
+	values    map[memaddr.Addr]uint32
+	invals    int
+	flushes   int
+	rejects   int // reject this many Accesses before accepting
+	inflight  int
+	accessLog []Op
+}
+
+func newFakeL1(eng *sim.Engine, loadLat sim.Time) *fakeL1 {
+	return &fakeL1{eng: eng, loadLat: loadLat, values: map[memaddr.Addr]uint32{}}
+}
+
+func (f *fakeL1) Access(op Op, done func(uint32)) bool {
+	if f.rejects > 0 {
+		f.rejects--
+		return false
+	}
+	f.accessLog = append(f.accessLog, op)
+	switch op.Kind {
+	case OpStore:
+		f.values[op.Addr] = op.Value
+		done(0)
+	case OpLoad:
+		f.inflight++
+		v := f.values[op.Addr]
+		f.eng.Schedule(f.loadLat, func() { f.inflight--; done(v) })
+	case OpAtomic:
+		f.inflight++
+		old := f.values[op.Addr]
+		nv, _ := op.Atomic.Apply(old, op.Value, op.Compare)
+		f.values[op.Addr] = nv
+		f.eng.Schedule(f.loadLat, func() { f.inflight--; done(old) })
+	}
+	return true
+}
+
+func (f *fakeL1) SelfInvalidate() { f.invals++ }
+func (f *fakeL1) Flush(done func()) {
+	f.flushes++
+	done()
+}
+
+func TestCPUBlockingLoads(t *testing.T) {
+	eng := sim.New()
+	l1 := newFakeL1(eng, 100*sim.CPUCycle)
+	ops := []Op{
+		{Kind: OpLoad, Addr: 0x40},
+		{Kind: OpLoad, Addr: 0x80},
+	}
+	done := false
+	c := NewCPUCore("cpu0", eng, l1, &SliceStream{Ops: ops}, func() { done = true })
+	c.Start()
+	end := eng.Run()
+	if !done || !c.Finished() {
+		t.Fatal("core did not finish")
+	}
+	// Two fully serialized 100-cycle loads plus issue costs: ≥ 200 cycles.
+	if end < 200*sim.CPUCycle {
+		t.Fatalf("loads overlapped on an in-order core: end=%d", end)
+	}
+	if c.Ops() != 2 {
+		t.Fatalf("ops = %d", c.Ops())
+	}
+}
+
+func TestCPUStoreBufferedAndReleaseFlush(t *testing.T) {
+	eng := sim.New()
+	l1 := newFakeL1(eng, 10*sim.CPUCycle)
+	ops := []Op{
+		{Kind: OpStore, Addr: 0x40, Value: 1},
+		{Kind: OpStore, Addr: 0x44, Value: 2},
+		{Kind: OpAtomic, Addr: 0x80, Value: 7, Atomic: proto.AtomicExchange, Rel: true},
+	}
+	c := NewCPUCore("cpu0", eng, l1, &SliceStream{Ops: ops}, nil)
+	c.Start()
+	eng.Run()
+	// One flush for the release, one draining the buffer at end-of-stream.
+	if l1.flushes != 2 {
+		t.Fatalf("flushes = %d, want 2 (release + retire)", l1.flushes)
+	}
+	// The release flush must precede the releasing atomic in the log.
+	last := l1.accessLog[len(l1.accessLog)-1]
+	if last.Kind != OpAtomic {
+		t.Fatalf("atomic not last: %v", l1.accessLog)
+	}
+}
+
+func TestCPUAcquireSelfInvalidates(t *testing.T) {
+	eng := sim.New()
+	l1 := newFakeL1(eng, sim.CPUCycle)
+	ops := []Op{{Kind: OpAtomic, Addr: 0x40, Atomic: proto.AtomicRead, Acq: true}}
+	NewCPUCore("cpu0", eng, l1, &SliceStream{Ops: ops}, nil).Start()
+	eng.Run()
+	if l1.invals != 1 {
+		t.Fatalf("invals = %d, want 1", l1.invals)
+	}
+}
+
+func TestCPUStallRetry(t *testing.T) {
+	eng := sim.New()
+	l1 := newFakeL1(eng, sim.CPUCycle)
+	l1.rejects = 3
+	done := false
+	NewCPUCore("cpu0", eng, l1, &SliceStream{Ops: []Op{{Kind: OpLoad, Addr: 0}}}, func() { done = true }).Start()
+	eng.Run()
+	if !done {
+		t.Fatal("core never completed after stalls")
+	}
+}
+
+func TestCPUDataDependentStream(t *testing.T) {
+	eng := sim.New()
+	l1 := newFakeL1(eng, sim.CPUCycle)
+	l1.values[0x100] = 5
+	var seen []uint32
+	n := 0
+	stream := FuncStream(func(prev OpResult) (Op, bool) {
+		if prev.Valid {
+			seen = append(seen, prev.Value)
+		}
+		if n >= 3 {
+			return Op{}, false
+		}
+		n++
+		// Chase: load addr derived from previous value.
+		base := memaddr.Addr(0x100)
+		if prev.Valid {
+			base = memaddr.Addr(0x100 + prev.Value*4)
+		}
+		return Op{Kind: OpLoad, Addr: base}, true
+	})
+	l1.values[0x100+5*4] = 9
+	NewCPUCore("cpu0", eng, l1, stream, nil).Start()
+	eng.Run()
+	if len(seen) != 3 || seen[0] != 5 || seen[1] != 9 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestGPULatencyHiding(t *testing.T) {
+	// 4 warps × 4 dependent loads of 200 GPU cycles each. A blocking core
+	// would take ~3200 cycles; warp interleaving should approach ~800+ε.
+	eng := sim.New()
+	l1 := newFakeL1(eng, 200*sim.GPUCycle)
+	mk := func(w int) OpStream {
+		var ops []Op
+		for i := 0; i < 4; i++ {
+			ops = append(ops, Op{Kind: OpLoad, Addr: memaddr.Addr(w*0x1000 + i*64)})
+		}
+		return &SliceStream{Ops: ops}
+	}
+	cu := NewGPUCU("cu0", eng, l1, []OpStream{mk(0), mk(1), mk(2), mk(3)}, nil)
+	cu.Start()
+	end := eng.Run()
+	serial := 16 * 200 * uint64(sim.GPUCycle)
+	if uint64(end) > serial*40/100 {
+		t.Fatalf("no latency hiding: end=%d, serial=%d", end, serial)
+	}
+	if cu.Ops() != 16 {
+		t.Fatalf("ops = %d", cu.Ops())
+	}
+}
+
+func TestGPUIssueRateOnePerCycle(t *testing.T) {
+	// With zero-latency memory, N independent ops across warps issue at
+	// most one per GPU cycle.
+	eng := sim.New()
+	l1 := newFakeL1(eng, 0)
+	var streams []OpStream
+	for w := 0; w < 4; w++ {
+		var ops []Op
+		for i := 0; i < 10; i++ {
+			ops = append(ops, Op{Kind: OpStore, Addr: memaddr.Addr(i * 4), Value: 1})
+		}
+		streams = append(streams, &SliceStream{Ops: ops})
+	}
+	cu := NewGPUCU("cu0", eng, l1, streams, nil)
+	cu.Start()
+	end := eng.Run()
+	if uint64(end) < 39*uint64(sim.GPUCycle) {
+		t.Fatalf("issued faster than 1/cycle: end=%d", end)
+	}
+}
+
+func TestGPURejectionDoesNotLoseOps(t *testing.T) {
+	eng := sim.New()
+	l1 := newFakeL1(eng, sim.GPUCycle)
+	l1.rejects = 5
+	finished := false
+	cu := NewGPUCU("cu0", eng, l1,
+		[]OpStream{&SliceStream{Ops: []Op{{Kind: OpLoad, Addr: 0}, {Kind: OpLoad, Addr: 64}}}},
+		func() { finished = true })
+	cu.Start()
+	eng.Run()
+	if !finished {
+		t.Fatal("CU lost an op after rejection")
+	}
+	if len(l1.accessLog) != 2 {
+		t.Fatalf("accesses = %d", len(l1.accessLog))
+	}
+}
+
+func TestCPUComputeAdvancesTime(t *testing.T) {
+	eng := sim.New()
+	l1 := newFakeL1(eng, 0)
+	NewCPUCore("cpu0", eng, l1, &SliceStream{Ops: []Op{
+		{Kind: OpCompute, Cycles: 100},
+		{Kind: OpCompute, Cycles: 50},
+	}}, nil).Start()
+	end := eng.Run()
+	if end < 150*sim.CPUCycle {
+		t.Fatalf("compute under-charged: %d", end)
+	}
+}
+
+func TestFenceAcquireOnlyInvalidates(t *testing.T) {
+	eng := sim.New()
+	l1 := newFakeL1(eng, sim.CPUCycle)
+	NewCPUCore("cpu0", eng, l1, &SliceStream{Ops: []Op{
+		{Kind: OpFence, Acq: true},
+	}}, nil).Start()
+	eng.Run()
+	if l1.invals != 1 {
+		t.Fatalf("invals = %d", l1.invals)
+	}
+	// End-of-stream flush still happens; acquire-only fence must not flush.
+	if l1.flushes != 1 {
+		t.Fatalf("flushes = %d, want 1 (retire only)", l1.flushes)
+	}
+}
+
+// regionFake records region invalidations.
+type regionFake struct {
+	fakeL1
+	regions [][2]memaddr.Addr
+}
+
+func (f *regionFake) SelfInvalidateRegion(lo, hi memaddr.Addr) {
+	f.regions = append(f.regions, [2]memaddr.Addr{lo, hi})
+}
+
+func TestAcquireRegionRouting(t *testing.T) {
+	eng := sim.New()
+	f := &regionFake{fakeL1: *newFakeL1(eng, sim.CPUCycle)}
+	ops := []Op{
+		{Kind: OpAtomic, Addr: 0x40, Atomic: proto.AtomicRead, Acq: true,
+			RegionLo: 0x1000, RegionHi: 0x2000},
+		{Kind: OpAtomic, Addr: 0x40, Atomic: proto.AtomicRead, Acq: true},
+	}
+	NewCPUCore("cpu0", eng, f, &SliceStream{Ops: ops}, nil).Start()
+	eng.Run()
+	if len(f.regions) != 1 || f.regions[0] != [2]memaddr.Addr{0x1000, 0x2000} {
+		t.Fatalf("regions = %v", f.regions)
+	}
+	if f.invals != 1 {
+		t.Fatalf("full invals = %d, want 1 (region acquire must not flash)", f.invals)
+	}
+	// A cache without region support gets a full flash for both.
+	eng2 := sim.New()
+	plain := newFakeL1(eng2, sim.CPUCycle)
+	NewCPUCore("cpu1", eng2, plain, &SliceStream{Ops: ops}, nil).Start()
+	eng2.Run()
+	if plain.invals != 2 {
+		t.Fatalf("plain invals = %d, want 2", plain.invals)
+	}
+}
+
+func TestByteMergeRewrite(t *testing.T) {
+	op := Op{Kind: OpStore, Addr: 0x44, Value: 0xAB00, ByteMask: 0b0010}
+	if !op.IsSubWordStore() {
+		t.Fatal("not detected as sub-word")
+	}
+	bm := op.AsByteMerge()
+	if bm.Kind != OpAtomic || bm.Atomic != proto.AtomicByteMerge {
+		t.Fatalf("rewrite = %+v", bm)
+	}
+	if bm.Compare != 0x0000FF00 || bm.Value != 0xAB00 {
+		t.Fatalf("lanes = %#x value = %#x", bm.Compare, bm.Value)
+	}
+	nv, _ := bm.Atomic.Apply(0x11223344, bm.Value, bm.Compare)
+	if nv != 0x1122AB44 {
+		t.Fatalf("merge = %#x", nv)
+	}
+	full := Op{Kind: OpStore, ByteMask: 0xF}
+	if full.IsSubWordStore() {
+		t.Fatal("full-word store misdetected")
+	}
+}
+
+func TestGPUWarpFairnessUnderRejection(t *testing.T) {
+	// Warp 0's op is rejected repeatedly; warp 1 must still make progress.
+	eng := sim.New()
+	l1 := newFakeL1(eng, sim.GPUCycle)
+	l1.rejects = 20
+	done1 := false
+	s0 := &SliceStream{Ops: []Op{{Kind: OpLoad, Addr: 0}}}
+	s1 := FuncStream(func(prev OpResult) (Op, bool) {
+		if prev.Valid {
+			done1 = true
+			return Op{}, false
+		}
+		return Op{Kind: OpLoad, Addr: 64}, true
+	})
+	cu := NewGPUCU("cu0", eng, l1, []OpStream{s0, s1}, nil)
+	cu.Start()
+	eng.Run()
+	if !done1 || !cu.Finished() {
+		t.Fatal("rejections starved the sibling warp")
+	}
+}
+
+func TestGPUEmptyCU(t *testing.T) {
+	eng := sim.New()
+	fin := false
+	cu := NewGPUCU("cu0", eng, newFakeL1(eng, 0), nil, func() { fin = true })
+	cu.Start()
+	eng.Run()
+	if !fin || !cu.Finished() {
+		t.Fatal("empty CU must finish immediately")
+	}
+}

@@ -1,0 +1,208 @@
+package device
+
+import (
+	"fmt"
+
+	"spandex/internal/sim"
+)
+
+// warpState tracks one warp's execution.
+type warpState uint8
+
+const (
+	warpReady    warpState = iota // has an operation to issue
+	warpBlocked                   // waiting for a memory response or compute
+	warpFinished                  // stream exhausted
+)
+
+type warp struct {
+	stream OpStream
+	state  warpState
+	op     Op // pending operation when ready
+}
+
+// GPUCU is a latency-tolerant GPU compute unit (paper §II-B): it interleaves
+// several warps, issuing at most one memory operation per GPU cycle. A warp
+// blocks on its own loads and atomics while other warps continue, hiding
+// memory latency. All warps share the CU's L1 cache controller.
+type GPUCU struct {
+	Name   string
+	eng    *sim.Engine
+	l1     L1Cache
+	warps  []warp
+	onDone func()
+
+	rr       int // round-robin issue pointer
+	running  bool
+	live     int // warps not yet finished
+	ops      uint64
+	finished bool
+}
+
+// NewGPUCU creates a compute unit running the given warp streams.
+func NewGPUCU(name string, eng *sim.Engine, l1 L1Cache, streams []OpStream, onDone func()) *GPUCU {
+	cu := &GPUCU{Name: name, eng: eng, l1: l1, onDone: onDone}
+	for _, s := range streams {
+		cu.warps = append(cu.warps, warp{stream: s, state: warpBlocked})
+	}
+	return cu
+}
+
+// Start begins execution.
+func (g *GPUCU) Start() {
+	g.eng.Schedule(0, func() {
+		if len(g.warps) == 0 {
+			g.finish()
+			return
+		}
+		g.live = len(g.warps)
+		for i := range g.warps {
+			g.advance(i, OpResult{})
+		}
+	})
+}
+
+// Ops reports completed operation count across warps.
+func (g *GPUCU) Ops() uint64 { return g.ops }
+
+// Finished reports whether every warp has completed.
+func (g *GPUCU) Finished() bool { return g.finished }
+
+func (g *GPUCU) finish() {
+	// Drain buffered write-throughs before the CU retires.
+	g.l1.Flush(func() {
+		g.finished = true
+		if g.onDone != nil {
+			g.onDone()
+		}
+	})
+}
+
+// advance fetches warp i's next operation and marks it ready.
+func (g *GPUCU) advance(i int, prev OpResult) {
+	w := &g.warps[i]
+	op, ok := w.stream.Next(prev)
+	if !ok {
+		w.state = warpFinished
+		g.live--
+		if g.live == 0 {
+			g.finish()
+		}
+		return
+	}
+	g.ops++
+	w.op = op
+	w.state = warpReady
+	g.kick()
+}
+
+// kick ensures the issue loop is scheduled.
+func (g *GPUCU) kick() {
+	if g.running {
+		return
+	}
+	g.running = true
+	g.eng.Schedule(0, g.step)
+}
+
+// step issues at most one operation, then reschedules itself for the next
+// GPU cycle while any warp remains ready.
+func (g *GPUCU) step() {
+	n := len(g.warps)
+	anyReady := false
+	for i := 0; i < n; i++ {
+		idx := (g.rr + i) % n
+		w := &g.warps[idx]
+		if w.state != warpReady {
+			continue
+		}
+		if g.tryIssue(idx) {
+			g.rr = (idx + 1) % n
+			break
+		}
+		anyReady = true // rejected; stays ready, try another warp
+	}
+	for i := 0; i < n && !anyReady; i++ {
+		if g.warps[i].state == warpReady {
+			anyReady = true
+		}
+	}
+	if anyReady {
+		g.eng.Schedule(sim.GPUCycle, g.step)
+	} else {
+		g.running = false
+	}
+}
+
+// tryIssue attempts to issue warp idx's pending op. It reports whether the
+// operation was accepted (or handled without the L1).
+func (g *GPUCU) tryIssue(idx int) bool {
+	w := &g.warps[idx]
+	op := w.op
+
+	switch op.Kind {
+	case OpCompute:
+		w.state = warpBlocked
+		g.eng.Schedule(sim.GPUCycles(uint64(op.Cycles)), func() {
+			g.advance(idx, OpResult{Valid: true})
+		})
+		return true
+
+	case OpFence:
+		w.state = warpBlocked
+		finish := func() {
+			if op.Acq {
+				AcquireInvalidate(g.l1, op)
+			}
+			g.eng.Schedule(sim.GPUCycle, func() { g.advance(idx, OpResult{Valid: true}) })
+		}
+		if op.Rel {
+			g.l1.Flush(finish)
+		} else {
+			finish()
+		}
+		return true
+
+	case OpLoad, OpStore, OpAtomic:
+		if op.Rel {
+			// Release: block the warp, drain the write buffer, then issue.
+			w.state = warpBlocked
+			g.l1.Flush(func() { g.issueMem(idx, op) })
+			return true
+		}
+		return g.issueMemInline(idx, op)
+
+	default:
+		panic(fmt.Sprintf("device: unknown op kind %v", op.Kind))
+	}
+}
+
+// issueMemInline issues during the scheduler step; rejection leaves the
+// warp ready for a later retry.
+func (g *GPUCU) issueMemInline(idx int, op Op) bool {
+	w := &g.warps[idx]
+	accepted := g.l1.Access(op, g.completion(idx, op))
+	if accepted {
+		w.state = warpBlocked
+	}
+	return accepted
+}
+
+// issueMem issues after a flush; rejection retries every GPU cycle.
+func (g *GPUCU) issueMem(idx int, op Op) {
+	if g.l1.Access(op, g.completion(idx, op)) {
+		return
+	}
+	g.eng.Schedule(sim.GPUCycle, func() { g.issueMem(idx, op) })
+}
+
+func (g *GPUCU) completion(idx int, op Op) func(uint32) {
+	return func(value uint32) {
+		if op.Acq {
+			AcquireInvalidate(g.l1, op)
+		}
+		g.eng.Schedule(0, func() {
+			g.advance(idx, OpResult{Valid: true, Value: value})
+		})
+	}
+}

@@ -1,0 +1,190 @@
+// Package device models the compute devices that drive the memory system:
+// latency-sensitive in-order CPU cores and latency-tolerant multi-warp GPU
+// compute units. Devices execute OpStreams — dynamic per-thread programs of
+// memory operations — against an L1 cache controller through the L1Cache
+// interface. The protocols behind that interface are what the paper
+// evaluates; the devices themselves only reproduce the issue behaviour
+// (blocking loads and store buffering on CPUs, warp-interleaved latency
+// hiding on GPUs).
+package device
+
+import (
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+// OpKind is the kind of one device operation.
+type OpKind uint8
+
+const (
+	// OpLoad reads a word.
+	OpLoad OpKind = iota
+	// OpStore writes a word. Stores complete into the store/write buffer;
+	// release fences drain them.
+	OpStore
+	// OpAtomic performs a read-modify-write (or atomic read) on a word.
+	OpAtomic
+	// OpCompute advances local time by Cycles device cycles without
+	// touching memory.
+	OpCompute
+	// OpFence orders prior and later operations per its Acq/Rel flags
+	// without accessing memory.
+	OpFence
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpAtomic:
+		return "atomic"
+	case OpCompute:
+		return "compute"
+	case OpFence:
+		return "fence"
+	}
+	return "op?"
+}
+
+// Op is one operation in a thread's program.
+type Op struct {
+	Kind OpKind
+	Addr memaddr.Addr
+
+	// Value is the store value or atomic operand.
+	Value uint32
+	// Atomic selects the RMW operation for OpAtomic.
+	Atomic proto.AtomicKind
+	// Compare is the expected value for AtomicCAS.
+	Compare uint32
+	// Cycles is the duration of an OpCompute in device cycles.
+	Cycles uint32
+
+	// Acq gives the operation acquire semantics: after it completes, the
+	// device self-invalidates potentially stale Valid data (a no-op for
+	// writer-invalidated caches). Rel gives release semantics: the store
+	// buffer and pending ownership requests drain before it issues
+	// (paper §III-E).
+	Acq bool
+	Rel bool
+
+	// ByteMask selects the byte lanes an OpStore writes (bit i = byte i).
+	// Zero or 0xF means a full-word store; anything else is a
+	// byte-granularity store, which the protocols must perform as a
+	// word-granularity read-modify-write so unmodified bytes stay
+	// up-to-date (paper §III-B). Value must carry the bytes already
+	// positioned in their lanes.
+	ByteMask uint8
+
+	// RegionLo/RegionHi restrict an acquire's self-invalidation to
+	// [RegionLo, RegionHi) when the cache supports region tracking —
+	// DeNovo's "regions" optimization ("selectively invalidating only
+	// potentially stale data based on information from software", paper
+	// §II-C). Zero values mean a full flash. Caches without region
+	// support ignore the hint and flash everything.
+	RegionLo Addr
+	RegionHi Addr
+}
+
+// Addr re-exports the address type for Op fields.
+type Addr = memaddr.Addr
+
+// RegionInvalidator is implemented by caches supporting DeNovo regions:
+// acquire-time self-invalidation restricted to an address range.
+type RegionInvalidator interface {
+	SelfInvalidateRegion(lo, hi Addr)
+}
+
+// IsSubWordStore reports whether op writes only part of a word.
+func (op Op) IsSubWordStore() bool {
+	return op.Kind == OpStore && op.ByteMask != 0 && op.ByteMask != 0xF
+}
+
+// AsByteMerge rewrites a sub-word store as the word-granularity
+// read-modify-write the paper mandates for byte stores (§III-B).
+func (op Op) AsByteMerge() Op {
+	var lanes uint32
+	for i := 0; i < 4; i++ {
+		if op.ByteMask&(1<<i) != 0 {
+			lanes |= 0xFF << (8 * i)
+		}
+	}
+	return Op{
+		Kind: OpAtomic, Addr: op.Addr,
+		Atomic: proto.AtomicByteMerge,
+		Value:  op.Value, Compare: lanes,
+		Acq: op.Acq, Rel: op.Rel,
+		RegionLo: op.RegionLo, RegionHi: op.RegionHi,
+	}
+}
+
+// AcquireInvalidate performs the acquire-time invalidation for op against
+// l1, honoring a region hint when both sides support it.
+func AcquireInvalidate(l1 L1Cache, op Op) {
+	if op.RegionHi > op.RegionLo {
+		if ri, ok := l1.(RegionInvalidator); ok {
+			ri.SelfInvalidateRegion(op.RegionLo, op.RegionHi)
+			return
+		}
+	}
+	l1.SelfInvalidate()
+}
+
+// OpResult carries the completed operation's outcome back into the stream
+// generator, letting programs make data-dependent decisions (queue pops,
+// flag spins, work stealing).
+type OpResult struct {
+	// Valid is false for the first call to Next (no prior operation).
+	Valid bool
+	// Value is the loaded value or the atomic's pre-update value.
+	Value uint32
+}
+
+// OpStream is a dynamic program: a state machine emitting one operation at
+// a time, fed the result of the previous operation.
+type OpStream interface {
+	Next(prev OpResult) (Op, bool)
+}
+
+// SliceStream adapts a fixed []Op into an OpStream.
+type SliceStream struct {
+	Ops []Op
+	pos int
+}
+
+// Next implements OpStream.
+func (s *SliceStream) Next(OpResult) (Op, bool) {
+	if s.pos >= len(s.Ops) {
+		return Op{}, false
+	}
+	op := s.Ops[s.pos]
+	s.pos++
+	return op, true
+}
+
+// FuncStream adapts a function into an OpStream.
+type FuncStream func(prev OpResult) (Op, bool)
+
+// Next implements OpStream.
+func (f FuncStream) Next(prev OpResult) (Op, bool) { return f(prev) }
+
+// L1Cache is the device-facing interface every L1 protocol controller
+// implements.
+type L1Cache interface {
+	// Access issues op. It returns false if the controller cannot accept
+	// the operation right now (MSHR or store buffer full); the device
+	// retries next cycle. When accepted, done is eventually called with
+	// the result value (stores call it when buffered).
+	Access(op Op, done func(value uint32)) bool
+
+	// SelfInvalidate flash-invalidates potentially stale Valid data
+	// (acquire action; single-cycle, paper §IV-A). Writer-invalidated
+	// (MESI) caches treat it as a no-op.
+	SelfInvalidate()
+
+	// Flush completes all buffered stores and pending ownership/write-
+	// through requests, then calls done (release action).
+	Flush(done func())
+}

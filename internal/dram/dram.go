@@ -1,0 +1,59 @@
+// Package dram models the backing memory: a fixed-latency store of cache
+// lines addressed at line granularity. It is the ultimate home of every
+// line; the LLC fetches lines with MemRead and evicts dirty lines with
+// MemWrite.
+package dram
+
+import (
+	"spandex/internal/memaddr"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+)
+
+// Memory is a DRAM model. It answers MemRead after a configurable access
+// latency and absorbs MemWrite.
+type Memory struct {
+	ID      proto.NodeID
+	eng     *sim.Engine
+	net     *noc.Network
+	latency sim.Time
+	lines   map[memaddr.LineAddr]memaddr.LineData
+}
+
+// New creates a memory endpoint with the given access latency in ticks.
+func New(id proto.NodeID, eng *sim.Engine, net *noc.Network, latency sim.Time) *Memory {
+	m := &Memory{ID: id, eng: eng, net: net, latency: latency,
+		lines: make(map[memaddr.LineAddr]memaddr.LineData)}
+	net.Register(id, m)
+	return m
+}
+
+// HandleMessage implements noc.Handler.
+func (m *Memory) HandleMessage(msg *proto.Message) {
+	switch msg.Type {
+	case proto.MemRead:
+		line, req, id, src := msg.Line, msg.Requestor, msg.ReqID, msg.Src
+		m.eng.Schedule(m.latency, func() {
+			data := m.lines[line]
+			m.net.Send(&proto.Message{
+				Type: proto.MemReadRsp, Src: m.ID, Dst: src,
+				Requestor: req, ReqID: id,
+				Line: line, Mask: memaddr.FullMask,
+				HasData: true, Data: data,
+			})
+		})
+	case proto.MemWrite:
+		cur := m.lines[msg.Line]
+		cur.Merge(&msg.Data, msg.Mask)
+		m.lines[msg.Line] = cur
+	default:
+		panic("dram: unexpected message " + msg.Type.String())
+	}
+}
+
+// Peek returns the current contents of a line (testing/oracle use).
+func (m *Memory) Peek(line memaddr.LineAddr) memaddr.LineData { return m.lines[line] }
+
+// Poke sets the contents of a line directly (workload initialization).
+func (m *Memory) Poke(line memaddr.LineAddr, data memaddr.LineData) { m.lines[line] = data }

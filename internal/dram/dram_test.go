@@ -1,0 +1,111 @@
+package dram
+
+import (
+	"testing"
+
+	"spandex/internal/memaddr"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+type sink struct {
+	eng  *sim.Engine
+	got  []proto.Message
+	when []sim.Time
+}
+
+func (s *sink) HandleMessage(m *proto.Message) {
+	s.got = append(s.got, *m)
+	s.when = append(s.when, s.eng.Now())
+}
+
+func setup(t *testing.T, latency sim.Time) (*sim.Engine, *noc.Network, *Memory, *sink) {
+	t.Helper()
+	eng := sim.New()
+	st := stats.New()
+	net := noc.New(eng, st, noc.Config{HopLatency: 0, TicksPerByte: 0, MeshWidth: 2}, 2)
+	mem := New(1, eng, net, latency)
+	s := &sink{eng: eng}
+	net.Register(0, s)
+	return eng, net, mem, s
+}
+
+func TestReadReturnsPokedData(t *testing.T) {
+	eng, net, mem, s := setup(t, 500)
+	var data memaddr.LineData
+	data[5] = 42
+	mem.Poke(0x1000, data)
+	net.Send(&proto.Message{Type: proto.MemRead, Src: 0, Dst: 1,
+		Requestor: 0, ReqID: 9, Line: 0x1000, Mask: memaddr.FullMask})
+	eng.Run()
+	if len(s.got) != 1 {
+		t.Fatalf("responses = %d", len(s.got))
+	}
+	r := s.got[0]
+	if r.Type != proto.MemReadRsp || !r.HasData || r.Data[5] != 42 || r.ReqID != 9 {
+		t.Fatalf("bad response %+v", r)
+	}
+	// The access latency is charged before the response is sent.
+	if s.when[0] < 500 {
+		t.Fatalf("response at %d, want ≥ latency", s.when[0])
+	}
+}
+
+func TestUnknownLineReadsZero(t *testing.T) {
+	eng, net, _, s := setup(t, 1)
+	net.Send(&proto.Message{Type: proto.MemRead, Src: 0, Dst: 1,
+		Requestor: 0, Line: 0xbeef00, Mask: memaddr.FullMask})
+	eng.Run()
+	if s.got[0].Data != (memaddr.LineData{}) {
+		t.Fatal("uninitialized line not zero")
+	}
+}
+
+func TestPartialWriteMerges(t *testing.T) {
+	eng, net, mem, _ := setup(t, 1)
+	var init memaddr.LineData
+	for i := range init {
+		init[i] = uint32(i)
+	}
+	mem.Poke(0x2000, init)
+	var upd memaddr.LineData
+	upd[3] = 333
+	upd[7] = 777
+	net.Send(&proto.Message{Type: proto.MemWrite, Src: 0, Dst: 1,
+		Line: 0x2000, Mask: 0b10001000, HasData: true, Data: upd})
+	eng.Run()
+	got := mem.Peek(0x2000)
+	if got[3] != 333 || got[7] != 777 {
+		t.Fatal("written words lost")
+	}
+	if got[0] != 0 || got[5] != 5 {
+		t.Fatal("unwritten words clobbered")
+	}
+}
+
+func TestWriteThenReadRoundTrip(t *testing.T) {
+	eng, net, _, s := setup(t, 10)
+	var d memaddr.LineData
+	d[0] = 1
+	net.Send(&proto.Message{Type: proto.MemWrite, Src: 0, Dst: 1,
+		Line: 0x3000, Mask: 1, HasData: true, Data: d})
+	net.Send(&proto.Message{Type: proto.MemRead, Src: 0, Dst: 1,
+		Requestor: 0, Line: 0x3000, Mask: memaddr.FullMask})
+	eng.Run()
+	if len(s.got) != 1 || s.got[0].Data[0] != 1 {
+		t.Fatal("read did not observe the prior write")
+	}
+}
+
+func TestUnexpectedMessagePanics(t *testing.T) {
+	eng, net, _, _ := setup(t, 1)
+	net.Send(&proto.Message{Type: proto.ReqV, Src: 0, Dst: 1, Mask: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad message type")
+		}
+	}()
+	eng.Run()
+}

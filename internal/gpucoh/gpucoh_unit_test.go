@@ -1,0 +1,209 @@
+package gpucoh
+
+import (
+	"testing"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// scriptPort captures outbound messages for hand-driven protocol tests.
+type scriptPort struct{ sent []proto.Message }
+
+func (p *scriptPort) Send(m *proto.Message) { p.sent = append(p.sent, *m) }
+func (p *scriptPort) take() []proto.Message {
+	out := p.sent
+	p.sent = nil
+	return out
+}
+
+type grig struct {
+	t    *testing.T
+	eng  *sim.Engine
+	port *scriptPort
+	l1   *L1
+}
+
+func newGRig(t *testing.T) *grig {
+	eng := sim.New()
+	port := &scriptPort{}
+	l1 := New(0, eng, port, stats.New(), DefaultConfig(99))
+	return &grig{t: t, eng: eng, port: port, l1: l1}
+}
+
+func TestLineReadCoalescesPartialResponses(t *testing.T) {
+	// The TU duty from §III-D: a line ReqV answered by the LLC (partial)
+	// and an owner (rest) completes only when the union covers the line;
+	// loads complete per-word as data arrives.
+	r := newGRig(t)
+	var v0, v9 uint32
+	d0, d9 := false, false
+	r.l1.Access(device.Op{Kind: device.OpLoad, Addr: 0x1000}, func(v uint32) { v0 = v; d0 = true })
+	r.l1.Access(device.Op{Kind: device.OpLoad, Addr: 0x1024}, func(v uint32) { v9 = v; d9 = true })
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.ReqV || sent[0].Mask != memaddr.FullMask {
+		t.Fatalf("expected one line ReqV, got %v", sent)
+	}
+	reqID := sent[0].ReqID
+
+	// Partial 1: LLC covers everything except word 9.
+	var data memaddr.LineData
+	data[0] = 100
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspV, Src: 99, ReqID: reqID,
+		Line: 0x1000, Mask: memaddr.FullMask &^ (1 << 9), HasData: true, Data: data})
+	r.eng.Run()
+	if !d0 || v0 != 100 {
+		t.Fatal("covered word did not complete early")
+	}
+	if d9 {
+		t.Fatal("uncovered word completed prematurely")
+	}
+	// Partial 2: the owner supplies word 9 directly.
+	var data2 memaddr.LineData
+	data2[9] = 900
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspV, Src: 7, ReqID: reqID,
+		Line: 0x1000, Mask: 1 << 9, HasData: true, Data: data2})
+	r.eng.Run()
+	if !d9 || v9 != 900 {
+		t.Fatalf("owner partial lost: %d,%v", v9, d9)
+	}
+	// The line is installed: further loads hit locally.
+	hit := false
+	r.l1.Access(device.Op{Kind: device.OpLoad, Addr: 0x1024}, func(v uint32) { hit = v == 900 })
+	r.eng.Run()
+	if !hit || len(r.port.take()) != 0 {
+		t.Fatal("post-fill load missed")
+	}
+}
+
+func TestNackRetryThenEscalateToReqWTData(t *testing.T) {
+	r := newGRig(t)
+	var got uint32
+	done := false
+	r.l1.Access(device.Op{Kind: device.OpLoad, Addr: 0x2000}, func(v uint32) { got = v; done = true })
+	r.eng.Run()
+	first := r.port.take()
+	reqID := first[0].ReqID
+
+	// LLC covers all but word 0; the presumed owner Nacks word 0 twice.
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspV, Src: 99, ReqID: reqID,
+		Line: 0x2000, Mask: memaddr.FullMask &^ 1, HasData: true})
+	r.l1.HandleMessage(&proto.Message{Type: proto.NackV, Src: 7, ReqID: reqID,
+		Line: 0x2000, Mask: 1})
+	r.eng.Run()
+	retry := r.port.take()
+	if len(retry) != 1 || retry[0].Type != proto.ReqV || retry[0].Mask != 1 {
+		t.Fatalf("first Nack must retry ReqV(word): %v", retry)
+	}
+	r.l1.HandleMessage(&proto.Message{Type: proto.NackV, Src: 7, ReqID: reqID,
+		Line: 0x2000, Mask: 1})
+	r.eng.Run()
+	esc := r.port.take()
+	if len(esc) != 1 || esc[0].Type != proto.ReqWTData || esc[0].Atomic != proto.AtomicRead {
+		t.Fatalf("second Nack must escalate to ReqWT+data read: %v", esc)
+	}
+	// The escalation's response completes the load but is NOT cacheable
+	// (paper §III-A: RspWT+data data is potentially stale).
+	var d memaddr.LineData
+	d[0] = 55
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspWTData, Src: 99, ReqID: reqID,
+		Line: 0x2000, Mask: 1, HasData: true, Data: d})
+	r.eng.Run()
+	if !done || got != 55 {
+		t.Fatalf("escalated load got %d,%v", got, done)
+	}
+	// Word 0 must not be cached: the next load misses again.
+	r.l1.Access(device.Op{Kind: device.OpLoad, Addr: 0x2000}, func(uint32) {})
+	r.eng.Run()
+	again := r.port.take()
+	if len(again) != 1 || again[0].Type != proto.ReqV {
+		t.Fatalf("escalated word was cached: %v", again)
+	}
+}
+
+func TestWriteThroughPartialAcks(t *testing.T) {
+	// Under Spandex a ReqWT's acks may come from the LLC (plain words) and
+	// an old owner (forwarded words); the entry completes on full cover.
+	r := newGRig(t)
+	r.l1.Access(device.Op{Kind: device.OpStore, Addr: 0x3000, Value: 1}, func(uint32) {})
+	r.l1.Access(device.Op{Kind: device.OpStore, Addr: 0x3004, Value: 2}, func(uint32) {})
+	r.l1.Flush(func() {})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.ReqWT || sent[0].Mask != 0b11 {
+		t.Fatalf("coalesced WT wrong: %v", sent)
+	}
+	flushed := false
+	r.l1.Flush(func() { flushed = true })
+	if flushed {
+		t.Fatal("flush completed with WT outstanding")
+	}
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspWT, Src: 99,
+		ReqID: sent[0].ReqID, Line: 0x3000, Mask: 0b01})
+	r.eng.Run()
+	if flushed {
+		t.Fatal("flush completed on partial ack")
+	}
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspWT, Src: 7,
+		ReqID: sent[0].ReqID, Line: 0x3000, Mask: 0b10})
+	r.eng.Run()
+	if !flushed {
+		t.Fatal("flush never completed")
+	}
+}
+
+func TestAtomicBypassesL1(t *testing.T) {
+	r := newGRig(t)
+	var got uint32
+	done := false
+	r.l1.Access(device.Op{Kind: device.OpAtomic, Addr: 0x4000,
+		Atomic: proto.AtomicFetchAdd, Value: 2}, func(v uint32) { got = v; done = true })
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.ReqWTData || sent[0].Operand != 2 {
+		t.Fatalf("atomic request wrong: %v", sent)
+	}
+	var d memaddr.LineData
+	d[0] = 40
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspWTData, Src: 99,
+		ReqID: sent[0].ReqID, Line: 0x4000, Mask: 1, HasData: true, Data: d})
+	r.eng.Run()
+	if !done || got != 40 {
+		t.Fatalf("atomic got %d,%v", got, done)
+	}
+}
+
+func TestProbeOwnedEmpty(t *testing.T) {
+	r := newGRig(t)
+	if owned := r.l1.ProbeOwned(); len(owned) != 0 {
+		t.Fatal("GPU coherence never owns")
+	}
+}
+
+func TestStrayResponsesIgnored(t *testing.T) {
+	// Responses for transactions that no longer exist must not crash or
+	// corrupt state (possible after escalation completes an entry).
+	r := newGRig(t)
+	var d memaddr.LineData
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspV, Src: 99, ReqID: 1234,
+		Line: 0x5000, Mask: memaddr.FullMask, HasData: true, Data: d})
+	r.l1.HandleMessage(&proto.Message{Type: proto.RspWT, Src: 99, ReqID: 1235,
+		Line: 0x5000, Mask: 1})
+	r.eng.Run()
+	// The stray RspV must not have installed anything.
+	miss := false
+	r.l1.Access(device.Op{Kind: device.OpLoad, Addr: 0x5000}, func(uint32) {})
+	r.eng.Run()
+	for _, m := range r.port.take() {
+		if m.Type == proto.ReqV {
+			miss = true
+		}
+	}
+	if !miss {
+		t.Fatal("stray response installed a line")
+	}
+}

@@ -1,0 +1,350 @@
+// Package hmesi implements the hierarchical MESI baseline the paper
+// evaluates Spandex against (§II-D, §IV-A): a line-granularity MESI L3
+// directory that caches data and coherence state for CPU MESI L1s and an
+// intermediate GPU L2, which in turn filters requests from the GPU L1s.
+// CPU↔GPU communication pays hierarchical indirection — through the GPU L2
+// and the L3 — and the L3's transient blocking states serialize conflicting
+// requests; these are exactly the overheads the evaluation measures.
+package hmesi
+
+import (
+	"fmt"
+
+	"spandex/internal/cache"
+	"spandex/internal/memaddr"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+const noOwner = -1
+
+// dirLine is per-line directory + data state at the L3.
+type dirLine struct {
+	owner    int8 // device index of the M/E owner, or noOwner
+	sharers  uint64
+	fetching bool
+	data     memaddr.LineData
+	dirty    bool
+}
+
+type dirTxnKind uint8
+
+const (
+	dirFetch dirTxnKind = iota
+	dirInv
+	dirFwd
+	dirEvict
+)
+
+type dirTxn struct {
+	kind        dirTxnKind
+	line        memaddr.LineAddr
+	waiting     []*proto.Message
+	origin      *proto.Message
+	pendingAcks int
+	// reqWasSharer: the blocked GetM's requestor held the line in S, so
+	// the eventual grant is a data-less upgrade.
+	reqWasSharer bool
+	resume       func()
+}
+
+// DirConfig parameterizes the L3 directory cache.
+type DirConfig struct {
+	SizeBytes     int
+	Ways          int
+	AccessLatency sim.Time
+}
+
+// Directory is the hierarchical baseline's MESI LLC (L3).
+type Directory struct {
+	ID    proto.NodeID
+	MemID proto.NodeID
+
+	eng *sim.Engine
+	net *noc.Network
+	st  *stats.Stats
+	cfg DirConfig
+
+	array *cache.Array[dirLine]
+	txns  map[memaddr.LineAddr]*dirTxn
+
+	devices []proto.NodeID
+	devIdx  map[proto.NodeID]int
+}
+
+// NewDirectory creates the L3 endpoint.
+func NewDirectory(id, memID proto.NodeID, eng *sim.Engine, net *noc.Network, st *stats.Stats, cfg DirConfig) *Directory {
+	d := &Directory{
+		ID: id, MemID: memID, eng: eng, net: net, st: st, cfg: cfg,
+		array:  cache.NewArray[dirLine](cfg.SizeBytes, cfg.Ways),
+		txns:   make(map[memaddr.LineAddr]*dirTxn),
+		devIdx: make(map[proto.NodeID]int),
+	}
+	net.Register(id, d)
+	return d
+}
+
+// RegisterDevice declares a client (CPU L1 or GPU L2).
+func (d *Directory) RegisterDevice(id proto.NodeID) {
+	if _, ok := d.devIdx[id]; ok {
+		panic("hmesi: device registered twice")
+	}
+	d.devIdx[id] = len(d.devices)
+	d.devices = append(d.devices, id)
+}
+
+func (d *Directory) dev(id proto.NodeID) int {
+	i, ok := d.devIdx[id]
+	if !ok {
+		panic(fmt.Sprintf("hmesi: unregistered device %d", id))
+	}
+	return i
+}
+
+// HandleMessage implements noc.Handler.
+func (d *Directory) HandleMessage(m *proto.Message) {
+	d.eng.Schedule(d.cfg.AccessLatency, func() { d.dispatch(m) })
+}
+
+func (d *Directory) dispatch(m *proto.Message) {
+	switch m.Type {
+	case proto.MWBData:
+		d.handleWBData(m)
+		return
+	case proto.MInvAck:
+		d.handleInvAck(m)
+		return
+	case proto.MemReadRsp:
+		d.handleMemRsp(m)
+		return
+	case proto.MPutM:
+		d.handlePutM(m)
+		return
+	}
+	if t, ok := d.txns[m.Line]; ok {
+		t.waiting = append(t.waiting, m)
+		d.st.Inc("dir.queued", 1)
+		return
+	}
+	e := d.array.Lookup(m.Line)
+	if e == nil {
+		d.startFetch(m)
+		return
+	}
+	d.process(e, m)
+}
+
+func (d *Directory) process(e *cache.Entry[dirLine], m *proto.Message) {
+	switch m.Type {
+	case proto.MGetS:
+		d.handleGetS(e, m)
+	case proto.MGetM:
+		d.handleGetM(e, m)
+	default:
+		panic("hmesi: directory cannot handle " + m.Type.String())
+	}
+}
+
+func (d *Directory) send(m *proto.Message) {
+	m.Src = d.ID
+	d.net.Send(m)
+}
+
+func (d *Directory) handleGetS(e *cache.Entry[dirLine], m *proto.Message) {
+	st := &e.State
+	reqIdx := d.dev(m.Requestor)
+	if st.owner != noOwner {
+		// Blocking forward: the owner supplies data to the requestor and
+		// writes back here (paper §II-A: transient blocking states).
+		d.st.Inc("dir.fwd_gets", 1)
+		d.send(&proto.Message{
+			Type: proto.MFwdGetS, Dst: d.devices[st.owner],
+			Requestor: m.Requestor, ReqID: m.ReqID,
+			Line: m.Line, Mask: memaddr.FullMask,
+		})
+		d.txns[m.Line] = &dirTxn{kind: dirFwd, line: m.Line, origin: m}
+		return
+	}
+	if st.sharers == 0 {
+		// Exclusive optimization: no sharer anywhere → grant E.
+		st.owner = int8(reqIdx)
+		d.send(&proto.Message{
+			Type: proto.MDataE, Dst: m.Requestor, Requestor: m.Requestor,
+			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+			HasData: true, Data: st.data,
+		})
+		return
+	}
+	st.sharers |= 1 << reqIdx
+	d.send(&proto.Message{
+		Type: proto.MDataS, Dst: m.Requestor, Requestor: m.Requestor,
+		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+		HasData: true, Data: st.data,
+	})
+}
+
+func (d *Directory) handleGetM(e *cache.Entry[dirLine], m *proto.Message) {
+	st := &e.State
+	reqIdx := d.dev(m.Requestor)
+	if st.owner != noOwner {
+		if int(st.owner) == reqIdx {
+			// Race: the owner's clean-evict PutM crossed with this GetM;
+			// treat like a miss from Invalid (grant fresh ownership).
+			st.owner = int8(reqIdx)
+			d.grantM(m, e, true)
+			return
+		}
+		d.st.Inc("dir.fwd_getm", 1)
+		d.send(&proto.Message{
+			Type: proto.MFwdGetM, Dst: d.devices[st.owner],
+			Requestor: m.Requestor, ReqID: m.ReqID,
+			Line: m.Line, Mask: memaddr.FullMask,
+		})
+		d.txns[m.Line] = &dirTxn{kind: dirFwd, line: m.Line, origin: m}
+		return
+	}
+	wasSharer := st.sharers&(1<<reqIdx) != 0
+	remote := st.sharers &^ (1 << reqIdx)
+	if remote != 0 {
+		t := &dirTxn{kind: dirInv, line: m.Line, origin: m, reqWasSharer: wasSharer}
+		for i := 0; i < len(d.devices); i++ {
+			if remote&(1<<i) == 0 {
+				continue
+			}
+			t.pendingAcks++
+			d.send(&proto.Message{
+				Type: proto.MInv, Dst: d.devices[i], Requestor: d.devices[i],
+				Line: m.Line, Mask: memaddr.FullMask,
+			})
+		}
+		st.sharers = 0
+		d.txns[m.Line] = t
+		d.st.Inc("dir.blocked_inv", 1)
+		return
+	}
+	st.sharers = 0
+	st.owner = int8(reqIdx)
+	d.grantM(m, e, !wasSharer)
+}
+
+// grantM sends the Modified grant; withData is false for upgrades whose
+// requestor still holds a Shared copy.
+func (d *Directory) grantM(m *proto.Message, e *cache.Entry[dirLine], withData bool) {
+	rsp := &proto.Message{
+		Type: proto.MDataM, Dst: m.Requestor, Requestor: m.Requestor,
+		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+	}
+	if withData {
+		rsp.HasData = true
+		rsp.Data = e.State.data
+	}
+	d.send(rsp)
+}
+
+func (d *Directory) handlePutM(m *proto.Message) {
+	e := d.array.Peek(m.Line)
+	senderIdx := int8(d.dev(m.Src))
+	if e != nil && e.State.owner == senderIdx {
+		if m.HasData {
+			e.State.data = m.Data
+			e.State.dirty = true
+		}
+		e.State.owner = noOwner
+	} else {
+		d.st.Inc("dir.putm_nonowner", 1)
+	}
+	d.send(&proto.Message{
+		Type: proto.MAckWB, Dst: m.Src, Requestor: m.Src,
+		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+	})
+}
+
+// handleWBData resolves a blocking forward (or an eviction recall).
+func (d *Directory) handleWBData(m *proto.Message) {
+	t, ok := d.txns[m.Line]
+	if !ok {
+		// The owner answered a forward whose transaction a racing PutM
+		// already resolved; absorb data if we still track the sender as
+		// owner (we don't), else drop.
+		d.st.Inc("dir.wbdata_stray", 1)
+		return
+	}
+	e := d.array.Peek(m.Line)
+	if e == nil {
+		panic("hmesi: WBData for absent line")
+	}
+	st := &e.State
+	if m.HasData {
+		st.data = m.Data
+		st.dirty = true
+	}
+	delete(d.txns, m.Line)
+	switch t.kind {
+	case dirFwd:
+		switch t.origin.Type {
+		case proto.MGetS:
+			// Owner downgraded M→S and sent DataS directly; both are
+			// sharers now.
+			st.sharers |= 1 << d.dev(t.origin.Requestor)
+			if st.owner != noOwner {
+				st.sharers |= 1 << st.owner
+			}
+			st.owner = noOwner
+		case proto.MGetM:
+			st.owner = int8(d.dev(t.origin.Requestor))
+		default:
+			panic("hmesi: bad fwd origin")
+		}
+	case dirEvict:
+		st.owner = noOwner
+		t.resume()
+	default:
+		panic("hmesi: WBData for non-fwd txn")
+	}
+	d.drain(t)
+}
+
+func (d *Directory) handleInvAck(m *proto.Message) {
+	t, ok := d.txns[m.Line]
+	if !ok || (t.kind != dirInv && t.kind != dirEvict) {
+		panic("hmesi: stray InvAck")
+	}
+	t.pendingAcks--
+	if t.pendingAcks > 0 {
+		return
+	}
+	delete(d.txns, m.Line)
+	if t.kind == dirEvict {
+		t.resume()
+		d.drain(t)
+		return
+	}
+	e := d.array.Peek(m.Line)
+	if e == nil {
+		panic("hmesi: InvAck for absent line")
+	}
+	e.State.owner = int8(d.dev(t.origin.Requestor))
+	d.grantM(t.origin, e, !t.reqWasSharer)
+	d.drain(t)
+}
+
+func (d *Directory) drain(t *dirTxn) {
+	for i, m := range t.waiting {
+		if nt, ok := d.txns[t.line]; ok {
+			nt.waiting = append(nt.waiting, t.waiting[i:]...)
+			return
+		}
+		e := d.array.Lookup(t.line)
+		if e == nil {
+			rest := t.waiting[i:]
+			d.startFetch(m)
+			if nt, ok := d.txns[t.line]; ok && len(rest) > 1 {
+				nt.waiting = append(nt.waiting, rest[1:]...)
+			}
+			return
+		}
+		d.process(e, m)
+	}
+}

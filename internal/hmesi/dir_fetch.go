@@ -1,0 +1,109 @@
+package hmesi
+
+import (
+	"spandex/internal/cache"
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+)
+
+const victimRetry = 8 * sim.CPUCycle
+
+func (d *Directory) startFetch(m *proto.Message) {
+	t := &dirTxn{kind: dirFetch, line: m.Line, waiting: []*proto.Message{m}}
+	d.txns[m.Line] = t
+	d.st.Inc("dir.miss", 1)
+	d.allocate(m.Line)
+}
+
+func (d *Directory) allocate(line memaddr.LineAddr) {
+	victim := d.array.VictimWhere(line, func(e *cache.Entry[dirLine]) bool {
+		_, busy := d.txns[e.Line]
+		return !busy
+	})
+	if victim == nil {
+		d.eng.Schedule(victimRetry, func() { d.allocate(line) })
+		return
+	}
+	if !victim.Valid {
+		d.installAndRead(victim, line)
+		return
+	}
+	d.evict(victim, func() { d.installAndRead(victim, line) })
+}
+
+// evict recalls the owner or invalidates sharers, writes dirty data to
+// memory, and frees the frame.
+func (d *Directory) evict(victim *cache.Entry[dirLine], resume func()) {
+	st := &victim.State
+	line := victim.Line
+	d.st.Inc("dir.evict", 1)
+
+	finish := func() {
+		e := d.array.Peek(line)
+		if e == nil {
+			panic("hmesi: victim vanished")
+		}
+		if e.State.dirty {
+			d.send(&proto.Message{
+				Type: proto.MemWrite, Dst: d.MemID, Requestor: d.ID,
+				Line: line, Mask: memaddr.FullMask, HasData: true, Data: e.State.data,
+			})
+		}
+		d.array.Invalidate(line)
+		resume()
+	}
+
+	if st.owner != noOwner {
+		// Recall: FwdGetM with ourselves as requestor; the owner answers
+		// with MWBData carrying the line.
+		d.send(&proto.Message{
+			Type: proto.MFwdGetM, Dst: d.devices[st.owner],
+			Requestor: d.ID, Line: line, Mask: memaddr.FullMask,
+		})
+		d.txns[line] = &dirTxn{kind: dirEvict, line: line, resume: finish}
+		return
+	}
+	if st.sharers != 0 {
+		t := &dirTxn{kind: dirEvict, line: line, resume: finish}
+		for i := 0; i < len(d.devices); i++ {
+			if st.sharers&(1<<i) == 0 {
+				continue
+			}
+			t.pendingAcks++
+			d.send(&proto.Message{
+				Type: proto.MInv, Dst: d.devices[i], Requestor: d.devices[i],
+				Line: line, Mask: memaddr.FullMask,
+			})
+		}
+		st.sharers = 0
+		d.txns[line] = t
+		return
+	}
+	finish()
+}
+
+func (d *Directory) installAndRead(frame *cache.Entry[dirLine], line memaddr.LineAddr) {
+	d.array.Install(frame, line)
+	frame.State.fetching = true
+	frame.State.owner = noOwner
+	d.send(&proto.Message{
+		Type: proto.MemRead, Dst: d.MemID, Requestor: d.ID,
+		Line: line, Mask: memaddr.FullMask,
+	})
+}
+
+func (d *Directory) handleMemRsp(m *proto.Message) {
+	e := d.array.Peek(m.Line)
+	if e == nil || !e.State.fetching {
+		panic("hmesi: memory response for non-fetching line")
+	}
+	e.State.data = m.Data
+	e.State.fetching = false
+	t, ok := d.txns[m.Line]
+	if !ok || t.kind != dirFetch {
+		panic("hmesi: memory response without fetch txn")
+	}
+	delete(d.txns, m.Line)
+	d.drain(t)
+}

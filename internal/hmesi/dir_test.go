@@ -1,0 +1,271 @@
+package hmesi
+
+import (
+	"testing"
+
+	"spandex/internal/device"
+	"spandex/internal/dram"
+	"spandex/internal/memaddr"
+	"spandex/internal/mesi"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+type rig struct {
+	t   *testing.T
+	eng *sim.Engine
+	st  *stats.Stats
+	net *noc.Network
+	dir *Directory
+	mem *dram.Memory
+	l1s []*mesi.L1
+}
+
+func newRig(t *testing.T, n int) *rig {
+	r := &rig{t: t, eng: sim.New(), st: stats.New()}
+	r.net = noc.New(r.eng, r.st, noc.DefaultConfig(), n+2)
+	dirID, memID := proto.NodeID(n), proto.NodeID(n+1)
+	r.dir = NewDirectory(dirID, memID, r.eng, r.net, r.st,
+		DirConfig{SizeBytes: 64 * 1024, Ways: 8, AccessLatency: 20 * sim.CPUCycle})
+	r.mem = dram.New(memID, r.eng, r.net, 80*sim.CPUCycle)
+	for i := 0; i < n; i++ {
+		id := proto.NodeID(i)
+		l1 := mesi.New(id, r.eng, r.net.PortFor(id), r.st, mesi.DefaultConfig(dirID))
+		r.net.Register(id, l1)
+		r.dir.RegisterDevice(id)
+		r.l1s = append(r.l1s, l1)
+	}
+	return r
+}
+
+func (r *rig) run() {
+	if !r.eng.RunUntil(1 << 42) {
+		r.t.Fatal("rig: did not drain")
+	}
+}
+
+func (r *rig) access(l1 *mesi.L1, op device.Op) uint32 {
+	var got uint32
+	ok := false
+	for tries := 0; ; tries++ {
+		if l1.Access(op, func(v uint32) { got = v; ok = true }) {
+			break
+		}
+		if !r.eng.Step() || tries > 1<<20 {
+			r.t.Fatal("access rejected forever")
+		}
+	}
+	r.run()
+	if !ok {
+		r.t.Fatalf("%v never completed", op.Kind)
+	}
+	return got
+}
+
+func (r *rig) load(l1 *mesi.L1, a memaddr.Addr) uint32 {
+	return r.access(l1, device.Op{Kind: device.OpLoad, Addr: a})
+}
+
+// store buffers a write and flushes it to global visibility.
+func (r *rig) store(l1 *mesi.L1, a memaddr.Addr, v uint32) {
+	r.access(l1, device.Op{Kind: device.OpStore, Addr: a, Value: v})
+	l1.Flush(func() {})
+	r.run()
+}
+func (r *rig) rmw(l1 *mesi.L1, a memaddr.Addr, k proto.AtomicKind, v uint32) uint32 {
+	return r.access(l1, device.Op{Kind: device.OpAtomic, Addr: a, Atomic: k, Value: v})
+}
+
+func TestExclusiveGrant(t *testing.T) {
+	r := newRig(t, 2)
+	var init memaddr.LineData
+	init[0] = 5
+	r.mem.Poke(0x1000, init)
+	if v := r.load(r.l1s[0], 0x1000); v != 5 {
+		t.Fatalf("v = %d", v)
+	}
+	if s := r.l1s[0].State(0x1000); s != mesi.E {
+		t.Fatalf("state = %v, want E (exclusive optimization)", s)
+	}
+	// Second reader: first is downgraded to S via FwdGetS.
+	if v := r.load(r.l1s[1], 0x1000); v != 5 {
+		t.Fatalf("v = %d", v)
+	}
+	if s := r.l1s[0].State(0x1000); s != mesi.S {
+		t.Fatalf("old owner state = %v, want S", s)
+	}
+	if s := r.l1s[1].State(0x1000); s != mesi.S {
+		t.Fatalf("reader state = %v, want S", s)
+	}
+}
+
+func TestSilentEUpgrade(t *testing.T) {
+	r := newRig(t, 1)
+	r.load(r.l1s[0], 0x2000)
+	getms := r.st.Get("mesil1.getm")
+	r.store(r.l1s[0], 0x2000, 9)
+	if r.st.Get("mesil1.getm") != getms {
+		t.Fatal("store to E line issued a GetM")
+	}
+	if s := r.l1s[0].State(0x2000); s != mesi.M {
+		t.Fatalf("state = %v", s)
+	}
+}
+
+func TestWriterInvalidatesSharers(t *testing.T) {
+	r := newRig(t, 3)
+	for _, l1 := range r.l1s {
+		r.load(l1, 0x3000)
+	}
+	r.store(r.l1s[0], 0x3000, 42)
+	if s := r.l1s[1].State(0x3000); s != mesi.I {
+		t.Fatalf("sharer 1 state = %v, want I", s)
+	}
+	if s := r.l1s[2].State(0x3000); s != mesi.I {
+		t.Fatalf("sharer 2 state = %v, want I", s)
+	}
+	if v := r.load(r.l1s[1], 0x3000); v != 42 {
+		t.Fatalf("reload = %d", v)
+	}
+	// Reader triggered FwdGetS: writer downgraded to S.
+	if s := r.l1s[0].State(0x3000); s != mesi.S {
+		t.Fatalf("writer state = %v", s)
+	}
+}
+
+func TestModifiedMigration(t *testing.T) {
+	r := newRig(t, 2)
+	r.store(r.l1s[0], 0x4000, 1)
+	r.store(r.l1s[1], 0x4000, 2)
+	if s := r.l1s[0].State(0x4000); s != mesi.I {
+		t.Fatalf("old owner = %v", s)
+	}
+	if s := r.l1s[1].State(0x4000); s != mesi.M {
+		t.Fatalf("new owner = %v", s)
+	}
+	if v := r.load(r.l1s[0], 0x4000); v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestUpgradeFromShared(t *testing.T) {
+	r := newRig(t, 2)
+	r.load(r.l1s[0], 0x5000)
+	r.load(r.l1s[1], 0x5000) // both S
+	r.store(r.l1s[0], 0x5004, 7)
+	if s := r.l1s[0].State(0x5000); s != mesi.M {
+		t.Fatalf("upgrader = %v", s)
+	}
+	if s := r.l1s[1].State(0x5000); s != mesi.I {
+		t.Fatalf("other sharer = %v", s)
+	}
+	if v := r.load(r.l1s[1], memaddr.Addr(0x5004)); v != 7 {
+		t.Fatalf("v = %d", v)
+	}
+}
+
+func TestEvictionWriteBack(t *testing.T) {
+	r := newRig(t, 1)
+	l1 := r.l1s[0]
+	conflict := func(i int) memaddr.Addr { return memaddr.Addr(0x100000 + i*64*64) }
+	for i := 0; i < 12; i++ {
+		r.store(l1, conflict(i), uint32(i+1))
+	}
+	if r.st.Get("mesil1.wb_evict") == 0 {
+		t.Fatal("no write-back")
+	}
+	for i := 0; i < 12; i++ {
+		if v := r.load(l1, conflict(i)); v != uint32(i+1) {
+			t.Fatalf("line %d = %d", i, v)
+		}
+	}
+}
+
+func TestAtomicPingPong(t *testing.T) {
+	r := newRig(t, 2)
+	for i := 0; i < 10; i++ {
+		who := r.l1s[i%2]
+		if old := r.rmw(who, 0x6000, proto.AtomicFetchAdd, 1); old != uint32(i) {
+			t.Fatalf("iteration %d: old = %d", i, old)
+		}
+	}
+	if v := r.load(r.l1s[0], 0x6000); v != 10 {
+		t.Fatalf("final = %d", v)
+	}
+}
+
+func TestFalseSharingPingPong(t *testing.T) {
+	// MESI's line granularity: writes to different words of one line still
+	// ping-pong ownership (the pathology Spandex's word tracking avoids).
+	r := newRig(t, 2)
+	fwds := r.st.Get("dir.fwd_getm")
+	for i := 0; i < 6; i++ {
+		r.store(r.l1s[0], 0x7000, uint32(i))
+		r.store(r.l1s[1], 0x7004, uint32(i))
+	}
+	if r.st.Get("dir.fwd_getm") <= fwds+6 {
+		t.Fatalf("expected heavy false-sharing forwards, got %d", r.st.Get("dir.fwd_getm")-fwds)
+	}
+	if v := r.load(r.l1s[0], 0x7000); v != 5 {
+		t.Fatalf("word0 = %d", v)
+	}
+	if v := r.load(r.l1s[0], 0x7004); v != 5 {
+		t.Fatalf("word1 = %d", v)
+	}
+}
+
+func TestStoreBufferCoalescing(t *testing.T) {
+	r := newRig(t, 1)
+	for i := 0; i < 8; i++ {
+		if !r.l1s[0].Access(device.Op{Kind: device.OpStore,
+			Addr: memaddr.Addr(0x8000 + i*4), Value: uint32(i)}, func(uint32) {}) {
+			t.Fatal("store rejected")
+		}
+	}
+	r.l1s[0].Flush(func() {})
+	r.run()
+	if n := r.st.Get("mesil1.getm"); n != 1 {
+		t.Fatalf("GetMs = %d, want 1", n)
+	}
+	for i := 0; i < 8; i++ {
+		if v := r.load(r.l1s[0], memaddr.Addr(0x8000+i*4)); v != uint32(i) {
+			t.Fatalf("word %d = %d", i, v)
+		}
+	}
+}
+
+func TestConcurrentMixedStress(t *testing.T) {
+	r := newRig(t, 4)
+	total := 0
+	for round := 0; round < 8; round++ {
+		for i, l1 := range r.l1s {
+			for !l1.Access(device.Op{Kind: device.OpAtomic, Addr: 0x9000,
+				Atomic: proto.AtomicFetchAdd, Value: 1}, func(uint32) {}) {
+				if !r.eng.Step() {
+					t.Fatal("stuck")
+				}
+			}
+			total++
+			l1.Access(device.Op{Kind: device.OpStore,
+				Addr: memaddr.Addr(0xa000 + i*4), Value: uint32(round)}, func(uint32) {})
+			l1.Access(device.Op{Kind: device.OpLoad, Addr: 0x9040}, func(uint32) {})
+		}
+		for i := 0; i < 60; i++ {
+			r.eng.Step()
+		}
+	}
+	for _, l1 := range r.l1s {
+		l1.Flush(func() {})
+	}
+	r.run()
+	if v := r.load(r.l1s[0], 0x9000); v != uint32(total) {
+		t.Fatalf("counter = %d, want %d", v, total)
+	}
+	for i := range r.l1s {
+		if v := r.load(r.l1s[3], memaddr.Addr(0xa000+i*4)); v != 7 {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package hmesi
+
+import (
+	"spandex/internal/cache"
+	"spandex/internal/memaddr"
+	"spandex/internal/mesi"
+	"spandex/internal/proto"
+)
+
+// allocate reserves a frame for a missing line, evicting asynchronously if
+// needed, then sends the fetch request recorded in the transaction.
+func (l *GPUL2) allocate(line memaddr.LineAddr, wantM bool) {
+	victim := l.array.VictimWhere(line, func(e *cache.Entry[l2Line]) bool {
+		_, busy := l.txns[e.Line]
+		return !busy
+	})
+	if victim == nil {
+		l.eng.Schedule(victimRetry, func() { l.allocate(line, wantM) })
+		return
+	}
+	install := func() {
+		frame := l.array.Victim(line)
+		if frame.Valid {
+			panic("hmesi: reserved frame stolen")
+		}
+		l.array.Install(frame, line)
+		frame.State.state = mesi.I
+		l.sendFetch(line, wantM)
+	}
+	if !victim.Valid {
+		install()
+		return
+	}
+	l.evictL2(victim, install)
+}
+
+func (l *GPUL2) sendFetch(line memaddr.LineAddr, wantM bool) {
+	typ := proto.MGetS
+	if wantM {
+		typ = proto.MGetM
+		l.st.Inc("gpul2.getm", 1)
+	} else {
+		l.st.Inc("gpul2.gets", 1)
+	}
+	l.send(&proto.Message{
+		Type: typ, Dst: l.cfg.ParentID, Requestor: l.ID,
+		ReqID: l.nextReq(), Line: line, Mask: memaddr.FullMask,
+	})
+}
+
+// evictL2 frees a victim: child-owned words come home first, then M/E
+// lines write back to the L3.
+func (l *GPUL2) evictL2(victim *cache.Entry[l2Line], resume func()) {
+	line := victim.Line
+	l.st.Inc("gpul2.evict", 1)
+	finish := func() {
+		e := l.array.Peek(line)
+		if e == nil {
+			panic("hmesi: victim vanished")
+		}
+		if e.State.state == mesi.M || e.State.state == mesi.E {
+			l.wbs[line] = &pendingL2WB{data: e.State.data, dirty: e.State.state == mesi.M}
+			l.send(&proto.Message{
+				Type: proto.MPutM, Dst: l.cfg.ParentID, Requestor: l.ID,
+				ReqID: l.nextReq(), Line: line, Mask: memaddr.FullMask,
+				HasData: true, Data: e.State.data,
+			})
+		}
+		l.array.Invalidate(line)
+		resume()
+	}
+	if victim.State.childMask != 0 {
+		l.revokeChildren(victim, victim.State.childMask, nil, finish)
+		return
+	}
+	finish()
+}
+
+// handleGrant completes an outstanding L3 fetch.
+func (l *GPUL2) handleGrant(m *proto.Message, grant mesi.State) {
+	t, ok := l.txns[m.Line]
+	if !ok || t.kind != l2Fetch {
+		panic("hmesi: grant without fetch txn")
+	}
+	e := l.array.Lookup(m.Line)
+	if e == nil {
+		panic("hmesi: grant for unreserved line")
+	}
+	if m.HasData {
+		e.State.data = m.Data
+	} else if t.invalidated {
+		panic("hmesi: data-less grant after invalidation")
+	}
+	e.State.state = grant
+	delete(l.txns, m.Line)
+	// The child requests that triggered this fetch were serialized here
+	// first: apply them while we hold the grant, then serve the L3
+	// forwards that arrived mid-flight (they downgrade the line after our
+	// writes, exactly as the MESI L1 orders its own case-2 epilogue).
+	deferred := t.deferred
+	l.drain(t)
+	for _, d := range deferred {
+		l.redispatch(d)
+	}
+}
+
+func (l *GPUL2) handleL3Inv(m *proto.Message) {
+	if t, ok := l.txns[m.Line]; ok && t.kind == l2Fetch {
+		t.invalidated = true
+		t.wasS = false
+	}
+	if e := l.array.Peek(m.Line); e != nil && e.State.state == mesi.S {
+		// Shared lines never hold child-owned words; drop in place. The
+		// GPU L1s' own stale copies are covered by their self-invalidation
+		// at synchronization (DRF), so no probes go further down.
+		e.State.state = mesi.I
+	}
+	l.st.Inc("gpul2.invalidated", 1)
+	l.send(&proto.Message{
+		Type: proto.MInvAck, Dst: m.Src, Requestor: l.ID,
+		ReqID: m.ReqID, Line: m.Line, Mask: m.Mask,
+	})
+}
+
+func (l *GPUL2) handleL3Fwd(m *proto.Message) {
+	if wb, ok := l.wbs[m.Line]; ok {
+		l.respondL3FwdFrom(m, wb.data, nil)
+		return
+	}
+	if t, ok := l.txns[m.Line]; ok {
+		switch t.kind {
+		case l2Fetch:
+			// Grant in flight: defer until data arrives (§III-C1).
+			cp := *m
+			t.deferred = append(t.deferred, &cp)
+		default:
+			// Mid-revocation or eviction: serialize behind it.
+			cp := *m
+			t.waiting = append(t.waiting, &cp)
+		}
+		return
+	}
+	e := l.array.Peek(m.Line)
+	if e == nil || (e.State.state != mesi.M && e.State.state != mesi.E) {
+		panic("hmesi: L3 forward for line not owned at L2")
+	}
+	if e.State.childMask != 0 {
+		cp := *m
+		l.revokeChildren(e, e.State.childMask, nil, func() { l.respondL3Fwd(&cp) })
+		return
+	}
+	l.respondL3Fwd(m)
+}
+
+func (l *GPUL2) respondL3Fwd(m *proto.Message) {
+	e := l.array.Peek(m.Line)
+	if e == nil {
+		panic("hmesi: forward response for absent line")
+	}
+	l.respondL3FwdFrom(m, e.State.data, e)
+}
+
+func (l *GPUL2) respondL3FwdFrom(m *proto.Message, data memaddr.LineData, e *cache.Entry[l2Line]) {
+	switch m.Type {
+	case proto.MFwdGetS:
+		if e != nil {
+			e.State.state = mesi.S
+		}
+		l.send(&proto.Message{
+			Type: proto.MDataS, Dst: m.Requestor, Requestor: m.Requestor,
+			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+			HasData: true, Data: data,
+		})
+		l.send(&proto.Message{
+			Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
+			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+			HasData: true, Data: data,
+		})
+	case proto.MFwdGetM:
+		if e != nil {
+			l.array.Invalidate(m.Line)
+		}
+		if m.Requestor == m.Src {
+			// Recall from the directory (L3 eviction).
+			l.send(&proto.Message{
+				Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
+				ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+				HasData: true, Data: data,
+			})
+			return
+		}
+		l.send(&proto.Message{
+			Type: proto.MDataM, Dst: m.Requestor, Requestor: m.Requestor,
+			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+			HasData: true, Data: data,
+		})
+		l.send(&proto.Message{
+			Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
+			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+		})
+	default:
+		panic("hmesi: bad forward type")
+	}
+}
+
+// redispatch routes a drained message to the right handler family.
+func (l *GPUL2) redispatch(m *proto.Message) {
+	switch m.Type {
+	case proto.MFwdGetS, proto.MFwdGetM:
+		l.handleL3Fwd(m)
+	case proto.MInv:
+		l.handleL3Inv(m)
+	default:
+		if t, ok := l.txns[m.Line]; ok {
+			t.waiting = append(t.waiting, m)
+			return
+		}
+		l.process(m)
+	}
+}

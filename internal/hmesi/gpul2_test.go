@@ -1,0 +1,268 @@
+package hmesi
+
+import (
+	"testing"
+
+	"spandex/internal/denovo"
+	"spandex/internal/device"
+	"spandex/internal/dram"
+	"spandex/internal/gpucoh"
+	"spandex/internal/memaddr"
+	"spandex/internal/mesi"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// hrig builds the full hierarchical stack: CPU MESI L1s + GPU L1s (GPU
+// coherence or DeNovo) under a GPU L2, all under the MESI L3 directory.
+type hrig struct {
+	t    *testing.T
+	eng  *sim.Engine
+	st   *stats.Stats
+	net  *noc.Network
+	dir  *Directory
+	l2   *GPUL2
+	mem  *dram.Memory
+	cpus []*mesi.L1
+	gpus []device.L1Cache
+}
+
+func newHRig(t *testing.T, nCPU, nGPU int, gpuDeNovo bool) *hrig {
+	r := &hrig{t: t, eng: sim.New(), st: stats.New()}
+	// layout: [cpus][gpus][l2][dir][mem]
+	n := nCPU + nGPU
+	r.net = noc.New(r.eng, r.st, noc.DefaultConfig(), n+3)
+	l2ID := proto.NodeID(n)
+	dirID := proto.NodeID(n + 1)
+	memID := proto.NodeID(n + 2)
+	r.dir = NewDirectory(dirID, memID, r.eng, r.net, r.st,
+		DirConfig{SizeBytes: 256 * 1024, Ways: 16, AccessLatency: 24 * sim.CPUCycle})
+	r.mem = dram.New(memID, r.eng, r.net, 80*sim.CPUCycle)
+	r.l2 = NewGPUL2(l2ID, r.eng, r.net, r.st,
+		L2Config{SizeBytes: 128 * 1024, Ways: 16, AccessLatency: 12 * sim.CPUCycle, ParentID: dirID})
+	r.dir.RegisterDevice(l2ID)
+	for i := 0; i < nCPU; i++ {
+		id := proto.NodeID(i)
+		l1 := mesi.New(id, r.eng, r.net.PortFor(id), r.st, mesi.DefaultConfig(dirID))
+		r.net.Register(id, l1)
+		r.dir.RegisterDevice(id)
+		r.cpus = append(r.cpus, l1)
+	}
+	for i := 0; i < nGPU; i++ {
+		id := proto.NodeID(nCPU + i)
+		if gpuDeNovo {
+			l1 := denovo.New(id, r.eng, r.net.PortFor(id), r.st, denovo.DefaultConfig(l2ID, true))
+			r.net.Register(id, l1)
+			r.gpus = append(r.gpus, l1)
+		} else {
+			l1 := gpucoh.New(id, r.eng, r.net.PortFor(id), r.st, gpucoh.DefaultConfig(l2ID))
+			r.net.Register(id, l1)
+			r.gpus = append(r.gpus, l1)
+		}
+		r.l2.RegisterChild(id)
+	}
+	return r
+}
+
+func (r *hrig) run() {
+	if !r.eng.RunUntil(1 << 42) {
+		r.t.Fatal("hrig: did not drain")
+	}
+}
+
+func (r *hrig) access(l1 device.L1Cache, op device.Op) uint32 {
+	var got uint32
+	ok := false
+	for tries := 0; ; tries++ {
+		if l1.Access(op, func(v uint32) { got = v; ok = true }) {
+			break
+		}
+		if !r.eng.Step() || tries > 1<<20 {
+			r.t.Fatal("access rejected forever")
+		}
+	}
+	r.run()
+	if !ok {
+		r.t.Fatalf("%v never completed", op.Kind)
+	}
+	return got
+}
+
+func (r *hrig) load(l1 device.L1Cache, a memaddr.Addr) uint32 {
+	return r.access(l1, device.Op{Kind: device.OpLoad, Addr: a})
+}
+
+// store buffers a write and flushes it to global visibility.
+func (r *hrig) store(l1 device.L1Cache, a memaddr.Addr, v uint32) {
+	r.access(l1, device.Op{Kind: device.OpStore, Addr: a, Value: v})
+	l1.Flush(func() {})
+	r.run()
+}
+func (r *hrig) rmw(l1 device.L1Cache, a memaddr.Addr, k proto.AtomicKind, v uint32) uint32 {
+	return r.access(l1, device.Op{Kind: device.OpAtomic, Addr: a, Atomic: k, Value: v})
+}
+
+func TestGPULoadThroughHierarchy(t *testing.T) {
+	r := newHRig(t, 1, 2, false)
+	var init memaddr.LineData
+	init[3] = 99
+	r.mem.Poke(0x1000, init)
+	if v := r.load(r.gpus[0], 0x100c); v != 99 {
+		t.Fatalf("v = %d", v)
+	}
+	// Sibling L1 load: filtered at the L2 (no extra L3 request).
+	gets := r.st.Get("gpul2.gets")
+	if v := r.load(r.gpus[1], 0x100c); v != 99 {
+		t.Fatalf("v = %d", v)
+	}
+	if r.st.Get("gpul2.gets") != gets {
+		t.Fatal("sibling miss was not filtered by the L2")
+	}
+}
+
+func TestCPUGPUCommunicationIndirection(t *testing.T) {
+	r := newHRig(t, 1, 1, false)
+	cpu, gpu := r.cpus[0], r.gpus[0]
+	r.store(cpu, 0x2000, 5)
+	// GPU read: L1 miss → L2 miss → L3 → FwdGetS to the CPU owner.
+	if v := r.load(gpu, 0x2000); v != 5 {
+		t.Fatalf("v = %d", v)
+	}
+	if r.st.Get("dir.fwd_gets") == 0 {
+		t.Fatal("no forward to CPU owner")
+	}
+	// GPU write-through: needs M at L2 → invalidates CPU sharer.
+	r.store(gpu, 0x2004, 6)
+	r.run()
+	if s := cpu.State(0x2000); s != mesi.I {
+		t.Fatalf("CPU state = %v, want I after GPU write", s)
+	}
+	if v := r.load(cpu, 0x2004); v != 6 {
+		t.Fatalf("CPU read-back = %d", v)
+	}
+	if v := r.load(cpu, 0x2000); v != 5 {
+		t.Fatal("GPU write clobbered CPU word")
+	}
+}
+
+func TestGPUAtomicsAtL2(t *testing.T) {
+	r := newHRig(t, 0, 2, false)
+	a := r.rmw(r.gpus[0], 0x3000, proto.AtomicFetchAdd, 1)
+	b := r.rmw(r.gpus[1], 0x3000, proto.AtomicFetchAdd, 1)
+	if a != 0 || b != 1 {
+		t.Fatalf("a=%d b=%d", a, b)
+	}
+	if r.st.Get("gpul2.atomics") != 2 {
+		t.Fatalf("L2 atomics = %d", r.st.Get("gpul2.atomics"))
+	}
+}
+
+func TestCPUGPUAtomicPingPong(t *testing.T) {
+	r := newHRig(t, 1, 1, false)
+	for i := 0; i < 8; i++ {
+		var old uint32
+		if i%2 == 0 {
+			old = r.rmw(r.cpus[0], 0x4000, proto.AtomicFetchAdd, 1)
+		} else {
+			old = r.rmw(r.gpus[0], 0x4000, proto.AtomicFetchAdd, 1)
+		}
+		if old != uint32(i) {
+			t.Fatalf("iter %d: old = %d", i, old)
+		}
+	}
+	// Each handoff goes through the L3 (FwdGetM in one direction or the
+	// other) — the hierarchical synchronization cost.
+	if r.st.Get("dir.fwd_getm") < 4 {
+		t.Fatalf("fwd_getm = %d", r.st.Get("dir.fwd_getm"))
+	}
+}
+
+func TestDeNovoChildrenUnderL2(t *testing.T) {
+	r := newHRig(t, 1, 2, true)
+	g0, g1 := r.gpus[0], r.gpus[1]
+	r.store(g0, 0x5000, 11)
+	r.store(g1, 0x5004, 22)
+	r.run()
+	// Both words child-owned at the L2.
+	owned := r.l2.ProbeOwned()
+	if owned[0x5000] != 0b11 {
+		t.Fatalf("child-owned = %#x", owned[0x5000])
+	}
+	// Sibling reads each other's word through L2 forwards.
+	if v := r.load(g0, 0x5004); v != 22 {
+		t.Fatalf("cross-read = %d", v)
+	}
+	// CPU read: L3 FwdGetS → L2 must revoke children, then serve.
+	if v := r.load(r.cpus[0], 0x5000); v != 11 {
+		t.Fatalf("cpu read = %d", v)
+	}
+	if v := r.load(r.cpus[0], 0x5004); v != 22 {
+		t.Fatalf("cpu read = %d", v)
+	}
+	if r.st.Get("gpul2.rvk") == 0 {
+		t.Fatal("no child revocation happened")
+	}
+	if r.l2.ProbeOwned()[0x5000] != 0 {
+		t.Fatal("children still own after downgrade")
+	}
+}
+
+func TestCPUWriteInvalidatesL2(t *testing.T) {
+	r := newHRig(t, 1, 1, false)
+	gpu, cpu := r.gpus[0], r.cpus[0]
+	if v := r.load(gpu, 0x6000); v != 0 {
+		t.Fatal("bad init")
+	}
+	r.store(cpu, 0x6000, 7)
+	r.run()
+	// GPU L1 still holds a stale copy until it self-invalidates (DRF).
+	gpu.SelfInvalidate()
+	if v := r.load(gpu, 0x6000); v != 7 {
+		t.Fatalf("post-sync read = %d", v)
+	}
+}
+
+func TestL2EvictionWithChildren(t *testing.T) {
+	r := newHRig(t, 0, 1, true)
+	gpu := r.gpus[0]
+	// L2: 128KB/16-way = 128 sets; conflict stride = 128*64 = 8KB.
+	conflict := func(i int) memaddr.Addr { return memaddr.Addr(0x100000 + i*128*64) }
+	for i := 0; i < 20; i++ {
+		r.store(gpu, conflict(i), uint32(i+1))
+	}
+	r.run()
+	if r.st.Get("gpul2.evict") == 0 {
+		t.Fatal("no L2 eviction")
+	}
+	for i := 0; i < 20; i++ {
+		if v := r.load(gpu, conflict(i)); v != uint32(i+1) {
+			t.Fatalf("line %d = %d", i, v)
+		}
+	}
+}
+
+func TestHierarchicalStress(t *testing.T) {
+	r := newHRig(t, 2, 2, true)
+	total := 0
+	all := []device.L1Cache{r.cpus[0], r.cpus[1], r.gpus[0], r.gpus[1]}
+	for round := 0; round < 6; round++ {
+		for _, d := range all {
+			for !d.Access(device.Op{Kind: device.OpAtomic, Addr: 0x7000,
+				Atomic: proto.AtomicFetchAdd, Value: 1}, func(uint32) {}) {
+				if !r.eng.Step() {
+					t.Fatal("stuck")
+				}
+			}
+			total++
+		}
+		for i := 0; i < 80; i++ {
+			r.eng.Step()
+		}
+	}
+	r.run()
+	if v := r.load(r.cpus[0], 0x7000); v != uint32(total) {
+		t.Fatalf("counter = %d, want %d", v, total)
+	}
+}

@@ -1,0 +1,267 @@
+package hmesi
+
+import (
+	"testing"
+
+	"spandex/internal/memaddr"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// l2rig drives a GPUL2 with a scripted L3 and scripted children: every
+// peer is a recorder, and tests inject protocol messages by hand to hit
+// the transaction windows integration tests cannot time precisely.
+type l2rig struct {
+	t   *testing.T
+	eng *sim.Engine
+	net *noc.Network
+	l2  *GPUL2
+	// recorders: node 0,1 = children; node 3 = L3; node 4 = a requestor.
+	recv map[proto.NodeID][]proto.Message
+}
+
+const (
+	l2Child0 = proto.NodeID(0)
+	l2Child1 = proto.NodeID(1)
+	l2Node   = proto.NodeID(2)
+	l2L3     = proto.NodeID(3)
+	l2Peer   = proto.NodeID(4)
+)
+
+type l2rec struct {
+	id  proto.NodeID
+	rig *l2rig
+}
+
+func (r *l2rec) HandleMessage(m *proto.Message) {
+	r.rig.recv[r.id] = append(r.rig.recv[r.id], *m)
+}
+
+func newL2Rig(t *testing.T) *l2rig {
+	r := &l2rig{t: t, eng: sim.New(), recv: map[proto.NodeID][]proto.Message{}}
+	st := stats.New()
+	r.net = noc.New(r.eng, st, noc.Config{HopLatency: 10, TicksPerByte: 1, MeshWidth: 3}, 5)
+	r.l2 = NewGPUL2(l2Node, r.eng, r.net, st, L2Config{
+		SizeBytes: 16 * 1024, Ways: 4, AccessLatency: 5, ParentID: l2L3,
+	})
+	for _, id := range []proto.NodeID{l2Child0, l2Child1, l2L3, l2Peer} {
+		r.net.Register(id, &l2rec{id: id, rig: r})
+	}
+	r.l2.RegisterChild(l2Child0)
+	r.l2.RegisterChild(l2Child1)
+	return r
+}
+
+func (r *l2rig) run() {
+	if !r.eng.RunUntil(1 << 40) {
+		r.t.Fatal("l2rig: did not drain")
+	}
+}
+
+func (r *l2rig) send(m *proto.Message) {
+	r.net.Send(m)
+	r.run()
+}
+
+func (r *l2rig) lastTo(id proto.NodeID, typ proto.MsgType) *proto.Message {
+	msgs := r.recv[id]
+	for i := len(msgs) - 1; i >= 0; i-- {
+		if msgs[i].Type == typ {
+			return &msgs[i]
+		}
+	}
+	return nil
+}
+
+// fill grants the L2 a line in the given MESI state.
+func (r *l2rig) fill(line memaddr.LineAddr, grant proto.MsgType, data memaddr.LineData) {
+	// A child ReqV/ReqWT forces the fetch; here we trigger via ReqWT for M
+	// or ReqV for S/E.
+	trigger := proto.ReqV
+	if grant == proto.MDataM {
+		trigger = proto.ReqWT
+	}
+	r.send(&proto.Message{Type: trigger, Src: l2Child0, Dst: l2Node,
+		Requestor: l2Child0, ReqID: 1, Line: line, Mask: 0b1, HasData: trigger == proto.ReqWT})
+	req := r.lastTo(l2L3, proto.MGetS)
+	if trigger == proto.ReqWT {
+		req = r.lastTo(l2L3, proto.MGetM)
+	}
+	if req == nil {
+		r.t.Fatal("no fetch issued")
+	}
+	r.send(&proto.Message{Type: grant, Src: l2L3, Dst: l2Node,
+		ReqID: req.ReqID, Line: line, Mask: memaddr.FullMask, HasData: true, Data: data})
+}
+
+func TestL2FwdDeferredDuringFetch(t *testing.T) {
+	r := newL2Rig(t)
+	// Child write forces a GetM.
+	r.send(&proto.Message{Type: proto.ReqWT, Src: l2Child0, Dst: l2Node,
+		Requestor: l2Child0, ReqID: 1, Line: 0x1000, Mask: 0b1, HasData: true})
+	getm := r.lastTo(l2L3, proto.MGetM)
+	if getm == nil {
+		t.Fatal("no GetM")
+	}
+	// The L3 forwards a GetS before the grant lands (grant in flight from
+	// an old owner): the L2 must defer, not respond from a stale frame.
+	r.send(&proto.Message{Type: proto.MFwdGetS, Src: l2L3, Dst: l2Node,
+		Requestor: l2Peer, ReqID: 50, Line: 0x1000, Mask: memaddr.FullMask})
+	if r.lastTo(l2Peer, proto.MDataS) != nil {
+		t.Fatal("forward answered before the grant")
+	}
+	// Grant arrives: the child write applies, then the deferred forward
+	// is served with the fresh data.
+	r.send(&proto.Message{Type: proto.MDataM, Src: l2L3, Dst: l2Node,
+		ReqID: getm.ReqID, Line: 0x1000, Mask: memaddr.FullMask, HasData: true})
+	rsp := r.lastTo(l2Peer, proto.MDataS)
+	if rsp == nil {
+		t.Fatal("deferred forward never served")
+	}
+	if r.lastTo(l2L3, proto.MWBData) == nil {
+		t.Fatal("L3 never unblocked")
+	}
+	if r.lastTo(l2Child0, proto.RspWT) == nil {
+		t.Fatal("child write never acked")
+	}
+}
+
+func TestL2FwdRevokesChildrenFirst(t *testing.T) {
+	r := newL2Rig(t)
+	var d memaddr.LineData
+	r.fill(0x2000, proto.MDataM, d)
+	// Child 1 takes word ownership.
+	r.send(&proto.Message{Type: proto.ReqO, Src: l2Child1, Dst: l2Node,
+		Requestor: l2Child1, ReqID: 2, Line: 0x2000, Mask: 0b10})
+	if r.lastTo(l2Child1, proto.RspO) == nil {
+		t.Fatal("child grant failed")
+	}
+	// L3 FwdGetM: the L2 must revoke child 1 before responding.
+	r.send(&proto.Message{Type: proto.MFwdGetM, Src: l2L3, Dst: l2Node,
+		Requestor: l2Peer, ReqID: 51, Line: 0x2000, Mask: memaddr.FullMask})
+	rvk := r.lastTo(l2Child1, proto.RvkO)
+	if rvk == nil {
+		t.Fatal("child not revoked")
+	}
+	if r.lastTo(l2Peer, proto.MDataM) != nil {
+		t.Fatal("responded before the child wrote back")
+	}
+	// Child writes back; the forward completes with the child's data.
+	var cd memaddr.LineData
+	cd[1] = 99
+	r.send(&proto.Message{Type: proto.RspRvkO, Src: l2Child1, Dst: l2Node,
+		Line: 0x2000, Mask: 0b10, HasData: true, Data: cd})
+	rsp := r.lastTo(l2Peer, proto.MDataM)
+	if rsp == nil || rsp.Data[1] != 99 {
+		t.Fatalf("forward lost child data: %v", rsp)
+	}
+}
+
+func TestL2ChildWBSatisfiesRevocation(t *testing.T) {
+	r := newL2Rig(t)
+	var d memaddr.LineData
+	r.fill(0x3000, proto.MDataM, d)
+	r.send(&proto.Message{Type: proto.ReqO, Src: l2Child0, Dst: l2Node,
+		Requestor: l2Child0, ReqID: 3, Line: 0x3000, Mask: 0b1})
+	// An atomic from child 1 needs the word home: RvkO goes to child 0.
+	r.send(&proto.Message{Type: proto.ReqWTData, Src: l2Child1, Dst: l2Node,
+		Requestor: l2Child1, ReqID: 4, Line: 0x3000, Mask: 0b1,
+		Atomic: proto.AtomicFetchAdd, Operand: 1})
+	if r.lastTo(l2Child0, proto.RvkO) == nil {
+		t.Fatal("no revocation")
+	}
+	// Child 0 answers with a racing ReqWB instead of RspRvkO (§III-C2).
+	var cd memaddr.LineData
+	cd[0] = 7
+	r.send(&proto.Message{Type: proto.ReqWB, Src: l2Child0, Dst: l2Node,
+		Requestor: l2Child0, ReqID: 5, Line: 0x3000, Mask: 0b1, HasData: true, Data: cd})
+	rsp := r.lastTo(l2Child1, proto.RspWTData)
+	if rsp == nil || rsp.Data[0] != 7 {
+		t.Fatalf("atomic did not complete off the racing write-back: %v", rsp)
+	}
+	if r.lastTo(l2Child0, proto.RspWB) == nil {
+		t.Fatal("write-back not acked")
+	}
+}
+
+func TestL2InvDuringFetchSetsInvalidated(t *testing.T) {
+	r := newL2Rig(t)
+	var d memaddr.LineData
+	r.fill(0x4000, proto.MDataS, d)
+	// Upgrade in flight (child write on an S line).
+	r.send(&proto.Message{Type: proto.ReqWT, Src: l2Child0, Dst: l2Node,
+		Requestor: l2Child0, ReqID: 6, Line: 0x4000, Mask: 0b1, HasData: true})
+	getm := r.lastTo(l2L3, proto.MGetM)
+	if getm == nil {
+		t.Fatal("no upgrade GetM")
+	}
+	// A racing writer invalidates our S copy.
+	r.send(&proto.Message{Type: proto.MInv, Src: l2L3, Dst: l2Node,
+		Line: 0x4000, Mask: memaddr.FullMask})
+	if r.lastTo(l2L3, proto.MInvAck) == nil {
+		t.Fatal("Inv not acked")
+	}
+	// The grant then carries data (the directory saw us leave the sharer
+	// set) and the write completes.
+	var nd memaddr.LineData
+	nd[5] = 3
+	r.send(&proto.Message{Type: proto.MDataM, Src: l2L3, Dst: l2Node,
+		ReqID: getm.ReqID, Line: 0x4000, Mask: memaddr.FullMask, HasData: true, Data: nd})
+	if r.lastTo(l2Child0, proto.RspWT) == nil {
+		t.Fatal("upgrade write lost")
+	}
+	// Fresh data visible to child reads.
+	r.send(&proto.Message{Type: proto.ReqV, Src: l2Child1, Dst: l2Node,
+		Requestor: l2Child1, ReqID: 7, Line: 0x4000, Mask: 0b100000})
+	rsp := r.lastTo(l2Child1, proto.RspV)
+	if rsp == nil || rsp.Data[5] != 3 {
+		t.Fatalf("post-upgrade data stale: %v", rsp)
+	}
+}
+
+func TestL2RecallWritesBackToL3(t *testing.T) {
+	r := newL2Rig(t)
+	var d memaddr.LineData
+	d[1] = 42 // word 0 is clobbered by fill's triggering write
+	r.fill(0x5000, proto.MDataM, d)
+	// Recall (L3 eviction): Requestor == Src == L3.
+	r.send(&proto.Message{Type: proto.MFwdGetM, Src: l2L3, Dst: l2Node,
+		Requestor: l2L3, Line: 0x5000, Mask: memaddr.FullMask})
+	wb := r.lastTo(l2L3, proto.MWBData)
+	if wb == nil || !wb.HasData || wb.Data[1] != 42 {
+		t.Fatalf("recall response wrong: %v", wb)
+	}
+}
+
+func TestL2QueuesChildRequestsBehindRevocation(t *testing.T) {
+	r := newL2Rig(t)
+	var d memaddr.LineData
+	r.fill(0x6000, proto.MDataM, d)
+	r.send(&proto.Message{Type: proto.ReqO, Src: l2Child0, Dst: l2Node,
+		Requestor: l2Child0, ReqID: 8, Line: 0x6000, Mask: 0b1})
+	// Atomic triggers revocation; a second child read arrives while the
+	// revocation is pending and must queue, then drain in order.
+	r.net.Send(&proto.Message{Type: proto.ReqWTData, Src: l2Child1, Dst: l2Node,
+		Requestor: l2Child1, ReqID: 9, Line: 0x6000, Mask: 0b1,
+		Atomic: proto.AtomicFetchAdd, Operand: 1})
+	r.net.Send(&proto.Message{Type: proto.ReqV, Src: l2Child1, Dst: l2Node,
+		Requestor: l2Child1, ReqID: 10, Line: 0x6000, Mask: 0b1})
+	r.run()
+	if r.lastTo(l2Child1, proto.RspV) != nil {
+		t.Fatal("queued read served before revocation completed")
+	}
+	var cd memaddr.LineData
+	cd[0] = 5
+	r.send(&proto.Message{Type: proto.RspRvkO, Src: l2Child0, Dst: l2Node,
+		Line: 0x6000, Mask: 0b1, HasData: true, Data: cd})
+	atomicRsp := r.lastTo(l2Child1, proto.RspWTData)
+	readRsp := r.lastTo(l2Child1, proto.RspV)
+	if atomicRsp == nil || atomicRsp.Data[0] != 5 {
+		t.Fatalf("atomic wrong: %v", atomicRsp)
+	}
+	if readRsp == nil || readRsp.Data[0] != 6 {
+		t.Fatalf("queued read must see the post-atomic value: %v", readRsp)
+	}
+}

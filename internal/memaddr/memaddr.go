@@ -1,0 +1,76 @@
+// Package memaddr defines the address geometry shared by every component:
+// 64-byte cache lines divided into 16 four-byte words, with word selection
+// expressed as 16-bit masks. All coherence state in the Spandex LLC is
+// tracked per word (paper §III-B); this package supplies the mask algebra.
+package memaddr
+
+import "math/bits"
+
+const (
+	// LineBytes is the cache line size in bytes.
+	LineBytes = 64
+	// WordBytes is the coherence word size in bytes.
+	WordBytes = 4
+	// WordsPerLine is the number of coherence words in a line.
+	WordsPerLine = LineBytes / WordBytes
+	// LineShift is log2(LineBytes).
+	LineShift = 6
+	// WordShift is log2(WordBytes).
+	WordShift = 2
+)
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// LineAddr is an address with the line-offset bits cleared; it identifies
+// a cache line.
+type LineAddr uint64
+
+// WordMask selects a subset of the 16 words in a line; bit i selects word i.
+type WordMask uint16
+
+// FullMask selects every word in a line.
+const FullMask WordMask = 1<<WordsPerLine - 1
+
+// Line returns the line containing a.
+func (a Addr) Line() LineAddr { return LineAddr(a &^ (LineBytes - 1)) }
+
+// WordIndex returns the index (0..15) of the word containing a.
+func (a Addr) WordIndex() int { return int(a>>WordShift) & (WordsPerLine - 1) }
+
+// WordMaskOf returns the single-word mask for the word containing a.
+func (a Addr) WordMaskOf() WordMask { return 1 << a.WordIndex() }
+
+// Addr returns the byte address of word index i within line l.
+func (l LineAddr) Addr(i int) Addr { return Addr(l) + Addr(i*WordBytes) }
+
+// MaskOf returns the single-word mask for index i.
+func MaskOf(i int) WordMask { return 1 << i }
+
+// Count returns the number of words selected by m.
+func (m WordMask) Count() int { return bits.OnesCount16(uint16(m)) }
+
+// Has reports whether word index i is selected.
+func (m WordMask) Has(i int) bool { return m&(1<<i) != 0 }
+
+// Bytes returns the number of data bytes m selects.
+func (m WordMask) Bytes() int { return m.Count() * WordBytes }
+
+// ForEach calls fn for every selected word index, in ascending order.
+func (m WordMask) ForEach(fn func(i int)) {
+	for w := uint16(m); w != 0; {
+		i := bits.TrailingZeros16(w)
+		fn(i)
+		w &= w - 1
+	}
+}
+
+// LineData is the simulated contents of one line: one version token per
+// word. Workloads store monotonically increasing tokens so correctness
+// oracles can detect stale or corrupted reads.
+type LineData [WordsPerLine]uint32
+
+// Merge copies the words selected by mask from src into d.
+func (d *LineData) Merge(src *LineData, mask WordMask) {
+	mask.ForEach(func(i int) { d[i] = src[i] })
+}

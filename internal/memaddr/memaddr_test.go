@@ -1,0 +1,95 @@
+package memaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometry(t *testing.T) {
+	if WordsPerLine != 16 {
+		t.Fatalf("WordsPerLine = %d, want 16", WordsPerLine)
+	}
+	if 1<<LineShift != LineBytes || 1<<WordShift != WordBytes {
+		t.Fatal("shift constants inconsistent with sizes")
+	}
+	if FullMask.Count() != WordsPerLine {
+		t.Fatalf("FullMask selects %d words", FullMask.Count())
+	}
+}
+
+func TestLineAndWordIndex(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		line LineAddr
+		word int
+	}{
+		{0, 0, 0},
+		{3, 0, 0},
+		{4, 0, 1},
+		{63, 0, 15},
+		{64, 64, 0},
+		{0x1234, 0x1200, 13},
+	}
+	for _, c := range cases {
+		if got := c.addr.Line(); got != c.line {
+			t.Errorf("Line(%#x) = %#x, want %#x", c.addr, got, c.line)
+		}
+		if got := c.addr.WordIndex(); got != c.word {
+			t.Errorf("WordIndex(%#x) = %d, want %d", c.addr, got, c.word)
+		}
+	}
+}
+
+func TestAddrRoundTrip(t *testing.T) {
+	f := func(a Addr) bool {
+		l := a.Line()
+		i := a.WordIndex()
+		back := l.Addr(i)
+		// back must be the word-aligned address of a.
+		return back == a&^(WordBytes-1) && back.Line() == l && back.WordIndex() == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaskAlgebra(t *testing.T) {
+	f := func(m WordMask) bool {
+		n := 0
+		seen := WordMask(0)
+		last := -1
+		m.ForEach(func(i int) {
+			if i <= last {
+				t.Fatalf("ForEach out of order: %d after %d", i, last)
+			}
+			last = i
+			n++
+			seen |= MaskOf(i)
+			if !m.Has(i) {
+				t.Fatalf("Has(%d) false but ForEach visited it", i)
+			}
+		})
+		return n == m.Count() && seen == m && m.Bytes() == 4*n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var dst, src LineData
+	for i := range src {
+		src[i] = uint32(100 + i)
+		dst[i] = uint32(i)
+	}
+	dst.Merge(&src, 0b1010)
+	for i := range dst {
+		want := uint32(i)
+		if i == 1 || i == 3 {
+			want = uint32(100 + i)
+		}
+		if dst[i] != want {
+			t.Errorf("dst[%d] = %d, want %d", i, dst[i], want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package mesi
+
+import (
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+// HandleMessage implements noc.Handler for MESI-native messages.
+func (l *L1) HandleMessage(m *proto.Message) {
+	switch m.Type {
+	case proto.MDataS:
+		l.handleData(m, S)
+	case proto.MDataE:
+		l.handleData(m, E)
+	case proto.MDataM:
+		l.handleData(m, M)
+	case proto.MAckWB:
+		delete(l.wbs, m.Line)
+	case proto.MInv:
+		l.handleInv(m)
+	case proto.MFwdGetS:
+		l.handleFwdGetS(m)
+	case proto.MFwdGetM:
+		l.handleFwdGetM(m)
+	default:
+		panic("mesi: unexpected message " + m.Type.String())
+	}
+}
+
+// handleData completes an outstanding miss with the granted state.
+func (l *L1) handleData(m *proto.Message, grant State) {
+	me := l.miss.Lookup(m.Line)
+	if me == nil {
+		return
+	}
+	e := l.ensureFrame(m.Line)
+	if m.HasData {
+		e.State.data = m.Data
+	}
+	// An upgrade grant without data relies on our Shared copy, which must
+	// not have been invalidated in flight (the directory sends data when
+	// it removed us from the sharer set before processing our GetM).
+	if !m.HasData && me.invalidated {
+		panic("mesi: data-less grant after invalidation")
+	}
+	e.State.state = grant
+
+	for _, w := range me.waiters {
+		v := e.State.data[w.word]
+		done := w.done
+		l.eng.Schedule(0, func() { done(v) })
+	}
+	me.waiters = nil
+
+	if grant == E || grant == M {
+		if me.applyStores {
+			if sbe := l.sb.Lookup(m.Line); sbe != nil {
+				e.State.data.Merge(&sbe.Data, sbe.Mask)
+				e.State.state = M
+				l.sb.Complete(m.Line)
+				l.checkFlush()
+			}
+			me.applyStores = false
+		}
+		for _, a := range me.atomics {
+			w := a.op.Addr.WordIndex()
+			old := e.State.data[w]
+			nv, wrote := a.op.Atomic.Apply(old, a.op.Value, a.op.Compare)
+			if wrote {
+				e.State.data[w] = nv
+			}
+			e.State.state = M
+			done := a.done
+			l.eng.Schedule(0, func() { done(old) })
+		}
+		me.atomics = nil
+		me.escalate = false
+	}
+
+	if me.escalate {
+		// Stores/atomics arrived during the GetS: follow with a GetM.
+		me.escalate = false
+		me.reqID = l.nextReq()
+		me.wasS = grant == S
+		me.invalidated = false
+		l.st.Inc("mesil1.getm", 1)
+		l.port.Send(&proto.Message{
+			Type: proto.MGetM, Dst: l.cfg.ParentID, Requestor: l.ID,
+			ReqID: me.reqID, Line: m.Line, Mask: memaddr.FullMask,
+		})
+		return
+	}
+
+	deferred := me.deferred
+	l.miss.Free(m.Line)
+	for _, d := range deferred {
+		l.HandleMessage(d)
+	}
+}
+
+func (l *L1) handleInv(m *proto.Message) {
+	if e := l.array.Peek(m.Line); e != nil && e.State.state == S {
+		l.array.Invalidate(m.Line)
+	}
+	if me := l.miss.Lookup(m.Line); me != nil {
+		me.invalidated = true
+		me.wasS = false
+	}
+	l.st.Inc("mesil1.invalidated", 1)
+	l.port.Send(&proto.Message{
+		Type: proto.MInvAck, Dst: m.Src, Requestor: l.ID,
+		ReqID: m.ReqID, Line: m.Line, Mask: m.Mask,
+	})
+}
+
+func (l *L1) handleFwdGetS(m *proto.Message) {
+	if e := l.array.Peek(m.Line); e != nil && (e.State.state == M || e.State.state == E) {
+		e.State.state = S
+		l.sendFwdGetSRsp(m, e.State.data)
+		return
+	}
+	if wb := l.wbs[m.Line]; wb != nil {
+		// Pending write-back (§III-D case 3): answer from the record.
+		l.sendFwdGetSRsp(m, wb.data)
+		return
+	}
+	if me := l.miss.Lookup(m.Line); me != nil && me.needM {
+		// Ownership grant in flight (case 2): defer until data arrives.
+		cp := *m
+		me.deferred = append(me.deferred, &cp)
+		return
+	}
+	panic("mesi: FwdGetS for line in unexpected state")
+}
+
+func (l *L1) sendFwdGetSRsp(m *proto.Message, data memaddr.LineData) {
+	l.port.Send(&proto.Message{
+		Type: proto.MDataS, Dst: m.Requestor, Requestor: m.Requestor,
+		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+		HasData: true, Data: data,
+	})
+	l.port.Send(&proto.Message{
+		Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
+		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+		HasData: true, Data: data,
+	})
+}
+
+func (l *L1) handleFwdGetM(m *proto.Message) {
+	if e := l.array.Peek(m.Line); e != nil && (e.State.state == M || e.State.state == E) {
+		data := e.State.data
+		l.array.Invalidate(m.Line)
+		l.sendFwdGetMRsp(m, data)
+		return
+	}
+	if wb := l.wbs[m.Line]; wb != nil {
+		l.sendFwdGetMRsp(m, wb.data)
+		return
+	}
+	if me := l.miss.Lookup(m.Line); me != nil && me.needM {
+		cp := *m
+		me.deferred = append(me.deferred, &cp)
+		return
+	}
+	panic("mesi: FwdGetM for line in unexpected state")
+}
+
+// sendFwdGetMRsp transfers the line to the requestor (or back to the
+// directory for a recall) and unblocks the directory.
+func (l *L1) sendFwdGetMRsp(m *proto.Message, data memaddr.LineData) {
+	if m.Requestor == m.Src {
+		// Recall: the directory itself wants the data (LLC eviction).
+		l.port.Send(&proto.Message{
+			Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
+			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+			HasData: true, Data: data,
+		})
+		return
+	}
+	l.port.Send(&proto.Message{
+		Type: proto.MDataM, Dst: m.Requestor, Requestor: m.Requestor,
+		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+		HasData: true, Data: data,
+	})
+	l.port.Send(&proto.Message{
+		Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
+		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+	})
+}

@@ -1,0 +1,421 @@
+package mesi
+
+import (
+	"testing"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// scriptPort captures the L1's outbound messages so tests can inspect them
+// and inject responses by hand — exercising the state machine without a
+// directory.
+type scriptPort struct{ sent []proto.Message }
+
+func (p *scriptPort) Send(m *proto.Message) { p.sent = append(p.sent, *m) }
+
+func (p *scriptPort) last() *proto.Message {
+	if len(p.sent) == 0 {
+		return nil
+	}
+	return &p.sent[len(p.sent)-1]
+}
+
+func (p *scriptPort) take() []proto.Message {
+	out := p.sent
+	p.sent = nil
+	return out
+}
+
+type mrig struct {
+	t    *testing.T
+	eng  *sim.Engine
+	port *scriptPort
+	l1   *L1
+}
+
+func newMRig(t *testing.T) *mrig {
+	eng := sim.New()
+	port := &scriptPort{}
+	l1 := New(0, eng, port, stats.New(), DefaultConfig(99))
+	return &mrig{t: t, eng: eng, port: port, l1: l1}
+}
+
+// grant injects a data response for the last outstanding request.
+func (r *mrig) grant(typ proto.MsgType, line memaddr.LineAddr, data memaddr.LineData, hasData bool) {
+	req := r.port.last()
+	if req == nil {
+		r.t.Fatal("no request to grant")
+	}
+	r.l1.HandleMessage(&proto.Message{
+		Type: typ, Src: 99, Requestor: 0, ReqID: req.ReqID,
+		Line: line, Mask: memaddr.FullMask, HasData: hasData, Data: data,
+	})
+	r.eng.Run()
+}
+
+func (r *mrig) load(a memaddr.Addr) (uint32, bool) {
+	var v uint32
+	done := false
+	if !r.l1.Access(device.Op{Kind: device.OpLoad, Addr: a}, func(x uint32) { v = x; done = true }) {
+		r.t.Fatal("load rejected")
+	}
+	r.eng.Run()
+	return v, done
+}
+
+func (r *mrig) store(a memaddr.Addr, v uint32) {
+	if !r.l1.Access(device.Op{Kind: device.OpStore, Addr: a, Value: v}, func(uint32) {}) {
+		r.t.Fatal("store rejected")
+	}
+	r.l1.Flush(func() {})
+	r.eng.Run()
+}
+
+func TestLoadMissIssuesGetS(t *testing.T) {
+	r := newMRig(t)
+	if _, done := r.load(0x40); done {
+		t.Fatal("load completed without data")
+	}
+	req := r.port.last()
+	if req == nil || req.Type != proto.MGetS || req.Line != 0x40 {
+		t.Fatalf("request = %v", req)
+	}
+}
+
+func TestDataSGrantCompletesLoad(t *testing.T) {
+	r := newMRig(t)
+	var got uint32
+	done := false
+	r.l1.Access(device.Op{Kind: device.OpLoad, Addr: 0x44}, func(x uint32) { got = x; done = true })
+	r.eng.Run()
+	var data memaddr.LineData
+	data[1] = 77
+	r.grant(proto.MDataS, 0x40, data, true)
+	if !done || got != 77 {
+		t.Fatalf("done=%v got=%d", done, got)
+	}
+	if r.l1.State(0x40) != S {
+		t.Fatalf("state = %v", r.l1.State(0x40))
+	}
+}
+
+func TestDataEGrantGivesExclusive(t *testing.T) {
+	r := newMRig(t)
+	r.load(0x80)
+	r.grant(proto.MDataE, 0x80, memaddr.LineData{}, true)
+	if r.l1.State(0x80) != E {
+		t.Fatalf("state = %v", r.l1.State(0x80))
+	}
+	// A store to an E line silently upgrades to M without a new request.
+	before := len(r.port.sent)
+	r.store(0x80, 5)
+	if len(r.port.sent) != before {
+		t.Fatal("silent E→M upgrade issued a message")
+	}
+	if r.l1.State(0x80) != M {
+		t.Fatalf("state = %v", r.l1.State(0x80))
+	}
+}
+
+func TestStoreMissIssuesGetM(t *testing.T) {
+	r := newMRig(t)
+	r.l1.Access(device.Op{Kind: device.OpStore, Addr: 0xc0, Value: 9}, func(uint32) {})
+	r.l1.Flush(func() {})
+	r.eng.Run()
+	req := r.port.last()
+	if req == nil || req.Type != proto.MGetM {
+		t.Fatalf("request = %v", req)
+	}
+	r.grant(proto.MDataM, 0xc0, memaddr.LineData{}, true)
+	if r.l1.State(0xc0) != M {
+		t.Fatalf("state = %v", r.l1.State(0xc0))
+	}
+	if v, done := r.load(0xc0); !done || v != 9 {
+		t.Fatalf("store lost: %d,%v", v, done)
+	}
+}
+
+func TestGetSEscalatesToGetMWhenStoreArrives(t *testing.T) {
+	r := newMRig(t)
+	// A load miss is outstanding...
+	r.load(0x100)
+	// ...and a store to the same line arrives before the grant.
+	r.l1.Access(device.Op{Kind: device.OpStore, Addr: 0x104, Value: 3}, func(uint32) {})
+	r.l1.Flush(func() {})
+	r.eng.Run()
+	// Grant the read as Shared: the controller must follow with a GetM.
+	r.grant(proto.MDataS, 0x100, memaddr.LineData{}, true)
+	req := r.port.last()
+	if req == nil || req.Type != proto.MGetM {
+		t.Fatalf("no escalation GetM; last = %v", req)
+	}
+	r.grant(proto.MDataM, 0x100, memaddr.LineData{}, false)
+	if r.l1.State(0x100) != M {
+		t.Fatalf("state = %v", r.l1.State(0x100))
+	}
+	if v, done := r.load(0x104); !done || v != 3 {
+		t.Fatalf("escalated store lost: %d,%v", v, done)
+	}
+}
+
+func TestInvalidateSharedLine(t *testing.T) {
+	r := newMRig(t)
+	r.load(0x140)
+	r.grant(proto.MDataS, 0x140, memaddr.LineData{}, true)
+	r.port.take()
+	r.l1.HandleMessage(&proto.Message{Type: proto.MInv, Src: 99, Line: 0x140, Mask: memaddr.FullMask})
+	r.eng.Run()
+	if r.l1.State(0x140) != I {
+		t.Fatalf("state = %v", r.l1.State(0x140))
+	}
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.MInvAck {
+		t.Fatalf("ack = %v", sent)
+	}
+}
+
+func TestStrayInvAcked(t *testing.T) {
+	r := newMRig(t)
+	r.l1.HandleMessage(&proto.Message{Type: proto.MInv, Src: 99, Line: 0xdead00, Mask: memaddr.FullMask})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.MInvAck {
+		t.Fatalf("stray Inv not acked: %v", sent)
+	}
+}
+
+func TestInvDuringUpgradeForcesDataGrant(t *testing.T) {
+	r := newMRig(t)
+	// Hold the line Shared.
+	r.load(0x180)
+	r.grant(proto.MDataS, 0x180, memaddr.LineData{}, true)
+	// Upgrade in flight...
+	r.l1.Access(device.Op{Kind: device.OpStore, Addr: 0x180, Value: 1}, func(uint32) {})
+	r.l1.Flush(func() {})
+	r.eng.Run()
+	// ...when a racing writer invalidates us.
+	r.l1.HandleMessage(&proto.Message{Type: proto.MInv, Src: 99, Line: 0x180, Mask: memaddr.FullMask})
+	r.eng.Run()
+	// The directory (which removed us from the sharer set) sends full data.
+	var data memaddr.LineData
+	data[1] = 42
+	r.grant(proto.MDataM, 0x180, data, true)
+	if r.l1.State(0x180) != M {
+		t.Fatalf("state = %v", r.l1.State(0x180))
+	}
+	if v, done := r.load(0x184); !done || v != 42 {
+		t.Fatalf("data grant lost: %d,%v", v, done)
+	}
+}
+
+func TestFwdGetSSuppliesDataAndDowngrades(t *testing.T) {
+	r := newMRig(t)
+	r.store(0x1c0, 8)
+	r.grant(proto.MDataM, 0x1c0, memaddr.LineData{}, true)
+	r.port.take()
+	r.l1.HandleMessage(&proto.Message{Type: proto.MFwdGetS, Src: 99, Requestor: 5,
+		ReqID: 70, Line: 0x1c0, Mask: memaddr.FullMask})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 2 {
+		t.Fatalf("sent %d messages", len(sent))
+	}
+	var toReq, toDir *proto.Message
+	for i := range sent {
+		switch sent[i].Type {
+		case proto.MDataS:
+			toReq = &sent[i]
+		case proto.MWBData:
+			toDir = &sent[i]
+		}
+	}
+	if toReq == nil || toReq.Dst != 5 || toReq.Data[0] != 8 {
+		t.Fatalf("requestor response wrong: %v", toReq)
+	}
+	if toDir == nil || toDir.Dst != 99 || !toDir.HasData {
+		t.Fatalf("dir write-back wrong: %v", toDir)
+	}
+	if r.l1.State(0x1c0) != S {
+		t.Fatalf("state = %v", r.l1.State(0x1c0))
+	}
+}
+
+func TestFwdGetMInvalidatesAndTransfers(t *testing.T) {
+	r := newMRig(t)
+	r.store(0x200, 4)
+	r.grant(proto.MDataM, 0x200, memaddr.LineData{}, true)
+	r.port.take()
+	r.l1.HandleMessage(&proto.Message{Type: proto.MFwdGetM, Src: 99, Requestor: 7,
+		ReqID: 71, Line: 0x200, Mask: memaddr.FullMask})
+	r.eng.Run()
+	if r.l1.State(0x200) != I {
+		t.Fatalf("state = %v", r.l1.State(0x200))
+	}
+	sent := r.port.take()
+	var dataM bool
+	for _, m := range sent {
+		if m.Type == proto.MDataM && m.Dst == 7 && m.Data[0] == 4 {
+			dataM = true
+		}
+	}
+	if !dataM {
+		t.Fatal("line not transferred to requestor")
+	}
+}
+
+func TestRecallFwdGetM(t *testing.T) {
+	r := newMRig(t)
+	r.store(0x240, 6)
+	r.grant(proto.MDataM, 0x240, memaddr.LineData{}, true)
+	r.port.take()
+	// Requestor == Src marks a directory recall (LLC eviction).
+	r.l1.HandleMessage(&proto.Message{Type: proto.MFwdGetM, Src: 99, Requestor: 99,
+		Line: 0x240, Mask: memaddr.FullMask})
+	r.eng.Run()
+	sent := r.port.take()
+	if len(sent) != 1 || sent[0].Type != proto.MWBData || !sent[0].HasData || sent[0].Data[0] != 6 {
+		t.Fatalf("recall response = %v", sent)
+	}
+}
+
+func TestFwdDuringPendingGetMIsDeferred(t *testing.T) {
+	r := newMRig(t)
+	// GetM outstanding.
+	r.l1.Access(device.Op{Kind: device.OpStore, Addr: 0x280, Value: 2}, func(uint32) {})
+	r.l1.Flush(func() {})
+	r.eng.Run()
+	r.port.take()
+	// A forward arrives before the grant: must be deferred, not answered.
+	r.l1.HandleMessage(&proto.Message{Type: proto.MFwdGetM, Src: 99, Requestor: 7,
+		ReqID: 72, Line: 0x280, Mask: memaddr.FullMask})
+	r.eng.Run()
+	if len(r.port.take()) != 0 {
+		t.Fatal("forward answered before the grant")
+	}
+	// Grant arrives: the store applies, then the deferred forward drains.
+	var data memaddr.LineData
+	r.l1.HandleMessage(&proto.Message{Type: proto.MDataM, Src: 99, ReqID: 0,
+		Line: 0x280, Mask: memaddr.FullMask, HasData: true, Data: data})
+	r.eng.Run()
+	sent := r.port.take()
+	seen := false
+	for _, m := range sent {
+		if m.Type == proto.MDataM && m.Dst == 7 && m.Data[0] == 2 {
+			seen = true
+		}
+	}
+	if !seen || r.l1.State(0x280) != I {
+		t.Fatalf("deferred forward mishandled: %v state=%v", sent, r.l1.State(0x280))
+	}
+}
+
+func TestEvictionSendsPutMAndServesRaces(t *testing.T) {
+	r := newMRig(t)
+	conflict := func(i int) memaddr.Addr { return memaddr.Addr(0x100000 + i*64*64) }
+	// Fill a set with M lines.
+	for i := 0; i < 9; i++ {
+		r.store(conflict(i), uint32(i+1))
+		r.grant(proto.MDataM, conflict(i).Line(), memaddr.LineData{}, true)
+	}
+	// The 9th store evicted line 0: a PutM must be among the messages.
+	var put *proto.Message
+	for i := range r.port.sent {
+		if r.port.sent[i].Type == proto.MPutM && r.port.sent[i].Line == conflict(0).Line() {
+			put = &r.port.sent[i]
+		}
+	}
+	if put == nil || !put.HasData || put.Data[0] != 1 {
+		t.Fatalf("no PutM with data for the victim")
+	}
+	// A forward racing the write-back is served from the pending record.
+	r.port.take()
+	r.l1.HandleMessage(&proto.Message{Type: proto.MFwdGetS, Src: 99, Requestor: 3,
+		ReqID: 73, Line: conflict(0).Line(), Mask: memaddr.FullMask})
+	r.eng.Run()
+	sent := r.port.take()
+	ok := false
+	for _, m := range sent {
+		if m.Type == proto.MDataS && m.Dst == 3 && m.Data[0] == 1 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("race not served from pending write-back: %v", sent)
+	}
+	// The late AckWB clears the record.
+	r.l1.HandleMessage(&proto.Message{Type: proto.MAckWB, Src: 99, Line: conflict(0).Line()})
+	r.eng.Run()
+	if len(r.l1.wbs) != 0 {
+		t.Fatal("pending write-back record leaked")
+	}
+}
+
+func TestAtomicOnMissGrantsAndApplies(t *testing.T) {
+	r := newMRig(t)
+	var got uint32
+	done := false
+	r.l1.Access(device.Op{Kind: device.OpAtomic, Addr: 0x2c0,
+		Atomic: proto.AtomicFetchAdd, Value: 5}, func(v uint32) { got = v; done = true })
+	r.eng.Run()
+	var data memaddr.LineData
+	data[0] = 10
+	r.grant(proto.MDataM, 0x2c0, data, true)
+	if !done || got != 10 {
+		t.Fatalf("atomic got %d,%v", got, done)
+	}
+	if v, _ := r.load(0x2c0); v != 15 {
+		t.Fatalf("post-atomic value %d", v)
+	}
+	// Locally-owned atomics now hit without traffic.
+	r.port.take()
+	r.l1.Access(device.Op{Kind: device.OpAtomic, Addr: 0x2c0,
+		Atomic: proto.AtomicFetchAdd, Value: 1}, func(uint32) {})
+	r.eng.Run()
+	if len(r.port.take()) != 0 {
+		t.Fatal("owned atomic generated traffic")
+	}
+}
+
+func TestProbeOwnedMapsMEToFullLine(t *testing.T) {
+	r := newMRig(t)
+	r.store(0x300, 1)
+	r.grant(proto.MDataM, 0x300, memaddr.LineData{}, true)
+	r.load(0x340)
+	r.grant(proto.MDataS, 0x340, memaddr.LineData{}, true)
+	owned := r.l1.ProbeOwned()
+	if owned[0x300] != memaddr.FullMask {
+		t.Fatalf("M line owned mask %#x", owned[0x300])
+	}
+	if _, ok := owned[0x340]; ok {
+		t.Fatal("S line reported as owned")
+	}
+}
+
+func TestSelfInvalidateIsNoOp(t *testing.T) {
+	r := newMRig(t)
+	r.load(0x380)
+	r.grant(proto.MDataS, 0x380, memaddr.LineData{}, true)
+	r.l1.SelfInvalidate()
+	if r.l1.State(0x380) != S {
+		t.Fatal("MESI self-invalidate must be a no-op (writer-invalidated)")
+	}
+}
+
+func TestPeekLineHasNoLRUEffect(t *testing.T) {
+	r := newMRig(t)
+	r.load(0x3c0)
+	var data memaddr.LineData
+	data[2] = 9
+	r.grant(proto.MDataS, 0x3c0, data, true)
+	d, s := r.l1.PeekLine(0x3c0)
+	if s != S || d[2] != 9 {
+		t.Fatalf("peek = %v/%v", d[2], s)
+	}
+	if _, s := r.l1.PeekLine(0x9999c0); s != I {
+		t.Fatal("absent line not I")
+	}
+}

@@ -1,0 +1,169 @@
+// Package noc models the on-chip interconnect: a 2D-mesh-distance latency
+// model with per-endpoint link bandwidth serialization and per-class
+// traffic accounting.
+//
+// The model is deliberately simpler than a flit-level NoC simulator (the
+// paper used Garnet) but preserves the two effects the evaluation depends
+// on: (1) every message pays a distance-dependent latency, so hierarchical
+// indirection costs extra hops, and (2) endpoints have finite link
+// bandwidth, so protocols that move more bytes (line-granularity RfO,
+// invalidation storms) suffer queuing delay at high request rates.
+package noc
+
+import (
+	"fmt"
+
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// Handler receives delivered messages.
+type Handler interface {
+	HandleMessage(m *proto.Message)
+}
+
+// Config sets the interconnect timing parameters.
+type Config struct {
+	// HopLatency is the per-hop router+wire latency in ticks.
+	HopLatency sim.Time
+	// TicksPerByte is the inverse link bandwidth (serialization cost).
+	TicksPerByte sim.Time
+	// MeshWidth is the number of columns endpoints are laid out on.
+	MeshWidth int
+}
+
+// DefaultConfig: 2-cycle (1 ns) hops, 32 B/CPU-cycle links, 6-wide mesh.
+func DefaultConfig() Config {
+	return Config{HopLatency: 1000, TicksPerByte: 16, MeshWidth: 6}
+}
+
+type endpoint struct {
+	handler Handler
+	x, y    int
+	// egressFree / ingressFree are the times the endpoint's links become
+	// available; messages serialize through them in order.
+	egressFree  sim.Time
+	ingressFree sim.Time
+}
+
+// Network connects endpoints and delivers messages with modeled latency.
+// Delivery preserves point-to-point ordering: two messages with the same
+// source and destination arrive in send order (the property a mesh with
+// deterministic routing provides per virtual network, and which the
+// protocols' race handling assumes for grant-before-probe ordering).
+type Network struct {
+	eng      *sim.Engine
+	st       *stats.Stats
+	cfg      Config
+	eps      []endpoint
+	pairLast map[[2]proto.NodeID]sim.Time
+	trace    func(at sim.Time, m *proto.Message)
+}
+
+// New creates a network with n endpoints laid out row-major on the mesh.
+func New(eng *sim.Engine, st *stats.Stats, cfg Config, n int) *Network {
+	if cfg.MeshWidth <= 0 {
+		cfg.MeshWidth = 1
+	}
+	nw := &Network{eng: eng, st: st, cfg: cfg, eps: make([]endpoint, n),
+		pairLast: make(map[[2]proto.NodeID]sim.Time)}
+	for i := range nw.eps {
+		nw.eps[i].x = i % cfg.MeshWidth
+		nw.eps[i].y = i / cfg.MeshWidth
+	}
+	return nw
+}
+
+// Register attaches the handler for node id. Every node must be registered
+// before any message addressed to it is delivered.
+func (n *Network) Register(id proto.NodeID, h Handler) {
+	n.eps[id].handler = h
+}
+
+// SetTrace installs a callback invoked at each message's delivery time,
+// used by the protocol-trace example and the Figure 1 tests.
+func (n *Network) SetTrace(fn func(at sim.Time, m *proto.Message)) { n.trace = fn }
+
+// NumNodes returns the number of endpoints.
+func (n *Network) NumNodes() int { return len(n.eps) }
+
+func (n *Network) hops(a, b proto.NodeID) sim.Time {
+	ea, eb := &n.eps[a], &n.eps[b]
+	dx := ea.x - eb.x
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := ea.y - eb.y
+	if dy < 0 {
+		dy = -dy
+	}
+	return sim.Time(dx + dy + 1) // +1: local router traversal
+}
+
+// Port is a message sink that stamps the sender. L1 controllers send
+// through a Port so the same controller works attached directly to the
+// network (hierarchical configurations) or behind a translation unit
+// (Spandex configurations).
+type Port interface {
+	Send(m *proto.Message)
+}
+
+type directPort struct {
+	net *Network
+	id  proto.NodeID
+}
+
+func (p directPort) Send(m *proto.Message) {
+	m.Src = p.id
+	p.net.Send(m)
+}
+
+// PortFor returns a Port sending directly onto the network as node id.
+func (n *Network) PortFor(id proto.NodeID) Port { return directPort{net: n, id: id} }
+
+// Send queues m for delivery. The message is copied; callers may reuse the
+// struct. Traffic is accounted at send time.
+func (n *Network) Send(m *proto.Message) {
+	if m.Src < 0 || int(m.Src) >= len(n.eps) || m.Dst < 0 || int(m.Dst) >= len(n.eps) {
+		panic(fmt.Sprintf("noc: bad endpoints in %s", m))
+	}
+	cp := *m
+	size := cp.Bytes()
+	n.st.Traffic.Add(proto.ClassOf(cp.Type), size)
+
+	now := n.eng.Now()
+	ser := sim.Time(size) * n.cfg.TicksPerByte
+
+	src := &n.eps[cp.Src]
+	start := now
+	if src.egressFree > start {
+		start = src.egressFree
+	}
+	src.egressFree = start + ser
+
+	arrive := start + ser + n.cfg.HopLatency*n.hops(cp.Src, cp.Dst)
+
+	dst := &n.eps[cp.Dst]
+	deliver := arrive
+	if dst.ingressFree > deliver {
+		deliver = dst.ingressFree
+	}
+	pair := [2]proto.NodeID{cp.Src, cp.Dst}
+	if last := n.pairLast[pair]; deliver <= last {
+		deliver = last + 1
+	}
+	n.pairLast[pair] = deliver
+	dst.ingressFree = deliver + ser
+
+	n.eng.ScheduleAt(deliver, func() {
+		if n.trace != nil {
+			n.trace(n.eng.Now(), &cp)
+		}
+		h := n.eps[cp.Dst].handler
+		if h == nil {
+			panic(fmt.Sprintf("noc: no handler registered for node %d (msg %s)", cp.Dst, &cp))
+		}
+		h.HandleMessage(&cp)
+	})
+}

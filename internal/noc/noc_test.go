@@ -1,0 +1,172 @@
+package noc
+
+import (
+	"testing"
+
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+type recorder struct {
+	at   []sim.Time
+	msgs []proto.Message
+	eng  *sim.Engine
+}
+
+func (r *recorder) HandleMessage(m *proto.Message) {
+	r.at = append(r.at, r.eng.Now())
+	r.msgs = append(r.msgs, *m)
+}
+
+func setup(t *testing.T, n int, cfg Config) (*sim.Engine, *stats.Stats, *Network, []*recorder) {
+	t.Helper()
+	eng := sim.New()
+	st := stats.New()
+	nw := New(eng, st, cfg, n)
+	recs := make([]*recorder, n)
+	for i := range recs {
+		recs[i] = &recorder{eng: eng}
+		nw.Register(proto.NodeID(i), recs[i])
+	}
+	return eng, st, nw, recs
+}
+
+func TestDeliveryLatency(t *testing.T) {
+	cfg := Config{HopLatency: 100, TicksPerByte: 1, MeshWidth: 4}
+	eng, _, nw, recs := setup(t, 8, cfg)
+	m := &proto.Message{Type: proto.ReqV, Src: 0, Dst: 1, Line: 0x100, Mask: memaddr.FullMask}
+	// size = 16 header (full mask, no data); hops = |0-1|+|0-0|+1 = 2.
+	nw.Send(m)
+	eng.Run()
+	if len(recs[1].at) != 1 {
+		t.Fatalf("delivered %d messages", len(recs[1].at))
+	}
+	want := sim.Time(16*1 + 100*2)
+	if recs[1].at[0] != want {
+		t.Fatalf("delivery at %d, want %d", recs[1].at[0], want)
+	}
+}
+
+func TestEgressSerialization(t *testing.T) {
+	cfg := Config{HopLatency: 0, TicksPerByte: 10, MeshWidth: 4}
+	eng, _, nw, recs := setup(t, 4, cfg)
+	// Two 16-byte messages from node 0: second must wait for the first's
+	// serialization (160 ticks each). Hop latency zero isolates the effect
+	// except ingress also serializes; send to different destinations.
+	nw.Send(&proto.Message{Type: proto.ReqV, Src: 0, Dst: 1, Mask: memaddr.FullMask})
+	nw.Send(&proto.Message{Type: proto.ReqV, Src: 0, Dst: 2, Mask: memaddr.FullMask})
+	eng.Run()
+	if recs[1].at[0] != 160 {
+		t.Fatalf("first delivery at %d, want 160", recs[1].at[0])
+	}
+	if recs[2].at[0] != 320 {
+		t.Fatalf("second delivery at %d, want 320 (egress serialized)", recs[2].at[0])
+	}
+}
+
+func TestIngressSerialization(t *testing.T) {
+	cfg := Config{HopLatency: 0, TicksPerByte: 10, MeshWidth: 4}
+	eng, _, nw, recs := setup(t, 4, cfg)
+	nw.Send(&proto.Message{Type: proto.ReqV, Src: 0, Dst: 3, Mask: memaddr.FullMask})
+	nw.Send(&proto.Message{Type: proto.ReqV, Src: 1, Dst: 3, Mask: memaddr.FullMask})
+	eng.Run()
+	if len(recs[3].at) != 2 {
+		t.Fatalf("delivered %d", len(recs[3].at))
+	}
+	if recs[3].at[1] < recs[3].at[0]+160 {
+		t.Fatalf("ingress not serialized: %v", recs[3].at)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	eng, st, nw, _ := setup(t, 4, DefaultConfig())
+	var data memaddr.LineData
+	nw.Send(&proto.Message{Type: proto.ReqV, Src: 0, Dst: 1, Mask: memaddr.FullMask})
+	nw.Send(&proto.Message{Type: proto.RspV, Src: 1, Dst: 0, Mask: memaddr.FullMask, HasData: true, Data: data})
+	nw.Send(&proto.Message{Type: proto.Inv, Src: 1, Dst: 2, Mask: 0x1})
+	eng.Run()
+	if st.Traffic.Messages[proto.ClassReqV] != 2 {
+		t.Fatalf("ReqV msgs = %d", st.Traffic.Messages[proto.ClassReqV])
+	}
+	wantReqV := uint64(16 + 16 + 64) // header + (header+line data)
+	if st.Traffic.Bytes[proto.ClassReqV] != wantReqV {
+		t.Fatalf("ReqV bytes = %d, want %d", st.Traffic.Bytes[proto.ClassReqV], wantReqV)
+	}
+	// Partial-mask probe carries the 2-byte mask overhead.
+	if st.Traffic.Bytes[proto.ClassProbe] != 18 {
+		t.Fatalf("Probe bytes = %d, want 18", st.Traffic.Bytes[proto.ClassProbe])
+	}
+	if st.Traffic.TotalBytes(false) != wantReqV+18 {
+		t.Fatalf("total = %d", st.Traffic.TotalBytes(false))
+	}
+}
+
+func TestMessageCopied(t *testing.T) {
+	eng, _, nw, recs := setup(t, 2, DefaultConfig())
+	m := &proto.Message{Type: proto.ReqV, Src: 0, Dst: 1, Line: 0x40, Mask: 1}
+	nw.Send(m)
+	m.Line = 0xdead // mutation after Send must not affect delivery
+	eng.Run()
+	if recs[1].msgs[0].Line != 0x40 {
+		t.Fatal("message not copied at send time")
+	}
+}
+
+func TestPointToPointFIFO(t *testing.T) {
+	// A large message followed by a small one between the same pair must
+	// not be overtaken, even though the small one serializes faster.
+	cfg := Config{HopLatency: 10, TicksPerByte: 100, MeshWidth: 4}
+	eng, _, nw, recs := setup(t, 2, cfg)
+	var big memaddr.LineData
+	nw.Send(&proto.Message{Type: proto.RspV, Src: 0, Dst: 1,
+		Mask: memaddr.FullMask, HasData: true, Data: big})
+	nw.Send(&proto.Message{Type: proto.Inv, Src: 0, Dst: 1, Mask: 1})
+	eng.Run()
+	if len(recs[1].msgs) != 2 {
+		t.Fatalf("delivered %d", len(recs[1].msgs))
+	}
+	if recs[1].msgs[0].Type != proto.RspV || recs[1].msgs[1].Type != proto.Inv {
+		t.Fatalf("pair reordered: %v then %v", recs[1].msgs[0].Type, recs[1].msgs[1].Type)
+	}
+}
+
+func TestPortStampsSource(t *testing.T) {
+	eng, _, nw, recs := setup(t, 2, DefaultConfig())
+	p := nw.PortFor(0)
+	p.Send(&proto.Message{Type: proto.ReqV, Dst: 1, Mask: 1})
+	eng.Run()
+	if recs[1].msgs[0].Src != 0 {
+		t.Fatalf("src = %d", recs[1].msgs[0].Src)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []sim.Time {
+		eng, _, nw, recs := setup(t, 9, Config{HopLatency: 7, TicksPerByte: 3, MeshWidth: 3})
+		for i := 0; i < 50; i++ {
+			src := proto.NodeID(i % 9)
+			dst := proto.NodeID((i * 7) % 9)
+			if src == dst {
+				continue
+			}
+			nw.Send(&proto.Message{Type: proto.ReqWT, Src: src, Dst: dst, Mask: 1})
+		}
+		eng.Run()
+		var all []sim.Time
+		for _, r := range recs {
+			all = append(all, r.at...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic delivery count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic delivery times")
+		}
+	}
+}

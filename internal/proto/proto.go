@@ -1,0 +1,339 @@
+// Package proto defines the coherence message vocabulary shared by every
+// protocol controller in the repository.
+//
+// Two families coexist:
+//
+//   - The Spandex request interface (paper §III-A): ReqV, ReqS, ReqWT, ReqO,
+//     ReqWT+data, ReqO+data, ReqWB and their responses, plus the
+//     LLC-initiated probes RvkO and Inv. GPU-coherence and DeNovo L1
+//     controllers speak this vocabulary natively (paper Table II), both to a
+//     Spandex LLC and to the intermediate GPU L2 of the hierarchical
+//     baseline.
+//
+//   - MESI-native directory messages (GetS/GetM/PutM, Fwd*, Data*) used by
+//     MESI L1 caches and by the hierarchical MESI LLC baseline. Under a
+//     Spandex LLC these are translated by the per-device TU (paper §III-D).
+//
+// Every message type maps onto one traffic class so that network traffic can
+// be broken down exactly as in the paper's Figures 2 and 3 (each request
+// class includes its responses; "Probe" covers Inv and RvkO).
+package proto
+
+import (
+	"fmt"
+	"strings"
+
+	"spandex/internal/memaddr"
+)
+
+// NodeID identifies an endpoint on the interconnect (an L1 controller, the
+// GPU L2, the LLC, or memory).
+type NodeID int
+
+// None is the zero NodeID used when a field does not apply.
+const None NodeID = -1
+
+// MsgType enumerates every coherence message.
+type MsgType uint8
+
+const (
+	// --- Spandex device requests (paper §III-A) ---
+
+	// ReqV requests up-to-date data for a self-invalidated read miss.
+	ReqV MsgType = iota
+	// ReqS requests data plus Shared state (writer-invalidated read miss).
+	ReqS
+	// ReqWT writes through store data; no up-to-date data needed.
+	ReqWT
+	// ReqO requests ownership without data (store overwrites all of it).
+	ReqO
+	// ReqWTData performs an update operation at the LLC and returns the
+	// prior value (used for atomics performed at the LLC).
+	ReqWTData
+	// ReqOData requests ownership plus up-to-date data (RMW performed
+	// locally, or partial-line store from a line-granularity owner cache).
+	ReqOData
+	// ReqWB writes Owned data back to the LLC.
+	ReqWB
+
+	// --- Spandex responses ---
+
+	RspV
+	RspS
+	RspWT
+	RspO
+	RspWTData
+	RspOData
+	RspWB
+	// NackV rejects a forwarded ReqV whose presumed owner no longer owns
+	// the data (paper §III-C3). The requestor must retry.
+	NackV
+
+	// --- LLC-initiated probes (paper §III-B) ---
+
+	// RvkO revokes ownership and triggers a write-back.
+	RvkO
+	// RspRvkO answers RvkO, carrying data unless a racing write-back
+	// already supplied it.
+	RspRvkO
+	// Inv invalidates Shared data in a sharer device.
+	Inv
+	// InvAck answers Inv.
+	InvAck
+
+	// --- MESI-native messages (hierarchical baseline; TU-translated
+	// under Spandex) ---
+
+	MGetS    // read miss: request Shared
+	MGetM    // write miss / upgrade: request Modified
+	MPutM    // write back Modified (or clean-evict Exclusive) line
+	MFwdGetS // directory asks owner to supply data and downgrade to S
+	MFwdGetM // directory asks owner to supply data and invalidate
+	MInv     // directory invalidates a sharer
+	MInvAck  // sharer acknowledgment, collected at the directory
+	MDataS   // data grant in Shared state
+	MDataE   // data grant in Exclusive state (no other sharer existed)
+	MDataM   // data grant in Modified state
+	MAckWB   // directory acknowledgment of MPutM
+	MWBData  // owner's data sent to directory for FwdGetS/FwdGetM service
+
+	// --- Memory interface ---
+
+	MemRead    // LLC fetches a line from DRAM
+	MemReadRsp // DRAM data response
+	MemWrite   // LLC writes a line back to DRAM
+
+	numMsgTypes
+)
+
+var msgNames = [numMsgTypes]string{
+	ReqV: "ReqV", ReqS: "ReqS", ReqWT: "ReqWT", ReqO: "ReqO",
+	ReqWTData: "ReqWT+data", ReqOData: "ReqO+data", ReqWB: "ReqWB",
+	RspV: "RspV", RspS: "RspS", RspWT: "RspWT", RspO: "RspO",
+	RspWTData: "RspWT+data", RspOData: "RspO+data", RspWB: "RspWB",
+	NackV: "NackV",
+	RvkO:  "RvkO", RspRvkO: "RspRvkO", Inv: "Inv", InvAck: "InvAck",
+	MGetS: "GetS", MGetM: "GetM", MPutM: "PutM",
+	MFwdGetS: "FwdGetS", MFwdGetM: "FwdGetM", MInv: "Inv(M)",
+	MInvAck: "InvAck(M)", MDataS: "DataS", MDataE: "DataE", MDataM: "DataM",
+	MAckWB: "AckWB", MWBData: "WBData",
+	MemRead: "MemRead", MemReadRsp: "MemReadRsp", MemWrite: "MemWrite",
+}
+
+func (t MsgType) String() string {
+	if int(t) < len(msgNames) && msgNames[t] != "" {
+		return msgNames[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Class buckets message types for traffic accounting, matching the legend
+// of the paper's Figures 2 and 3. Each request class includes its
+// responses; ClassProbe covers Inv and RvkO (and MESI forwards); ClassAtomic
+// covers update operations performed at the LLC (ReqWT+data).
+type Class uint8
+
+const (
+	ClassReqV Class = iota
+	ClassReqS
+	ClassReqWT
+	ClassReqO
+	ClassReqWB
+	ClassProbe
+	ClassAtomic
+	ClassMem
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"ReqV", "ReqS", "ReqWT", "ReqO", "ReqWB", "Probe", "Atomic", "Mem",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// ClassOf maps a message type to its traffic class.
+func ClassOf(t MsgType) Class {
+	switch t {
+	case ReqV, RspV, NackV:
+		return ClassReqV
+	case ReqS, RspS, MGetS, MDataS, MDataE:
+		return ClassReqS
+	case ReqWT, RspWT:
+		return ClassReqWT
+	case ReqO, RspO, ReqOData, RspOData, MGetM, MDataM:
+		return ClassReqO
+	case ReqWB, RspWB, MPutM, MAckWB, MWBData:
+		return ClassReqWB
+	case RvkO, RspRvkO, Inv, InvAck, MFwdGetS, MFwdGetM, MInv, MInvAck:
+		return ClassProbe
+	case ReqWTData, RspWTData:
+		return ClassAtomic
+	case MemRead, MemReadRsp, MemWrite:
+		return ClassMem
+	}
+	panic("proto: unclassified message type " + t.String())
+}
+
+// AtomicKind selects the update operation a ReqWT+data performs at the LLC
+// (paper §III-A: "this request must specify the required update operation").
+type AtomicKind uint8
+
+const (
+	// AtomicNone: plain write-through of the carried data (used for
+	// sub-word stores that must not clobber the rest of the word).
+	AtomicNone AtomicKind = iota
+	// AtomicFetchAdd adds Operand to the word and returns the old value.
+	AtomicFetchAdd
+	// AtomicExchange stores Operand and returns the old value.
+	AtomicExchange
+	// AtomicCAS stores Operand if the word equals Compare; returns the
+	// old value either way.
+	AtomicCAS
+	// AtomicRead returns the current value without modifying it (an
+	// acquire load performed at the LLC, e.g. GPU flag polling).
+	AtomicRead
+	// AtomicMin stores min(word, Operand) and returns the old value.
+	AtomicMin
+	// AtomicByteMerge implements byte-granularity stores (paper §III-B:
+	// "Spandex requires byte granularity stores to use word granularity
+	// ReqWT+data or ReqO+data … to ensure non-modified data in the
+	// requested word remains up-to-date"): the word becomes
+	// (old &^ Compare) | (Operand & Compare), where Compare is the
+	// byte-lane bit mask.
+	AtomicByteMerge
+)
+
+func (k AtomicKind) String() string {
+	switch k {
+	case AtomicNone:
+		return "none"
+	case AtomicFetchAdd:
+		return "fetch-add"
+	case AtomicExchange:
+		return "exchange"
+	case AtomicCAS:
+		return "cas"
+	case AtomicRead:
+		return "read"
+	case AtomicMin:
+		return "min"
+	case AtomicByteMerge:
+		return "byte-merge"
+	}
+	return fmt.Sprintf("AtomicKind(%d)", uint8(k))
+}
+
+// Apply performs the update on old, returning the new value and whether the
+// word was actually modified.
+func (k AtomicKind) Apply(old, operand, compare uint32) (newVal uint32, wrote bool) {
+	switch k {
+	case AtomicNone, AtomicExchange:
+		return operand, true
+	case AtomicFetchAdd:
+		return old + operand, true
+	case AtomicCAS:
+		if old == compare {
+			return operand, true
+		}
+		return old, false
+	case AtomicRead:
+		return old, false
+	case AtomicMin:
+		if operand < old {
+			return operand, true
+		}
+		return old, false
+	case AtomicByteMerge:
+		return (old &^ compare) | (operand & compare), true
+	}
+	panic("proto: unknown atomic kind")
+}
+
+// Message is one coherence transaction hop on the interconnect.
+type Message struct {
+	Type MsgType
+	Src  NodeID // immediate sender
+	Dst  NodeID // immediate receiver
+
+	// Requestor is the device whose transaction this message belongs to.
+	// For forwarded requests it differs from Src; owners respond directly
+	// to Requestor (paper Fig. 1c/1d).
+	Requestor NodeID
+	// ReqID matches responses to the requestor's outstanding transaction.
+	ReqID uint64
+
+	Line memaddr.LineAddr
+	// Mask selects the words this message concerns. Line-granularity
+	// requests use memaddr.FullMask.
+	Mask memaddr.WordMask
+
+	// HasData marks messages that carry word data for the masked words.
+	HasData bool
+	Data    memaddr.LineData
+
+	// Atomic describes the update operation of a ReqWT+data.
+	Atomic  AtomicKind
+	Operand uint32
+	Compare uint32
+
+	// AckCount lets a directory tell a requestor how many MInvAcks to
+	// expect, and probes tell devices auxiliary counts where needed.
+	AckCount int
+}
+
+// Control/header overhead per message, in bytes: destination, type,
+// address, requestor, transaction id. The paper (§III-F) notes Spandex may
+// add at most one identifier bit; we charge identical headers to every
+// protocol.
+const headerBytes = 16
+
+// maskBytes is the multi-word request bitmask overhead (§III-F).
+const maskBytes = 2
+
+// Bytes returns the network payload size used for traffic accounting.
+func (m *Message) Bytes() int {
+	n := headerBytes
+	if m.Mask != memaddr.FullMask && m.Mask != 0 {
+		n += maskBytes
+	}
+	if m.HasData {
+		n += m.Mask.Bytes()
+	}
+	if m.Type == ReqWTData {
+		n += 8 // operand + compare
+	}
+	return n
+}
+
+func (m *Message) String() string {
+	name := m.Type.String()
+	if m.HasData && !strings.Contains(name, "+data") {
+		name += "+data"
+	}
+	return fmt.Sprintf("%s line=%#x mask=%#04x %d->%d (req %d#%d)",
+		name, uint64(m.Line), uint16(m.Mask), m.Src, m.Dst, m.Requestor, m.ReqID)
+}
+
+// Strategy describes a coherence strategy along the paper's three design
+// dimensions (Table I).
+type Strategy struct {
+	Name              string
+	StaleInvalidation string // "writer-invalidation" or "self-invalidation"
+	WritePropagation  string // "ownership" or "write-through"
+	LoadGranularity   string
+	StoreGranularity  string
+}
+
+// TableI reproduces the paper's Table I classification.
+func TableI() []Strategy {
+	return []Strategy{
+		{"MESI", "writer-invalidation", "ownership", "line", "line"},
+		{"GPU Coherence", "self-invalidation", "write-through", "line", "word"},
+		{"DeNovo", "self-invalidation", "ownership", "flexible", "word"},
+	}
+}

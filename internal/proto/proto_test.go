@@ -1,0 +1,175 @@
+package proto
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"spandex/internal/memaddr"
+)
+
+func TestEveryMessageTypeHasNameAndClass(t *testing.T) {
+	for mt := MsgType(0); mt < numMsgTypes; mt++ {
+		if s := mt.String(); s == "" || strings.HasPrefix(s, "MsgType(") {
+			t.Errorf("message type %d has no name", mt)
+		}
+		// ClassOf must not panic and must return a valid class.
+		if c := ClassOf(mt); c >= NumClasses {
+			t.Errorf("message type %v has invalid class %v", mt, c)
+		}
+	}
+}
+
+func TestClassPairing(t *testing.T) {
+	// Each request class includes its responses (the paper's Figure 2/3
+	// accounting convention).
+	pairs := [][2]MsgType{
+		{ReqV, RspV}, {ReqS, RspS}, {ReqWT, RspWT}, {ReqO, RspO},
+		{ReqWTData, RspWTData}, {ReqOData, RspOData}, {ReqWB, RspWB},
+		{RvkO, RspRvkO}, {Inv, InvAck},
+		{MGetS, MDataS}, {MGetM, MDataM}, {MPutM, MAckWB},
+		{MFwdGetS, MInvAck}, {MemRead, MemReadRsp},
+	}
+	for _, p := range pairs {
+		if ClassOf(p[0]) != ClassOf(p[1]) {
+			t.Errorf("%v (class %v) and %v (class %v) not paired",
+				p[0], ClassOf(p[0]), p[1], ClassOf(p[1]))
+		}
+	}
+	// MESI-native messages map onto the unified classes.
+	if ClassOf(MGetS) != ClassReqS || ClassOf(MGetM) != ClassReqO ||
+		ClassOf(MPutM) != ClassReqWB || ClassOf(MInv) != ClassProbe {
+		t.Error("MESI-native class mapping broken")
+	}
+	// Probes cover Inv and RvkO (paper: the "Probe" legend entry).
+	if ClassOf(Inv) != ClassProbe || ClassOf(RvkO) != ClassProbe {
+		t.Error("probe classification broken")
+	}
+}
+
+func TestAtomicApply(t *testing.T) {
+	cases := []struct {
+		kind         AtomicKind
+		old, op, cmp uint32
+		want         uint32
+		wrote        bool
+	}{
+		{AtomicNone, 5, 9, 0, 9, true},
+		{AtomicFetchAdd, 5, 3, 0, 8, true},
+		{AtomicFetchAdd, ^uint32(0), 1, 0, 0, true}, // wraps
+		{AtomicExchange, 5, 9, 0, 9, true},
+		{AtomicCAS, 5, 9, 5, 9, true},
+		{AtomicCAS, 5, 9, 4, 5, false},
+		{AtomicRead, 5, 9, 0, 5, false},
+		{AtomicMin, 5, 3, 0, 3, true},
+		{AtomicMin, 5, 7, 0, 5, false},
+	}
+	for _, c := range cases {
+		got, wrote := c.kind.Apply(c.old, c.op, c.cmp)
+		if got != c.want || wrote != c.wrote {
+			t.Errorf("%v.Apply(%d,%d,%d) = %d,%v want %d,%v",
+				c.kind, c.old, c.op, c.cmp, got, wrote, c.want, c.wrote)
+		}
+	}
+}
+
+func TestAtomicKindStrings(t *testing.T) {
+	for k := AtomicNone; k <= AtomicMin; k++ {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "AtomicKind(") {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestMessageBytes(t *testing.T) {
+	// Control message, full mask: header only.
+	m := &Message{Type: ReqV, Mask: memaddr.FullMask}
+	if m.Bytes() != 16 {
+		t.Errorf("full-mask control = %d bytes", m.Bytes())
+	}
+	// Partial mask adds the bitmask overhead (paper §III-F).
+	m = &Message{Type: ReqO, Mask: 0b11}
+	if m.Bytes() != 18 {
+		t.Errorf("partial-mask control = %d bytes", m.Bytes())
+	}
+	// Data adds 4 bytes per selected word.
+	m = &Message{Type: RspV, Mask: 0b1111, HasData: true}
+	if m.Bytes() != 16+2+16 {
+		t.Errorf("4-word data = %d bytes", m.Bytes())
+	}
+	// Full-line data: 64 bytes, no mask overhead.
+	m = &Message{Type: RspV, Mask: memaddr.FullMask, HasData: true}
+	if m.Bytes() != 16+64 {
+		t.Errorf("line data = %d bytes", m.Bytes())
+	}
+	// Atomic operations carry operand+compare.
+	m = &Message{Type: ReqWTData, Mask: 1, Atomic: AtomicFetchAdd}
+	if m.Bytes() != 16+2+8 {
+		t.Errorf("atomic = %d bytes", m.Bytes())
+	}
+}
+
+func TestMessageBytesMonotonicInMask(t *testing.T) {
+	f := func(mask uint16) bool {
+		if mask == 0 {
+			return true
+		}
+		m := &Message{Type: RspV, Mask: memaddr.WordMask(mask), HasData: true}
+		full := &Message{Type: RspV, Mask: memaddr.FullMask, HasData: true}
+		return m.Bytes() <= full.Bytes()+2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 3 {
+		t.Fatalf("Table I has %d rows", len(rows))
+	}
+	want := map[string][2]string{
+		"MESI":          {"writer-invalidation", "ownership"},
+		"GPU Coherence": {"self-invalidation", "write-through"},
+		"DeNovo":        {"self-invalidation", "ownership"},
+	}
+	for _, r := range rows {
+		w, ok := want[r.Name]
+		if !ok {
+			t.Errorf("unexpected strategy %q", r.Name)
+			continue
+		}
+		if r.StaleInvalidation != w[0] || r.WritePropagation != w[1] {
+			t.Errorf("%s: %s/%s, want %s/%s",
+				r.Name, r.StaleInvalidation, r.WritePropagation, w[0], w[1])
+		}
+	}
+	// Granularities per Table I.
+	for _, r := range rows {
+		switch r.Name {
+		case "MESI":
+			if r.LoadGranularity != "line" || r.StoreGranularity != "line" {
+				t.Error("MESI granularity wrong")
+			}
+		case "GPU Coherence":
+			if r.LoadGranularity != "line" || r.StoreGranularity != "word" {
+				t.Error("GPU coherence granularity wrong")
+			}
+		case "DeNovo":
+			if r.LoadGranularity != "flexible" || r.StoreGranularity != "word" {
+				t.Error("DeNovo granularity wrong")
+			}
+		}
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	m := &Message{Type: ReqWT, Src: 3, Dst: 24, Requestor: 3, ReqID: 7,
+		Line: 0x1000, Mask: 0b101, HasData: true}
+	s := m.String()
+	for _, frag := range []string{"ReqWT", "0x1000", "3->24", "#7"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All simulated components share one Engine. Time advances in integer ticks
+// (1 tick = 1 picosecond by convention; see the constants below). Events
+// scheduled for the same tick fire in the order they were scheduled, giving
+// fully deterministic, reproducible executions regardless of host platform.
+package sim
+
+import "container/heap"
+
+// Time is an absolute simulation time in ticks (picoseconds).
+type Time uint64
+
+// Common clock periods, in ticks.
+const (
+	// PsPerTick documents the tick unit: one picosecond.
+	PsPerTick = 1
+
+	// CPUCycle is the period of the 2 GHz CPU clock domain.
+	CPUCycle Time = 500
+
+	// GPUCycle is the period of the 700 MHz GPU clock domain
+	// (1/700MHz = 1428.57 ps, rounded to an integer tick count).
+	GPUCycle Time = 1429
+)
+
+// CPUCycles converts a CPU-cycle count into ticks.
+func CPUCycles(n uint64) Time { return Time(n) * CPUCycle }
+
+// GPUCycles converts a GPU-cycle count into ticks.
+func GPUCycles(n uint64) Time { return Time(n) * GPUCycle }
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: schedule order
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+// Engine is not safe for concurrent use; a simulation runs on one goroutine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// New returns a fresh Engine at time zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have been executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay ticks (possibly zero, meaning "later this
+// tick", after all callbacks already queued for the current tick).
+func (e *Engine) Schedule(delay Time, fn func()) {
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute time at. Scheduling in the past panics:
+// it always indicates a modeling bug.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		panic("sim: event scheduled in the past")
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// Step executes the single next event. It reports false if no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains, returning the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with time ≤ deadline. It reports whether the
+// queue drained (true) or the deadline stopped execution first (false).
+func (e *Engine) RunUntil(deadline Time) bool {
+	for len(e.events) > 0 {
+		if e.events[0].at > deadline {
+			e.now = deadline
+			return false
+		}
+		e.Step()
+	}
+	return true
+}

@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestSameTickFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-tick events reordered: order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := New()
+	var hits []Time
+	e.Schedule(10, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(5, func() { hits = append(hits, e.Now()) })
+		e.Schedule(0, func() { hits = append(hits, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 10, 15}
+	if len(hits) != len(want) {
+		t.Fatalf("hits = %v", hits)
+	}
+	for i := range want {
+		if hits[i] != want[i] {
+			t.Fatalf("hits = %v, want %v", hits, want)
+		}
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(5, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(10, func() { fired++ })
+	e.Schedule(20, func() { fired++ })
+	e.Schedule(30, func() { fired++ })
+	if e.RunUntil(20) {
+		t.Fatal("RunUntil reported drained with events pending")
+	}
+	if fired != 2 || e.Now() != 20 {
+		t.Fatalf("fired=%d now=%d", fired, e.Now())
+	}
+	if !e.RunUntil(1 << 40) {
+		t.Fatal("RunUntil should drain")
+	}
+	if fired != 3 {
+		t.Fatalf("fired=%d", fired)
+	}
+}
+
+// TestHeapProperty drives the engine with arbitrary delays and checks
+// events always fire in nondecreasing time order.
+func TestHeapProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := New()
+		var last Time
+		ok := true
+		for _, d := range delays {
+			e.Schedule(Time(d), func() {
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok && e.Fired() == uint64(len(delays))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockConversions(t *testing.T) {
+	if CPUCycles(4) != 2000 {
+		t.Fatalf("CPUCycles(4) = %d", CPUCycles(4))
+	}
+	if GPUCycles(2) != 2858 {
+		t.Fatalf("GPUCycles(2) = %d", GPUCycles(2))
+	}
+}

@@ -1,0 +1,91 @@
+// Package stats collects the measurements the paper reports: execution
+// time, network traffic broken down by request class (Figures 2 and 3),
+// and supporting protocol counters (blocking cycles, Nacks, cache hits).
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+)
+
+// Traffic accumulates bytes and message counts per traffic class.
+type Traffic struct {
+	Bytes    [proto.NumClasses]uint64
+	Messages [proto.NumClasses]uint64
+}
+
+// Add records one message of class c with the given payload size.
+func (t *Traffic) Add(c proto.Class, bytes int) {
+	t.Bytes[c] += uint64(bytes)
+	t.Messages[c]++
+}
+
+// TotalBytes returns total traffic across classes. If includeMem is false,
+// DRAM traffic is excluded (the paper reports interconnect traffic between
+// caches; memory traffic is broadly similar across configurations).
+func (t *Traffic) TotalBytes(includeMem bool) uint64 {
+	var sum uint64
+	for c := proto.Class(0); c < proto.NumClasses; c++ {
+		if !includeMem && c == proto.ClassMem {
+			continue
+		}
+		sum += t.Bytes[c]
+	}
+	return sum
+}
+
+// Stats is the per-run measurement sink shared by every component.
+type Stats struct {
+	Traffic Traffic
+
+	// ExecTime is the simulated time at which the workload finished.
+	ExecTime sim.Time
+
+	Counters map[string]uint64
+}
+
+// New returns an empty Stats.
+func New() *Stats {
+	return &Stats{Counters: make(map[string]uint64)}
+}
+
+// Inc adds n to a named counter (e.g. "llc.blocked", "tu.nack").
+func (s *Stats) Inc(name string, n uint64) {
+	s.Counters[name] += n
+}
+
+// Get returns a named counter's value.
+func (s *Stats) Get(name string) uint64 { return s.Counters[name] }
+
+// CounterNames returns all counter names in sorted order.
+func (s *Stats) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summary renders a human-readable report.
+func (s *Stats) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exec time: %.3f us\n", float64(s.ExecTime)/1e6)
+	fmt.Fprintf(&b, "network traffic (bytes):\n")
+	for c := proto.Class(0); c < proto.NumClasses; c++ {
+		if s.Traffic.Bytes[c] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-8s %12d bytes %10d msgs\n",
+			c, s.Traffic.Bytes[c], s.Traffic.Messages[c])
+	}
+	fmt.Fprintf(&b, "  %-8s %12d bytes (excl. mem)\n", "total", s.Traffic.TotalBytes(false))
+	for _, k := range s.CounterNames() {
+		fmt.Fprintf(&b, "  %-28s %12d\n", k, s.Counters[k])
+	}
+	return b.String()
+}

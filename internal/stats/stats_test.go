@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"spandex/internal/proto"
+)
+
+func TestTrafficAccumulation(t *testing.T) {
+	var tr Traffic
+	tr.Add(proto.ClassReqV, 80)
+	tr.Add(proto.ClassReqV, 16)
+	tr.Add(proto.ClassProbe, 18)
+	if tr.Bytes[proto.ClassReqV] != 96 || tr.Messages[proto.ClassReqV] != 2 {
+		t.Fatalf("ReqV = %d bytes / %d msgs", tr.Bytes[proto.ClassReqV], tr.Messages[proto.ClassReqV])
+	}
+	if tr.TotalBytes(true) != 114 {
+		t.Fatalf("total = %d", tr.TotalBytes(true))
+	}
+}
+
+func TestTotalBytesExcludesMem(t *testing.T) {
+	var tr Traffic
+	tr.Add(proto.ClassReqV, 100)
+	tr.Add(proto.ClassMem, 1000)
+	if tr.TotalBytes(false) != 100 {
+		t.Fatalf("excl-mem total = %d", tr.TotalBytes(false))
+	}
+	if tr.TotalBytes(true) != 1100 {
+		t.Fatalf("incl-mem total = %d", tr.TotalBytes(true))
+	}
+}
+
+func TestCounters(t *testing.T) {
+	s := New()
+	s.Inc("llc.miss", 3)
+	s.Inc("llc.miss", 2)
+	s.Inc("tu.probe", 1)
+	if s.Get("llc.miss") != 5 || s.Get("tu.probe") != 1 || s.Get("absent") != 0 {
+		t.Fatal("counter bookkeeping wrong")
+	}
+	names := s.CounterNames()
+	if len(names) != 2 || names[0] != "llc.miss" || names[1] != "tu.probe" {
+		t.Fatalf("names = %v (must be sorted)", names)
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	s := New()
+	s.ExecTime = 2_000_000 // 2 µs
+	s.Traffic.Add(proto.ClassReqO, 4096)
+	s.Inc("llc.forwards", 7)
+	out := s.Summary()
+	for _, frag := range []string{"exec time", "ReqO", "4096", "llc.forwards", "7"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, out)
+		}
+	}
+}

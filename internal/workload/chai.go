@@ -1,0 +1,268 @@
+package workload
+
+import (
+	"fmt"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+)
+
+// HSTI is Chai's input-partitioned histogram (paper §IV-B2): CPU threads
+// and GPU warps use fine-grained synchronization to pop image blocks from
+// a shared work queue and atomically update histogram bins. Input data has
+// low locality (streamed once); the atomics have high locality (a small,
+// hot bin array).
+type HSTI struct {
+	InputWords int
+	BlockWords int
+	Bins       int
+	CPUThreads int // Table VII: 4 CTs
+	GPUWarps   int // Table VII: 16 TBs
+}
+
+// DefaultHSTI returns the scaled-down evaluation size (input 1,572,864
+// scaled ~64x).
+func DefaultHSTI() *HSTI {
+	return &HSTI{InputWords: 24576, BlockWords: 256, Bins: 256, CPUThreads: 4, GPUWarps: 16}
+}
+
+// Meta implements Workload.
+func (w *HSTI) Meta() Meta {
+	return Meta{
+		Name:            "hsti",
+		Suite:           "Chai",
+		Pattern:         "shared work queue pop + atomic histogram bins",
+		Partitioning:    "data",
+		Synchronization: "fine-grain",
+		Sharing:         "flat",
+		Locality:        "data: low, atomic: high",
+		Params: fmt.Sprintf("input: %d words, block: %d, bins: %d",
+			w.InputWords, w.BlockWords, w.Bins),
+	}
+}
+
+// Build implements Workload.
+func (w *HSTI) Build(m Machine, seed uint64) *Program {
+	lay := NewLayout()
+	input := lay.Words(w.InputWords)
+	bins := lay.Words(w.Bins)
+	head := lay.Words(16)
+	nBlocks := w.InputWords / w.BlockWords
+
+	rng := NewRand(seed)
+	vals := make([]uint32, w.InputWords)
+	p := &Program{}
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(1 << 16))
+		p.Init = append(p.Init, WordInit{Word(input, i), vals[i]})
+	}
+
+	body := func(tid int) func(*Thread) {
+		return func(t *Thread) {
+			for {
+				// Pop the next block (fine-grained sync; acquire orders the
+				// input reads after any predecessor's release).
+				blk := t.FetchAdd(head, 1, true, false)
+				if int(blk) >= nBlocks {
+					return
+				}
+				base := int(blk) * w.BlockWords
+				for k := 0; k < w.BlockWords; k++ {
+					v := t.Load(Word(input, base+k))
+					bin := int(v) % w.Bins
+					t.FetchAdd(Word(bins, bin), 1, false, false)
+				}
+			}
+		}
+	}
+
+	cpus := w.CPUThreads
+	if cpus > m.CPUThreads {
+		cpus = m.CPUThreads
+	}
+	for i := 0; i < m.CPUThreads; i++ {
+		if i < cpus {
+			p.CPU = append(p.CPU, Go(body(i)))
+		} else {
+			p.CPU = append(p.CPU, nil)
+		}
+	}
+	gw := 0
+	gpuWarps := w.GPUWarps
+	if max := m.GPUCUs * m.WarpsPerCU; gpuWarps > max {
+		gpuWarps = max
+	}
+	for cu := 0; cu < m.GPUCUs && gw < gpuWarps; cu++ {
+		var warps []device.OpStream
+		for wp := 0; wp < m.WarpsPerCU && gw < gpuWarps; wp++ {
+			warps = append(warps, Go(body(cpus+gw)))
+			gw++
+		}
+		p.GPU = append(p.GPU, warps)
+	}
+
+	p.Validate = func(read func(memaddr.Addr) uint32) error {
+		want := make([]uint32, w.Bins)
+		for _, v := range vals {
+			want[int(v)%w.Bins]++
+		}
+		for b := 0; b < w.Bins; b++ {
+			if got := read(Word(bins, b)); got != want[b] {
+				return fmt.Errorf("hsti: bin %d = %d, want %d", b, got, want[b])
+			}
+		}
+		if got := read(head); int(got) < nBlocks {
+			return fmt.Errorf("hsti: queue head = %d, want ≥ %d", got, nBlocks)
+		}
+		return nil
+	}
+	return p
+}
+
+// TRNS is Chai's in-place matrix transposition (paper §IV-B2): threads pop
+// block-pair tasks and use fine-grained CPU-GPU synchronization (per-block
+// locks) to arbitrate conflicting reads and writes of matrix blocks. Both
+// the data and the lock atomics have low locality — the case where
+// word-granularity DeNovo ownership avoids false sharing on the packed
+// lock array.
+type TRNS struct {
+	Dim      int // matrix dimension in words
+	Block    int // block edge in words
+	GPUWarps int // Table VII: 8 TBs
+	CPUs     int // Table VII: 8 CTs
+}
+
+// DefaultTRNS returns the scaled-down evaluation size (64x4096 input
+// reshaped to a square blocked matrix).
+func DefaultTRNS() *TRNS { return &TRNS{Dim: 96, Block: 8, GPUWarps: 8, CPUs: 8} }
+
+// Meta implements Workload.
+func (w *TRNS) Meta() Meta {
+	return Meta{
+		Name:            "trns",
+		Suite:           "Chai",
+		Pattern:         "lock-arbitrated in-place block transposition",
+		Partitioning:    "data",
+		Synchronization: "fine-grain",
+		Sharing:         "flat",
+		Locality:        "low",
+		Params: fmt.Sprintf("matrix: %dx%d words, block: %dx%d",
+			w.Dim, w.Dim, w.Block, w.Block),
+	}
+}
+
+// Build implements Workload.
+func (w *TRNS) Build(m Machine, seed uint64) *Program {
+	lay := NewLayout()
+	n := w.Dim
+	nb := n / w.Block
+	mat := lay.Words(n * n)
+	locks := lay.Words(nb * nb)
+	taskCtr := lay.Words(16)
+
+	// Task list: upper-triangle block pairs plus diagonal blocks.
+	type task struct{ bi, bj int }
+	var tasks []task
+	for i := 0; i < nb; i++ {
+		for j := i; j < nb; j++ {
+			tasks = append(tasks, task{i, j})
+		}
+	}
+
+	p := &Program{}
+	rng := NewRand(seed)
+	init := make([]uint32, n*n)
+	for i := range init {
+		init[i] = rng.U32()
+		p.Init = append(p.Init, WordInit{Word(mat, i), init[i]})
+	}
+
+	at := func(r, c int) memaddr.Addr { return Word(mat, r*n+c) }
+	lockOf := func(bi, bj int) memaddr.Addr { return Word(locks, bi*nb+bj) }
+
+	body := func(tid int) func(*Thread) {
+		return func(t *Thread) {
+			for {
+				k := t.FetchAdd(taskCtr, 1, true, false)
+				if int(k) >= len(tasks) {
+					return
+				}
+				tk := tasks[k]
+				r0, c0 := tk.bi*w.Block, tk.bj*w.Block
+				// Lock both blocks in canonical order (fine-grained
+				// arbitration of conflicting blocks, paper §IV-B2).
+				first, second := lockOf(tk.bi, tk.bj), lockOf(tk.bj, tk.bi)
+				for t.CAS(first, 0, 1, true, false) != 0 {
+					t.Compute(64)
+				}
+				if tk.bi != tk.bj {
+					for t.CAS(second, 0, 1, true, false) != 0 {
+						t.Compute(64)
+					}
+				}
+				// Swap-transpose the pair.
+				for r := 0; r < w.Block; r++ {
+					for c := 0; c < w.Block; c++ {
+						if tk.bi == tk.bj && c <= r {
+							continue
+						}
+						a := at(r0+r, c0+c)
+						b := at(c0+c, r0+r)
+						va := t.Load(a)
+						vb := t.Load(b)
+						t.Store(a, vb)
+						t.Store(b, va)
+					}
+				}
+				// Unlock (release: the swapped data becomes visible).
+				t.AtomicStore(first, 0, true)
+				if tk.bi != tk.bj {
+					t.AtomicStore(second, 0, true)
+				}
+			}
+		}
+	}
+
+	cpus := w.CPUs
+	if cpus > m.CPUThreads {
+		cpus = m.CPUThreads
+	}
+	for i := 0; i < m.CPUThreads; i++ {
+		if i < cpus {
+			p.CPU = append(p.CPU, Go(body(i)))
+		} else {
+			p.CPU = append(p.CPU, nil)
+		}
+	}
+	gw := 0
+	gpuWarps := w.GPUWarps
+	if max := m.GPUCUs * m.WarpsPerCU; gpuWarps > max {
+		gpuWarps = max
+	}
+	for cu := 0; cu < m.GPUCUs && gw < gpuWarps; cu++ {
+		var warps []device.OpStream
+		for wp := 0; wp < m.WarpsPerCU && gw < gpuWarps; wp++ {
+			warps = append(warps, Go(body(cpus+gw)))
+			gw++
+		}
+		p.GPU = append(p.GPU, warps)
+	}
+
+	p.Validate = func(read func(memaddr.Addr) uint32) error {
+		for r := 0; r < n; r += 5 {
+			for c := 0; c < n; c += 3 {
+				want := init[c*n+r]
+				if got := read(at(r, c)); got != want {
+					return fmt.Errorf("trns: [%d][%d] = %#x, want %#x (transpose)", r, c, got, want)
+				}
+			}
+		}
+		return nil
+	}
+	return p
+}
+
+func init() {
+	Register(DefaultHSTI())
+	Register(DefaultTRNS())
+}

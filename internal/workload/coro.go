@@ -1,0 +1,232 @@
+// Package workload defines the benchmark programs the paper evaluates:
+// three synthetic microbenchmarks (Indirection, ReuseO, ReuseS), six
+// collaborative CPU-GPU applications from Pannotia and Chai (BC, PR, HSTI,
+// TRNS, RSCT, TQH), and the DRF litmus programs used for correctness
+// testing. Programs are expressed as imperative thread bodies executed as
+// coroutines; each memory operation's result flows back into the body, so
+// programs can pop work queues, spin on flags, and branch on loaded data
+// exactly like the original applications.
+package workload
+
+import (
+	"runtime"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+// coroStream adapts a thread body running on its own goroutine into a
+// device.OpStream. The handshake is strictly synchronous (unbuffered
+// channels, one outstanding exchange), so simulations remain deterministic.
+type coroStream struct {
+	ops     chan device.Op
+	results chan device.OpResult
+	quit    chan struct{}
+	started bool
+	done    bool
+}
+
+// Thread is the handle a body uses to issue operations.
+type Thread struct {
+	s *coroStream
+	// BackoffBase and BackoffCap bound the compute delay between failed
+	// spin polls, in device cycles.
+	BackoffBase uint32
+	BackoffCap  uint32
+
+	// regionLo/regionHi, when set, tag every acquire with a DeNovo region
+	// hint (§II-C): caches that support regions invalidate only that
+	// range at the acquire.
+	regionLo, regionHi memaddr.Addr
+}
+
+// SetAcquireRegion restricts subsequent acquires' self-invalidation to
+// [lo, hi) on region-capable caches (DeNovo regions, paper §II-C). Other
+// caches ignore the hint. Call ClearAcquireRegion to restore full flashes.
+func (t *Thread) SetAcquireRegion(lo, hi memaddr.Addr) {
+	t.regionLo, t.regionHi = lo, hi
+}
+
+// ClearAcquireRegion restores full-cache acquire flashes.
+func (t *Thread) ClearAcquireRegion() { t.regionLo, t.regionHi = 0, 0 }
+
+// Go runs body as a coroutine and returns its operation stream. The
+// returned stream must be driven to completion or closed via its owner's
+// cleanup (see Program.Close); abandoned bodies exit when quit closes.
+func Go(body func(t *Thread)) device.OpStream {
+	s := &coroStream{
+		ops:     make(chan device.Op),
+		results: make(chan device.OpResult),
+		quit:    make(chan struct{}),
+	}
+	t := &Thread{s: s, BackoffBase: 64, BackoffCap: 1024}
+	go func() {
+		defer close(s.ops)
+		body(t)
+	}()
+	return s
+}
+
+// Next implements device.OpStream.
+func (s *coroStream) Next(prev device.OpResult) (device.Op, bool) {
+	if s.done {
+		return device.Op{}, false
+	}
+	if s.started {
+		s.results <- prev
+	}
+	s.started = true
+	op, ok := <-s.ops
+	if !ok {
+		s.done = true
+	}
+	return op, ok
+}
+
+// Close releases the body goroutine if it is still blocked mid-exchange.
+func (s *coroStream) Close() {
+	if s.done {
+		return
+	}
+	close(s.quit)
+	// Unblock a body waiting for its result.
+	select {
+	case op, ok := <-s.ops:
+		_ = op
+		_ = ok
+	default:
+	}
+	s.done = true
+}
+
+// do issues one operation and blocks the body until its result arrives.
+func (t *Thread) do(op device.Op) device.OpResult {
+	if op.Acq && t.regionHi > t.regionLo {
+		op.RegionLo, op.RegionHi = t.regionLo, t.regionHi
+	}
+	select {
+	case t.s.ops <- op:
+	case <-t.s.quit:
+		runtime.Goexit()
+	}
+	select {
+	case r := <-t.s.results:
+		return r
+	case <-t.s.quit:
+		runtime.Goexit()
+	}
+	panic("unreachable")
+}
+
+// Load reads a word.
+func (t *Thread) Load(addr memaddr.Addr) uint32 {
+	return t.do(device.Op{Kind: device.OpLoad, Addr: addr}).Value
+}
+
+// Store writes a word (completes into the store buffer).
+func (t *Thread) Store(addr memaddr.Addr, v uint32) {
+	t.do(device.Op{Kind: device.OpStore, Addr: addr, Value: v})
+}
+
+// StoreByte writes one byte of a word (lane 0-3). The protocols perform it
+// as a word-granularity read-modify-write (ReqWT+data or ReqO+data) so the
+// other bytes stay up-to-date (paper §III-B).
+func (t *Thread) StoreByte(addr memaddr.Addr, lane int, v uint8) {
+	t.do(device.Op{Kind: device.OpStore, Addr: addr,
+		Value: uint32(v) << (8 * lane), ByteMask: 1 << lane})
+}
+
+// Compute burns n device cycles.
+func (t *Thread) Compute(n uint32) {
+	if n == 0 {
+		return
+	}
+	t.do(device.Op{Kind: device.OpCompute, Cycles: n})
+}
+
+// FetchAdd atomically adds delta, returning the prior value.
+func (t *Thread) FetchAdd(addr memaddr.Addr, delta uint32, acq, rel bool) uint32 {
+	return t.do(device.Op{Kind: device.OpAtomic, Addr: addr,
+		Atomic: proto.AtomicFetchAdd, Value: delta, Acq: acq, Rel: rel}).Value
+}
+
+// AtomicRead reads a word with synchronization semantics (performed
+// through the protocol's atomic path, so it observes remote updates).
+func (t *Thread) AtomicRead(addr memaddr.Addr, acq bool) uint32 {
+	return t.do(device.Op{Kind: device.OpAtomic, Addr: addr,
+		Atomic: proto.AtomicRead, Acq: acq}).Value
+}
+
+// AtomicStore publishes a value with optional release semantics.
+func (t *Thread) AtomicStore(addr memaddr.Addr, v uint32, rel bool) {
+	t.do(device.Op{Kind: device.OpAtomic, Addr: addr,
+		Atomic: proto.AtomicExchange, Value: v, Rel: rel})
+}
+
+// CAS performs a compare-and-swap, returning the prior value.
+func (t *Thread) CAS(addr memaddr.Addr, old, new uint32, acq, rel bool) uint32 {
+	return t.do(device.Op{Kind: device.OpAtomic, Addr: addr,
+		Atomic: proto.AtomicCAS, Compare: old, Value: new, Acq: acq, Rel: rel}).Value
+}
+
+// Fence orders prior/later operations (release drains the store buffer;
+// acquire self-invalidates stale Valid data).
+func (t *Thread) Fence(acq, rel bool) {
+	t.do(device.Op{Kind: device.OpFence, Acq: acq, Rel: rel})
+}
+
+// SpinUntilGE polls addr (acquire) until its value is ≥ target, with
+// exponential backoff, and returns the observed value.
+func (t *Thread) SpinUntilGE(addr memaddr.Addr, target uint32) uint32 {
+	backoff := t.BackoffBase
+	for {
+		v := t.AtomicRead(addr, true)
+		if v >= target {
+			return v
+		}
+		t.Compute(backoff)
+		if backoff < t.BackoffCap {
+			backoff *= 2
+		}
+	}
+}
+
+// SpinWhileEQ polls addr (acquire) while it equals v, returning the first
+// different value.
+func (t *Thread) SpinWhileEQ(addr memaddr.Addr, v uint32) uint32 {
+	backoff := t.BackoffBase
+	for {
+		cur := t.AtomicRead(addr, true)
+		if cur != v {
+			return cur
+		}
+		t.Compute(backoff)
+		if backoff < t.BackoffCap {
+			backoff *= 2
+		}
+	}
+}
+
+// Barrier is a sense-reversing barrier over two words in memory.
+type Barrier struct {
+	Counter memaddr.Addr
+	Gen     memaddr.Addr
+	N       uint32
+}
+
+// Wait joins the barrier: release semantics on entry (prior writes become
+// visible), acquire semantics on exit (stale data is invalidated).
+func (t *Thread) Wait(b Barrier) {
+	gen := t.AtomicRead(b.Gen, false)
+	arrived := t.FetchAdd(b.Counter, 1, false, true)
+	if arrived == b.N-1 {
+		// Last arrival resets the counter and releases the next
+		// generation.
+		t.AtomicStore(b.Counter, 0, false)
+		t.AtomicStore(b.Gen, gen+1, true)
+		t.Fence(true, false)
+		return
+	}
+	t.SpinUntilGE(b.Gen, gen+1)
+}

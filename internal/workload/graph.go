@@ -1,0 +1,313 @@
+package workload
+
+import (
+	"fmt"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+)
+
+// Graph is a synthetic directed graph in CSR-like form. The generator uses
+// preferential attachment, giving the skewed (power-law) degree
+// distribution of the paper's real road/mesh inputs' hub structure — the
+// property BC's atomic locality and PR's irregular pulls depend on
+// (substitute for the olesnik and wing inputs; see DESIGN.md §2).
+type Graph struct {
+	V     int
+	Edges [][]int32 // Edges[u] = out-neighbors of u
+	InDeg []int32
+}
+
+// GenGraph builds a graph with v vertices and roughly e edges.
+func GenGraph(v, e int, rng *Rand) *Graph {
+	g := &Graph{V: v, Edges: make([][]int32, v), InDeg: make([]int32, v)}
+	// targets is a repeated-endpoint pool implementing preferential
+	// attachment: vertices appear once plus once per received edge.
+	targets := make([]int32, 0, v+e)
+	for u := 0; u < v; u++ {
+		targets = append(targets, int32(u))
+	}
+	perEdge := e / v
+	if perEdge < 1 {
+		perEdge = 1
+	}
+	for u := 0; u < v; u++ {
+		for k := 0; k < perEdge; k++ {
+			t := targets[rng.Intn(len(targets))]
+			if int(t) == u {
+				t = int32((u + 1) % v)
+			}
+			g.Edges[u] = append(g.Edges[u], t)
+			g.InDeg[t]++
+			targets = append(targets, t)
+		}
+	}
+	return g
+}
+
+// GenLocalGraph builds a mesh-like graph: most edges stay within a window
+// of their source (as in the paper's olesnik finite-element mesh), with a
+// small fraction crossing to arbitrary vertices. Partitioned by contiguous
+// vertex ranges, a thread's pushes then land mostly in its own partition —
+// the high atomic temporal locality BC exploits.
+func GenLocalGraph(v, e, window int, crossPct int, rng *Rand) *Graph {
+	g := &Graph{V: v, Edges: make([][]int32, v), InDeg: make([]int32, v)}
+	perEdge := e / v
+	if perEdge < 1 {
+		perEdge = 1
+	}
+	for u := 0; u < v; u++ {
+		for k := 0; k < perEdge; k++ {
+			var t int
+			if rng.Intn(100) < crossPct {
+				t = rng.Intn(v)
+			} else {
+				t = u - window/2 + rng.Intn(window)
+				if t < 0 {
+					t += v
+				}
+				if t >= v {
+					t -= v
+				}
+			}
+			if t == u {
+				t = (u + 1) % v
+			}
+			g.Edges[u] = append(g.Edges[u], int32(t))
+			g.InDeg[t]++
+		}
+	}
+	return g
+}
+
+// partition slices [0,n) into near-equal chunks for each of parts workers.
+func partition(n, parts, who int) (lo, hi int) {
+	per := n / parts
+	lo = who * per
+	hi = lo + per
+	if who == parts-1 {
+		hi = n
+	}
+	return
+}
+
+// BC is Pannotia's push-based Betweenness Centrality kernel (paper
+// §IV-B2): each thread walks its assigned vertices and atomically updates
+// every out-neighbor. Multiple threads may push to the same neighbor, so
+// the updates use atomics — and on power-law graphs the hub vertices
+// receive most of them, giving the atomics high temporal locality. That is
+// the property DeNovo GPU caches exploit with owned atomics.
+type BC struct {
+	V, E  int
+	Iters int
+	// GPUWarps limits GPU participation (Table VII: 64 TBs).
+	GPUWarps int
+}
+
+// DefaultBC returns the scaled-down evaluation size (olesnik: 88k vertices
+// 243k edges, scaled ~32x down).
+func DefaultBC() *BC { return &BC{V: 3072, E: 9216, Iters: 3, GPUWarps: 64} }
+
+// Meta implements Workload.
+func (w *BC) Meta() Meta {
+	return Meta{
+		Name:            "bc",
+		Suite:           "Pannotia",
+		Pattern:         "push-based graph updates via atomics",
+		Partitioning:    "data",
+		Synchronization: "fine-grain",
+		Sharing:         "flat",
+		Locality:        "high (atomics concentrate on hub vertices)",
+		Params:          fmt.Sprintf("synthetic power-law graph: %d vertices, ~%d edges, %d iterations", w.V, w.E, w.Iters),
+	}
+}
+
+// Build implements Workload.
+func (w *BC) Build(m Machine, seed uint64) *Program {
+	rng := NewRand(seed)
+	// Mesh-like input (olesnik is a finite-element mesh): pushes land
+	// mostly within the pushing thread's own vertex range, repeatedly —
+	// the high atomic temporal locality of §V-B.
+	g := GenLocalGraph(w.V, w.E, 12, 6, rng)
+	lay := NewLayout()
+	val := lay.Words(w.V)   // atomically updated centrality accumulators
+	depth := lay.Words(w.V) // per-vertex data read by its owner
+
+	gpuWarps := w.GPUWarps
+	if max := m.GPUCUs * m.WarpsPerCU; gpuWarps > max {
+		gpuWarps = max
+	}
+	nThr := m.CPUThreads + gpuWarps
+	bar := Barrier{Counter: lay.Words(16), Gen: lay.Words(16), N: uint32(nThr)}
+
+	p := &Program{}
+	for u := 0; u < w.V; u++ {
+		p.Init = append(p.Init, WordInit{Word(depth, u), uint32(u%7 + 1)})
+	}
+
+	body := func(tid int) func(*Thread) {
+		lo, hi := partition(w.V, nThr, tid)
+		return func(t *Thread) {
+			for it := 0; it < w.Iters; it++ {
+				for u := lo; u < hi; u++ {
+					d := t.Load(Word(depth, u))
+					for _, v := range g.Edges[u] {
+						t.FetchAdd(Word(val, int(v)), d, false, false)
+					}
+				}
+				t.Wait(bar)
+			}
+		}
+	}
+
+	for i := 0; i < m.CPUThreads; i++ {
+		p.CPU = append(p.CPU, Go(body(i)))
+	}
+	gw := 0
+	for cu := 0; cu < m.GPUCUs && gw < gpuWarps; cu++ {
+		var warps []device.OpStream
+		for wp := 0; wp < m.WarpsPerCU && gw < gpuWarps; wp++ {
+			warps = append(warps, Go(body(m.CPUThreads+gw)))
+			gw++
+		}
+		p.GPU = append(p.GPU, warps)
+	}
+
+	p.Validate = func(read func(memaddr.Addr) uint32) error {
+		// Expected: val[v] = Iters * Σ_{u→v} depth(u).
+		want := make([]uint32, w.V)
+		for u := 0; u < w.V; u++ {
+			d := uint32(u%7 + 1)
+			for _, v := range g.Edges[u] {
+				want[v] += d
+			}
+		}
+		for v := 0; v < w.V; v += 3 {
+			exp := want[v] * uint32(w.Iters)
+			if got := read(Word(val, v)); got != exp {
+				return fmt.Errorf("bc: val[%d] = %d, want %d", v, got, exp)
+			}
+		}
+		return nil
+	}
+	return p
+}
+
+// PR is Pannotia's pull-based PageRank kernel (paper §IV-B2): each thread
+// reads the ranks of its vertices' in-neighbors with plain loads and
+// writes only its own vertices, so no atomics are needed on the data. The
+// irregular pulls make the workload memory-throughput bound: what matters
+// is how cheaply a read miss traverses the memory system, which is where
+// the flat Spandex LLC beats hierarchical indirection.
+type PR struct {
+	V, E     int
+	Iters    int
+	GPUWarps int // Table VII: 8 TBs
+}
+
+// DefaultPR returns the scaled-down evaluation size (wing: 62k vertices
+// 402k edges, scaled down; denser than BC to stress throughput).
+func DefaultPR() *PR { return &PR{V: 2048, E: 16384, Iters: 3, GPUWarps: 8} }
+
+// Meta implements Workload.
+func (w *PR) Meta() Meta {
+	return Meta{
+		Name:            "pr",
+		Suite:           "Pannotia",
+		Pattern:         "pull-based rank propagation via plain loads",
+		Partitioning:    "data",
+		Synchronization: "coarse-grain",
+		Sharing:         "flat",
+		Locality:        "moderate",
+		Params:          fmt.Sprintf("synthetic power-law graph: %d vertices, ~%d edges, %d iterations", w.V, w.E, w.Iters),
+	}
+}
+
+// Build implements Workload.
+func (w *PR) Build(m Machine, seed uint64) *Program {
+	rng := NewRand(seed)
+	g := GenGraph(w.V, w.E, rng)
+	// Reverse adjacency for pulls.
+	in := make([][]int32, w.V)
+	for u := 0; u < w.V; u++ {
+		for _, v := range g.Edges[u] {
+			in[v] = append(in[v], int32(u))
+		}
+	}
+	lay := NewLayout()
+	// Two rank arrays, ping-pong per iteration.
+	rank := [2]memaddr.Addr{lay.Words(w.V), lay.Words(w.V)}
+
+	gpuWarps := w.GPUWarps
+	if max := m.GPUCUs * m.WarpsPerCU; gpuWarps > max {
+		gpuWarps = max
+	}
+	nThr := m.CPUThreads + gpuWarps
+	bar := Barrier{Counter: lay.Words(16), Gen: lay.Words(16), N: uint32(nThr)}
+
+	p := &Program{}
+	for v := 0; v < w.V; v++ {
+		p.Init = append(p.Init, WordInit{Word(rank[0], v), uint32(v%13 + 1)})
+	}
+
+	body := func(tid int) func(*Thread) {
+		lo, hi := partition(w.V, nThr, tid)
+		return func(t *Thread) {
+			for it := 0; it < w.Iters; it++ {
+				src, dst := rank[it%2], rank[(it+1)%2]
+				for v := lo; v < hi; v++ {
+					var sum uint32
+					for _, u := range in[v] {
+						sum += t.Load(Word(src, int(u)))
+					}
+					t.Store(Word(dst, v), sum/2+1)
+				}
+				t.Wait(bar)
+			}
+		}
+	}
+
+	for i := 0; i < m.CPUThreads; i++ {
+		p.CPU = append(p.CPU, Go(body(i)))
+	}
+	gw := 0
+	for cu := 0; cu < m.GPUCUs && gw < gpuWarps; cu++ {
+		var warps []device.OpStream
+		for wp := 0; wp < m.WarpsPerCU && gw < gpuWarps; wp++ {
+			warps = append(warps, Go(body(m.CPUThreads+gw)))
+			gw++
+		}
+		p.GPU = append(p.GPU, warps)
+	}
+
+	p.Validate = func(read func(memaddr.Addr) uint32) error {
+		cur := make([]uint32, w.V)
+		next := make([]uint32, w.V)
+		for v := range cur {
+			cur[v] = uint32(v%13 + 1)
+		}
+		for it := 0; it < w.Iters; it++ {
+			for v := 0; v < w.V; v++ {
+				var sum uint32
+				for _, u := range in[v] {
+					sum += cur[u]
+				}
+				next[v] = sum/2 + 1
+			}
+			cur, next = next, cur
+		}
+		final := rank[w.Iters%2]
+		for v := 0; v < w.V; v += 3 {
+			if got := read(Word(final, v)); got != cur[v] {
+				return fmt.Errorf("pr: rank[%d] = %d, want %d", v, got, cur[v])
+			}
+		}
+		return nil
+	}
+	return p
+}
+
+func init() {
+	Register(DefaultBC())
+	Register(DefaultPR())
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"fmt"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+)
+
+// Litmus is a randomized DRF conformance program: every thread writes a
+// private slice of a shared array in phases separated by global barriers;
+// after each barrier every thread reads a pseudo-random sample of other
+// threads' previous-phase writes and asserts the exact values. Any stale
+// read — a self-invalidation, write-propagation, or ordering bug in any
+// protocol — fails immediately inside the generator. It is not part of the
+// paper's evaluation; it exists to validate SC-for-DRF (paper §III-E)
+// across every cache configuration.
+type Litmus struct {
+	Phases      int
+	WordsPerThr int
+	ReadsPerThr int
+}
+
+// DefaultLitmus returns a moderately sized conformance run.
+func DefaultLitmus() *Litmus {
+	return &Litmus{Phases: 4, WordsPerThr: 24, ReadsPerThr: 16}
+}
+
+// Meta implements Workload.
+func (l *Litmus) Meta() Meta {
+	return Meta{
+		Name:  "litmus",
+		Suite: "Conformance",
+		Pattern: "all-to-all barrier phases; exact-value checks on every " +
+			"cross-thread read (SC-for-DRF oracle)",
+		Partitioning:    "data",
+		Synchronization: "coarse-grain (global barriers)",
+		Sharing:         "flat",
+		Locality:        "low",
+		Params: fmt.Sprintf("phases: %d, words/thread: %d, reads/thread: %d",
+			l.Phases, l.WordsPerThr, l.ReadsPerThr),
+	}
+}
+
+// value encodes (thread, phase, word) into a unique token.
+func litmusValue(thread uint32, phase, word int) uint32 {
+	return thread<<20 | uint32(phase)<<10 | (uint32(word) + 1)
+}
+
+// Build implements Workload.
+func (l *Litmus) Build(m Machine, seed uint64) *Program {
+	lay := NewLayout()
+	nThr := int(m.TotalThreads())
+	data := lay.Words(nThr * l.WordsPerThr)
+	barrier := Barrier{Counter: lay.Words(16), Gen: lay.Words(16), N: uint32(nThr)}
+	atomics := lay.Words(nThr) // one contended counter lane per thread
+
+	errs := make(chan error, nThr)
+	failed := func(format string, args ...interface{}) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	body := func(tid int, rng *Rand) func(t *Thread) {
+		return func(t *Thread) {
+			mine := Word(data, tid*l.WordsPerThr)
+			for phase := 0; phase < l.Phases; phase++ {
+				// Write this phase's tokens.
+				for w := 0; w < l.WordsPerThr; w++ {
+					t.Store(Word(mine, w), litmusValue(uint32(tid), phase, w))
+				}
+				// Contend on an atomic counter (exercises RMW paths).
+				t.FetchAdd(Word(atomics, rng.Intn(nThr)), 1, false, false)
+				t.Wait(barrier)
+				// Read random other threads' writes from this phase; the
+				// barrier's acquire/release makes the values exact.
+				for r := 0; r < l.ReadsPerThr; r++ {
+					other := rng.Intn(nThr)
+					w := rng.Intn(l.WordsPerThr)
+					addr := Word(data, other*l.WordsPerThr+w)
+					got := t.Load(addr)
+					want := litmusValue(uint32(other), phase, w)
+					if got != want {
+						failed("litmus: thread %d phase %d read %#x from thread %d word %d, want %#x",
+							tid, phase, got, other, w, want)
+						return
+					}
+				}
+				t.Wait(barrier)
+			}
+		}
+	}
+
+	p := &Program{}
+	tid := 0
+	rng := NewRand(seed)
+	for i := 0; i < m.CPUThreads; i++ {
+		p.CPU = append(p.CPU, Go(body(tid, NewRand(rng.Uint64()))))
+		tid++
+	}
+	for cu := 0; cu < m.GPUCUs; cu++ {
+		var warps []device.OpStream
+		for w := 0; w < m.WarpsPerCU; w++ {
+			warps = append(warps, Go(body(tid, NewRand(rng.Uint64()))))
+			tid++
+		}
+		p.GPU = append(p.GPU, warps)
+	}
+	p.Validate = func(read func(memaddr.Addr) uint32) error {
+		select {
+		case err := <-errs:
+			return err
+		default:
+		}
+		// Every thread's final-phase tokens must be in memory.
+		for thr := 0; thr < nThr; thr++ {
+			for w := 0; w < l.WordsPerThr; w++ {
+				got := read(Word(data, thr*l.WordsPerThr+w))
+				want := litmusValue(uint32(thr), l.Phases-1, w)
+				if got != want {
+					return fmt.Errorf("litmus: final state: thread %d word %d = %#x, want %#x",
+						thr, w, got, want)
+				}
+			}
+		}
+		// The atomic lanes must sum to nThr*Phases.
+		var sum uint32
+		for i := 0; i < nThr; i++ {
+			sum += read(Word(atomics, i))
+		}
+		if sum != uint32(nThr*l.Phases) {
+			return fmt.Errorf("litmus: atomic sum = %d, want %d", sum, nThr*l.Phases)
+		}
+		return nil
+	}
+	return p
+}
+
+func init() { Register(DefaultLitmus()) }

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+)
+
+// stride walks a region one word per line to defeat spatial locality
+// ("accesses are strided to reduce spatial locality", paper §IV-B1): the
+// k-th access of n touches word (k*WordsPerLine mod n) + k/linesWorth.
+func strideIndex(k, n int) int {
+	lines := (n + memaddr.WordsPerLine - 1) / memaddr.WordsPerLine
+	return (k%lines)*memaddr.WordsPerLine + k/lines
+}
+
+// Indirection is the first synthetic microbenchmark (paper §IV-B1): CPU
+// and GPU take turns transposing a matrix in a loop — CPU threads read
+// tiles of matrix A and write tiles of matrix B, then GPU threads read
+// tiles of B and write tiles of A. Accesses are strided and tiles sized so
+// nothing is reused from the L1. The benchmark isolates the cost of
+// hierarchical indirection: every word crosses the CPU-GPU boundary each
+// phase.
+type Indirection struct {
+	// Dim is the square matrix dimension in words.
+	Dim int
+	// Iters is the number of CPU→GPU round trips.
+	Iters int
+	// GPUThreads limits how many warps participate.
+	GPUThreads int
+}
+
+// DefaultIndirection returns the scaled-down evaluation size.
+func DefaultIndirection() *Indirection {
+	return &Indirection{Dim: 128, Iters: 2, GPUThreads: 32}
+}
+
+// Meta implements Workload.
+func (w *Indirection) Meta() Meta {
+	return Meta{
+		Name:            "indirection",
+		Suite:           "Synthetic",
+		Pattern:         "alternating whole-matrix transposes between CPU and GPU",
+		Partitioning:    "data",
+		Synchronization: "coarse-grain (barrier per phase)",
+		Sharing:         "flat",
+		Locality:        "low (strided, no L1 reuse)",
+		Params:          fmt.Sprintf("matrix: %dx%d words, iterations: %d", w.Dim, w.Dim, w.Iters),
+	}
+}
+
+// Build implements Workload.
+func (w *Indirection) Build(m Machine, seed uint64) *Program {
+	lay := NewLayout()
+	n := w.Dim
+	matA := lay.Words(n * n)
+	matB := lay.Words(n * n)
+	gpuThreads := w.GPUThreads
+	if max := m.GPUCUs * m.WarpsPerCU; gpuThreads > max {
+		gpuThreads = max
+	}
+	nThr := uint32(m.CPUThreads + gpuThreads)
+	bar := Barrier{Counter: lay.Words(16), Gen: lay.Words(16), N: nThr}
+
+	at := func(base memaddr.Addr, row, col int) memaddr.Addr {
+		return Word(base, row*n+col)
+	}
+
+	// Initial contents of A: unique tokens.
+	prog := &Program{}
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			prog.Init = append(prog.Init, WordInit{at(matA, r, c), uint32(r*n + c + 1)})
+		}
+	}
+
+	// transposePhase makes a body segment transposing src into dst for the
+	// caller's row slice, strided across lines.
+	transpose := func(t *Thread, src, dst memaddr.Addr, rowLo, rowHi int) {
+		words := (rowHi - rowLo) * n
+		for k := 0; k < words; k++ {
+			idx := strideIndex(k, words)
+			r := rowLo + idx/n
+			c := idx % n
+			v := t.Load(at(src, r, c))
+			t.Store(at(dst, c, r), v)
+		}
+	}
+
+	cpuBody := func(tid int) func(*Thread) {
+		rows := n / m.CPUThreads
+		lo, hi := tid*rows, (tid+1)*rows
+		if tid == m.CPUThreads-1 {
+			hi = n
+		}
+		return func(t *Thread) {
+			for it := 0; it < w.Iters; it++ {
+				transpose(t, matA, matB, lo, hi)
+				t.Wait(bar) // publish B, then GPU's turn
+				t.Wait(bar) // wait for GPU to finish A
+			}
+		}
+	}
+	gpuBody := func(g int) func(*Thread) {
+		rows := n / gpuThreads
+		lo, hi := g*rows, (g+1)*rows
+		if g == gpuThreads-1 {
+			hi = n
+		}
+		return func(t *Thread) {
+			for it := 0; it < w.Iters; it++ {
+				t.Wait(bar) // wait for CPU phase
+				transpose(t, matB, matA, lo, hi)
+				t.Wait(bar)
+			}
+		}
+	}
+
+	for i := 0; i < m.CPUThreads; i++ {
+		prog.CPU = append(prog.CPU, Go(cpuBody(i)))
+	}
+	g := 0
+	for cu := 0; cu < m.GPUCUs && g < gpuThreads; cu++ {
+		var warps []device.OpStream
+		for wp := 0; wp < m.WarpsPerCU && g < gpuThreads; wp++ {
+			warps = append(warps, Go(gpuBody(g)))
+			g++
+		}
+		prog.GPU = append(prog.GPU, warps)
+	}
+
+	prog.Validate = func(read func(memaddr.Addr) uint32) error {
+		// After each full iteration A has made a round trip through two
+		// transposes, i.e. A is back to its original orientation.
+		for r := 0; r < n; r += 7 {
+			for c := 0; c < n; c += 5 {
+				want := uint32(r*n + c + 1)
+				if got := read(at(matA, r, c)); got != want {
+					return fmt.Errorf("indirection: A[%d][%d] = %d, want %d", r, c, got, want)
+				}
+				if got := read(at(matB, c, r)); got != want {
+					return fmt.Errorf("indirection: B[%d][%d] = %d, want %d", c, r, got, want)
+				}
+			}
+		}
+		return nil
+	}
+	return prog
+}
+
+func init() { Register(DefaultIndirection()) }

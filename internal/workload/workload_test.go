@@ -1,0 +1,401 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+)
+
+// fakeExec runs op streams round-robin against a flat memory map with
+// sequentially-consistent semantics — a minimal machine for testing the
+// coroutine runtime and synchronization helpers without the simulator.
+type fakeExec struct {
+	mem     map[memaddr.Addr]uint32
+	streams []device.OpStream
+	prev    []device.OpResult
+	done    []bool
+	steps   int
+}
+
+func newFakeExec(streams ...device.OpStream) *fakeExec {
+	return &fakeExec{
+		mem:     map[memaddr.Addr]uint32{},
+		streams: streams,
+		prev:    make([]device.OpResult, len(streams)),
+		done:    make([]bool, len(streams)),
+	}
+}
+
+// run executes until every stream finishes, failing the test on livelock.
+func (f *fakeExec) run(t *testing.T) {
+	t.Helper()
+	for budget := 0; budget < 1<<22; budget++ {
+		active := false
+		for i, s := range f.streams {
+			if f.done[i] {
+				continue
+			}
+			active = true
+			op, ok := s.Next(f.prev[i])
+			if !ok {
+				f.done[i] = true
+				continue
+			}
+			f.steps++
+			f.prev[i] = device.OpResult{Valid: true, Value: f.apply(op)}
+		}
+		if !active {
+			return
+		}
+	}
+	t.Fatal("fakeExec: streams did not converge")
+}
+
+func (f *fakeExec) apply(op device.Op) uint32 {
+	switch op.Kind {
+	case device.OpLoad:
+		return f.mem[op.Addr]
+	case device.OpStore:
+		f.mem[op.Addr] = op.Value
+		return 0
+	case device.OpAtomic:
+		old := f.mem[op.Addr]
+		nv, wrote := op.Atomic.Apply(old, op.Value, op.Compare)
+		if wrote {
+			f.mem[op.Addr] = nv
+		}
+		return old
+	case device.OpCompute, device.OpFence:
+		return 0
+	}
+	panic("fakeExec: bad op")
+}
+
+func TestCoroutineBasicHandshake(t *testing.T) {
+	var seen []uint32
+	s := Go(func(th *Thread) {
+		th.Store(0x40, 7)
+		seen = append(seen, th.Load(0x40))
+		seen = append(seen, th.FetchAdd(0x40, 3, false, false))
+		seen = append(seen, th.Load(0x40))
+	})
+	f := newFakeExec(s)
+	f.run(t)
+	if len(seen) != 3 || seen[0] != 7 || seen[1] != 7 || seen[2] != 10 {
+		t.Fatalf("seen = %v", seen)
+	}
+}
+
+func TestCoroutineCloseReleasesGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	var streams []device.OpStream
+	for i := 0; i < 50; i++ {
+		streams = append(streams, Go(func(th *Thread) {
+			for {
+				th.Load(0) // would run forever
+			}
+		}))
+	}
+	// Start each body (one exchange), then abandon.
+	for _, s := range streams {
+		s.Next(device.OpResult{})
+	}
+	for _, s := range streams {
+		s.(*coroStream).Close()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+5 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+5 {
+		t.Fatalf("goroutines leaked: %d -> %d", before, g)
+	}
+}
+
+func TestBarrierLockstep(t *testing.T) {
+	const n = 6
+	const phases = 5
+	bar := Barrier{Counter: 0x1000, Gen: 0x1040, N: n}
+	marks := 0x2000
+	var bad bool
+	mk := func(id int) device.OpStream {
+		return Go(func(th *Thread) {
+			for ph := 0; ph < phases; ph++ {
+				th.Store(Word(memaddr.Addr(marks), id), uint32(ph+1))
+				th.Wait(bar)
+				// After the barrier everyone must have written this phase.
+				for o := 0; o < n; o++ {
+					if th.Load(Word(memaddr.Addr(marks), o)) < uint32(ph+1) {
+						bad = true
+					}
+				}
+				th.Wait(bar)
+			}
+		})
+	}
+	var streams []device.OpStream
+	for i := 0; i < n; i++ {
+		streams = append(streams, mk(i))
+	}
+	f := newFakeExec(streams...)
+	f.run(t)
+	if bad {
+		t.Fatal("barrier let a thread run ahead")
+	}
+	if f.mem[0x1000] != 0 {
+		t.Fatalf("counter not reset: %d", f.mem[0x1000])
+	}
+	if f.mem[0x1040] != 2*phases {
+		t.Fatalf("generation = %d, want %d", f.mem[0x1040], 2*phases)
+	}
+}
+
+func TestSpinHelpers(t *testing.T) {
+	sig := memaddr.Addr(0x40)
+	got := uint32(0)
+	waiter := Go(func(th *Thread) { got = th.SpinUntilGE(sig, 3) })
+	setter := Go(func(th *Thread) {
+		for i := 0; i < 3; i++ {
+			th.Compute(1)
+			th.FetchAdd(sig, 1, false, true)
+		}
+	})
+	f := newFakeExec(waiter, setter)
+	f.run(t)
+	if got < 3 {
+		t.Fatalf("spin returned %d", got)
+	}
+}
+
+func TestRandDeterminismAndSpread(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds collided immediately")
+	}
+	// Zero seed is remapped, not degenerate.
+	z := NewRand(0)
+	if z.Uint64() == 0 && z.Uint64() == 0 {
+		t.Fatal("zero seed degenerate")
+	}
+	// Intn stays in range.
+	r := NewRand(3)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	f := func(seed uint64) bool {
+		p := NewRand(seed).Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLayoutNonOverlapping(t *testing.T) {
+	l := NewLayout()
+	a := l.Words(5)
+	b := l.Words(16)
+	c := l.Lines(2)
+	if a%memaddr.LineBytes != 0 || b%memaddr.LineBytes != 0 || c%memaddr.LineBytes != 0 {
+		t.Fatal("regions not line aligned")
+	}
+	if b < a+5*4 {
+		t.Fatal("regions overlap")
+	}
+	if c < b+16*4 {
+		t.Fatal("regions overlap")
+	}
+	if Word(a, 3) != a+12 {
+		t.Fatal("Word arithmetic wrong")
+	}
+}
+
+func TestGenGraphProperties(t *testing.T) {
+	g := GenGraph(500, 2000, NewRand(5))
+	if g.V != 500 {
+		t.Fatal("vertex count")
+	}
+	edges := 0
+	var maxIn int32
+	for u := 0; u < g.V; u++ {
+		edges += len(g.Edges[u])
+		for _, v := range g.Edges[u] {
+			if int(v) == u || v < 0 || int(v) >= g.V {
+				t.Fatalf("bad edge %d->%d", u, v)
+			}
+		}
+		if g.InDeg[u] > maxIn {
+			maxIn = g.InDeg[u]
+		}
+	}
+	if edges < 1800 {
+		t.Fatalf("edge count %d", edges)
+	}
+	// Preferential attachment: the hottest vertex is far above average.
+	if maxIn < 3*int32(edges/g.V) {
+		t.Fatalf("no skew: max in-degree %d vs avg %d", maxIn, edges/g.V)
+	}
+}
+
+func TestGenLocalGraphLocality(t *testing.T) {
+	const window = 12
+	g := GenLocalGraph(1000, 4000, window, 10, NewRand(9))
+	local, total := 0, 0
+	for u := 0; u < g.V; u++ {
+		for _, v := range g.Edges[u] {
+			total++
+			d := int(v) - u
+			if d < 0 {
+				d = -d
+			}
+			if d <= window || d >= g.V-window {
+				local++
+			}
+		}
+	}
+	if total == 0 || float64(local)/float64(total) < 0.8 {
+		t.Fatalf("locality %.2f too low", float64(local)/float64(total))
+	}
+}
+
+func TestGraphDeterminism(t *testing.T) {
+	a := GenLocalGraph(200, 800, 8, 10, NewRand(11))
+	b := GenLocalGraph(200, 800, 8, 10, NewRand(11))
+	for u := range a.Edges {
+		if len(a.Edges[u]) != len(b.Edges[u]) {
+			t.Fatal("nondeterministic generation")
+		}
+		for i := range a.Edges[u] {
+			if a.Edges[u][i] != b.Edges[u][i] {
+				t.Fatal("nondeterministic edges")
+			}
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	wantAll := append(append([]string{"litmus"}, Microbenchmarks()...), Applications()...)
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range wantAll {
+		if !have[n] {
+			t.Errorf("registry missing %q", n)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("bogus name accepted")
+	}
+	w, err := ByName("bc")
+	if err != nil || w.Meta().Name != "bc" {
+		t.Error("lookup broken")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(DefaultBC())
+}
+
+// machineFor is the standard test machine shape.
+func machineFor() Machine {
+	return Machine{CPUThreads: 8, GPUCUs: 16, WarpsPerCU: 4, L1Bytes: 32 * 1024}
+}
+
+func TestEveryWorkloadBuildShape(t *testing.T) {
+	m := machineFor()
+	for _, name := range Names() {
+		w, _ := ByName(name)
+		p := w.Build(m, 42)
+		if len(p.CPU) > m.CPUThreads {
+			t.Errorf("%s: %d CPU streams for %d cores", name, len(p.CPU), m.CPUThreads)
+		}
+		if len(p.GPU) > m.GPUCUs {
+			t.Errorf("%s: %d CU groups for %d CUs", name, len(p.GPU), m.GPUCUs)
+		}
+		for cu, warps := range p.GPU {
+			if len(warps) > m.WarpsPerCU {
+				t.Errorf("%s: CU %d has %d warps", name, cu, len(warps))
+			}
+		}
+		if p.Validate == nil {
+			t.Errorf("%s: no final-state oracle", name)
+		}
+		p.Close()
+	}
+}
+
+func TestWorkloadInitDeterminism(t *testing.T) {
+	m := machineFor()
+	for _, name := range Names() {
+		w, _ := ByName(name)
+		p1 := w.Build(m, 9)
+		p2 := w.Build(m, 9)
+		if len(p1.Init) != len(p2.Init) {
+			t.Errorf("%s: nondeterministic Init length", name)
+		} else {
+			for i := range p1.Init {
+				if p1.Init[i] != p2.Init[i] {
+					t.Errorf("%s: nondeterministic Init[%d]", name, i)
+					break
+				}
+			}
+		}
+		p1.Close()
+		p2.Close()
+	}
+}
+
+func TestMetaTableVIIFields(t *testing.T) {
+	for _, name := range append(Microbenchmarks(), Applications()...) {
+		w, _ := ByName(name)
+		meta := w.Meta()
+		if meta.Partitioning == "" || meta.Synchronization == "" ||
+			meta.Sharing == "" || meta.Locality == "" || meta.Params == "" {
+			t.Errorf("%s: incomplete Table VII metadata: %+v", name, meta)
+		}
+	}
+}
+
+// TestValidateRejectsCorruptState feeds each oracle a reader that returns
+// garbage; every workload must detect it.
+func TestValidateRejectsCorruptState(t *testing.T) {
+	m := machineFor()
+	for _, name := range append(Microbenchmarks(), Applications()...) {
+		w, _ := ByName(name)
+		p := w.Build(m, 42)
+		err := p.Validate(func(a memaddr.Addr) uint32 { return 0xdeadbeef })
+		if err == nil {
+			t.Errorf("%s: oracle accepted corrupt memory", name)
+		}
+		p.Close()
+	}
+}

@@ -1,0 +1,52 @@
+package spandex
+
+import "testing"
+
+// TestDeNovoRegionsRecoverReuse validates the regions extension (paper
+// §II-C): on the SDD configuration, ReuseS with region-scoped acquires
+// must beat the full-flash variant on both time and traffic, approach the
+// MESI-CPU configurations, and still produce a correct final state.
+func TestDeNovoRegionsRecoverReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("region sweep in -short mode")
+	}
+	plain, err := WorkloadByName("reuses")
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions, err := WorkloadByName("reuses-regions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(plain, Options{ConfigName: "SDD", Seed: 42,
+		Validate: true, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := Run(regions, Options{ConfigName: "SDD", Seed: 42,
+		Validate: true, CheckInvariants: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.ExecTime >= full.ExecTime {
+		t.Errorf("regions did not speed up ReuseS: %d vs %d ticks", reg.ExecTime, full.ExecTime)
+	}
+	if reg.Traffic.TotalBytes(false) >= full.Traffic.TotalBytes(false) {
+		t.Errorf("regions did not cut traffic: %d vs %d bytes",
+			reg.Traffic.TotalBytes(false), full.Traffic.TotalBytes(false))
+	}
+	// Regions must not help MESI CPUs (they never self-invalidate) —
+	// sanity that the hint is inert elsewhere.
+	mFull, err := Run(plain, Options{ConfigName: "SMG", Seed: 42, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mReg, err := Run(regions, Options{ConfigName: "SMG", Seed: 42, Validate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(mReg.ExecTime) / float64(mFull.ExecTime)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("region hint perturbed a writer-invalidated config by %.2fx", ratio)
+	}
+}

@@ -1,0 +1,465 @@
+// Package spandex is a simulator-backed reproduction of "Spandex: A
+// Flexible Interface for Efficient Heterogeneous Coherence" (Alsop,
+// Sinclair, Adve — ISCA 2018).
+//
+// The package assembles heterogeneous CPU-GPU systems in any of the
+// paper's six cache configurations (Table V): a flat Spandex LLC directly
+// interfacing MESI, DeNovo and GPU-coherence caches through per-device
+// translation units, or the conventional hierarchical MESI baseline (CPU
+// MESI L1s and an intermediate GPU L2 under a MESI L3 directory). Systems
+// execute workload programs — the paper's microbenchmarks and
+// collaborative applications live in internal/workload — on a
+// deterministic discrete-event simulator, reporting execution time and
+// network traffic broken down by request class exactly as the paper's
+// Figures 2 and 3 do.
+//
+// Basic use:
+//
+//	w, _ := spandex.WorkloadByName("pr")
+//	res, err := spandex.Run(w, spandex.Options{ConfigName: "SDD"})
+//	fmt.Println(res.ExecTime, res.Traffic.TotalBytes(false))
+package spandex
+
+import (
+	"fmt"
+
+	"spandex/internal/config"
+	"spandex/internal/core"
+	"spandex/internal/denovo"
+	"spandex/internal/device"
+	"spandex/internal/dram"
+	"spandex/internal/gpucoh"
+	"spandex/internal/hmesi"
+	"spandex/internal/memaddr"
+	"spandex/internal/mesi"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+	"spandex/internal/workload"
+)
+
+// Re-exported configuration types.
+type (
+	// CacheConfig selects the LLC organization and L1 protocols (Table V).
+	CacheConfig = config.CacheConfig
+	// SystemParams sets sizes and latencies (Table VI).
+	SystemParams = config.SystemParams
+	// Workload builds runnable programs.
+	Workload = workload.Workload
+	// Program is a built per-thread program.
+	Program = workload.Program
+	// Machine describes the simulated machine shape.
+	Machine = workload.Machine
+)
+
+// Configurations returns the paper's six cache configurations.
+func Configurations() []CacheConfig { return config.TableV() }
+
+// ConfigByName resolves a Table V configuration name (HMG … SDD).
+func ConfigByName(name string) (CacheConfig, error) { return config.ByName(name) }
+
+// DefaultParams returns the Table VI system parameters.
+func DefaultParams() SystemParams { return config.DefaultParams() }
+
+// FastParams returns a shrunken system for quick tests.
+func FastParams() SystemParams { return config.FastParams() }
+
+// WorkloadByName resolves a registered workload ("indirection", "bc", …).
+func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
+
+// WorkloadNames lists all registered workloads.
+func WorkloadNames() []string { return workload.Names() }
+
+// Options configures a run.
+type Options struct {
+	// Config selects the cache configuration; ConfigName is a convenient
+	// alternative and wins when non-empty.
+	Config     CacheConfig
+	ConfigName string
+	// Params defaults to DefaultParams().
+	Params *SystemParams
+	// Seed feeds the workload's deterministic PRNG.
+	Seed uint64
+	// CheckInvariants enables the Spandex LLC coherence checker and the
+	// post-run quiescence audit (Spandex configurations only).
+	CheckInvariants bool
+	// ReqSOption2 switches the Spandex LLC to Table III's ReqS option (2)
+	// (treat reads as ReqV; requestors downgrade after reading). The
+	// evaluation default is options (1)/(3); this knob drives the
+	// ReqS-policy ablation.
+	ReqSOption2 bool
+	// Validate runs the workload's final-state oracle after the run.
+	Validate bool
+	// MaxTime aborts runs that exceed this simulated time (0 = 100 ms).
+	MaxTime sim.Time
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	Config   string
+	Workload string
+	// ExecTime is when the last thread finished.
+	ExecTime sim.Time
+	// Traffic is interconnect traffic by request class (Figures 2 and 3).
+	Traffic stats.Traffic
+	// Counters carries protocol-internal event counts.
+	Counters map[string]uint64
+	// Ops is the total device operations executed.
+	Ops uint64
+}
+
+// ExecMillis returns the execution time in milliseconds of simulated time.
+func (r Result) ExecMillis() float64 { return float64(r.ExecTime) / 1e9 }
+
+// System is an assembled simulated machine. Most callers use Run; building
+// a System directly allows custom devices and instrumentation (see
+// examples/customworkload and examples/protocoltrace).
+type System struct {
+	Engine *sim.Engine
+	Stats  *stats.Stats
+	Net    *noc.Network
+	Mem    *dram.Memory
+
+	cfg    CacheConfig
+	params SystemParams
+
+	// Spandex organization.
+	LLC     *core.LLC
+	Checker *core.Checker
+	// Hierarchical organization.
+	Dir   *hmesi.Directory
+	GPUL2 *hmesi.GPUL2
+
+	CPUL1s []device.L1Cache
+	GPUL1s []device.L1Cache
+
+	cores    []*device.CPUCore
+	cus      []*device.GPUCU
+	doneAt   sim.Time
+	liveDevs int
+}
+
+// NewSystem assembles a machine for the given options (without a program).
+func NewSystem(opt Options) (*System, error) {
+	cfg := opt.Config
+	if opt.ConfigName != "" {
+		c, err := config.ByName(opt.ConfigName)
+		if err != nil {
+			return nil, err
+		}
+		cfg = c
+	}
+	params := config.DefaultParams()
+	if opt.Params != nil {
+		params = *opt.Params
+	}
+	if cfg.LLC == config.LLCHierarchicalMESI && cfg.CPU != config.CPUMESI {
+		return nil, fmt.Errorf("spandex: the hierarchical MESI LLC only supports MESI CPU caches (paper §IV-A)")
+	}
+
+	s := &System{
+		Engine: sim.New(),
+		Stats:  stats.New(),
+		cfg:    cfg,
+		params: params,
+	}
+
+	nDev := params.CPUCores + params.GPUCUs
+	extra := 2 // LLC + memory
+	if cfg.LLC == config.LLCHierarchicalMESI {
+		extra = 3 // GPU L2 + L3 + memory
+	}
+	s.Net = noc.New(s.Engine, s.Stats, noc.Config{
+		HopLatency:   sim.CPUCycles(params.NoCHopCycles),
+		TicksPerByte: params.NoCTicksPerByte(),
+		MeshWidth:    params.NoCMeshWidth,
+	}, nDev+extra)
+
+	switch cfg.LLC {
+	case config.LLCSpandex:
+		s.buildSpandex(opt)
+	case config.LLCHierarchicalMESI:
+		s.buildHierarchical(opt)
+	}
+	return s, nil
+}
+
+func (s *System) buildSpandex(opt Options) {
+	p := s.params
+	nDev := p.CPUCores + p.GPUCUs
+	llcID := proto.NodeID(nDev)
+	memID := proto.NodeID(nDev + 1)
+
+	s.LLC = core.NewLLC(llcID, memID, s.Engine, s.Net, s.Stats, core.Config{
+		SizeBytes:     p.SpandexLLCBytes,
+		Ways:          p.SpandexLLCWays,
+		AccessLatency: sim.CPUCycles(p.L2HitCycles),
+		ReqSOption2:   opt.ReqSOption2,
+	})
+	s.Mem = dram.New(memID, s.Engine, s.Net, sim.CPUCycles(p.MemLatencyCycles))
+	if opt.CheckInvariants {
+		s.Checker = core.NewChecker()
+		s.LLC.SetChecker(s.Checker)
+	}
+
+	for i := 0; i < p.CPUCores; i++ {
+		id := proto.NodeID(i)
+		switch s.cfg.CPU {
+		case config.CPUMESI:
+			tu := core.NewMESITU(id, s.Engine, s.Net, s.Stats, llcID, p.TUTicks())
+			mc := mesi.DefaultConfig(llcID)
+			mc.SizeBytes, mc.Ways = p.L1SizeBytes, p.L1Ways
+			mc.MSHREntries, mc.StoreBufferEntries = p.MSHREntries, p.StoreBufferEntries
+			l1 := mesi.New(id, s.Engine, tu, s.Stats, mc)
+			tu.Bind(l1)
+			s.LLC.RegisterDevice(id, true)
+			if s.Checker != nil {
+				s.Checker.AttachDevice(id, tu)
+			}
+			s.CPUL1s = append(s.CPUL1s, l1)
+		case config.CPUDeNovo:
+			tu := core.NewPassTU(id, s.Engine, s.Net, p.TUTicks())
+			dc := denovo.DefaultConfig(llcID, false)
+			dc.SizeBytes, dc.Ways = p.L1SizeBytes, p.L1Ways
+			dc.MSHREntries, dc.WriteBufferEntries = p.MSHREntries, p.StoreBufferEntries
+			// SDG: CPU atomics are performed at the LLC (ReqWT+data) to
+			// match the GPU-coherence strategy and avoid blocking states
+			// on inter-device synchronization (paper §IV-A).
+			dc.AtomicsAtLLC = s.cfg.GPU == config.GPUCoherence
+			l1 := denovo.New(id, s.Engine, tu, s.Stats, dc)
+			tu.Bind(l1)
+			s.LLC.RegisterDevice(id, false)
+			if s.Checker != nil {
+				s.Checker.AttachDevice(id, l1)
+			}
+			s.CPUL1s = append(s.CPUL1s, l1)
+		}
+	}
+	for i := 0; i < p.GPUCUs; i++ {
+		id := proto.NodeID(p.CPUCores + i)
+		tu := core.NewPassTU(id, s.Engine, s.Net, p.TUTicks())
+		switch s.cfg.GPU {
+		case config.GPUCoherence:
+			gc := gpucoh.DefaultConfig(llcID)
+			gc.SizeBytes, gc.Ways = p.L1SizeBytes, p.L1Ways
+			gc.MSHREntries, gc.WriteBufferEntries = p.MSHREntries, p.StoreBufferEntries
+			l1 := gpucoh.New(id, s.Engine, tu, s.Stats, gc)
+			tu.Bind(l1)
+			s.LLC.RegisterDevice(id, false)
+			if s.Checker != nil {
+				s.Checker.AttachDevice(id, l1)
+			}
+			s.GPUL1s = append(s.GPUL1s, l1)
+		case config.GPUDeNovo:
+			dc := denovo.DefaultConfig(llcID, true)
+			dc.SizeBytes, dc.Ways = p.L1SizeBytes, p.L1Ways
+			dc.MSHREntries, dc.WriteBufferEntries = p.MSHREntries, p.StoreBufferEntries
+			l1 := denovo.New(id, s.Engine, tu, s.Stats, dc)
+			tu.Bind(l1)
+			s.LLC.RegisterDevice(id, false)
+			if s.Checker != nil {
+				s.Checker.AttachDevice(id, l1)
+			}
+			s.GPUL1s = append(s.GPUL1s, l1)
+		}
+	}
+}
+
+func (s *System) buildHierarchical(opt Options) {
+	p := s.params
+	nDev := p.CPUCores + p.GPUCUs
+	l2ID := proto.NodeID(nDev)
+	dirID := proto.NodeID(nDev + 1)
+	memID := proto.NodeID(nDev + 2)
+
+	s.Dir = hmesi.NewDirectory(dirID, memID, s.Engine, s.Net, s.Stats, hmesi.DirConfig{
+		SizeBytes:     p.L3Bytes,
+		Ways:          p.L3Ways,
+		AccessLatency: sim.CPUCycles(p.L3HitCycles),
+	})
+	s.Mem = dram.New(memID, s.Engine, s.Net, sim.CPUCycles(p.MemLatencyCycles))
+	s.GPUL2 = hmesi.NewGPUL2(l2ID, s.Engine, s.Net, s.Stats, hmesi.L2Config{
+		SizeBytes:     p.GPUL2Bytes,
+		Ways:          p.GPUL2Ways,
+		AccessLatency: sim.CPUCycles(p.L2HitCycles),
+		ParentID:      dirID,
+	})
+	s.Dir.RegisterDevice(l2ID)
+
+	for i := 0; i < p.CPUCores; i++ {
+		id := proto.NodeID(i)
+		mc := mesi.DefaultConfig(dirID)
+		mc.SizeBytes, mc.Ways = p.L1SizeBytes, p.L1Ways
+		mc.MSHREntries, mc.StoreBufferEntries = p.MSHREntries, p.StoreBufferEntries
+		l1 := mesi.New(id, s.Engine, s.Net.PortFor(id), s.Stats, mc)
+		s.Net.Register(id, l1)
+		s.Dir.RegisterDevice(id)
+		s.CPUL1s = append(s.CPUL1s, l1)
+	}
+	for i := 0; i < p.GPUCUs; i++ {
+		id := proto.NodeID(p.CPUCores + i)
+		switch s.cfg.GPU {
+		case config.GPUCoherence:
+			gc := gpucoh.DefaultConfig(l2ID)
+			gc.SizeBytes, gc.Ways = p.L1SizeBytes, p.L1Ways
+			gc.MSHREntries, gc.WriteBufferEntries = p.MSHREntries, p.StoreBufferEntries
+			l1 := gpucoh.New(id, s.Engine, s.Net.PortFor(id), s.Stats, gc)
+			s.Net.Register(id, l1)
+			s.GPUL1s = append(s.GPUL1s, l1)
+		case config.GPUDeNovo:
+			dc := denovo.DefaultConfig(l2ID, true)
+			dc.SizeBytes, dc.Ways = p.L1SizeBytes, p.L1Ways
+			dc.MSHREntries, dc.WriteBufferEntries = p.MSHREntries, p.StoreBufferEntries
+			l1 := denovo.New(id, s.Engine, s.Net.PortFor(id), s.Stats, dc)
+			s.Net.Register(id, l1)
+			s.GPUL1s = append(s.GPUL1s, l1)
+		}
+		s.GPUL2.RegisterChild(proto.NodeID(p.CPUCores + i))
+	}
+}
+
+// Machine reports the shape workloads should be built for.
+func (s *System) Machine() Machine {
+	return Machine{
+		CPUThreads: s.params.CPUCores,
+		GPUCUs:     s.params.GPUCUs,
+		WarpsPerCU: s.params.WarpsPerCU,
+		L1Bytes:    s.params.L1SizeBytes,
+	}
+}
+
+// Attach binds a program's op streams to the machine's cores and seeds
+// its initial data into memory.
+func (s *System) Attach(prog *Program) error {
+	if len(prog.CPU) > s.params.CPUCores || len(prog.GPU) > s.params.GPUCUs {
+		return fmt.Errorf("spandex: program shaped for a larger machine")
+	}
+	for _, init := range prog.Init {
+		line := s.Mem.Peek(init.Addr.Line())
+		line[init.Addr.WordIndex()] = init.Val
+		s.Mem.Poke(init.Addr.Line(), line)
+	}
+	done := func() {
+		s.liveDevs--
+		if s.liveDevs == 0 {
+			s.doneAt = s.Engine.Now()
+		}
+	}
+	for i, stream := range prog.CPU {
+		if stream == nil {
+			continue
+		}
+		s.liveDevs++
+		c := device.NewCPUCore(fmt.Sprintf("cpu%d", i), s.Engine, s.CPUL1s[i], stream, done)
+		s.cores = append(s.cores, c)
+	}
+	for i, warps := range prog.GPU {
+		var streams []device.OpStream
+		for _, w := range warps {
+			if w != nil {
+				streams = append(streams, w)
+			}
+		}
+		if len(streams) == 0 {
+			continue
+		}
+		s.liveDevs++
+		cu := device.NewGPUCU(fmt.Sprintf("cu%d", i), s.Engine, s.GPUL1s[i], streams, done)
+		s.cus = append(s.cus, cu)
+	}
+	return nil
+}
+
+// Run executes the attached program to completion and returns measurements.
+func (s *System) Run(maxTime sim.Time) (Result, error) {
+	if maxTime == 0 {
+		maxTime = 100_000_000_000 // 100 ms of simulated time
+	}
+	for _, c := range s.cores {
+		c.Start()
+	}
+	for _, cu := range s.cus {
+		cu.Start()
+	}
+	if !s.Engine.RunUntil(maxTime) {
+		return Result{}, fmt.Errorf("spandex: %s run exceeded %d ticks (possible deadlock or undersized MaxTime); %d threads unfinished",
+			s.cfg.Name, maxTime, s.liveDevs)
+	}
+	if s.liveDevs != 0 {
+		return Result{}, fmt.Errorf("spandex: event queue drained with %d threads unfinished (protocol deadlock)", s.liveDevs)
+	}
+	if s.Checker != nil {
+		if err := s.Checker.CheckQuiescent(s.LLC); err != nil {
+			return Result{}, err
+		}
+	}
+	var ops uint64
+	for _, c := range s.cores {
+		ops += c.Ops()
+	}
+	for _, cu := range s.cus {
+		ops += cu.Ops()
+	}
+	counters := make(map[string]uint64, len(s.Stats.Counters))
+	for k, v := range s.Stats.Counters {
+		counters[k] = v
+	}
+	return Result{
+		Config:   s.cfg.Name,
+		ExecTime: s.doneAt,
+		Traffic:  s.Stats.Traffic,
+		Counters: counters,
+		Ops:      ops,
+	}, nil
+}
+
+// Reader returns a coherent word-reader for post-run validation. Reads go
+// through CPU core 0's cache (self-invalidating first), so they exercise
+// the real protocol rather than peeking at simulator state.
+func (s *System) Reader() func(memaddr.Addr) uint32 {
+	l1 := s.CPUL1s[0]
+	return func(a memaddr.Addr) uint32 {
+		l1.SelfInvalidate()
+		var v uint32
+		ok := false
+		op := device.Op{Kind: device.OpLoad, Addr: a}
+		for tries := 0; !l1.Access(op, func(x uint32) { v = x; ok = true }); tries++ {
+			if !s.Engine.Step() || tries > 1<<20 {
+				panic("spandex: validation read stalled")
+			}
+		}
+		if !s.Engine.RunUntil(s.Engine.Now() + 1<<40) {
+			panic("spandex: validation read did not drain")
+		}
+		if !ok {
+			panic("spandex: validation read never completed")
+		}
+		return v
+	}
+}
+
+// Run builds a system, runs the workload, optionally validates the final
+// state, and returns the measurements. This is the main entry point.
+func Run(w Workload, opt Options) (Result, error) {
+	s, err := NewSystem(opt)
+	if err != nil {
+		return Result{}, err
+	}
+	prog := w.Build(s.Machine(), opt.Seed)
+	defer prog.Close()
+	if err := s.Attach(prog); err != nil {
+		return Result{}, err
+	}
+	res, err := s.Run(opt.MaxTime)
+	if err != nil {
+		return Result{}, fmt.Errorf("%s on %s: %w", w.Meta().Name, s.cfg.Name, err)
+	}
+	res.Workload = w.Meta().Name
+	if opt.Validate && prog.Validate != nil {
+		if err := prog.Validate(s.Reader()); err != nil {
+			return Result{}, fmt.Errorf("%s on %s: validation failed: %w", w.Meta().Name, s.cfg.Name, err)
+		}
+	}
+	return res, nil
+}

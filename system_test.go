@@ -1,0 +1,82 @@
+package spandex
+
+import (
+	"testing"
+
+	"spandex/internal/workload"
+)
+
+// TestLitmusAllConfigurations runs the randomized DRF conformance program
+// on every Table V configuration with full invariant checking and final-
+// state validation. This is the system-level SC-for-DRF oracle
+// (paper §III-E): any stale read or lost write in any protocol fails here.
+func TestLitmusAllConfigurations(t *testing.T) {
+	lit := workload.DefaultLitmus()
+	for _, cfg := range Configurations() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			params := FastParams()
+			res, err := Run(lit, Options{
+				Config:          cfg,
+				Params:          &params,
+				Seed:            42,
+				CheckInvariants: true,
+				Validate:        true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ExecTime == 0 || res.Ops == 0 {
+				t.Fatalf("suspicious result: %+v", res)
+			}
+			if res.Traffic.TotalBytes(false) == 0 {
+				t.Fatal("no interconnect traffic recorded")
+			}
+		})
+	}
+}
+
+// TestLitmusSeeds varies the random seed on two representative configs.
+func TestLitmusSeeds(t *testing.T) {
+	lit := workload.DefaultLitmus()
+	for _, name := range []string{"HMG", "SDD"} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			params := FastParams()
+			_, err := Run(lit, Options{
+				ConfigName:      name,
+				Params:          &params,
+				Seed:            seed,
+				CheckInvariants: true,
+				Validate:        true,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestDeterminism: identical options produce bit-identical results.
+func TestDeterminism(t *testing.T) {
+	lit := workload.DefaultLitmus()
+	run := func() Result {
+		params := FastParams()
+		res, err := Run(lit, Options{ConfigName: "SMD", Params: &params, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ExecTime != b.ExecTime || a.Traffic != b.Traffic || a.Ops != b.Ops {
+		t.Fatalf("nondeterministic: %v vs %v", a.ExecTime, b.ExecTime)
+	}
+}
+
+// TestHierarchicalRejectsDeNovoCPU: Table V constraint.
+func TestHierarchicalRejectsDeNovoCPU(t *testing.T) {
+	cfg := CacheConfig{Name: "HDG", LLC: 1, CPU: 1, GPU: 0}
+	if _, err := NewSystem(Options{Config: cfg}); err == nil {
+		t.Fatal("H-MESI with DeNovo CPU must be rejected")
+	}
+}
