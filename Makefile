@@ -1,0 +1,41 @@
+# Local mirror of .github/workflows/ci.yml: `make ci` runs the exact gate
+# contributors are held to on push/PR.
+
+GO ?= go
+
+.PHONY: ci build vet fmt test race smoke bench clean
+
+ci: build vet fmt test race smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+# FastParams-sized race gate: -short skips the full-size figure sweeps but
+# keeps the parallel sweep runner tests, which are the point.
+race:
+	$(GO) test -race -short ./...
+
+# Full evaluation path: every (workload, config) cell validated against
+# its oracle, then sampled cells re-checked for bit-identical results
+# under contention.
+smoke:
+	$(GO) run ./cmd/spandex-bench -headline -parallel 4 -validate
+	$(GO) run ./cmd/spandex-bench -verify-determinism -parallel 4
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	$(GO) clean ./...

@@ -9,12 +9,17 @@
 //	spandex-bench -table III       # only one table
 //	spandex-bench -headline        # only the Sbest-vs-Hbest summary
 //	spandex-bench -seed 7 -check   # different input seed; invariant checks
+//	spandex-bench -parallel 4 -progress    # 4 workers, per-cell progress
+//	spandex-bench -verify-determinism      # serial vs contended bit-equality
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"spandex"
 )
@@ -26,6 +31,10 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload input seed")
 	check := flag.Bool("check", false, "enable coherence invariant checking (slower)")
 	validate := flag.Bool("validate", true, "validate final memory state against each workload's oracle")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
+	verifyDet := flag.Bool("verify-determinism", false,
+		"run sampled cells serially and under contention and require bit-identical results")
 	flag.Parse()
 
 	opt := spandex.Options{
@@ -37,6 +46,35 @@ func main() {
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "spandex-bench:", err)
 		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	mo := spandex.MatrixOptions{Workers: *parallel}
+	if *progress {
+		mo.Progress = func(done, total int, c spandex.Cell) {
+			status := fmt.Sprintf("sim=%.3fms wall=%s", c.Result.ExecMillis(), c.Wall.Round(time.Millisecond))
+			if c.Err != nil {
+				status = "ERROR: " + c.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s/%s %s\n", done, total, c.Workload, c.Config, status)
+		}
+	}
+
+	if *verifyDet {
+		workloads := append(append([]string{}, spandex.Figure2Workloads()...), spandex.Figure3Workloads()...)
+		reports, err := spandex.VerifyDeterminism(ctx, workloads, spandex.ConfigNames(), opt, 3)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("determinism verified on %d sampled cells (serial vs contended rerun):\n", len(reports))
+		for _, r := range reports {
+			fmt.Printf("  %-12s %-5s fingerprint=%#016x serial=%s contended=%s\n",
+				r.Workload, r.Config, r.Fingerprint,
+				r.SerialWall.Round(time.Millisecond), r.ContendedWall.Round(time.Millisecond))
+		}
+		return
 	}
 
 	if *table != "" {
@@ -52,9 +90,9 @@ func main() {
 		var f *spandex.FigureData
 		var err error
 		if n == 2 {
-			f, err = spandex.RunFigure2(opt)
+			f, err = spandex.RunFigure2Matrix(ctx, opt, mo)
 		} else {
-			f, err = spandex.RunFigure3(opt)
+			f, err = spandex.RunFigure3Matrix(ctx, opt, mo)
 		}
 		if err != nil {
 			die(err)
@@ -62,13 +100,24 @@ func main() {
 		return f
 	}
 
-	if *figure == 2 || *figure == 3 {
+	if *figure != 0 {
+		if *figure != 2 && *figure != 3 {
+			die(fmt.Errorf("unknown figure %d (valid: 2, 3)", *figure))
+		}
 		fmt.Println(runFig(*figure).Render())
 		return
 	}
 
 	if *headline {
-		printHeadline(runFig(2), runFig(3))
+		start := time.Now()
+		f2 := runFig(2)
+		f3 := runFig(3)
+		printHeadline(f2, f3)
+		if *progress {
+			agg := spandex.Aggregate(append(append([]spandex.Cell{}, f2.Raw...), f3.Raw...))
+			fmt.Fprintf(os.Stderr, "matrix wall time %s; %d KB simulated interconnect traffic\n",
+				time.Since(start).Round(time.Millisecond), agg.Traffic.TotalBytes(false)/1024)
+		}
 		return
 	}
 

@@ -5,13 +5,16 @@
 //
 //	spandex-sim -config SDD -workload bc
 //	spandex-sim -config HMG -workload litmus -seed 3 -check
+//	spandex-sim -config SDD -workload bc -verify-determinism
 //	spandex-sim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"spandex"
 	"spandex/internal/proto"
@@ -23,6 +26,8 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload input seed")
 	check := flag.Bool("check", false, "enable coherence invariant checking")
 	validate := flag.Bool("validate", true, "validate final memory state")
+	verifyDet := flag.Bool("verify-determinism", false,
+		"run the cell twice (serial, then under contention) and require bit-identical results")
 	list := flag.Bool("list", false, "list workloads and configurations")
 	flag.Parse()
 
@@ -45,12 +50,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, "use -list to see available workloads")
 		os.Exit(1)
 	}
-	res, err := spandex.Run(w, spandex.Options{
+	opt := spandex.Options{
 		ConfigName:      *cfg,
 		Seed:            *seed,
 		CheckInvariants: *check,
 		Validate:        *validate,
-	})
+	}
+
+	if *verifyDet {
+		reports, err := spandex.VerifyDeterminism(context.Background(),
+			[]string{*wl}, []string{*cfg}, opt, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spandex-sim:", err)
+			os.Exit(1)
+		}
+		r := reports[0]
+		fmt.Printf("determinism verified: %s/%s fingerprint=%#016x serial=%s contended=%s\n",
+			r.Workload, r.Config, r.Fingerprint,
+			r.SerialWall.Round(time.Millisecond), r.ContendedWall.Round(time.Millisecond))
+		return
+	}
+
+	start := time.Now()
+	res, err := spandex.Run(w, opt)
+	wall := time.Since(start)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spandex-sim:", err)
 		os.Exit(1)
@@ -58,7 +81,7 @@ func main() {
 
 	fmt.Printf("workload:   %s (%s)\n", res.Workload, w.Meta().Pattern)
 	fmt.Printf("config:     %s\n", res.Config)
-	fmt.Printf("exec time:  %.3f ms simulated\n", res.ExecMillis())
+	fmt.Printf("exec time:  %.3f ms simulated (%s wall)\n", res.ExecMillis(), wall.Round(time.Millisecond))
 	fmt.Printf("operations: %d\n", res.Ops)
 	fmt.Printf("traffic:    %d KB total (excluding DRAM)\n", res.Traffic.TotalBytes(false)/1024)
 	for c := proto.Class(0); c < proto.NumClasses; c++ {

@@ -1,6 +1,7 @@
 package spandex
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,34 +9,6 @@ import (
 	"spandex/internal/proto"
 	"spandex/internal/workload"
 )
-
-// Cell is one (workload, configuration) measurement within a sweep.
-type Cell struct {
-	Workload string
-	Config   string
-	Result   Result
-	Err      error
-}
-
-// Sweep runs every named workload on every named configuration,
-// validating final state. Results come back in (workload, config) order.
-func Sweep(workloads, configs []string, opt Options) []Cell {
-	var out []Cell
-	for _, wn := range workloads {
-		w, err := WorkloadByName(wn)
-		if err != nil {
-			out = append(out, Cell{Workload: wn, Err: err})
-			continue
-		}
-		for _, cn := range configs {
-			o := opt
-			o.ConfigName = cn
-			res, err := Run(w, o)
-			out = append(out, Cell{Workload: wn, Config: cn, Result: res, Err: err})
-		}
-	}
-	return out
-}
 
 // ConfigNames returns the Table V configuration names in paper order.
 func ConfigNames() []string {
@@ -251,14 +224,25 @@ func Figure2Workloads() []string { return workload.Microbenchmarks() }
 // Figure3Workloads are the collaborative applications of Figure 3.
 func Figure3Workloads() []string { return workload.Applications() }
 
-// RunFigure2 regenerates the paper's Figure 2.
+// RunFigure2 regenerates the paper's Figure 2 (parallel across GOMAXPROCS).
 func RunFigure2(opt Options) (*FigureData, error) {
-	cells := Sweep(Figure2Workloads(), ConfigNames(), opt)
+	return RunFigure2Matrix(context.Background(), opt, MatrixOptions{})
+}
+
+// RunFigure3 regenerates the paper's Figure 3 (parallel across GOMAXPROCS).
+func RunFigure3(opt Options) (*FigureData, error) {
+	return RunFigure3Matrix(context.Background(), opt, MatrixOptions{})
+}
+
+// RunFigure2Matrix regenerates Figure 2 with explicit scheduling control:
+// worker count, cancellation, and per-cell progress.
+func RunFigure2Matrix(ctx context.Context, opt Options, mo MatrixOptions) (*FigureData, error) {
+	cells := RunMatrix(ctx, Figure2Workloads(), ConfigNames(), opt, mo)
 	return BuildFigure("Figure 2: synthetic microbenchmarks", Figure2Workloads(), cells)
 }
 
-// RunFigure3 regenerates the paper's Figure 3.
-func RunFigure3(opt Options) (*FigureData, error) {
-	cells := Sweep(Figure3Workloads(), ConfigNames(), opt)
+// RunFigure3Matrix regenerates Figure 3 with explicit scheduling control.
+func RunFigure3Matrix(ctx context.Context, opt Options, mo MatrixOptions) (*FigureData, error) {
+	cells := RunMatrix(ctx, Figure3Workloads(), ConfigNames(), opt, mo)
 	return BuildFigure("Figure 3: collaborative applications", Figure3Workloads(), cells)
 }

@@ -5,10 +5,13 @@
 package dram
 
 import (
+	"sort"
+
 	"spandex/internal/memaddr"
 	"spandex/internal/noc"
 	"spandex/internal/proto"
 	"spandex/internal/sim"
+	"spandex/internal/stats"
 )
 
 // Memory is a DRAM model. It answers MemRead after a configurable access
@@ -57,3 +60,26 @@ func (m *Memory) Peek(line memaddr.LineAddr) memaddr.LineData { return m.lines[l
 
 // Poke sets the contents of a line directly (workload initialization).
 func (m *Memory) Poke(line memaddr.LineAddr, data memaddr.LineData) { m.lines[line] = data }
+
+// Fingerprint returns a deterministic FNV-1a hash of the current memory
+// image: every populated line's address and contents, visited in sorted
+// address order so the hash is independent of map iteration. Note this is
+// the DRAM image only — dirty words still held in caches at quiescence are
+// not included — but it is a deterministic function of the run, which is
+// what sweep determinism verification needs.
+func (m *Memory) Fingerprint() uint64 {
+	addrs := make([]memaddr.LineAddr, 0, len(m.lines))
+	for a := range m.lines {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	h := stats.FNVOffset()
+	for _, a := range addrs {
+		h = stats.FNVAdd(h, uint64(a))
+		line := m.lines[a]
+		for _, w := range line {
+			h = stats.FNVAdd(h, uint64(w))
+		}
+	}
+	return h
+}

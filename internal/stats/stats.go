@@ -24,6 +24,14 @@ func (t *Traffic) Add(c proto.Class, bytes int) {
 	t.Messages[c]++
 }
 
+// Merge adds other's bytes and message counts into t.
+func (t *Traffic) Merge(other Traffic) {
+	for c := range t.Bytes {
+		t.Bytes[c] += other.Bytes[c]
+		t.Messages[c] += other.Messages[c]
+	}
+}
+
 // TotalBytes returns total traffic across classes. If includeMem is false,
 // DRAM traffic is excluded (the paper reports interconnect traffic between
 // caches; memory traffic is broadly similar across configurations).
@@ -69,6 +77,91 @@ func (s *Stats) CounterNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Snapshot is an immutable, mergeable copy of one run's measurements.
+// Concurrent sweep cells each produce a Snapshot from their private Stats;
+// snapshots merge associatively into matrix-level aggregates without any
+// component ever sharing a live Stats across runs.
+type Snapshot struct {
+	Traffic  Traffic
+	ExecTime sim.Time
+	Counters map[string]uint64
+}
+
+// Snapshot copies the current measurements into an independent Snapshot.
+func (s *Stats) Snapshot() Snapshot {
+	c := make(map[string]uint64, len(s.Counters))
+	for k, v := range s.Counters {
+		c[k] = v
+	}
+	return Snapshot{Traffic: s.Traffic, ExecTime: s.ExecTime, Counters: c}
+}
+
+// Merge returns the combination of two snapshots: traffic and counters
+// sum, ExecTime takes the maximum (the wall of a set of parallel runs).
+// Neither operand is mutated.
+func (a Snapshot) Merge(b Snapshot) Snapshot {
+	out := Snapshot{Traffic: a.Traffic, ExecTime: a.ExecTime,
+		Counters: make(map[string]uint64, len(a.Counters)+len(b.Counters))}
+	out.Traffic.Merge(b.Traffic)
+	if b.ExecTime > out.ExecTime {
+		out.ExecTime = b.ExecTime
+	}
+	for k, v := range a.Counters {
+		out.Counters[k] += v
+	}
+	for k, v := range b.Counters {
+		out.Counters[k] += v
+	}
+	return out
+}
+
+// FNV-1a 64-bit parameters, used for deterministic fingerprints.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// FNVAdd folds one 64-bit value into an FNV-1a hash, byte by byte.
+func FNVAdd(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (x & 0xff)) * fnvPrime
+		x >>= 8
+	}
+	return h
+}
+
+// FNVAddString folds a string into an FNV-1a hash.
+func FNVAddString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// FNVOffset returns the FNV-1a initial hash state.
+func FNVOffset() uint64 { return fnvOffset }
+
+// Fingerprint returns a deterministic FNV-1a hash of the snapshot: exec
+// time, the full per-class traffic breakdown, and every counter in sorted
+// order. Two runs are bit-identical iff their fingerprints match.
+func (s Snapshot) Fingerprint() uint64 {
+	h := FNVAdd(fnvOffset, uint64(s.ExecTime))
+	for c := range s.Traffic.Bytes {
+		h = FNVAdd(h, s.Traffic.Bytes[c])
+		h = FNVAdd(h, s.Traffic.Messages[c])
+	}
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h = FNVAddString(h, k)
+		h = FNVAdd(h, s.Counters[k])
+	}
+	return h
 }
 
 // Summary renders a human-readable report.

@@ -46,6 +46,59 @@ func TestCounters(t *testing.T) {
 	}
 }
 
+func TestSnapshotMerge(t *testing.T) {
+	a := New()
+	a.ExecTime = 100
+	a.Traffic.Add(proto.ClassReqV, 64)
+	a.Inc("llc.miss", 3)
+	b := New()
+	b.ExecTime = 250
+	b.Traffic.Add(proto.ClassReqV, 16)
+	b.Traffic.Add(proto.ClassProbe, 8)
+	b.Inc("llc.miss", 2)
+	b.Inc("tu.nack", 1)
+
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Traffic.Bytes[proto.ClassReqV] != 80 || m.Traffic.Messages[proto.ClassReqV] != 2 {
+		t.Fatalf("merged ReqV = %d bytes / %d msgs", m.Traffic.Bytes[proto.ClassReqV], m.Traffic.Messages[proto.ClassReqV])
+	}
+	if m.Traffic.Bytes[proto.ClassProbe] != 8 {
+		t.Fatalf("merged Probe = %d bytes", m.Traffic.Bytes[proto.ClassProbe])
+	}
+	if m.ExecTime != 250 {
+		t.Fatalf("merged ExecTime = %d, want max 250", m.ExecTime)
+	}
+	if m.Counters["llc.miss"] != 5 || m.Counters["tu.nack"] != 1 {
+		t.Fatalf("merged counters = %v", m.Counters)
+	}
+	// Merge must not mutate its operands.
+	if a.Snapshot().Counters["llc.miss"] != 3 || b.Snapshot().Counters["llc.miss"] != 2 {
+		t.Fatal("Merge mutated an operand")
+	}
+}
+
+func TestSnapshotFingerprint(t *testing.T) {
+	s := New()
+	s.ExecTime = 42
+	s.Traffic.Add(proto.ClassReqO, 128)
+	s.Inc("llc.miss", 1)
+	fp := s.Snapshot().Fingerprint()
+	if fp != s.Snapshot().Fingerprint() {
+		t.Fatal("fingerprint not stable")
+	}
+	s.Inc("llc.miss", 1)
+	if fp == s.Snapshot().Fingerprint() {
+		t.Fatal("fingerprint insensitive to counter change")
+	}
+	s2 := New()
+	s2.ExecTime = 42
+	s2.Traffic.Add(proto.ClassReqO, 128)
+	s2.Inc("llc.miss", 1)
+	if fp != s2.Snapshot().Fingerprint() {
+		t.Fatal("equal measurements fingerprint differently")
+	}
+}
+
 func TestSummaryRendering(t *testing.T) {
 	s := New()
 	s.ExecTime = 2_000_000 // 2 µs

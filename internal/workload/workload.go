@@ -3,6 +3,7 @@ package workload
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"spandex/internal/device"
 	"spandex/internal/memaddr"
@@ -79,32 +80,47 @@ type Workload interface {
 	Build(m Machine, seed uint64) *Program
 }
 
-var registry = map[string]Workload{}
+// registry is the only package-level mutable state in the simulator; it is
+// guarded by regMu so concurrent sweep cells can resolve workloads while a
+// host program registers custom ones. Workload implementations themselves
+// must be stateless under Build (Build may not mutate the receiver): one
+// registered Workload value is shared by every concurrent run.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Workload{}
+)
 
-// Register adds a workload to the global registry (called from init).
+// Register adds a workload to the global registry (usually from init).
+// Safe for concurrent use with ByName/Names.
 func Register(w Workload) {
 	name := w.Meta().Name
+	regMu.Lock()
+	defer regMu.Unlock()
 	if _, dup := registry[name]; dup {
 		panic("workload: duplicate registration of " + name)
 	}
 	registry[name] = w
 }
 
-// ByName looks a workload up.
+// ByName looks a workload up. Safe for concurrent use.
 func ByName(name string) (Workload, error) {
+	regMu.RLock()
 	w, ok := registry[name]
+	regMu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("workload: unknown workload %q", name)
 	}
 	return w, nil
 }
 
-// Names lists registered workloads, sorted.
+// Names lists registered workloads, sorted. Safe for concurrent use.
 func Names() []string {
+	regMu.RLock()
 	out := make([]string, 0, len(registry))
 	for n := range registry {
 		out = append(out, n)
 	}
+	regMu.RUnlock()
 	sort.Strings(out)
 	return out
 }

@@ -107,6 +107,11 @@ type Result struct {
 	Counters map[string]uint64
 	// Ops is the total device operations executed.
 	Ops uint64
+	// MemHash is a deterministic hash of the final DRAM image (captured
+	// at quiescence, before any validation reads). Together with ExecTime,
+	// Traffic, Counters and Ops it fingerprints a run for determinism
+	// verification; see Result.Fingerprint.
+	MemHash uint64
 }
 
 // ExecMillis returns the execution time in milliseconds of simulated time.
@@ -411,6 +416,7 @@ func (s *System) Run(maxTime sim.Time) (Result, error) {
 		Traffic:  s.Stats.Traffic,
 		Counters: counters,
 		Ops:      ops,
+		MemHash:  s.Mem.Fingerprint(),
 	}, nil
 }
 
@@ -441,6 +447,15 @@ func (s *System) Reader() func(memaddr.Addr) uint32 {
 
 // Run builds a system, runs the workload, optionally validates the final
 // state, and returns the measurements. This is the main entry point.
+//
+// Run is safe for concurrent use: every call assembles a fully-isolated
+// System (its own sim.Engine, Stats, Network, Memory, caches and program
+// coroutines) and touches no package-level mutable state — the workload
+// registry is read-locked, and Workload.Build implementations are
+// stateless by contract (see workload.Register). Consequently a Run's
+// Result is bit-identical whether it executes alone or concurrently with
+// any number of other Runs; RunMatrix and VerifyDeterminism rely on this
+// invariant, and `go test -race ./...` guards it in CI.
 func Run(w Workload, opt Options) (Result, error) {
 	s, err := NewSystem(opt)
 	if err != nil {
