@@ -3,15 +3,19 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt test race smoke bench clean
+.PHONY: ci build vet fmt lint test race smoke check bench clean
 
-ci: build vet fmt test race smoke
+ci: build vet fmt lint test race smoke check
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project analyzers (cmd/spandex-lint): determinism, protostate, mutafter.
+lint:
+	$(GO) run ./cmd/spandex-lint ./...
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -33,6 +37,14 @@ race:
 smoke:
 	$(GO) run ./cmd/spandex-bench -headline -parallel 4 -validate
 	$(GO) run ./cmd/spandex-bench -verify-determinism -parallel 4
+
+# Invariant-checked smoke: litmus plus one headline workload per figure
+# under -check (per-transition SWMR/disjointness audit on every LLC state
+# change); any violation exits non-zero.
+check:
+	$(GO) run ./cmd/spandex-sim -config SDD -workload litmus -check
+	$(GO) run ./cmd/spandex-sim -config SMD -workload litmus -check
+	$(GO) run ./cmd/spandex-sim -config SDD -workload pr -check
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -29,7 +29,7 @@ func main() {
 	table := flag.String("table", "", "regenerate only one table (I..VII)")
 	headline := flag.Bool("headline", false, "print only the headline summary")
 	seed := flag.Uint64("seed", 42, "workload input seed")
-	check := flag.Bool("check", false, "enable coherence invariant checking (slower)")
+	check := flag.Bool("check", false, "enable coherence invariant checking, including the per-transition SWMR audit (slower)")
 	validate := flag.Bool("validate", true, "validate final memory state against each workload's oracle")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
@@ -38,9 +38,10 @@ func main() {
 	flag.Parse()
 
 	opt := spandex.Options{
-		Seed:            *seed,
-		CheckInvariants: *check,
-		Validate:        *validate,
+		Seed:                 *seed,
+		CheckInvariants:      *check,
+		CheckEveryTransition: *check,
+		Validate:             *validate,
 	}
 
 	die := func(err error) {

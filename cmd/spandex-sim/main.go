@@ -24,7 +24,7 @@ func main() {
 	cfg := flag.String("config", "SDD", "cache configuration (HMG HMD SMG SMD SDG SDD)")
 	wl := flag.String("workload", "pr", "workload name (see -list)")
 	seed := flag.Uint64("seed", 42, "workload input seed")
-	check := flag.Bool("check", false, "enable coherence invariant checking")
+	check := flag.Bool("check", false, "enable coherence invariant checking, including the per-transition SWMR audit")
 	validate := flag.Bool("validate", true, "validate final memory state")
 	verifyDet := flag.Bool("verify-determinism", false,
 		"run the cell twice (serial, then under contention) and require bit-identical results")
@@ -51,10 +51,11 @@ func main() {
 		os.Exit(1)
 	}
 	opt := spandex.Options{
-		ConfigName:      *cfg,
-		Seed:            *seed,
-		CheckInvariants: *check,
-		Validate:        *validate,
+		ConfigName:           *cfg,
+		Seed:                 *seed,
+		CheckInvariants:      *check,
+		CheckEveryTransition: *check,
+		Validate:             *validate,
 	}
 
 	if *verifyDet {
@@ -75,6 +76,9 @@ func main() {
 	res, err := spandex.Run(w, opt)
 	wall := time.Since(start)
 	if err != nil {
+		for _, v := range res.Violations {
+			fmt.Fprintln(os.Stderr, "spandex-sim: violation:", v)
+		}
 		fmt.Fprintln(os.Stderr, "spandex-sim:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,23 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"spandex/internal/analysis/analysistest"
+	"spandex/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	determinism.Packages = append(determinism.Packages, "detpath")
+	defer func() {
+		determinism.Packages = determinism.Packages[:len(determinism.Packages)-1]
+	}()
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "detpath")
+}
+
+// TestOffPath proves the analyzer is scoped: the same violations in a
+// package outside determinism.Packages produce no diagnostics (offpath has
+// no want comments, so any diagnostic fails the test).
+func TestOffPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "offpath")
+}

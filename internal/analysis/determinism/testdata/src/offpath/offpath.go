@@ -1,0 +1,21 @@
+// Package offpath is golden testdata proving the determinism analyzer
+// stays silent outside the sim-path package list: everything here would be
+// flagged in a sim-path package.
+package offpath
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time { return time.Now() }
+
+func globalRand() int { return rand.Intn(10) }
+
+func keysUnsorted(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

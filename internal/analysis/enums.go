@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// EnumConst is one enumerator of a protocol/state enum.
+type EnumConst struct {
+	Name  string
+	Value int64
+}
+
+// EnumOf reports the enumerators of a named type if it looks like a
+// protocol or state enum, in declaration-value order. A type qualifies
+// when it is a defined integer type with at least two package-level
+// constants of exactly that type whose smallest value is zero — the iota
+// pattern every enum in this repository uses (proto.MsgType, cache-state
+// and transaction-kind enums, config selectors). Sentinel count constants
+// (numMsgTypes, NumClasses, ...) are excluded by their num/Num prefix, so
+// exhaustiveness means "every real enumerator".
+//
+// Scalar constant types fail the zero-minimum test (sim.Time's clock
+// periods, proto.None == -1) and are not treated as enums.
+func EnumOf(named *types.Named) []EnumConst {
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	pkg := named.Obj().Pkg()
+	if pkg == nil { // universe types (error, ...) are not enums
+		return nil
+	}
+	var consts []EnumConst
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(name, "num") || strings.HasPrefix(name, "Num") {
+			continue
+		}
+		v, ok := constant.Int64Val(constant.ToInt(c.Val()))
+		if !ok {
+			return nil
+		}
+		consts = append(consts, EnumConst{Name: name, Value: v})
+	}
+	if len(consts) < 2 {
+		return nil
+	}
+	sort.Slice(consts, func(i, j int) bool { return consts[i].Value < consts[j].Value })
+	if consts[0].Value != 0 {
+		return nil
+	}
+	return consts
+}

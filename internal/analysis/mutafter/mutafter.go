@@ -1,0 +1,273 @@
+// Package mutafter implements the spandex-lint analyzer that enforces the
+// message-ownership discipline: once a *Message has been handed to a
+// Send-shaped call or captured by an Engine.Schedule closure, the sender
+// must not mutate it.
+//
+// noc.Network.Send copies the message today, which makes post-send
+// mutation merely latent rather than immediately wrong — but every direct
+// Port/engine path that skips the copy turns the same code into a data
+// hazard between the logical send time and the delivery event. The rule is
+// therefore enforced at the source: the send owns the message; build a new
+// one (or copy) if you need to keep writing.
+//
+// The analysis is lexical and per-function: after a statement that passes
+// a variable of type *Message (any struct type named Message, so testdata
+// and future message types qualify) to a call whose method name begins
+// with Send/send, or captures it in a func literal passed to
+// Schedule/ScheduleAt, later statements in the same or enclosing block
+// sequence may not assign through that variable. Rebinding the variable
+// (m = ...) ends tracking; publication inside a conditional branch does
+// not leak past the branch (no false positives from speculative sends).
+package mutafter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spandex/internal/analysis"
+)
+
+// Analyzer is the mutafter analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "mutafter",
+	Doc:  "forbid mutating a *Message after it was passed to Send/Schedule",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					tr := &tracker{pass: pass}
+					tr.list(n.Body.List, map[types.Object]string{})
+				}
+			case *ast.FuncLit:
+				tr := &tracker{pass: pass}
+				tr.list(n.Body.List, map[types.Object]string{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type tracker struct {
+	pass *analysis.Pass
+}
+
+// list walks one statement sequence, threading the set of published
+// message variables (object -> name of the call that published it).
+func (tr *tracker) list(stmts []ast.Stmt, pub map[types.Object]string) {
+	for _, s := range stmts {
+		tr.stmt(s, pub)
+	}
+}
+
+func (tr *tracker) stmt(s ast.Stmt, pub map[types.Object]string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		tr.list(s.List, clone(pub))
+	case *ast.IfStmt:
+		inner := clone(pub)
+		if s.Init != nil {
+			tr.stmt(s.Init, inner)
+		}
+		tr.list(s.Body.List, clone(inner))
+		if s.Else != nil {
+			tr.stmt(s.Else, clone(inner))
+		}
+	case *ast.ForStmt:
+		inner := clone(pub)
+		if s.Init != nil {
+			tr.stmt(s.Init, inner)
+		}
+		if s.Post != nil {
+			tr.stmt(s.Post, inner)
+		}
+		tr.list(s.Body.List, clone(inner))
+	case *ast.RangeStmt:
+		inner := clone(pub)
+		tr.list(s.Body.List, clone(inner))
+	case *ast.SwitchStmt:
+		inner := clone(pub)
+		if s.Init != nil {
+			tr.stmt(s.Init, inner)
+		}
+		for _, c := range s.Body.List {
+			tr.list(c.(*ast.CaseClause).Body, clone(inner))
+		}
+	case *ast.TypeSwitchStmt:
+		inner := clone(pub)
+		for _, c := range s.Body.List {
+			tr.list(c.(*ast.CaseClause).Body, clone(inner))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			tr.list(c.(*ast.CommClause).Body, clone(pub))
+		}
+	case *ast.LabeledStmt:
+		tr.stmt(s.Stmt, pub)
+	default:
+		// Simple statement: report mutations through published messages,
+		// then record any new publications it performs.
+		tr.checkSimple(s, pub)
+		tr.publishes(s, pub)
+	}
+}
+
+// checkSimple inspects a non-control statement for writes through
+// published message variables. Direct rebinding of the variable itself
+// ends tracking instead of reporting.
+func (tr *tracker) checkSimple(s ast.Stmt, pub map[types.Object]string) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			tr.checkWrite(lhs, pub)
+		}
+		return
+	case *ast.IncDecStmt:
+		tr.checkWrite(s.X, pub)
+		return
+	}
+	// Other simple statements cannot write through a message variable
+	// except via calls taking &m.Field; not modeled.
+}
+
+// checkWrite handles one assignment target.
+func (tr *tracker) checkWrite(lhs ast.Expr, pub map[types.Object]string) {
+	if id, ok := lhs.(*ast.Ident); ok {
+		// m = ... rebinds: the published message is no longer reachable
+		// through this variable.
+		if obj := tr.obj(id); obj != nil {
+			delete(pub, obj)
+		}
+		return
+	}
+	root := rootIdent(lhs)
+	if root == nil {
+		return
+	}
+	if obj := tr.obj(root); obj != nil {
+		if via, ok := pub[obj]; ok {
+			tr.pass.Reportf(lhs.Pos(), "message %s mutated after being passed to %s: the send owns the message; copy it (or build a new one) before writing", root.Name, via)
+		}
+	}
+}
+
+// publishes records message variables published by statement s: passed to
+// a [Ss]end*-named call, or captured by a func literal handed to
+// Schedule/ScheduleAt.
+func (tr *tracker) publishes(s ast.Stmt, pub map[types.Object]string) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a send inside a closure happens at call time, not here
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		switch {
+		case len(name) >= 4 && (name[:4] == "Send" || name[:4] == "send"):
+			for _, arg := range call.Args {
+				if id, ok := unparen(arg).(*ast.Ident); ok {
+					if obj := tr.obj(id); obj != nil && isMessagePtr(obj.Type()) {
+						pub[obj] = name
+					}
+				}
+			}
+		case name == "Schedule" || name == "ScheduleAt":
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := tr.obj(id); obj != nil && isMessagePtr(obj.Type()) {
+							pub[obj] = name + " closure"
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+func clone(pub map[types.Object]string) map[types.Object]string {
+	out := make(map[types.Object]string, len(pub))
+	for k, v := range pub {
+		out[k] = v
+	}
+	return out
+}
+
+func (tr *tracker) obj(id *ast.Ident) types.Object {
+	if o := tr.pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return tr.pass.TypesInfo.Defs[id]
+}
+
+// isMessagePtr reports whether t is a pointer to a struct type named
+// Message.
+func isMessagePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	if named.Obj().Name() != "Message" {
+		return false
+	}
+	_, isStruct := named.Underlying().(*types.Struct)
+	return isStruct
+}
+
+// rootIdent peels selectors, indexes, stars and parens down to the base
+// identifier of an lvalue, or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package mutafter_test
+
+import (
+	"testing"
+
+	"spandex/internal/analysis/analysistest"
+	"spandex/internal/analysis/mutafter"
+)
+
+func TestMutafter(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), mutafter.Analyzer, "msgs")
+}

@@ -1,0 +1,79 @@
+// Package msgs is golden testdata for the mutafter analyzer.
+package msgs
+
+// Message stands in for proto.Message: the analyzer matches any pointer to
+// a struct type named Message.
+type Message struct {
+	Line int
+	Acks int
+}
+
+type Engine struct{}
+
+func (e *Engine) Schedule(d int64, fn func()) { fn() }
+
+type port struct{ eng *Engine }
+
+func (p *port) Send(m *Message)    {}
+func (p *port) sendNet(m *Message) {}
+
+func mutateAfterSend(p *port, m *Message) {
+	p.Send(m)
+	m.Acks++ // want `message m mutated after being passed to Send`
+}
+
+func assignAfterSend(p *port, m *Message) {
+	p.sendNet(m)
+	m.Line = 7 // want `message m mutated after being passed to sendNet`
+}
+
+func compoundAfterSend(p *port, m *Message) {
+	p.Send(m)
+	m.Acks += 2 // want `message m mutated after being passed to Send`
+}
+
+func mutateBeforeSend(p *port, m *Message) {
+	m.Acks++
+	p.Send(m)
+}
+
+func rebindThenMutate(p *port, m *Message) {
+	p.Send(m)
+	m = &Message{}
+	m.Acks++
+	p.Send(m)
+}
+
+func mutateInBranch(p *port, m *Message, cond bool) {
+	p.Send(m)
+	if cond {
+		m.Line = 9 // want `message m mutated after being passed to Send`
+	}
+}
+
+// speculativeSend: publication inside a branch does not leak past it.
+func speculativeSend(p *port, m *Message, cond bool) {
+	if cond {
+		p.Send(m)
+	}
+	m.Line = 9
+}
+
+func scheduleCapture(e *Engine, m *Message) {
+	e.Schedule(3, func() { m.Acks = 0 })
+	m.Line = 1 // want `message m mutated after being passed to Schedule closure`
+}
+
+// copyThenMutate is the blessed pattern: copy, then write the copy.
+func copyThenMutate(p *port, m *Message) {
+	p.Send(m)
+	cp := *m
+	cp.Acks++
+	p.Send(&cp)
+}
+
+// readAfterSend: reads are fine, only writes are flagged.
+func readAfterSend(p *port, m *Message) int {
+	p.Send(m)
+	return m.Acks
+}

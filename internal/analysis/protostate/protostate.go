@@ -1,0 +1,165 @@
+// Package protostate implements the spandex-lint analyzer that keeps
+// switches over protocol enums honest.
+//
+// The Spandex LLC and TU dispatch on proto.MsgType (35 request/response
+// kinds from Table III/IV) and on cache-state enums. A switch that silently
+// falls through on an unhandled enumerator is how protocol holes are born:
+// a new message type is added, one dispatch site is missed, and the message
+// is dropped instead of rejected. This analyzer requires every switch over
+// an enum type to either cover all enumerators, carry a default clause that
+// panics (making the hole loud), or carry an explicit
+// //spandex:partialswitch <why> directive.
+//
+// Enum types are detected structurally (see analysis.EnumOf): defined
+// integer types with >= 2 same-typed package constants starting at zero —
+// the iota pattern used by proto.MsgType, proto.Class, proto.AtomicKind and
+// the controller state/transaction enums.
+package protostate
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+
+	"spandex/internal/analysis"
+)
+
+// Analyzer is the protostate analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "protostate",
+	Doc:  "require switches over protocol/state enums to be exhaustive or end in a panicking default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	// Only police enums defined in this module: stdlib enums (go/token.Token,
+	// reflect.Kind, ...) have dozens of enumerators and are not protocol
+	// state. "Same module" is approximated as sharing the first import-path
+	// segment with the analyzed package, or being the analyzed package.
+	if named.Obj().Pkg() == nil {
+		return
+	}
+	if !sameModule(pass.Pkg.Path(), named.Obj().Pkg().Path()) {
+		return
+	}
+	enum := analysis.EnumOf(named)
+	if enum == nil {
+		return
+	}
+	if pass.HasDirective(sw, "partialswitch") {
+		return
+	}
+
+	covered := make(map[int64]bool)
+	var defaultClause *ast.CaseClause
+	for _, c := range sw.Body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			etv, ok := pass.TypesInfo.Types[e]
+			if !ok || etv.Value == nil {
+				// A non-constant case expression means coverage cannot be
+				// reasoned about statically; stay silent rather than guess.
+				return
+			}
+			if v, ok := constant.Int64Val(constant.ToInt(etv.Value)); ok {
+				covered[v] = true
+			}
+		}
+	}
+
+	var missing []string
+	for _, ec := range enum {
+		if !covered[ec.Value] {
+			missing = append(missing, ec.Name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	if defaultClause != nil && panics(defaultClause.Body) {
+		return
+	}
+	sort.Strings(missing)
+	shown := missing
+	const maxShown = 4
+	suffix := ""
+	if len(shown) > maxShown {
+		shown = shown[:maxShown]
+		suffix = ", ..."
+	}
+	enumName := types.TypeString(named, types.RelativeTo(pass.Pkg))
+	what := "no default"
+	if defaultClause != nil {
+		what = "a non-panicking default"
+	}
+	pass.Reportf(sw.Pos(), "switch over %s misses %s%s and has %s: cover every case, panic in default, or add //spandex:partialswitch <why>",
+		enumName, strings.Join(shown, ", "), suffix, what)
+}
+
+func sameModule(analyzed, defining string) bool {
+	if analyzed == defining {
+		return true
+	}
+	first := func(p string) string {
+		if i := strings.IndexByte(p, '/'); i >= 0 {
+			return p[:i]
+		}
+		return p
+	}
+	return first(analyzed) == first(defining)
+}
+
+// panics reports whether stmts always reach a panic-like call: a builtin
+// panic, or a log.Fatal*/t.Fatal*-shaped method whose name starts with
+// Fatal or Panic.
+func panics(stmts []ast.Stmt) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "panic" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if strings.HasPrefix(fun.Sel.Name, "Fatal") || strings.HasPrefix(fun.Sel.Name, "Panic") {
+					found = true
+				}
+			}
+			return !found
+		})
+	}
+	return found
+}

@@ -1,0 +1,12 @@
+package protostate_test
+
+import (
+	"testing"
+
+	"spandex/internal/analysis/analysistest"
+	"spandex/internal/analysis/protostate"
+)
+
+func TestProtostate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), protostate.Analyzer, "enums")
+}

@@ -1,0 +1,130 @@
+// Package enums is golden testdata for the protostate analyzer.
+package enums
+
+// State is an iota enum in the style of the cache-state enums.
+type State int
+
+const (
+	Invalid State = iota
+	Shared
+	Owned
+	Valid
+)
+
+// MsgType mimics proto.MsgType, sentinel included: numMsgTypes must not be
+// required for exhaustiveness.
+type MsgType int
+
+const (
+	ReqV MsgType = iota
+	ReqS
+	ReqWT
+	numMsgTypes
+)
+
+// Period is a scalar-constant type (minimum value nonzero), not an enum.
+type Period int
+
+const (
+	CPU Period = 500
+	GPU Period = 1429
+)
+
+func exhaustive(s State) string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Owned:
+		return "O"
+	case Valid:
+		return "V"
+	}
+	return "?"
+}
+
+func panickingDefault(s State) string {
+	switch s {
+	case Invalid:
+		return "I"
+	default:
+		panic("unhandled state")
+	}
+}
+
+func missing(s State) string {
+	switch s { // want `switch over State misses Owned, Shared, Valid and has no default`
+	case Invalid:
+		return "I"
+	}
+	return "?"
+}
+
+func softDefault(s State) string {
+	switch s { // want `switch over State misses .* and has a non-panicking default`
+	case Invalid:
+		return "I"
+	default:
+		return "?"
+	}
+}
+
+func directived(s State) string {
+	//spandex:partialswitch only stable states reach this printer
+	switch s {
+	case Invalid:
+		return "I"
+	}
+	return "?"
+}
+
+// sentinelFree covers every real enumerator; the numMsgTypes sentinel is
+// excluded from the required set.
+func sentinelFree(t MsgType) int {
+	switch t {
+	case ReqV:
+		return 0
+	case ReqS:
+		return 1
+	case ReqWT:
+		return 2
+	}
+	return -1
+}
+
+func msgMissing(t MsgType) int {
+	switch t { // want `switch over MsgType misses ReqS, ReqWT and has no default`
+	case ReqV:
+		return 0
+	}
+	return -1
+}
+
+// plainInt is not an enum type: never flagged.
+func plainInt(x int) int {
+	switch x {
+	case 0:
+		return 1
+	}
+	return 0
+}
+
+// period is a scalar-constant type, not an enum: never flagged.
+func period(p Period) int {
+	switch p {
+	case CPU:
+		return 1
+	}
+	return 0
+}
+
+// dynamicCase has a non-constant case expression, so coverage cannot be
+// decided statically: the analyzer stays silent.
+func dynamicCase(s, other State) bool {
+	switch s {
+	case other:
+		return true
+	}
+	return false
+}

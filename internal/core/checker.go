@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"spandex/internal/detsort"
 	"spandex/internal/memaddr"
 	"spandex/internal/proto"
 )
@@ -10,9 +11,9 @@ import (
 // DeviceProbe lets the checker inspect a device cache's coherence state
 // without going through the protocol.
 type DeviceProbe interface {
-	// ProbeOwned returns every word the device currently holds in Owned
-	// state (including words whose ownership grant is still in flight
-	// toward the device are excluded — only stable O).
+	// ProbeOwned returns every word the device currently holds in stable
+	// Owned state. Words whose ownership grant is still in flight toward
+	// the device are excluded — only stable O is reported.
 	ProbeOwned() map[memaddr.LineAddr]memaddr.WordMask
 }
 
@@ -25,6 +26,13 @@ type Checker struct {
 	// Collect is true (used by tests asserting detection).
 	Collect    bool
 	Violations []string
+	// CheckEveryTransition arms the deep per-transition audit: on top of
+	// CheckLine's structural checks, every LLC state change is audited for
+	// SWMR/disjointness invariants (CheckTransition) and every MESI TU
+	// message for bookkeeping consistency (MESITU audit). Costs roughly a
+	// full scan of the TU's pending maps per message; see EXPERIMENTS.md
+	// for the measured overhead.
+	CheckEveryTransition bool
 }
 
 // NewChecker creates an empty checker.
@@ -83,22 +91,63 @@ func (c *Checker) CheckLine(l *LLC, line memaddr.LineAddr) {
 	}
 }
 
+// CheckTransition performs the deep per-transition audit of one LLC line
+// (CheckEveryTransition mode). CheckLine validates the owner-array
+// representation; this adds the invariants that must hold in every stable
+// state: sharer bits only for registered devices, no sharers without the
+// line-level Shared state, no ownership or sharers on a line whose data
+// has not arrived from memory, and — outside a blocking transaction — no
+// device simultaneously owning a word and sharing the line (SWMR).
+func (c *Checker) CheckTransition(l *LLC, line memaddr.LineAddr) {
+	e := l.array.Peek(line)
+	if e == nil {
+		return
+	}
+	st := &e.State
+	if extra := st.sharers >> uint(len(l.devices)); extra != 0 {
+		c.fail("line %#x has sharer bits %#x beyond the %d registered devices",
+			uint64(line), st.sharers, len(l.devices))
+	}
+	if !st.shared && st.sharers != 0 {
+		c.fail("line %#x has sharer bits %#x without Shared state", uint64(line), st.sharers)
+	}
+	if st.fetching {
+		if st.ownedMask != 0 {
+			c.fail("line %#x fetching with owned words %#04x", uint64(line), uint16(st.ownedMask))
+		}
+		if st.shared || st.sharers != 0 {
+			c.fail("line %#x fetching with sharers", uint64(line))
+		}
+	}
+	if _, mid := l.txns[line]; !mid && st.shared {
+		st.ownedMask.ForEach(func(i int) {
+			o := st.owner[i]
+			if o >= 0 && int(o) < len(l.devices) && st.sharers&(1<<uint(o)) != 0 {
+				c.fail("line %#x word %d: device index %d both owns the word and shares the line",
+					uint64(line), i, o)
+			}
+		})
+	}
+}
+
 // CheckQuiescent audits the whole system after the simulation drains:
 // every word the LLC records as owned must be owned by exactly that
 // device, every device-owned word must be recorded at the LLC (the
 // inclusivity requirement, paper §III-F), and no transactions may remain.
 func (c *Checker) CheckQuiescent(l *LLC) error {
 	if len(l.txns) != 0 {
-		for line, t := range l.txns {
-			return fmt.Errorf("core: line %#x still has %s txn with %d waiters at quiescence",
-				uint64(line), t.kind, len(t.waiting))
-		}
+		line := detsort.Keys(l.txns)[0]
+		t := l.txns[line]
+		return fmt.Errorf("core: line %#x still has %s txn with %d waiters at quiescence",
+			uint64(line), t.kind, len(t.waiting))
 	}
 
 	deviceOwned := make(map[memaddr.LineAddr][memaddr.WordsPerLine]int8)
-	for id, p := range c.probes {
+	for _, id := range detsort.Keys(c.probes) {
 		idx := int8(l.devIdx[id])
-		for line, mask := range p.ProbeOwned() {
+		owned := c.probes[id].ProbeOwned()
+		for _, line := range detsort.Keys(owned) {
+			mask := owned[line]
 			owners := deviceOwned[line]
 			conflict := error(nil)
 			mask.ForEach(func(i int) {
@@ -145,7 +194,8 @@ func (c *Checker) CheckQuiescent(l *LLC) error {
 	if err != nil {
 		return err
 	}
-	for line, owners := range deviceOwned {
+	for _, line := range detsort.Keys(deviceOwned) {
+		owners := deviceOwned[line]
 		for i, o := range owners {
 			if o != 0 {
 				return fmt.Errorf("core: device %d owns word %d of uncached line %#x (inclusivity)",

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+// TestCheckEveryTransitionDetectsCorruptedOwner corrupts an owner entry in
+// place after a legitimate ownership grant and asserts the per-transition
+// audit catches it on the very next LLC state change (no quiescent audit
+// needed).
+func TestCheckEveryTransitionDetectsCorruptedOwner(t *testing.T) {
+	h := newHarness(t, 2)
+	h.chk.Collect = true
+	h.chk.CheckEveryTransition = true
+
+	h.devs[0].req(proto.ReqO, L0, 0b1, nil)
+	h.run()
+	if len(h.chk.Violations) != 0 {
+		t.Fatalf("healthy run recorded violations: %v", h.chk.Violations)
+	}
+
+	// Corrupt the owner record: word 0 stays marked owned, but the owner
+	// index now points at a device that does not exist.
+	e := h.llc.array.Peek(L0)
+	if e == nil || !e.State.ownedMask.Has(0) {
+		t.Fatal("setup failed: word 0 of L0 is not owned")
+	}
+	e.State.owner[0] = 5
+
+	// Any transition on the line must now trip the audit. Request an
+	// unowned word so the handler itself never dereferences the bad index.
+	h.devs[1].req(proto.ReqV, L0, 0b10, nil)
+	h.run()
+
+	if len(h.chk.Violations) == 0 {
+		t.Fatal("per-transition audit missed the corrupted owner entry")
+	}
+	if !strings.Contains(h.chk.Violations[0], "bad owner") {
+		t.Fatalf("unexpected violation: %q", h.chk.Violations[0])
+	}
+}
+
+// TestCheckEveryTransitionDetectsSharerCorruption corrupts the sharer set
+// with a bit beyond the registered devices — an invariant only the deep
+// CheckTransition audit (not CheckLine) verifies.
+func TestCheckEveryTransitionDetectsSharerCorruption(t *testing.T) {
+	h := newHarness(t, 2, 0, 1) // both devices MESI so ReqS registers sharers
+	h.chk.Collect = true
+	h.chk.CheckEveryTransition = true
+
+	// First ReqS on a cold line grants ownership (option 3); the second,
+	// hitting MESI-owned words, revokes and installs Shared (option 1).
+	h.devs[0].req(proto.ReqS, L0, memaddr.FullMask, nil)
+	h.quiesce()
+	h.devs[1].req(proto.ReqS, L0, memaddr.FullMask, nil)
+	h.quiesce()
+
+	e := h.llc.array.Peek(L0)
+	if e == nil || !e.State.shared {
+		t.Fatal("setup failed: L0 is not Shared")
+	}
+	e.State.sharers |= 1 << 7 // only 2 devices are registered
+
+	h.devs[1].req(proto.ReqS, L0, memaddr.FullMask, nil)
+	h.quiesce()
+
+	if len(h.chk.Violations) == 0 {
+		t.Fatal("per-transition audit missed the out-of-range sharer bit")
+	}
+	if !strings.Contains(h.chk.Violations[0], "registered devices") {
+		t.Fatalf("unexpected violation: %q", h.chk.Violations[0])
+	}
+	if h.st.Get("check.transition") == 0 {
+		t.Fatal("check.transition counter never incremented")
+	}
+}
+
+// TestCheckEveryTransitionCleanRun drives a mixed request sequence with the
+// deep audit armed and asserts a healthy system never trips it.
+func TestCheckEveryTransitionCleanRun(t *testing.T) {
+	h := newHarness(t, 2)
+	h.chk.Collect = true
+	h.chk.CheckEveryTransition = true
+
+	h.devs[0].req(proto.ReqO, L0, 0b11, nil)
+	h.quiesce()
+	h.devs[1].req(proto.ReqS, L0, memaddr.FullMask, nil)
+	h.quiesce()
+	h.devs[1].req(proto.ReqWT, L0, 0b100, func(m *proto.Message) {
+		m.HasData = true
+		m.Data[2] = 7
+	})
+	h.quiesce()
+
+	if len(h.chk.Violations) != 0 {
+		t.Fatalf("healthy run recorded violations: %v", h.chk.Violations)
+	}
+	if h.st.Get("check.transition") == 0 {
+		t.Fatal("check.transition counter never incremented")
+	}
+}

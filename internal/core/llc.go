@@ -165,6 +165,19 @@ func (l *LLC) RegisterDevice(id proto.NodeID, isMESI bool) {
 // SetChecker installs an invariant checker consulted on every transition.
 func (l *LLC) SetChecker(c *Checker) { l.checker = c }
 
+// afterTransition runs the configured invariant checks once a message has
+// finished mutating a line's state.
+func (l *LLC) afterTransition(line memaddr.LineAddr) {
+	if l.checker == nil {
+		return
+	}
+	l.checker.CheckLine(l, line)
+	if l.checker.CheckEveryTransition {
+		l.st.Inc("check.transition", 1)
+		l.checker.CheckTransition(l, line)
+	}
+}
+
 func (l *LLC) dev(id proto.NodeID) int {
 	i, ok := l.devIdx[id]
 	if !ok {
@@ -197,6 +210,10 @@ func (l *LLC) dispatch(m *proto.Message) {
 		// processing them immediately is always safe.
 		l.handleReqWB(m)
 		return
+	case proto.ReqV, proto.ReqS, proto.ReqWT, proto.ReqO, proto.ReqWTData, proto.ReqOData:
+		// Device requests fall through to the blocked-line queue below.
+	default:
+		panic("core: LLC cannot handle " + m.Type.String())
 	}
 
 	if t, ok := l.txns[m.Line]; ok {
@@ -231,9 +248,7 @@ func (l *LLC) process(e *cache.Entry[llcLine], m *proto.Message) {
 	default:
 		panic("core: LLC cannot handle " + m.Type.String())
 	}
-	if l.checker != nil {
-		l.checker.CheckLine(l, m.Line)
-	}
+	l.afterTransition(m.Line)
 }
 
 // send transmits a message from the LLC.
@@ -588,9 +603,7 @@ func (l *LLC) handleReqWB(m *proto.Message) {
 		Line: m.Line, Mask: m.Mask,
 	})
 	l.maybeCompleteRvk(m.Line)
-	if l.checker != nil {
-		l.checker.CheckLine(l, m.Line)
-	}
+	l.afterTransition(m.Line)
 }
 
 // handleRspRvkO absorbs an owner's write-back triggered by RvkO or a
@@ -623,9 +636,7 @@ func (l *LLC) handleRspRvkO(m *proto.Message) {
 		applied.ForEach(func(i int) { st.owner[i] = noOwner })
 	}
 	l.maybeCompleteRvk(m.Line)
-	if l.checker != nil {
-		l.checker.CheckLine(l, m.Line)
-	}
+	l.afterTransition(m.Line)
 }
 
 // maybeCompleteRvk resolves a txnRvk (or txnEvict) once every word it was

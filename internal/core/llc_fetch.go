@@ -94,6 +94,7 @@ func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
 			})
 		}
 		l.txns[line] = t
+		l.afterTransition(line)
 		return
 	}
 	if st.shared {
@@ -111,10 +112,12 @@ func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
 		st.sharers = 0
 		if t.pendingAcks > 0 {
 			l.txns[line] = t
+			l.afterTransition(line)
 			return
 		}
 	}
 	finish()
+	l.afterTransition(line)
 }
 
 // installAndRead claims the frame for line and requests its data.
@@ -128,6 +131,7 @@ func (l *LLC) installAndRead(frame *cache.Entry[llcLine], line memaddr.LineAddr)
 		Type: proto.MemRead, Dst: l.MemID, Requestor: l.ID,
 		Line: line, Mask: memaddr.FullMask,
 	})
+	l.afterTransition(line)
 }
 
 // handleMemRsp fills a fetched line and replays the queued requests.
@@ -143,5 +147,6 @@ func (l *LLC) handleMemRsp(m *proto.Message) {
 		panic("core: memory response without fetch txn")
 	}
 	delete(l.txns, m.Line)
+	l.afterTransition(m.Line)
 	l.drain(t)
 }

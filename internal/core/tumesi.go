@@ -1,6 +1,7 @@
 package core
 
 import (
+	"spandex/internal/detsort"
 	"spandex/internal/memaddr"
 	"spandex/internal/mesi"
 	"spandex/internal/noc"
@@ -48,6 +49,8 @@ type MESITU struct {
 	// acks must not be relayed to the LLC.
 	internalInvs map[uint64]bool
 	reqSeq       uint64
+
+	checker *Checker
 }
 
 type tuKind uint8
@@ -110,6 +113,41 @@ func NewMESITU(id proto.NodeID, eng *sim.Engine, net *noc.Network, st *stats.Sta
 // Bind attaches the MESI cache behind this TU.
 func (tu *MESITU) Bind(l1 *mesi.L1) { tu.l1 = l1 }
 
+// SetChecker installs the invariant checker. The TU audits its own
+// bookkeeping after every message when CheckEveryTransition is armed.
+func (tu *MESITU) SetChecker(c *Checker) { tu.checker = c }
+
+// audit validates the TU's transient bookkeeping after a message has been
+// fully processed (CheckEveryTransition mode): write-back records must
+// cover at least one word, every line marked as probe-blocked must point
+// at a live probe, and a pending grant whose words have all arrived must
+// have completed (a fully-arrived entry still pending means a lost
+// completion).
+func (tu *MESITU) audit() {
+	c := tu.checker
+	if c == nil || !c.CheckEveryTransition {
+		return
+	}
+	tu.st.Inc("check.transition", 1)
+	for _, line := range detsort.Keys(tu.wbs) {
+		if tu.wbs[line].mask == 0 {
+			c.fail("TU %d: write-back record for line %#x covers no words", tu.ID, uint64(line))
+		}
+	}
+	for _, line := range detsort.Keys(tu.probeLines) {
+		if _, ok := tu.probes[tu.probeLines[line]]; !ok {
+			c.fail("TU %d: line %#x blocked on probe %d which no longer exists",
+				tu.ID, uint64(line), tu.probeLines[line])
+		}
+	}
+	for _, line := range detsort.Keys(tu.pend) {
+		if tu.pend[line].arrived == memaddr.FullMask {
+			c.fail("TU %d: pending grant for line %#x fully arrived but never completed",
+				tu.ID, uint64(line))
+		}
+	}
+}
+
 // ProbeOwned reports the device's owned words for the system checker.
 func (tu *MESITU) ProbeOwned() map[memaddr.LineAddr]memaddr.WordMask {
 	return tu.l1.ProbeOwned()
@@ -136,7 +174,10 @@ func (tu *MESITU) sendNet(m *proto.Message) {
 // Send implements noc.Port: it receives everything the MESI L1 emits.
 func (tu *MESITU) Send(m *proto.Message) {
 	cp := *m
-	tu.eng.Schedule(tu.latency, func() { tu.fromL1(&cp) })
+	tu.eng.Schedule(tu.latency, func() {
+		tu.fromL1(&cp)
+		tu.audit()
+	})
 }
 
 func (tu *MESITU) fromL1(m *proto.Message) {
@@ -191,7 +232,10 @@ func (tu *MESITU) fromL1(m *proto.Message) {
 // HandleMessage implements noc.Handler for network-side traffic.
 func (tu *MESITU) HandleMessage(m *proto.Message) {
 	cp := *m
-	tu.eng.Schedule(tu.latency, func() { tu.fromNet(&cp) })
+	tu.eng.Schedule(tu.latency, func() {
+		tu.fromNet(&cp)
+		tu.audit()
+	})
 }
 
 func (tu *MESITU) fromNet(m *proto.Message) {

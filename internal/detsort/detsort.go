@@ -1,0 +1,25 @@
+// Package detsort provides deterministic map-iteration helpers for the sim
+// path. Go randomizes map iteration order; any map range whose effects are
+// order-sensitive therefore perturbs the determinism fingerprint the sweep
+// runner verifies. The spandex-lint determinism analyzer rejects such
+// ranges in sim-path packages and points here: iterate Keys(m) instead.
+//
+// detsort itself is deliberately not on the analyzer's sim-path list — the
+// append inside Keys is the one place unordered iteration is allowed,
+// because the sort immediately erases the order.
+package detsort
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns m's keys in ascending order.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}

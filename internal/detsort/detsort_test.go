@@ -1,0 +1,19 @@
+package detsort
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[uint64]string{9: "c", 1: "a", 4: "b"}
+	for i := 0; i < 50; i++ {
+		got := Keys(m)
+		if want := []uint64{1, 4, 9}; !reflect.DeepEqual(got, want) {
+			t.Fatalf("Keys = %v, want %v", got, want)
+		}
+	}
+	if got := Keys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("Keys(nil) = %v, want empty", got)
+	}
+}

@@ -5,8 +5,7 @@
 package dram
 
 import (
-	"sort"
-
+	"spandex/internal/detsort"
 	"spandex/internal/memaddr"
 	"spandex/internal/noc"
 	"spandex/internal/proto"
@@ -68,13 +67,8 @@ func (m *Memory) Poke(line memaddr.LineAddr, data memaddr.LineData) { m.lines[li
 // not included — but it is a deterministic function of the run, which is
 // what sweep determinism verification needs.
 func (m *Memory) Fingerprint() uint64 {
-	addrs := make([]memaddr.LineAddr, 0, len(m.lines))
-	for a := range m.lines {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
 	h := stats.FNVOffset()
-	for _, a := range addrs {
+	for _, a := range detsort.Keys(m.lines) {
 		h = stats.FNVAdd(h, uint64(a))
 		line := m.lines[a]
 		for _, w := range line {

@@ -122,6 +122,10 @@ func (d *Directory) dispatch(m *proto.Message) {
 	case proto.MPutM:
 		d.handlePutM(m)
 		return
+	case proto.MGetS, proto.MGetM:
+		// Child requests fall through to the blocked-line queue below.
+	default:
+		panic("hmesi: directory cannot handle " + m.Type.String())
 	}
 	if t, ok := d.txns[m.Line]; ok {
 		t.waiting = append(t.waiting, m)

@@ -170,6 +170,10 @@ func (l *GPUL2) dispatch(m *proto.Message) {
 	case proto.RspRvkO:
 		l.handleChildRvkRsp(m)
 		return
+	case proto.ReqV, proto.ReqWT, proto.ReqWTData, proto.ReqO, proto.ReqOData:
+		// Child requests fall through to the blocked-line queue below.
+	default:
+		panic("hmesi: GPU L2 cannot handle " + m.Type.String())
 	}
 
 	if t, ok := l.txns[m.Line]; ok {

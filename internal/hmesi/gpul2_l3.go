@@ -133,7 +133,7 @@ func (l *GPUL2) handleL3Fwd(m *proto.Message) {
 			// Grant in flight: defer until data arrives (§III-C1).
 			cp := *m
 			t.deferred = append(t.deferred, &cp)
-		default:
+		case l2Rvk, l2Evict:
 			// Mid-revocation or eviction: serialize behind it.
 			cp := *m
 			t.waiting = append(t.waiting, &cp)
@@ -210,11 +210,13 @@ func (l *GPUL2) redispatch(m *proto.Message) {
 		l.handleL3Fwd(m)
 	case proto.MInv:
 		l.handleL3Inv(m)
-	default:
+	case proto.ReqV, proto.ReqWT, proto.ReqWTData, proto.ReqO, proto.ReqOData:
 		if t, ok := l.txns[m.Line]; ok {
 			t.waiting = append(t.waiting, m)
 			return
 		}
 		l.process(m)
+	default:
+		panic("hmesi: GPU L2 cannot redispatch " + m.Type.String())
 	}
 }

@@ -382,6 +382,8 @@ func (l *L1) evict(frame *cache.Entry[line]) {
 		})
 	case S:
 		l.st.Inc("mesil1.s_evict", 1)
+	default:
+		panic("mesi: evicting a frame in state " + st.state.String())
 	}
 	l.array.Invalidate(la)
 }

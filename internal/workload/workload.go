@@ -2,9 +2,9 @@ package workload
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
+	"spandex/internal/detsort"
 	"spandex/internal/device"
 	"spandex/internal/memaddr"
 )
@@ -116,12 +116,8 @@ func ByName(name string) (Workload, error) {
 // Names lists registered workloads, sorted. Safe for concurrent use.
 func Names() []string {
 	regMu.RLock()
-	out := make([]string, 0, len(registry))
-	for n := range registry {
-		out = append(out, n)
-	}
+	out := detsort.Keys(registry)
 	regMu.RUnlock()
-	sort.Strings(out)
 	return out
 }
 
