@@ -3,9 +3,10 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt lint test race smoke check bench clean
+.PHONY: ci build vet fmt lint test race smoke check bench clean \
+	transgraph transgraph-check mcheck mcheck-smoke mutants crosscheck
 
-ci: build vet fmt lint test race smoke check
+ci: build vet fmt lint test race smoke check transgraph-check mcheck-smoke mutants
 
 build:
 	$(GO) build ./...
@@ -48,6 +49,38 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate docs/transitions/ (static transition graphs, JSON + DOT).
+transgraph:
+	$(GO) run ./cmd/spandex-transgraph
+
+# Freshness gate: the checked-in graphs must match the source byte-for-byte.
+transgraph-check:
+	$(GO) run ./cmd/spandex-transgraph -check
+
+# Exhaustive model check: every CPU×GPU protocol pairing, every scenario,
+# all message interleavings up to the state budget.
+mcheck:
+	$(GO) run ./cmd/spandex-mcheck
+
+# CI-budgeted model check (~2 min): the two largest pairings, then the
+# static-vs-dynamic coverage cross-check on what the runs observed.
+mcheck-smoke:
+	$(GO) run ./cmd/spandex-mcheck -coverage-out /tmp/mcheck-cov.json
+	$(GO) run ./cmd/spandex-transgraph -diff /tmp/mcheck-cov.json
+
+# Mutation detection: re-arm two seeded protocol bugs (drop invalidation
+# ack, skip RvkO forward) behind the spandexmut build tag and require the
+# model checker to catch each with a concrete interleaving trace.
+mutants:
+	$(GO) test -tags spandexmut ./internal/mcheck -run TestMutation
+
+# Full cross-check: headline sweep coverage + mcheck coverage vs the
+# statically extracted LLC graph.
+crosscheck:
+	$(GO) run ./cmd/spandex-bench -headline -parallel 4 -coverage-out /tmp/sweep-cov.json
+	$(GO) run ./cmd/spandex-mcheck -coverage-out /tmp/mcheck-cov.json
+	$(GO) run ./cmd/spandex-transgraph -diff /tmp/sweep-cov.json,/tmp/mcheck-cov.json
 
 clean:
 	$(GO) clean ./...

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"time"
 
 	"spandex"
+	"spandex/internal/core"
 )
 
 func main() {
@@ -35,6 +37,8 @@ func main() {
 	progress := flag.Bool("progress", false, "print per-cell progress to stderr")
 	verifyDet := flag.Bool("verify-determinism", false,
 		"run sampled cells serially and under contention and require bit-identical results")
+	covOut := flag.String("coverage-out", "",
+		"write the (LLC state, message) pairs observed across every simulated cell as JSON, for the spandex-transgraph cross-check")
 	flag.Parse()
 
 	opt := spandex.Options{
@@ -42,6 +46,7 @@ func main() {
 		CheckInvariants:      *check,
 		CheckEveryTransition: *check,
 		Validate:             *validate,
+		RecordTransitions:    *covOut != "",
 	}
 
 	die := func(err error) {
@@ -87,6 +92,21 @@ func main() {
 		return
 	}
 
+	cov := core.NewTransitionCoverage()
+	writeCoverage := func() {
+		if *covOut == "" {
+			return
+		}
+		data, err := json.MarshalIndent(cov.Snapshot(), "", "  ")
+		if err != nil {
+			die(err)
+		}
+		if err := os.WriteFile(*covOut, append(data, '\n'), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "coverage: %d distinct (state, msg) pairs -> %s\n", len(cov.Snapshot()), *covOut)
+	}
+
 	runFig := func(n int) *spandex.FigureData {
 		var f *spandex.FigureData
 		var err error
@@ -98,6 +118,9 @@ func main() {
 		if err != nil {
 			die(err)
 		}
+		for _, c := range f.Raw {
+			cov.AddSnapshot(c.Result.Transitions)
+		}
 		return f
 	}
 
@@ -106,6 +129,7 @@ func main() {
 			die(fmt.Errorf("unknown figure %d (valid: 2, 3)", *figure))
 		}
 		fmt.Println(runFig(*figure).Render())
+		writeCoverage()
 		return
 	}
 
@@ -114,6 +138,7 @@ func main() {
 		f2 := runFig(2)
 		f3 := runFig(3)
 		printHeadline(f2, f3)
+		writeCoverage()
 		if *progress {
 			agg := spandex.Aggregate(append(append([]spandex.Cell{}, f2.Raw...), f3.Raw...))
 			fmt.Fprintf(os.Stderr, "matrix wall time %s; %d KB simulated interconnect traffic\n",
@@ -135,6 +160,7 @@ func main() {
 	f3 := runFig(3)
 	fmt.Println(f3.Render())
 	printHeadline(f2, f3)
+	writeCoverage()
 }
 
 func printHeadline(f2, f3 *spandex.FigureData) {

@@ -1,0 +1,154 @@
+// Command spandex-transgraph extracts each protocol controller's static
+// transition graph — (state, incoming message) → (next states, emitted
+// messages) — and keeps the checked-in copies under docs/transitions/
+// honest against both the source (freshness) and reality (the dynamic
+// coverage cross-check).
+//
+// Usage:
+//
+//	spandex-transgraph [packages]            # write JSON+DOT to -out
+//	spandex-transgraph -check [packages]     # fail if docs/transitions is stale
+//	spandex-transgraph -diff cov.json[,...]  # cross-check observed coverage
+//
+// Packages default to the protocol packages (core, mesi, denovo, gpucoh,
+// hmesi). -diff compares coverage snapshots (written by spandex-mcheck
+// -coverage-out or spandex-bench -coverage-out) against the LLC's
+// annotated graph: an observed (state, message) pair missing from the
+// static graph is an extraction bug and exits nonzero; static pairs never
+// observed are printed as coverage gaps.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"spandex/internal/analysis"
+	"spandex/internal/analysis/transgraph"
+)
+
+// defaultPackages are the protocol packages with message-handling units.
+var defaultPackages = []string{
+	"./internal/core", "./internal/mesi", "./internal/denovo",
+	"./internal/gpucoh", "./internal/hmesi",
+}
+
+// diffUnit is the unit the dynamic coverage recorder observes.
+const diffUnit = "core-llc"
+
+func main() {
+	out := flag.String("out", "docs/transitions", "output directory for JSON+DOT graphs")
+	check := flag.Bool("check", false, "verify the checked-in graphs match the source; write nothing")
+	diff := flag.String("diff", "", "comma-separated coverage snapshots to cross-check against the "+diffUnit+" graph")
+	graphFile := flag.String("graph", "", "graph JSON for -diff (default: <out>/"+diffUnit+".json)")
+	flag.Parse()
+
+	die := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "spandex-transgraph: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	if *diff != "" {
+		if *graphFile == "" {
+			*graphFile = filepath.Join(*out, diffUnit+".json")
+		}
+		if err := runDiff(*graphFile, strings.Split(*diff, ",")); err != nil {
+			die("%v", err)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = defaultPackages
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		die("%v", err)
+	}
+
+	stale := false
+	for _, pkg := range pkgs {
+		graphs, err := transgraph.Extract(pkg)
+		if err != nil {
+			die("%v", err)
+		}
+		for _, g := range graphs {
+			files := map[string][]byte{
+				filepath.Join(*out, g.Name()+".json"): g.JSON(),
+				filepath.Join(*out, g.Name()+".dot"):  g.DOT(),
+			}
+			for path, want := range files {
+				if *check {
+					have, err := os.ReadFile(path)
+					if err != nil || !bytes.Equal(have, want) {
+						fmt.Fprintf(os.Stderr, "stale: %s (re-run spandex-transgraph)\n", path)
+						stale = true
+					}
+					continue
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					die("%v", err)
+				}
+				if err := os.WriteFile(path, want, 0o644); err != nil {
+					die("%v", err)
+				}
+			}
+			if !*check {
+				fmt.Printf("%-16s %s: %d states, %d messages, %d transitions (%s)\n",
+					g.Name(), g.Source, len(g.States), len(g.Messages), len(g.Transitions), *out)
+			}
+		}
+	}
+	if stale {
+		os.Exit(1)
+	}
+	if *check {
+		fmt.Println("docs/transitions is fresh")
+	}
+}
+
+// runDiff cross-checks coverage snapshots against the static LLC graph.
+func runDiff(graphPath string, covPaths []string) error {
+	data, err := os.ReadFile(graphPath)
+	if err != nil {
+		return err
+	}
+	var g transgraph.UnitGraph
+	if err := json.Unmarshal(data, &g); err != nil {
+		return fmt.Errorf("%s: %v", graphPath, err)
+	}
+
+	observed := make(map[string]uint64)
+	for _, p := range covPaths {
+		data, err := os.ReadFile(strings.TrimSpace(p))
+		if err != nil {
+			return err
+		}
+		var snap map[string]uint64
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("%s: %v", p, err)
+		}
+		for k, n := range snap {
+			observed[k] += n
+		}
+	}
+
+	res := transgraph.DiffCoverage(&g, observed)
+	fmt.Printf("cross-check %s: %d observed pairs vs %d static pairs\n", g.Name(), res.Observed, res.Static)
+	for _, gap := range res.Gaps {
+		fmt.Printf("  gap (static, never observed): %s\n", gap)
+	}
+	if len(res.Unknown) > 0 {
+		for _, u := range res.Unknown {
+			fmt.Printf("  UNKNOWN (observed, not in static graph): %s\n", u)
+		}
+		return fmt.Errorf("%d observed transitions missing from the static graph", len(res.Unknown))
+	}
+	fmt.Printf("ok: every observed transition is in the static graph (%d gaps)\n", len(res.Gaps))
+	return nil
+}

@@ -168,6 +168,8 @@ func (d *checker) call(n *ast.CallExpr) {
 		switch sel.Sel.Name {
 		case "Now", "Since", "Until":
 			d.pass.Reportf(n.Pos(), "time.%s on the deterministic sim path: simulated time must come from sim.Engine.Now", sel.Sel.Name)
+		case "After", "Tick", "NewTimer", "NewTicker":
+			d.pass.Reportf(n.Pos(), "time.%s on the deterministic sim path: wall-clock timers race the event queue; schedule with sim.Engine.Schedule", sel.Sel.Name)
 		}
 	case "math/rand", "math/rand/v2":
 		if globalRandFuncs[sel.Sel.Name] {

@@ -58,6 +58,15 @@ func deadline(t time.Time) time.Duration {
 	return time.Until(t) // want `time\.Until on the deterministic sim path`
 }
 
+func wallClockTimers() {
+	<-time.After(time.Second)        // want `time\.After on the deterministic sim path`
+	_ = time.Tick(time.Second)       // want `time\.Tick on the deterministic sim path`
+	t := time.NewTimer(time.Second)  // want `time\.NewTimer on the deterministic sim path`
+	k := time.NewTicker(time.Second) // want `time\.NewTicker on the deterministic sim path`
+	t.Stop()
+	k.Stop()
+}
+
 func globalRand() int {
 	return rand.Intn(10) // want `global rand\.Intn on the deterministic sim path`
 }

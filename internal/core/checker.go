@@ -6,7 +6,43 @@ import (
 	"spandex/internal/detsort"
 	"spandex/internal/memaddr"
 	"spandex/internal/proto"
+	"spandex/internal/sim"
 )
+
+// DefaultMaxViolations caps Checker.Violations when MaxViolations is left
+// zero: a badly corrupted run repeats the same broken invariant on every
+// transition, and an unbounded slice would turn one bug into an OOM.
+const DefaultMaxViolations = 100
+
+// Violation is one failed invariant, carrying enough context — simulation
+// cycle, line address, and the (LLC state, message) pair being processed —
+// to reproduce the failure standalone (re-run the same config/workload with
+// -check and break at the cycle).
+type Violation struct {
+	// Cycle is the simulation time at which the invariant failed.
+	Cycle sim.Time
+	// Line is the line address the violated invariant concerns.
+	Line memaddr.LineAddr
+	// State is the canonical LLC state label (see stateLabel) the line was
+	// in when the triggering message began processing; empty if the
+	// violation was raised outside message processing (e.g. a TU audit).
+	State string
+	// Msg is the Ident of the message being processed, if any.
+	Msg string
+	// Text is the human-readable description of the broken invariant.
+	Text string
+}
+
+func (v Violation) String() string {
+	ctx := fmt.Sprintf("cycle=%d line=%#x", uint64(v.Cycle), uint64(v.Line))
+	if v.State != "" {
+		ctx += " state=" + v.State
+	}
+	if v.Msg != "" {
+		ctx += " msg=" + v.Msg
+	}
+	return "[" + ctx + "] " + v.Text
+}
 
 // DeviceProbe lets the checker inspect a device cache's coherence state
 // without going through the protocol.
@@ -23,9 +59,18 @@ type DeviceProbe interface {
 type Checker struct {
 	probes map[proto.NodeID]DeviceProbe
 	// Violations collects failed invariants instead of panicking when
-	// Collect is true (used by tests asserting detection).
+	// Collect is true (used by tests asserting detection). At most
+	// MaxViolations entries are kept; Dropped counts the overflow.
 	Collect    bool
-	Violations []string
+	Violations []Violation
+	// MaxViolations bounds len(Violations); zero means
+	// DefaultMaxViolations.
+	MaxViolations int
+	// Dropped counts violations discarded once the cap was reached.
+	Dropped int
+	// ctx is the (cycle, line, state, msg) context of the message currently
+	// being processed, stamped onto every violation raised under it.
+	ctx Violation
 	// CheckEveryTransition arms the deep per-transition audit: on top of
 	// CheckLine's structural checks, every LLC state change is audited for
 	// SWMR/disjointness invariants (CheckTransition) and every MESI TU
@@ -45,13 +90,29 @@ func (c *Checker) AttachDevice(id proto.NodeID, p DeviceProbe) {
 	c.probes[id] = p
 }
 
+// SetContext stamps the processing context copied onto every violation
+// raised until the next SetContext. The LLC calls it (via observe) when a
+// message starts processing; the MESI TU calls it from its audit.
+func (c *Checker) SetContext(cycle sim.Time, line memaddr.LineAddr, state, msg string) {
+	c.ctx = Violation{Cycle: cycle, Line: line, State: state, Msg: msg}
+}
+
 func (c *Checker) fail(format string, args ...interface{}) {
-	msg := fmt.Sprintf(format, args...)
+	v := c.ctx
+	v.Text = fmt.Sprintf(format, args...)
 	if c.Collect {
-		c.Violations = append(c.Violations, msg)
+		max := c.MaxViolations
+		if max <= 0 {
+			max = DefaultMaxViolations
+		}
+		if len(c.Violations) >= max {
+			c.Dropped++
+			return
+		}
+		c.Violations = append(c.Violations, v)
 		return
 	}
-	panic("core: invariant violated: " + msg)
+	panic("core: invariant violated: " + v.String())
 }
 
 // CheckLine validates the structural invariants of one LLC line after a

@@ -39,8 +39,61 @@ func TestCheckEveryTransitionDetectsCorruptedOwner(t *testing.T) {
 	if len(h.chk.Violations) == 0 {
 		t.Fatal("per-transition audit missed the corrupted owner entry")
 	}
-	if !strings.Contains(h.chk.Violations[0], "bad owner") {
+	if !strings.Contains(h.chk.Violations[0].Text, "bad owner") {
 		t.Fatalf("unexpected violation: %q", h.chk.Violations[0])
+	}
+
+	// The violation must carry standalone-reproduction context: the cycle,
+	// the line, and the (state, message) pair whose processing tripped it.
+	v := h.chk.Violations[0]
+	if v.Line != L0 {
+		t.Errorf("violation line = %#x, want %#x", uint64(v.Line), uint64(L0))
+	}
+	if v.Msg != "ReqV" {
+		t.Errorf("violation msg = %q, want ReqV", v.Msg)
+	}
+	if v.State != "O" {
+		t.Errorf("violation state = %q, want O (word 0 owned)", v.State)
+	}
+	if v.Cycle == 0 {
+		t.Error("violation cycle not stamped")
+	}
+	for _, part := range []string{"cycle=", "line=", "state=O", "msg=ReqV", "bad owner"} {
+		if !strings.Contains(v.String(), part) {
+			t.Errorf("violation String() %q missing %q", v.String(), part)
+		}
+	}
+}
+
+// TestViolationCap asserts Violations cannot grow unboundedly: a corrupted
+// run that trips the checker on every transition keeps only the first
+// MaxViolations entries (DefaultMaxViolations when unset) and counts the
+// rest in Dropped.
+func TestViolationCap(t *testing.T) {
+	c := NewChecker()
+	c.Collect = true
+	c.MaxViolations = 5
+	for i := 0; i < 22; i++ {
+		c.fail("violation %d", i)
+	}
+	if len(c.Violations) != 5 {
+		t.Fatalf("len(Violations) = %d, want cap 5", len(c.Violations))
+	}
+	if c.Dropped != 17 {
+		t.Fatalf("Dropped = %d, want 17", c.Dropped)
+	}
+	if c.Violations[0].Text != "violation 0" {
+		t.Fatalf("cap must keep the earliest violations, got %q first", c.Violations[0].Text)
+	}
+
+	d := NewChecker()
+	d.Collect = true
+	for i := 0; i < DefaultMaxViolations+3; i++ {
+		d.fail("v")
+	}
+	if len(d.Violations) != DefaultMaxViolations || d.Dropped != 3 {
+		t.Fatalf("default cap: len=%d dropped=%d, want %d and 3",
+			len(d.Violations), d.Dropped, DefaultMaxViolations)
 	}
 }
 
@@ -71,7 +124,7 @@ func TestCheckEveryTransitionDetectsSharerCorruption(t *testing.T) {
 	if len(h.chk.Violations) == 0 {
 		t.Fatal("per-transition audit missed the out-of-range sharer bit")
 	}
-	if !strings.Contains(h.chk.Violations[0], "registered devices") {
+	if !strings.Contains(h.chk.Violations[0].Text, "registered devices") {
 		t.Fatalf("unexpected violation: %q", h.chk.Violations[0])
 	}
 	if h.st.Get("check.transition") == 0 {

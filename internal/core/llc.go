@@ -132,7 +132,8 @@ type LLC struct {
 	devIdx  map[proto.NodeID]int
 	isMESI  []bool
 
-	checker *Checker
+	checker  *Checker
+	coverage *TransitionCoverage
 }
 
 // NewLLC creates a Spandex LLC endpoint.
@@ -232,6 +233,7 @@ func (l *LLC) dispatch(m *proto.Message) {
 
 // process handles a request against a present, unblocked line.
 func (l *LLC) process(e *cache.Entry[llcLine], m *proto.Message) {
+	l.observe(m)
 	switch m.Type {
 	case proto.ReqV:
 		l.handleReqV(e, m)
@@ -327,6 +329,7 @@ func (l *LLC) forward(e *cache.Entry[llcLine], m *proto.Message, typ proto.MsgTy
 // include any available up-to-date data in the line"). Owned words are
 // forwarded to their owners, who respond directly to the requestor.
 func (l *LLC) handleReqV(e *cache.Entry[llcLine], m *proto.Message) {
+	//spandex:transition ReqV from=V|S|O|SO emits=RspV,ReqV
 	st := &e.State
 	fromLLC := memaddr.FullMask &^ st.ownedMask
 	if m.Mask == 0 {
@@ -356,6 +359,11 @@ func (l *LLC) reqSPolicyOption1(st *llcLine, mask memaddr.WordMask) bool {
 }
 
 func (l *LLC) handleReqS(e *cache.Entry[llcLine], m *proto.Message) {
+	// Table III, the three ReqS handling options:
+	//spandex:transition ReqS from=V|S|O|SO emits=RspV,ReqV
+	//spandex:transition ReqS from=V|O to=O emits=RspOData,ReqOData
+	//spandex:transition ReqS from=S to=S emits=RspS
+	//spandex:transition ReqS from=S|O|SO to=SO+rvk emits=RspS,ReqS,RvkO
 	st := &e.State
 	if l.cfg.ReqSOption2 {
 		// Option (2): answer like a ReqV; the requestor's TU downgrades
@@ -401,7 +409,11 @@ func (l *LLC) handleReqS(e *cache.Entry[llcLine], m *proto.Message) {
 		st.sharers |= 1 << ow.owner
 	}
 	l.forward(e, m, proto.ReqS, mesiOwned)
-	l.forward(e, m, proto.RvkO, otherOwned)
+	rvkFwd := otherOwned
+	if mutSkipRvkOFwd != nil {
+		rvkFwd = mutSkipRvkOFwd(rvkFwd)
+	}
+	l.forward(e, m, proto.RvkO, rvkFwd)
 	l.txns[m.Line] = &llcTxn{kind: txnRvk, line: m.Line, origin: m,
 		rvkMask: ownedReq, serveMask: otherOwned}
 	l.st.Inc("llc.blocked.rvk", 1)
@@ -440,6 +452,8 @@ func (l *LLC) invalidateSharers(e *cache.Entry[llcLine], m *proto.Message) {
 }
 
 func (l *LLC) handleReqWT(e *cache.Entry[llcLine], m *proto.Message) {
+	//spandex:transition ReqWT from=S|SO to=V+inv|O+inv|V|O emits=Inv
+	//spandex:transition ReqWT from=V|O to=V|O emits=RspWT,ReqWT
 	st := &e.State
 	if st.shared {
 		l.invalidateSharers(e, m)
@@ -469,6 +483,8 @@ func (l *LLC) handleReqWT(e *cache.Entry[llcLine], m *proto.Message) {
 }
 
 func (l *LLC) handleReqO(e *cache.Entry[llcLine], m *proto.Message) {
+	//spandex:transition ReqO from=S|SO to=V+inv|O+inv|O emits=Inv
+	//spandex:transition ReqO from=V|O to=O emits=RspO,ReqO
 	st := &e.State
 	if st.shared {
 		l.invalidateSharers(e, m)
@@ -497,6 +513,9 @@ func (l *LLC) handleReqO(e *cache.Entry[llcLine], m *proto.Message) {
 }
 
 func (l *LLC) handleReqWTData(e *cache.Entry[llcLine], m *proto.Message) {
+	//spandex:transition ReqWTData from=S|SO to=V+inv|O+inv|V|O+rvk emits=Inv
+	//spandex:transition ReqWTData from=O to=O+rvk emits=RvkO
+	//spandex:transition ReqWTData from=V to=V emits=RspWTData
 	st := &e.State
 	if st.shared {
 		l.invalidateSharers(e, m)
@@ -542,6 +561,8 @@ func (l *LLC) performUpdate(e *cache.Entry[llcLine], m *proto.Message) {
 }
 
 func (l *LLC) handleReqOData(e *cache.Entry[llcLine], m *proto.Message) {
+	//spandex:transition ReqOData from=S|SO to=V+inv|O+inv|O emits=Inv
+	//spandex:transition ReqOData from=V|O to=O emits=RspOData,ReqOData
 	st := &e.State
 	if st.shared {
 		l.invalidateSharers(e, m)
@@ -574,6 +595,14 @@ func (l *LLC) handleReqOData(e *cache.Entry[llcLine], m *proto.Message) {
 // updated; words it no longer owns raced with an ownership transfer and
 // are dropped (Table III: "ReqWB from non-owner → —").
 func (l *LLC) handleReqWB(m *proto.Message) {
+	// From an owner the write-back applies and may resolve a revocation or
+	// eviction transaction (emitting the blocked request's response and, on
+	// evictions, the victim flush + fetch); from a non-owner — after losing
+	// a race with an ownership transfer, invalidation, or eviction, in
+	// whatever state the line is in by then — it is dropped and acked.
+	//spandex:transition ReqWB from=O|SO|O+rvk|SO+rvk|O+evict|SO+evict|O+inv to=V|S|O|SO|I|F+fetch emits=RspWB,RspS,RspWTData,MemWrite,MemRead
+	//spandex:transition ReqWB from=V|S|I|I+fetch|F+fetch|V+inv|V+evict emits=RspWB
+	l.observe(m)
 	e := l.array.Peek(m.Line)
 	senderIdx := int8(l.dev(m.Src))
 	if e != nil {
@@ -611,6 +640,13 @@ func (l *LLC) handleReqWB(m *proto.Message) {
 // mask may be larger than requested (line-granularity devices write back
 // the whole line, paper Fig. 1b).
 func (l *LLC) handleRspRvkO(m *proto.Message) {
+	// With a transaction waiting, the revocation write-back may resolve it
+	// (data-less RspRvkO leaves it to the owner's in-flight ReqWB); without
+	// one, the transaction already resolved via a racing ReqWB and the late
+	// response just clears any ownership it still carries.
+	//spandex:transition RspRvkO from=O+rvk|SO+rvk|O+evict|SO+evict to=V|S|O|SO|I|F+fetch|O+rvk|SO+rvk|O+evict|SO+evict emits=RspS,RspWTData,MemWrite,MemRead
+	//spandex:transition RspRvkO from=V|S|O|SO to=V|S|O|SO
+	l.observe(m)
 	e := l.array.Peek(m.Line)
 	if e == nil {
 		panic("core: RspRvkO for absent line")
@@ -680,6 +716,16 @@ func (l *LLC) maybeCompleteRvk(line memaddr.LineAddr) {
 // handleInvAck counts sharer invalidation acks; when the last arrives the
 // blocked write request proceeds.
 func (l *LLC) handleInvAck(m *proto.Message) {
+	// The last ack re-dispatches the blocked write (whose own handling is
+	// observed separately) or, for evictions, flushes and replaces the
+	// victim. Sharer invalidation clears the shared bit up front, so acks
+	// arrive in V+inv (no owned words) or O+inv, never S+inv.
+	//spandex:transition InvAck from=V+inv|O+inv to=V|O|O+rvk|V+inv|O+inv emits=RspWT,RspO,RspOData,RspWTData,RvkO,Inv
+	//spandex:transition InvAck from=V+evict to=I|V+evict|F+fetch emits=MemWrite,MemRead
+	if mutDropInvAck != nil && mutDropInvAck(m) {
+		return
+	}
+	l.observe(m)
 	t, ok := l.txns[m.Line]
 	if !ok || (t.kind != txnInv && t.kind != txnEvict) {
 		panic("core: stray InvAck")

@@ -14,6 +14,16 @@ const victimRetry = 8 * sim.CPUCycle
 // startFetch begins allocating and fetching a missing line to serve m.
 // The request (and any later ones) queue on a txnFetch until data arrives.
 func (l *LLC) startFetch(m *proto.Message) {
+	// Any device request can miss; the victim eviction (if one is needed)
+	// accounts for the RvkO/Inv/MemWrite emissions. Until a frame frees up
+	// the line stays I+fetch; once installed it is F+fetch.
+	//spandex:transition ReqV from=I to=F+fetch|I+fetch emits=MemRead,RvkO,Inv,MemWrite
+	//spandex:transition ReqS from=I to=F+fetch|I+fetch emits=MemRead,RvkO,Inv,MemWrite
+	//spandex:transition ReqWT from=I to=F+fetch|I+fetch emits=MemRead,RvkO,Inv,MemWrite
+	//spandex:transition ReqO from=I to=F+fetch|I+fetch emits=MemRead,RvkO,Inv,MemWrite
+	//spandex:transition ReqWTData from=I to=F+fetch|I+fetch emits=MemRead,RvkO,Inv,MemWrite
+	//spandex:transition ReqOData from=I to=F+fetch|I+fetch emits=MemRead,RvkO,Inv,MemWrite
+	l.observe(m)
 	t := &llcTxn{kind: txnFetch, line: m.Line, waiting: []*proto.Message{m}}
 	l.txns[m.Line] = t
 	l.st.Inc("llc.miss", 1)
@@ -136,6 +146,10 @@ func (l *LLC) installAndRead(frame *cache.Entry[llcLine], line memaddr.LineAddr)
 
 // handleMemRsp fills a fetched line and replays the queued requests.
 func (l *LLC) handleMemRsp(m *proto.Message) {
+	// Queued requests drain after the fill; each is observed at its own
+	// processing state.
+	//spandex:transition MemReadRsp from=F+fetch to=V
+	l.observe(m)
 	e := l.array.Peek(m.Line)
 	if e == nil || !e.State.fetching {
 		panic("core: memory response for non-fetching line")

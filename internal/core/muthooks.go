@@ -1,0 +1,22 @@
+package core
+
+import (
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+// Fault-injection hooks for mutation testing. Both are nil in every normal
+// build, so the hot paths pay only a nil check; the setters that arm them
+// compile only under the spandexmut build tag (muthooks_mut.go), keeping
+// the fault injection out of reach of production callers. The two shapes
+// re-introduce historical bug classes the model checker must catch:
+//
+//   - mutDropInvAck: the LLC silently drops a sharer's invalidation ack,
+//     so a txnInv never completes (lost-ack deadlock).
+//   - mutSkipRvkOFwd: handleReqS forgets the RvkO forward for words owned
+//     by self-invalidating devices, so the txnRvk it just created waits on
+//     ownership that is never revoked.
+var (
+	mutDropInvAck  func(m *proto.Message) bool
+	mutSkipRvkOFwd func(mask memaddr.WordMask) memaddr.WordMask
+)

@@ -1,0 +1,17 @@
+//go:build spandexmut
+
+package core
+
+import (
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+// SetMutDropInvAck arms (or, with nil, disarms) the lost-InvAck fault:
+// acks for which f returns true are dropped before the LLC counts them.
+func SetMutDropInvAck(f func(m *proto.Message) bool) { mutDropInvAck = f }
+
+// SetMutSkipRvkOFwd arms (or, with nil, disarms) the missing-RvkO fault:
+// f maps the set of words handleReqS would revoke from self-invalidating
+// owners to the set actually forwarded (return 0 to drop the probe).
+func SetMutSkipRvkOFwd(f func(mask memaddr.WordMask) memaddr.WordMask) { mutSkipRvkOFwd = f }

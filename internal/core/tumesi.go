@@ -123,12 +123,15 @@ func (tu *MESITU) SetChecker(c *Checker) { tu.checker = c }
 // at a live probe, and a pending grant whose words have all arrived must
 // have completed (a fully-arrived entry still pending means a lost
 // completion).
-func (tu *MESITU) audit() {
+func (tu *MESITU) audit(m *proto.Message) {
 	c := tu.checker
 	if c == nil || !c.CheckEveryTransition {
 		return
 	}
 	tu.st.Inc("check.transition", 1)
+	// Stamp the triggering message as the violation context; "TU" marks
+	// the audit as device-side (the state label vocabulary is the LLC's).
+	c.SetContext(tu.eng.Now(), m.Line, "TU", m.Type.Ident())
 	for _, line := range detsort.Keys(tu.wbs) {
 		if tu.wbs[line].mask == 0 {
 			c.fail("TU %d: write-back record for line %#x covers no words", tu.ID, uint64(line))
@@ -176,7 +179,7 @@ func (tu *MESITU) Send(m *proto.Message) {
 	cp := *m
 	tu.eng.Schedule(tu.latency, func() {
 		tu.fromL1(&cp)
-		tu.audit()
+		tu.audit(&cp)
 	})
 }
 
@@ -234,7 +237,7 @@ func (tu *MESITU) HandleMessage(m *proto.Message) {
 	cp := *m
 	tu.eng.Schedule(tu.latency, func() {
 		tu.fromNet(&cp)
-		tu.audit()
+		tu.audit(&cp)
 	})
 }
 

@@ -1,0 +1,173 @@
+package mcheck
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"sort"
+
+	"spandex/internal/stats"
+)
+
+// fingerprint.go canonicalizes a world's protocol state into a 64-bit
+// structural hash, the memoization key of the DFS. Two worlds reached by
+// different interleavings must hash equal iff their protocol-visible state
+// is equal, so the walk:
+//
+//   - skips the simulation scaffolding (engine, network, stats, checker,
+//     coverage recorder) and every sim.Time-typed field — absolute times
+//     differ between interleavings without affecting protocol behaviour;
+//   - skips cache LRU bookkeeping (field names "lru"/"lastUse"), which
+//     counts accesses and would otherwise split logically equal states;
+//   - hashes pointers by first-visit traversal index, never by address, so
+//     aliasing structure is captured but heap layout is not;
+//   - hashes func values as nil/non-nil only (completion callbacks; which
+//     operation they belong to is captured by the device script cursors);
+//   - serializes map entries and sorts them, removing iteration order.
+//
+// The hash is FNV-1a over the canonical byte string. A 64-bit collision
+// would wrongly prune a reachable state; with the tiny state counts mcheck
+// explores (≤ millions) the probability is negligible.
+
+// skipTypes are pointer types whose referents are simulation scaffolding,
+// not protocol state.
+var skipTypes = map[string]bool{
+	"*sim.Engine":              true,
+	"*noc.Network":             true,
+	"*stats.Stats":             true,
+	"*core.Checker":            true,
+	"*core.TransitionCoverage": true,
+}
+
+// skipFields are struct field names holding replacement-policy tick
+// counters (cache.Array/Entry): pure access counts, irrelevant to
+// protocol state.
+var skipFields = map[string]bool{
+	"lru":  true,
+	"tick": true,
+}
+
+type hasher struct {
+	visited map[uintptr]int
+}
+
+func (h *hasher) walk(v reflect.Value, buf *bytes.Buffer) {
+	switch v.Kind() {
+	case reflect.Invalid:
+		buf.WriteString("<inv>")
+	case reflect.Bool:
+		if v.Bool() {
+			buf.WriteByte('T')
+		} else {
+			buf.WriteByte('F')
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		fmt.Fprintf(buf, "i%d", v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		fmt.Fprintf(buf, "u%d", v.Uint())
+	case reflect.String:
+		fmt.Fprintf(buf, "s%q", v.String())
+	case reflect.Func:
+		if v.IsNil() {
+			buf.WriteString("f0")
+		} else {
+			buf.WriteString("f1")
+		}
+	case reflect.Ptr:
+		if v.IsNil() {
+			buf.WriteString("p0")
+			return
+		}
+		if skipTypes[v.Type().String()] {
+			buf.WriteString("p_")
+			return
+		}
+		if idx, ok := h.visited[v.Pointer()]; ok {
+			fmt.Fprintf(buf, "p@%d", idx)
+			return
+		}
+		h.visited[v.Pointer()] = len(h.visited)
+		buf.WriteString("p{")
+		h.walk(v.Elem(), buf)
+		buf.WriteByte('}')
+	case reflect.Interface:
+		if v.IsNil() {
+			buf.WriteString("n0")
+			return
+		}
+		elem := v.Elem()
+		fmt.Fprintf(buf, "n<%s>", elem.Type().String())
+		h.walk(elem, buf)
+	case reflect.Slice:
+		if v.IsNil() {
+			buf.WriteString("l0")
+			return
+		}
+		fmt.Fprintf(buf, "l%d[", v.Len())
+		for i := 0; i < v.Len(); i++ {
+			h.walk(v.Index(i), buf)
+			buf.WriteByte(',')
+		}
+		buf.WriteByte(']')
+	case reflect.Array:
+		buf.WriteString("a[")
+		for i := 0; i < v.Len(); i++ {
+			h.walk(v.Index(i), buf)
+			buf.WriteByte(',')
+		}
+		buf.WriteByte(']')
+	case reflect.Map:
+		if v.IsNil() {
+			buf.WriteString("m0")
+			return
+		}
+		entries := make([]string, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			var eb bytes.Buffer
+			h.walk(iter.Key(), &eb)
+			eb.WriteByte(':')
+			h.walk(iter.Value(), &eb)
+			entries = append(entries, eb.String())
+		}
+		sort.Strings(entries)
+		fmt.Fprintf(buf, "m%d{", len(entries))
+		for _, e := range entries {
+			buf.WriteString(e)
+			buf.WriteByte(';')
+		}
+		buf.WriteByte('}')
+	case reflect.Struct:
+		t := v.Type()
+		fmt.Fprintf(buf, "t<%s>{", t.String())
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if skipFields[f.Name] || f.Type.String() == "sim.Time" {
+				continue
+			}
+			buf.WriteString(f.Name)
+			buf.WriteByte('=')
+			h.walk(v.Field(i), buf)
+			buf.WriteByte(';')
+		}
+		buf.WriteByte('}')
+	case reflect.Chan, reflect.UnsafePointer, reflect.Complex64, reflect.Complex128,
+		reflect.Float32, reflect.Float64:
+		panic("mcheck: unhashable kind " + v.Kind().String() + " in protocol state")
+	}
+}
+
+// structuralHash canonicalizes and hashes the given roots.
+func structuralHash(roots ...interface{}) uint64 {
+	h := &hasher{visited: make(map[uintptr]int)}
+	var buf bytes.Buffer
+	for _, r := range roots {
+		h.walk(reflect.ValueOf(r), &buf)
+		buf.WriteByte('|')
+	}
+	out := stats.FNVOffset()
+	for _, b := range buf.Bytes() {
+		out = stats.FNVAdd(out, uint64(b))
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"spandex/internal/core"
+)
+
+// DefaultMaxStates bounds exploration when Config.MaxStates is zero. The
+// standard scenarios complete well under it (see EXPERIMENTS.md for
+// measured state counts); hitting the budget marks the result incomplete
+// rather than failing.
+const DefaultMaxStates = 200_000
+
+// Config selects what to explore.
+type Config struct {
+	Scenario Scenario
+	// MaxStates caps distinct states explored (0 = DefaultMaxStates).
+	MaxStates int
+	// Coverage, when non-nil, accumulates every (LLC state, message) pair
+	// processed during exploration — including along replayed prefixes —
+	// for the transition-graph cross-check.
+	Coverage *core.TransitionCoverage
+}
+
+// Violation is one property failure, with the interleaving that reaches it.
+type Violation struct {
+	// Kind is "invariant" (core.Checker), "data" (out-of-thin-air load),
+	// "deadlock" (quiescent with unfinished operations), or "quiescence"
+	// (terminal-state ownership audit).
+	Kind   string
+	Detail string
+	// Trace lists every action of the violating interleaving in order:
+	// device operation issues and message deliveries.
+	Trace []string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("mcheck: %s violation after %d actions: %s", v.Kind, len(v.Trace), v.Detail)
+}
+
+// Result reports one scenario's exploration.
+type Result struct {
+	Scenario string
+	// States counts distinct canonical states expanded.
+	States int
+	// Transitions counts state-graph edges applied (excluding replays).
+	Transitions int
+	// MaxDepth is the longest action sequence explored.
+	MaxDepth int
+	// Complete is true when the full reachable state space was explored
+	// within MaxStates and no violation cut exploration short.
+	Complete bool
+	// Violation is the first property failure found, or nil.
+	Violation *Violation
+}
+
+type explorer struct {
+	cfg      Config
+	visited  map[uint64]struct{}
+	res      Result
+	limitHit bool
+	stop     bool
+}
+
+// Explore exhaustively enumerates the scenario's reachable states via
+// depth-first search over delivery/issue interleavings. Backtracking is
+// replay-based: sibling branches rebuild the world from a fresh system by
+// re-applying the action prefix (world construction is deterministic), so
+// no state snapshotting is needed. Distinct states are detected with a
+// canonical structural hash and expanded once. Exploration stops at the
+// first violation, which carries its full interleaving trace.
+func Explore(cfg Config) Result {
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = DefaultMaxStates
+	}
+	x := &explorer{
+		cfg:     cfg,
+		visited: make(map[uint64]struct{}),
+		res:     Result{Scenario: cfg.Scenario.Name},
+	}
+	x.dfs(newWorld(cfg.Scenario, cfg.Coverage), nil)
+	x.res.Complete = !x.limitHit && x.res.Violation == nil
+	return x.res
+}
+
+// replay rebuilds the world at the end of path from scratch.
+func (x *explorer) replay(path []int) *world {
+	w := newWorld(x.cfg.Scenario, x.cfg.Coverage)
+	for _, a := range path {
+		w.apply(a)
+	}
+	return w
+}
+
+func (x *explorer) report(kind, detail string, w *world) {
+	x.res.Violation = &Violation{
+		Kind: kind, Detail: detail,
+		Trace: append([]string(nil), w.trace...),
+	}
+	x.stop = true
+}
+
+func (x *explorer) dfs(w *world, path []int) {
+	if x.stop {
+		return
+	}
+	fp := w.fingerprint()
+	if _, seen := x.visited[fp]; seen {
+		return
+	}
+	x.visited[fp] = struct{}{}
+	x.res.States++
+	if len(path) > x.res.MaxDepth {
+		x.res.MaxDepth = len(path)
+	}
+	if kind, detail, bad := w.violation(); bad {
+		x.report(kind, detail, w)
+		return
+	}
+	if x.res.States >= x.cfg.MaxStates {
+		x.limitHit = true
+		x.stop = true
+		return
+	}
+
+	acts := w.actions()
+	if len(acts) == 0 {
+		if !w.terminal() {
+			x.report("deadlock",
+				"no message in flight and no operation can issue, but scripts are unfinished: "+w.pendingOps(), w)
+			return
+		}
+		if err := w.chk.CheckQuiescent(w.llc); err != nil {
+			x.report("quiescence", err.Error(), w)
+		}
+		return
+	}
+
+	for i, a := range acts {
+		cw := w
+		if i > 0 {
+			// The first child consumes w; siblings replay the prefix.
+			cw = x.replay(path)
+		}
+		cw.apply(a)
+		x.res.Transitions++
+		x.dfs(cw, append(append([]int(nil), path...), a))
+		if x.stop {
+			return
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package mcheck
+
+import (
+	"testing"
+
+	"spandex/internal/core"
+)
+
+// TestExploreCleanPairings exhaustively explores every scenario of every
+// (CPU, GPU) protocol pairing and asserts the unmutated protocols are
+// violation-free with the full state space covered.
+func TestExploreCleanPairings(t *testing.T) {
+	for _, p := range Pairings() {
+		for _, scn := range Scenarios(p) {
+			res := Explore(Config{Scenario: scn})
+			t.Logf("%s/%s: %d states, %d transitions, depth %d",
+				p, scn.Name, res.States, res.Transitions, res.MaxDepth)
+			if res.Violation != nil {
+				t.Errorf("%s/%s: unexpected violation: %v\ntrace:\n  %s",
+					p, scn.Name, res.Violation, traceLines(res.Violation))
+			}
+			if !res.Complete {
+				t.Errorf("%s/%s: exploration incomplete (budget hit at %d states)",
+					p, scn.Name, res.States)
+			}
+			if res.States < 10 {
+				t.Errorf("%s/%s: implausibly small state space (%d states)", p, scn.Name, res.States)
+			}
+		}
+	}
+}
+
+func traceLines(v *Violation) string {
+	s := ""
+	for _, line := range v.Trace {
+		s += line + "\n  "
+	}
+	return s
+}
+
+// TestExploreDeterministic asserts two explorations of the same scenario
+// agree exactly — the property replay-based backtracking depends on.
+func TestExploreDeterministic(t *testing.T) {
+	scn, err := ScenarioByName(Pairing{CPU: ProtoMESI, GPU: ProtoDeNovo}, "race")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Explore(Config{Scenario: scn})
+	b := Explore(Config{Scenario: scn})
+	if a.States != b.States || a.Transitions != b.Transitions || a.MaxDepth != b.MaxDepth {
+		t.Fatalf("non-deterministic exploration: %+v vs %+v", a, b)
+	}
+}
+
+// TestExploreBudget asserts the state cap is honored and reported.
+func TestExploreBudget(t *testing.T) {
+	scn, _ := ScenarioByName(Pairing{CPU: ProtoMESI, GPU: ProtoGPU}, "mp")
+	res := Explore(Config{Scenario: scn, MaxStates: 25})
+	if res.Complete {
+		t.Fatal("exploration with a 25-state budget reported complete")
+	}
+	if res.States > 25 {
+		t.Fatalf("explored %d states past the 25-state budget", res.States)
+	}
+}
+
+// TestExploreRecordsCoverage asserts exploration feeds the transition
+// coverage recorder with the cold-miss pair every scenario must hit.
+func TestExploreRecordsCoverage(t *testing.T) {
+	cov := core.NewTransitionCoverage()
+	scn, _ := ScenarioByName(Pairing{CPU: ProtoDeNovo, GPU: ProtoGPU}, "mp")
+	res := Explore(Config{Scenario: scn, Coverage: cov})
+	if res.Violation != nil {
+		t.Fatalf("unexpected violation: %v", res.Violation)
+	}
+	snap := cov.Snapshot()
+	if len(snap) == 0 {
+		t.Fatal("exploration recorded no transition coverage")
+	}
+	found := false
+	for k := range snap {
+		if k == "I|ReqV" || k == "I|ReqS" || k == "I|ReqWT" || k == "I|ReqO" || k == "I|ReqOData" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no cold-miss (I, request) pair recorded; got %v", snap)
+	}
+}

@@ -1,0 +1,115 @@
+//go:build spandexmut
+
+// Mutation tests: re-introduce two historical protocol bug shapes through
+// the core fault-injection hooks and assert exhaustive exploration catches
+// each one with a concrete interleaving trace, well inside the default
+// state budget. Run with:
+//
+//	go test -tags spandexmut ./internal/mcheck -run TestMutation
+package mcheck
+
+import (
+	"strings"
+	"testing"
+
+	"spandex/internal/core"
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+// TestMutationDropInvAckDetected arms the lost-InvAck fault: the LLC
+// drops every sharer invalidation ack, so the invalidation transaction a
+// GPU write starts against two MESI sharers can never complete. The
+// "share" scenario reaches Shared state via two MESI readers; the checker
+// must report the resulting deadlock.
+func TestMutationDropInvAckDetected(t *testing.T) {
+	core.SetMutDropInvAck(func(m *proto.Message) bool { return true })
+	defer core.SetMutDropInvAck(nil)
+
+	for _, p := range []Pairing{
+		{CPU: ProtoMESI, GPU: ProtoGPU},
+		{CPU: ProtoMESI, GPU: ProtoDeNovo},
+	} {
+		scn, err := ScenarioByName(p, "share")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Explore(Config{Scenario: scn})
+		if res.Violation == nil {
+			t.Fatalf("%s/share: dropped InvAcks went undetected (%d states explored)", p, res.States)
+		}
+		if res.Violation.Kind != "deadlock" {
+			t.Errorf("%s/share: expected a deadlock, got %s: %s", p, res.Violation.Kind, res.Violation.Detail)
+		}
+		if len(res.Violation.Trace) == 0 {
+			t.Errorf("%s/share: violation carries no interleaving trace", p)
+		}
+		if res.States >= DefaultMaxStates {
+			t.Errorf("%s/share: detection blew the state budget (%d states)", p, res.States)
+		}
+		t.Logf("%s/share: caught after %d states: %v", p, res.States, res.Violation)
+		for _, line := range res.Violation.Trace {
+			t.Logf("  %s", line)
+		}
+	}
+}
+
+// TestMutationSkipRvkOFwdDetected arms the missing-RvkO fault: handleReqS
+// creates a revocation transaction covering every other-owned word but
+// forgets to forward the RvkO probe to self-invalidating owners, so the
+// transaction waits on a revocation that never happens. The "mixed-owner"
+// scenario (MESI CPU owns word 0, DeNovo GPU owns word 1, second CPU
+// issues a line-granularity ReqS) exercises exactly that path.
+func TestMutationSkipRvkOFwdDetected(t *testing.T) {
+	core.SetMutSkipRvkOFwd(func(mask memaddr.WordMask) memaddr.WordMask { return 0 })
+	defer core.SetMutSkipRvkOFwd(nil)
+
+	p := Pairing{CPU: ProtoMESI, GPU: ProtoDeNovo}
+	scn, err := ScenarioByName(p, "mixed-owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Explore(Config{Scenario: scn})
+	if res.Violation == nil {
+		t.Fatalf("%s/mixed-owner: skipped RvkO forward went undetected (%d states explored)", p, res.States)
+	}
+	if res.Violation.Kind != "deadlock" {
+		t.Errorf("%s/mixed-owner: expected a deadlock, got %s: %s", p, res.Violation.Kind, res.Violation.Detail)
+	}
+	if len(res.Violation.Trace) == 0 {
+		t.Error("violation carries no interleaving trace")
+	}
+	if res.States >= DefaultMaxStates {
+		t.Errorf("detection blew the state budget (%d states)", res.States)
+	}
+	// The trace must include the ReqS delivery whose handling dropped the
+	// probe — otherwise the interleaving doesn't explain the bug.
+	found := false
+	for _, line := range res.Violation.Trace {
+		if strings.Contains(line, "ReqS") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace never delivers a ReqS:\n  %s", strings.Join(res.Violation.Trace, "\n  "))
+	}
+	t.Logf("%s/mixed-owner: caught after %d states: %v", p, res.States, res.Violation)
+	for _, line := range res.Violation.Trace {
+		t.Logf("  %s", line)
+	}
+}
+
+// TestMutationHooksDisarmed asserts a disarmed world is clean again —
+// guarding against hook state leaking between tests.
+func TestMutationHooksDisarmed(t *testing.T) {
+	core.SetMutDropInvAck(nil)
+	core.SetMutSkipRvkOFwd(nil)
+	p := Pairing{CPU: ProtoMESI, GPU: ProtoDeNovo}
+	scn, err := ScenarioByName(p, "mixed-owner")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := Explore(Config{Scenario: scn}); res.Violation != nil {
+		t.Fatalf("clean run after disarm found a violation: %v", res.Violation)
+	}
+}

@@ -1,0 +1,177 @@
+// Package mcheck is an exhaustive explicit-state model checker for tiny
+// Spandex configurations (2–3 devices, one or two cache lines, a couple of
+// words). It enumerates every interleaving of message deliveries and
+// device operation issues — subject to the network's per-(src,dst) FIFO
+// ordering guarantee, which the protocols assume — memoizing canonicalized
+// states so each distinct protocol state is expanded once. Every explored
+// state is audited with core.Checker's SWMR/disjointness invariants; on
+// top of those, mcheck adds deadlock detection (quiescent system with
+// unfinished operations), a data-value check (every loaded value must have
+// been written to that word by someone, ruling out out-of-thin-air and
+// cross-word corruption), and the quiescent-state ownership audit at every
+// terminal state. Violations are reported with the concrete interleaving
+// trace that reaches them.
+package mcheck
+
+import (
+	"fmt"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+)
+
+// Proto names an L1 protocol a scripted device speaks.
+type Proto string
+
+const (
+	// ProtoMESI is a MESI L1 behind a MESI translation unit.
+	ProtoMESI Proto = "mesi"
+	// ProtoDeNovo is a DeNovo L1 (word-granularity ownership).
+	ProtoDeNovo Proto = "denovo"
+	// ProtoGPU is a GPU-coherence L1 (write-through, no ownership).
+	ProtoGPU Proto = "gpu"
+)
+
+// Pairing is one (CPU protocol, GPU protocol) combination from the
+// paper's Spandex configurations.
+type Pairing struct {
+	CPU Proto // ProtoMESI or ProtoDeNovo
+	GPU Proto // ProtoGPU or ProtoDeNovo
+}
+
+func (p Pairing) String() string { return string(p.CPU) + "+" + string(p.GPU) }
+
+// Pairings enumerates every CPU×GPU protocol combination the Spandex LLC
+// must compose: {MESI, DeNovo} × {GPU coherence, DeNovo}.
+func Pairings() []Pairing {
+	return []Pairing{
+		{CPU: ProtoMESI, GPU: ProtoGPU},
+		{CPU: ProtoMESI, GPU: ProtoDeNovo},
+		{CPU: ProtoDeNovo, GPU: ProtoGPU},
+		{CPU: ProtoDeNovo, GPU: ProtoDeNovo},
+	}
+}
+
+// DeviceScript is one scripted device: its protocol and its (in-order)
+// operation sequence. Scripts are restricted to loads, stores and release
+// fences — fences are required after stores because every L1 buffers
+// writes lazily (drain happens under occupancy pressure or at a release),
+// so an unfenced store generates no protocol traffic to explore. The
+// data-value check derives each word's legal value set from the stores.
+type DeviceScript struct {
+	Proto Proto
+	Ops   []device.Op
+}
+
+// InitVal seeds one word of backing memory before the run.
+type InitVal struct {
+	Addr memaddr.Addr
+	Val  uint32
+}
+
+// Scenario is a tiny closed system to model-check.
+type Scenario struct {
+	Name    string
+	Devices []DeviceScript
+	Init    []InitVal
+	// LLCBytes/LLCWays size the LLC array; zero means 4 lines × 2 ways,
+	// plenty for the one- or two-line scenarios (no evictions).
+	LLCBytes, LLCWays int
+}
+
+// word returns the address of word i of line 0.
+func word(i int) memaddr.Addr { return memaddr.Addr(i * 4) }
+
+func load(a memaddr.Addr) device.Op {
+	return device.Op{Kind: device.OpLoad, Addr: a}
+}
+
+func store(a memaddr.Addr, v uint32) device.Op {
+	return device.Op{Kind: device.OpStore, Addr: a, Value: v}
+}
+
+// fence is a release: it drains the write buffer and pending ownership
+// requests before the next operation issues.
+func fence() device.Op {
+	return device.Op{Kind: device.OpFence, Rel: true}
+}
+
+// Scenarios returns the standard scenario set for a pairing. All pairings
+// get the two-device message-passing and racing-store shapes; MESI CPUs
+// additionally get three-device shapes that reach the Shared state (two
+// MESI readers force ReqS option (1)) and, with a DeNovo GPU, the
+// mixed-ownership ReqS whose revocation forwards RvkO to a
+// self-invalidating owner — the paths the seeded mutations break.
+func Scenarios(p Pairing) []Scenario {
+	cpu, gpu := p.CPU, p.GPU
+	scns := []Scenario{
+		{
+			// Producer/consumer on one line: CPU writes data then flag, GPU
+			// reads flag then data. No fences, so any written value (or the
+			// initial zero) is legal; the checks are coherence and deadlock
+			// freedom, not ordering.
+			Name: "mp",
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{store(word(0), 42), fence(), store(word(1), 1), fence()}},
+				{Proto: gpu, Ops: []device.Op{load(word(1)), load(word(0))}},
+			},
+		},
+		{
+			// Cross write-read race on two words of one line (false
+			// sharing): exercises ownership transfer against write-through
+			// under every delivery order.
+			Name: "race",
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{store(word(0), 5), fence(), load(word(1))}},
+				{Proto: gpu, Ops: []device.Op{store(word(1), 7), fence(), load(word(0))}},
+			},
+		},
+		{
+			// Same-word write/write/read race: both devices store to word 0
+			// then read it back.
+			Name: "samword",
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{store(word(0), 1), fence(), load(word(0))}},
+				{Proto: gpu, Ops: []device.Op{store(word(0), 2), fence(), load(word(0))}},
+			},
+		},
+	}
+	if cpu == ProtoMESI {
+		// Two MESI readers reach Shared state via ReqS option (1); the GPU
+		// write then drives the sharer-invalidation (Inv/InvAck) path the
+		// drop-InvAck mutation breaks.
+		scns = append(scns, Scenario{
+			Name: "share",
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{load(word(0))}},
+				{Proto: cpu, Ops: []device.Op{load(word(0))}},
+				{Proto: gpu, Ops: []device.Op{store(word(0), 9), fence(), load(word(0))}},
+			},
+		})
+	}
+	if cpu == ProtoMESI && gpu == ProtoDeNovo {
+		// Mixed per-word ownership: CPU0 (MESI) owns word 0, the DeNovo GPU
+		// owns word 1, and CPU1's line-granularity ReqS hits both — option
+		// (1) forwards ReqS to the MESI owner and RvkO to the DeNovo owner
+		// (the probe the skip-RvkO mutation drops).
+		scns = append(scns, Scenario{
+			Name: "mixed-owner",
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{store(word(0), 5), fence()}},
+				{Proto: cpu, Ops: []device.Op{load(word(0))}},
+				{Proto: gpu, Ops: []device.Op{store(word(1), 3), fence(), load(word(1))}},
+			},
+		})
+	}
+	return scns
+}
+
+// ScenarioByName resolves one of a pairing's scenarios.
+func ScenarioByName(p Pairing, name string) (Scenario, error) {
+	for _, s := range Scenarios(p) {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("mcheck: pairing %s has no scenario %q", p, name)
+}

@@ -1,0 +1,334 @@
+package mcheck
+
+import (
+	"fmt"
+
+	"spandex/internal/core"
+	"spandex/internal/denovo"
+	"spandex/internal/device"
+	"spandex/internal/dram"
+	"spandex/internal/gpucoh"
+	"spandex/internal/memaddr"
+	"spandex/internal/mesi"
+	"spandex/internal/noc"
+	"spandex/internal/proto"
+	"spandex/internal/sim"
+	"spandex/internal/stats"
+)
+
+// world is one concrete instantiation of a scenario: a full simulated
+// system whose network sends are intercepted into a pending pool instead
+// of being delivered, so the explorer chooses the delivery order. Between
+// actions the engine is drained, making each action an atomic protocol
+// step: (deliver one message | issue one device op) plus every internal
+// event it triggers.
+type world struct {
+	eng  *sim.Engine
+	st   *stats.Stats
+	net  *noc.Network
+	llc  *core.LLC
+	mem  *dram.Memory
+	chk  *core.Checker
+	devs []*mdev
+
+	// pending holds captured, not-yet-delivered messages in send order.
+	pending []*proto.Message
+
+	// allowed maps each scripted address to the set of values a load of it
+	// may legally return: the initial value plus everything any script
+	// stores there (out-of-thin-air check).
+	allowed map[memaddr.Addr]map[uint32]bool
+
+	// trace describes every action applied so far, in order.
+	trace []string
+
+	// dataViol and stuck record violations found inside an action.
+	dataViol string
+	stuck    string
+}
+
+// mdev is one scripted device: an L1 controller plus an in-order script
+// cursor. A device issues its next operation only after the previous one's
+// completion callback fired (stores complete when buffered).
+type mdev struct {
+	id       proto.NodeID
+	name     string
+	l1       device.L1Cache
+	ops      []device.Op
+	next     int
+	inflight bool
+}
+
+func (d *mdev) finished() bool { return d.next == len(d.ops) && !d.inflight }
+
+// newWorld builds a fresh system for the scenario. Construction is fully
+// deterministic, so replaying the same action sequence from a fresh world
+// reproduces the same state bit-for-bit — the property the DFS's
+// replay-based backtracking and the violation traces rely on.
+func newWorld(scn Scenario, cov *core.TransitionCoverage) *world {
+	n := len(scn.Devices)
+	llcID := proto.NodeID(n)
+	memID := proto.NodeID(n + 1)
+
+	w := &world{
+		eng:     sim.New(),
+		st:      stats.New(),
+		allowed: make(map[memaddr.Addr]map[uint32]bool),
+	}
+	w.net = noc.New(w.eng, w.st, noc.Config{HopLatency: 1, TicksPerByte: 0, MeshWidth: 4}, n+2)
+	w.net.SetInterceptor(func(m *proto.Message) { w.pending = append(w.pending, m) })
+
+	llcBytes, llcWays := scn.LLCBytes, scn.LLCWays
+	if llcBytes == 0 {
+		llcBytes, llcWays = 8*memaddr.LineBytes, 2
+	}
+	w.llc = core.NewLLC(llcID, memID, w.eng, w.net, w.st, core.Config{
+		SizeBytes: llcBytes, Ways: llcWays, AccessLatency: 1,
+	})
+	w.mem = dram.New(memID, w.eng, w.net, 1)
+	w.chk = core.NewChecker()
+	w.chk.Collect = true
+	w.chk.CheckEveryTransition = true
+	w.llc.SetChecker(w.chk)
+	if cov != nil {
+		w.llc.SetCoverage(cov)
+	}
+
+	for i, spec := range scn.Devices {
+		id := proto.NodeID(i)
+		d := &mdev{id: id, name: fmt.Sprintf("%s%d", spec.Proto, i), ops: spec.Ops}
+		for _, op := range spec.Ops {
+			if op.Kind != device.OpLoad && op.Kind != device.OpStore && op.Kind != device.OpFence {
+				panic("mcheck: scripts are restricted to loads, stores and fences")
+			}
+		}
+		switch spec.Proto {
+		case ProtoMESI:
+			tu := core.NewMESITU(id, w.eng, w.net, w.st, llcID, 1)
+			mc := mesi.DefaultConfig(llcID)
+			mc.SizeBytes, mc.Ways = 4*memaddr.LineBytes, 2
+			mc.MSHREntries, mc.StoreBufferEntries = 8, 8
+			mc.HitLatency = 1
+			l1 := mesi.New(id, w.eng, tu, w.st, mc)
+			tu.Bind(l1)
+			w.llc.RegisterDevice(id, true)
+			w.chk.AttachDevice(id, tu)
+			tu.SetChecker(w.chk)
+			d.l1 = l1
+		case ProtoDeNovo:
+			tu := core.NewPassTU(id, w.eng, w.net, 1)
+			dc := denovo.DefaultConfig(llcID, false)
+			dc.SizeBytes, dc.Ways = 4*memaddr.LineBytes, 2
+			dc.MSHREntries, dc.WriteBufferEntries = 8, 8
+			dc.HitLatency = 1
+			l1 := denovo.New(id, w.eng, tu, w.st, dc)
+			tu.Bind(l1)
+			w.llc.RegisterDevice(id, false)
+			w.chk.AttachDevice(id, l1)
+			d.l1 = l1
+		case ProtoGPU:
+			tu := core.NewPassTU(id, w.eng, w.net, 1)
+			gc := gpucoh.DefaultConfig(llcID)
+			gc.SizeBytes, gc.Ways = 4*memaddr.LineBytes, 2
+			gc.MSHREntries, gc.WriteBufferEntries = 8, 8
+			gc.HitLatency = 1
+			l1 := gpucoh.New(id, w.eng, tu, w.st, gc)
+			tu.Bind(l1)
+			w.llc.RegisterDevice(id, false)
+			w.chk.AttachDevice(id, l1)
+			d.l1 = l1
+		default:
+			panic("mcheck: unknown protocol " + string(spec.Proto))
+		}
+		w.devs = append(w.devs, d)
+	}
+
+	for _, iv := range scn.Init {
+		line := w.mem.Peek(iv.Addr.Line())
+		line[iv.Addr.WordIndex()] = iv.Val
+		w.mem.Poke(iv.Addr.Line(), line)
+		w.allow(iv.Addr, iv.Val)
+	}
+	for _, spec := range scn.Devices {
+		for _, op := range spec.Ops {
+			if op.Kind == device.OpFence {
+				continue
+			}
+			w.allow(op.Addr, 0) // pre-init value of every touched word
+			if op.Kind == device.OpStore {
+				w.allow(op.Addr, op.Value)
+			}
+		}
+	}
+	return w
+}
+
+func (w *world) allow(a memaddr.Addr, v uint32) {
+	set := w.allowed[a]
+	if set == nil {
+		set = make(map[uint32]bool)
+		w.allowed[a] = set
+	}
+	set[v] = true
+}
+
+// actions enumerates the enabled actions: device indices [0, len(devs))
+// for "issue next op", and len(devs)+k for "deliver pending[k]". Only the
+// oldest pending message of each (src, dst) pair is deliverable — the
+// network guarantees point-to-point FIFO ordering and the protocols'
+// race handling assumes it, so other orders are unreachable in real
+// executions and exploring them would report false violations.
+func (w *world) actions() []int {
+	var acts []int
+	for i, d := range w.devs {
+		if !d.inflight && d.next < len(d.ops) {
+			acts = append(acts, i)
+		}
+	}
+	headSeen := make(map[[2]proto.NodeID]bool)
+	for k, m := range w.pending {
+		pair := [2]proto.NodeID{m.Src, m.Dst}
+		if !headSeen[pair] {
+			headSeen[pair] = true
+			acts = append(acts, len(w.devs)+k)
+		}
+	}
+	return acts
+}
+
+// terminal reports whether the system is quiescent with all scripts done.
+func (w *world) terminal() bool {
+	if len(w.pending) != 0 {
+		return false
+	}
+	for _, d := range w.devs {
+		if !d.finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// apply executes one action and drains the engine. The action id must
+// come from actions() on this exact state.
+func (w *world) apply(a int) {
+	if a < len(w.devs) {
+		w.issue(a)
+	} else {
+		w.deliver(a - len(w.devs))
+	}
+	w.eng.Run()
+}
+
+func (w *world) issue(di int) {
+	d := w.devs[di]
+	op := d.ops[d.next]
+	idx := d.next
+	if op.Kind == device.OpFence {
+		// A release fence drains the write buffer (how the device drivers
+		// implement Rel). Flush is never rejected; its done callback may
+		// fire synchronously when nothing is buffered.
+		d.next++
+		d.inflight = true
+		w.trace = append(w.trace, fmt.Sprintf("%s: release fence", d.name))
+		d.l1.Flush(func() { d.inflight = false })
+		return
+	}
+	// inflight is set before Access: stores (and hits) may invoke the
+	// completion callback synchronously.
+	d.inflight = true
+	accepted := d.l1.Access(op, func(v uint32) {
+		d.inflight = false
+		if op.Kind == device.OpLoad {
+			if !w.allowed[op.Addr][v] {
+				w.dataViol = fmt.Sprintf(
+					"%s: op %d load of word %d returned %d, a value never written to that word",
+					d.name, idx, op.Addr.WordIndex(), v)
+			}
+		}
+	})
+	if !accepted {
+		d.inflight = false
+		w.trace = append(w.trace, fmt.Sprintf("%s: op %d (%s w%d) rejected by L1",
+			d.name, idx, op.Kind, op.Addr.WordIndex()))
+		// A rejected issue with no message in flight and every other
+		// device idle cannot ever be accepted: nothing remains to free
+		// the controller's resources.
+		if len(w.pending) == 0 {
+			blocked := true
+			for _, o := range w.devs {
+				if o != d && !o.finished() {
+					blocked = false
+				}
+			}
+			if blocked {
+				w.stuck = fmt.Sprintf("%s: op %d permanently rejected by quiescent L1", d.name, idx)
+			}
+		}
+		return
+	}
+	d.next++
+	if op.Kind == device.OpStore {
+		w.trace = append(w.trace, fmt.Sprintf("%s: store w%d=%d", d.name, op.Addr.WordIndex(), op.Value))
+	} else {
+		w.trace = append(w.trace, fmt.Sprintf("%s: load w%d", d.name, op.Addr.WordIndex()))
+	}
+}
+
+func (w *world) deliver(k int) {
+	m := w.pending[k]
+	rest := make([]*proto.Message, 0, len(w.pending)-1)
+	rest = append(rest, w.pending[:k]...)
+	rest = append(rest, w.pending[k+1:]...)
+	w.pending = rest
+	w.trace = append(w.trace, fmt.Sprintf("deliver %s", m))
+	w.net.Deliver(m)
+}
+
+// fingerprint canonicalizes the protocol-visible state: LLC (lines, txns,
+// queued requests), every device controller (through its TU, reached via
+// the l1's port back-reference), DRAM contents, script cursors, and the
+// pending message pool.
+func (w *world) fingerprint() uint64 {
+	roots := make([]interface{}, 0, 3+len(w.devs))
+	roots = append(roots, w.llc, w.mem, w.pending)
+	for _, d := range w.devs {
+		roots = append(roots, d)
+	}
+	return structuralHash(roots...)
+}
+
+// violation returns the first violation recorded in this state, if any.
+func (w *world) violation() (kind, detail string, ok bool) {
+	if len(w.chk.Violations) > 0 {
+		return "invariant", w.chk.Violations[0].String(), true
+	}
+	if w.dataViol != "" {
+		return "data", w.dataViol, true
+	}
+	if w.stuck != "" {
+		return "deadlock", w.stuck, true
+	}
+	return "", "", false
+}
+
+// pendingOps describes unfinished scripts, for deadlock reports.
+func (w *world) pendingOps() string {
+	s := ""
+	for _, d := range w.devs {
+		if d.finished() {
+			continue
+		}
+		if s != "" {
+			s += ", "
+		}
+		state := "ready"
+		if d.inflight {
+			state = "in flight"
+			s += fmt.Sprintf("%s op %d %s", d.name, d.next-1, state)
+			continue
+		}
+		s += fmt.Sprintf("%s op %d %s", d.name, d.next, state)
+	}
+	return s
+}

@@ -53,12 +53,13 @@ type endpoint struct {
 // deterministic routing provides per virtual network, and which the
 // protocols' race handling assumes for grant-before-probe ordering).
 type Network struct {
-	eng      *sim.Engine
-	st       *stats.Stats
-	cfg      Config
-	eps      []endpoint
-	pairLast map[[2]proto.NodeID]sim.Time
-	trace    func(at sim.Time, m *proto.Message)
+	eng       *sim.Engine
+	st        *stats.Stats
+	cfg       Config
+	eps       []endpoint
+	pairLast  map[[2]proto.NodeID]sim.Time
+	trace     func(at sim.Time, m *proto.Message)
+	intercept func(m *proto.Message)
 }
 
 // New creates a network with n endpoints laid out row-major on the mesh.
@@ -122,6 +123,25 @@ func (p directPort) Send(m *proto.Message) {
 // PortFor returns a Port sending directly onto the network as node id.
 func (n *Network) PortFor(id proto.NodeID) Port { return directPort{net: n, id: id} }
 
+// SetInterceptor installs a capture hook: when non-nil, Send hands every
+// message (already copied and validated) to fn instead of modeling latency
+// and scheduling delivery. The interceptor owns the message; it delivers
+// it — whenever it chooses — via Deliver. This is the model checker's
+// entry point for enumerating delivery interleavings (internal/mcheck);
+// traffic accounting and the latency model are bypassed entirely.
+func (n *Network) SetInterceptor(fn func(m *proto.Message)) { n.intercept = fn }
+
+// Deliver hands m synchronously to its destination handler, bypassing the
+// latency model. Only meaningful under SetInterceptor, where the caller —
+// not the network — decides delivery order.
+func (n *Network) Deliver(m *proto.Message) {
+	h := n.eps[m.Dst].handler
+	if h == nil {
+		panic(fmt.Sprintf("noc: no handler registered for node %d (msg %s)", m.Dst, m))
+	}
+	h.HandleMessage(m)
+}
+
 // Send queues m for delivery. The message is copied; callers may reuse the
 // struct. Traffic is accounted at send time.
 func (n *Network) Send(m *proto.Message) {
@@ -129,6 +149,10 @@ func (n *Network) Send(m *proto.Message) {
 		panic(fmt.Sprintf("noc: bad endpoints in %s", m))
 	}
 	cp := *m
+	if n.intercept != nil {
+		n.intercept(&cp)
+		return
+	}
 	size := cp.Bytes()
 	n.st.Traffic.Add(proto.ClassOf(cp.Type), size)
 

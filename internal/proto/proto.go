@@ -127,6 +127,44 @@ func (t MsgType) String() string {
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }
 
+// identNames are the Go identifier spellings of each message type
+// (ReqWTData rather than String()'s display form "ReqWT+data"). They are
+// the canonical vocabulary shared by the static transition graphs
+// (internal/analysis/transgraph reads these identifiers out of the source)
+// and the dynamic coverage records, so the two sides diff exactly.
+var identNames = [numMsgTypes]string{
+	ReqV: "ReqV", ReqS: "ReqS", ReqWT: "ReqWT", ReqO: "ReqO",
+	ReqWTData: "ReqWTData", ReqOData: "ReqOData", ReqWB: "ReqWB",
+	RspV: "RspV", RspS: "RspS", RspWT: "RspWT", RspO: "RspO",
+	RspWTData: "RspWTData", RspOData: "RspOData", RspWB: "RspWB",
+	NackV: "NackV",
+	RvkO:  "RvkO", RspRvkO: "RspRvkO", Inv: "Inv", InvAck: "InvAck",
+	MGetS: "MGetS", MGetM: "MGetM", MPutM: "MPutM",
+	MFwdGetS: "MFwdGetS", MFwdGetM: "MFwdGetM", MInv: "MInv",
+	MInvAck: "MInvAck", MDataS: "MDataS", MDataE: "MDataE", MDataM: "MDataM",
+	MAckWB: "MAckWB", MWBData: "MWBData",
+	MemRead: "MemRead", MemReadRsp: "MemReadRsp", MemWrite: "MemWrite",
+}
+
+// Ident returns the Go identifier name of the message type.
+func (t MsgType) Ident() string {
+	if int(t) < len(identNames) && identNames[t] != "" {
+		return identNames[t]
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// MsgTypeFromIdent resolves a Go identifier name back to its MsgType,
+// reporting false for unknown names. Used to validate coverage files.
+func MsgTypeFromIdent(s string) (MsgType, bool) {
+	for t, name := range identNames {
+		if name == s {
+			return MsgType(t), true
+		}
+	}
+	return 0, false
+}
+
 // Class buckets message types for traffic accounting, matching the legend
 // of the paper's Figures 2 and 3. Each request class includes its
 // responses; ClassProbe covers Inv and RvkO (and MESI forwards); ClassAtomic

@@ -97,6 +97,12 @@ type Options struct {
 	// evaluation default is options (1)/(3); this knob drives the
 	// ReqS-policy ablation.
 	ReqSOption2 bool
+	// RecordTransitions piggy-backs a (state, message) coverage recorder on
+	// the LLC's transition auditing: every pair the LLC processes is
+	// counted into Result.Transitions, the dynamic half of the
+	// transition-graph cross-check (cmd/spandex-transgraph -diff). Also
+	// enabled implicitly by CheckEveryTransition.
+	RecordTransitions bool
 	// Validate runs the workload's final-state oracle after the run.
 	Validate bool
 	// MaxTime aborts runs that exceed this simulated time (0 = 100 ms).
@@ -121,11 +127,22 @@ type Result struct {
 	// verification; see Result.Fingerprint.
 	MemHash uint64
 	// Violations lists every coherence invariant the checker saw broken
-	// during the run (CheckInvariants/CheckEveryTransition). A non-empty
-	// list also makes Run return an error; the list is carried here so
-	// callers can report each violation, not just the first.
-	Violations []string
+	// during the run (CheckInvariants/CheckEveryTransition), each carrying
+	// the cycle, line address and (LLC state, message) context needed to
+	// reproduce it standalone. A non-empty list also makes Run return an
+	// error; the list is carried here so callers can report each violation,
+	// not just the first. The list is capped (core.DefaultMaxViolations);
+	// ViolationsDropped counts the overflow.
+	Violations []Violation
+	// ViolationsDropped counts violations discarded past the cap.
+	ViolationsDropped int
+	// Transitions maps "state|msg" to the number of times the LLC
+	// processed that (state, message) pair (Options.RecordTransitions).
+	Transitions map[string]uint64
 }
+
+// Violation is one failed coherence invariant with reproduction context.
+type Violation = core.Violation
 
 // ExecMillis returns the execution time in milliseconds of simulated time.
 func (r Result) ExecMillis() float64 { return float64(r.ExecTime) / 1e9 }
@@ -143,8 +160,9 @@ type System struct {
 	params SystemParams
 
 	// Spandex organization.
-	LLC     *core.LLC
-	Checker *core.Checker
+	LLC      *core.LLC
+	Checker  *core.Checker
+	Coverage *core.TransitionCoverage
 	// Hierarchical organization.
 	Dir   *hmesi.Directory
 	GPUL2 *hmesi.GPUL2
@@ -223,6 +241,10 @@ func (s *System) buildSpandex(opt Options) {
 		s.Checker.Collect = true
 		s.Checker.CheckEveryTransition = opt.CheckEveryTransition
 		s.LLC.SetChecker(s.Checker)
+	}
+	if opt.RecordTransitions || opt.CheckEveryTransition {
+		s.Coverage = core.NewTransitionCoverage()
+		s.LLC.SetCoverage(s.Coverage)
 	}
 
 	for i := 0; i < p.CPUCores; i++ {
@@ -436,8 +458,12 @@ func (s *System) Run(maxTime sim.Time) (Result, error) {
 		Ops:      ops,
 		MemHash:  s.Mem.Fingerprint(),
 	}
+	if s.Coverage != nil {
+		res.Transitions = s.Coverage.Snapshot()
+	}
 	if s.Checker != nil && len(s.Checker.Violations) > 0 {
-		res.Violations = append([]string(nil), s.Checker.Violations...)
+		res.Violations = append([]Violation(nil), s.Checker.Violations...)
+		res.ViolationsDropped = s.Checker.Dropped
 		return res, fmt.Errorf("spandex: %d coherence invariant violation(s); first: %s",
 			len(res.Violations), res.Violations[0])
 	}
