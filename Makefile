@@ -4,9 +4,10 @@
 GO ?= go
 
 .PHONY: ci build vet fmt lint test race smoke check bench clean \
-	transgraph transgraph-check mcheck mcheck-smoke mutants crosscheck
+	transgraph transgraph-check mcheck mcheck-smoke mutants crosscheck \
+	trace-smoke trace-overhead
 
-ci: build vet fmt lint test race smoke check transgraph-check mcheck-smoke mutants
+ci: build vet fmt lint test race smoke check transgraph-check mcheck-smoke mutants trace-smoke
 
 build:
 	$(GO) build ./...
@@ -68,6 +69,19 @@ mcheck:
 mcheck-smoke:
 	$(GO) run ./cmd/spandex-mcheck -coverage-out /tmp/mcheck-cov.json
 	$(GO) run ./cmd/spandex-transgraph -diff /tmp/mcheck-cov.json
+
+# Observability smoke: export a Perfetto/Chrome timeline from a traced
+# run, re-validate the file (JSON loads, every async slice closed, ends
+# after begins), and render a latency-attribution summary.
+trace-smoke:
+	$(GO) run ./cmd/spandex-trace -mode export -workload indirection -config SDD -o /tmp/spandex-trace.json
+	$(GO) run ./cmd/spandex-trace -mode validate -in /tmp/spandex-trace.json
+	$(GO) run ./cmd/spandex-trace -mode summarize -workload indirection -config SDD
+
+# Report-only perf guard: tracing-disabled runs must stay within ~2% of
+# the parent commit's wall time (instrumentation reduces to nil checks).
+trace-overhead:
+	./scripts/trace_overhead.sh
 
 # Mutation detection: re-arm two seeded protocol bugs (drop invalidation
 # ack, skip RvkO forward) behind the spandexmut build tag and require the

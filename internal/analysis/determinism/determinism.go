@@ -26,6 +26,12 @@
 //     callbacks — func literals passed to Engine.Schedule/ScheduleAt and
 //     HandleMessage bodies — which would hand event effects to the Go
 //     scheduler instead of the deterministic event queue.
+//  5. fmt formatting calls (Sprintf and friends) inside those same
+//     callbacks. Event callbacks are the per-message hot path; formatting
+//     there allocates and stringifies on every message even when no trace
+//     sink is installed. Instrumentation must emit structured obs.Events
+//     and let the sink (off the sim path) do the formatting. Arguments to
+//     panic are exempt: a dying run may format freely.
 package determinism
 
 import (
@@ -95,12 +101,24 @@ type checker struct {
 	info *types.Info
 	// callbackDepth > 0 while walking an engine event callback.
 	callbackDepth int
+	// panicDepth > 0 while walking the arguments of a panic call.
+	panicDepth int
 }
 
 func (d *checker) node(n ast.Node) bool {
 	switch n := n.(type) {
 	case *ast.CallExpr:
 		d.call(n)
+		// panic arguments are exempt from the hot-path formatting check:
+		// walk them with the exemption armed, then skip the default walk.
+		if isPanic(d.info, n) {
+			d.panicDepth++
+			for _, arg := range n.Args {
+				ast.Inspect(arg, d.node)
+			}
+			d.panicDepth--
+			return false
+		}
 		// Func literals passed to Engine.Schedule/ScheduleAt run on the
 		// event queue: walk them as callbacks, then skip the default walk.
 		if isEngineSchedule(d.info, n) {
@@ -175,7 +193,34 @@ func (d *checker) call(n *ast.CallExpr) {
 		if globalRandFuncs[sel.Sel.Name] {
 			d.pass.Reportf(n.Pos(), "global rand.%s on the deterministic sim path: use a locally seeded *rand.Rand (e.g. workload.NewRand(seed))", sel.Sel.Name)
 		}
+	case "fmt":
+		if fmtFormatFuncs[sel.Sel.Name] && d.callbackDepth > 0 && d.panicDepth == 0 {
+			d.pass.Reportf(n.Pos(), "fmt.%s inside an engine event callback: per-message formatting runs on the sim hot path even with tracing disabled; emit a structured obs.Event and format in the sink (panic arguments are exempt)", sel.Sel.Name)
+		}
 	}
+}
+
+// fmtFormatFuncs are the fmt functions that build or write a formatted
+// string. Scanners are irrelevant; they never appear on the sim path.
+var fmtFormatFuncs = map[string]bool{
+	"Sprintf": true, "Sprint": true, "Sprintln": true,
+	"Fprintf": true, "Fprint": true, "Fprintln": true,
+	"Printf": true, "Print": true, "Println": true,
+	"Errorf": true, "Appendf": true, "Append": true, "Appendln": true,
+}
+
+// isPanic reports whether call is the builtin panic.
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name() == "panic"
+	}
+	// In testdata fakes panic may be unresolved; match by name with no
+	// other object bound.
+	return id.Name == "panic" && info.Uses[id] == nil && info.Defs[id] == nil
 }
 
 // rangeStmt flags map iterations whose bodies are order-sensitive.

@@ -4,6 +4,7 @@
 package detpath
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"time"
@@ -31,6 +32,31 @@ func (h *handler) HandleMessage(m *Msg) {
 }
 
 func drain(ch chan int) {}
+
+// hotFormat formats per message inside HandleMessage: flagged, except the
+// panic argument (a dying run may format freely).
+type hotFormat struct{ last string }
+
+func (h *hotFormat) HandleMessage(m *Msg) {
+	h.last = fmt.Sprintf("msg %d", m.ID) // want `fmt\.Sprintf inside an engine event callback`
+	fmt.Println(h.last)                  // want `fmt\.Println inside an engine event callback`
+	if m.ID < 0 {
+		panic(fmt.Sprintf("negative id %d", m.ID))
+	}
+	panic(fmt.Errorf("unreachable %s", h.last))
+}
+
+func scheduleFormat(e *Engine) {
+	e.Schedule(5, func() {
+		_ = fmt.Sprint(e.Now()) // want `fmt\.Sprint inside an engine event callback`
+	})
+}
+
+// coldFormat is outside any event callback: formatting is fine there
+// (setup, teardown, reports).
+func coldFormat(id int) string {
+	return fmt.Sprintf("node %d", id)
+}
 
 func scheduleBad(e *Engine, ch chan int) {
 	e.Schedule(5, func() {

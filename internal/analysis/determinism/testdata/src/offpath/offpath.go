@@ -4,11 +4,20 @@
 package offpath
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 )
 
 func wallClock() time.Time { return time.Now() }
+
+type Msg struct{ ID int }
+
+type handler struct{ last string }
+
+func (h *handler) HandleMessage(m *Msg) {
+	h.last = fmt.Sprintf("msg %d", m.ID)
+}
 
 func globalRand() int { return rand.Intn(10) }
 

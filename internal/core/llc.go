@@ -20,6 +20,7 @@ import (
 	"spandex/internal/cache"
 	"spandex/internal/memaddr"
 	"spandex/internal/noc"
+	"spandex/internal/obs"
 	"spandex/internal/proto"
 	"spandex/internal/sim"
 	"spandex/internal/stats"
@@ -134,6 +135,7 @@ type LLC struct {
 
 	checker  *Checker
 	coverage *TransitionCoverage
+	obs      *obs.Recorder
 }
 
 // NewLLC creates a Spandex LLC endpoint.
@@ -165,6 +167,30 @@ func (l *LLC) RegisterDevice(id proto.NodeID, isMESI bool) {
 
 // SetChecker installs an invariant checker consulted on every transition.
 func (l *LLC) SetChecker(c *Checker) { l.checker = c }
+
+// SetObserver installs the observability recorder; nil disables
+// instrumentation. The LLC emits EvLLCBlock when a tracked request parks
+// behind (or starts) a blocking transaction, EvLLCUnblock when it
+// resumes, EvLLCForward on owner indirection, and EvOccupancy samples of
+// the live blocking-transaction count.
+func (l *LLC) SetObserver(r *obs.Recorder) { l.obs = r }
+
+// blockEv/unblockEv/txnOcc are the nil-guarded emission helpers; callers
+// check l.obs != nil before calling so the disabled path is one compare.
+func (l *LLC) blockEv(m *proto.Message) {
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvLLCBlock,
+		Node: l.ID, Trace: m.Trace, Msg: m})
+}
+
+func (l *LLC) unblockEv(m *proto.Message) {
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvLLCUnblock,
+		Node: l.ID, Trace: m.Trace, Msg: m})
+}
+
+func (l *LLC) txnOcc() {
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvOccupancy,
+		Node: l.ID, Res: "llc.txns", Arg: uint64(len(l.txns))})
+}
 
 // afterTransition runs the configured invariant checks once a message has
 // finished mutating a line's state.
@@ -220,6 +246,9 @@ func (l *LLC) dispatch(m *proto.Message) {
 	if t, ok := l.txns[m.Line]; ok {
 		t.waiting = append(t.waiting, m)
 		l.st.Inc("llc.queued", 1)
+		if l.obs != nil {
+			l.blockEv(m)
+		}
 		return
 	}
 
@@ -266,7 +295,7 @@ func (l *LLC) respond(m *proto.Message, typ proto.MsgType, mask memaddr.WordMask
 	}
 	rsp := &proto.Message{
 		Type: typ, Dst: m.Requestor, Requestor: m.Requestor, ReqID: m.ReqID,
-		Line: m.Line, Mask: mask,
+		Line: m.Line, Mask: mask, Trace: m.Trace,
 	}
 	if withData {
 		rsp.HasData = true
@@ -315,6 +344,16 @@ func (l *LLC) forward(e *cache.Entry[llcLine], m *proto.Message, typ proto.MsgTy
 			Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: ow.words,
 			Atomic: m.Atomic, Operand: m.Operand, Compare: m.Compare,
+		}
+		// RvkO forwards belong to a blocking revocation, not owner
+		// indirection: the origin's wait is attributed to PhaseBlocked, so
+		// the probe itself stays untracked.
+		if typ != proto.RvkO {
+			fwd.Trace = m.Trace
+			if l.obs != nil {
+				l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvLLCForward,
+					Node: l.ID, Trace: m.Trace, Msg: fwd})
+			}
 		}
 		l.send(fwd)
 		l.st.Inc("llc.forwards", 1)
@@ -417,6 +456,10 @@ func (l *LLC) handleReqS(e *cache.Entry[llcLine], m *proto.Message) {
 	l.txns[m.Line] = &llcTxn{kind: txnRvk, line: m.Line, origin: m,
 		rvkMask: ownedReq, serveMask: otherOwned}
 	l.st.Inc("llc.blocked.rvk", 1)
+	if l.obs != nil {
+		l.blockEv(m)
+		l.txnOcc()
+	}
 }
 
 // invalidateSharers begins a txnInv for a write request to a Shared line.
@@ -449,6 +492,10 @@ func (l *LLC) invalidateSharers(e *cache.Entry[llcLine], m *proto.Message) {
 	}
 	l.txns[m.Line] = t
 	l.st.Inc("llc.blocked.inv", 1)
+	if l.obs != nil {
+		l.blockEv(m)
+		l.txnOcc()
+	}
 }
 
 func (l *LLC) handleReqWT(e *cache.Entry[llcLine], m *proto.Message) {
@@ -528,6 +575,10 @@ func (l *LLC) handleReqWTData(e *cache.Entry[llcLine], m *proto.Message) {
 		l.forward(e, m, proto.RvkO, owned)
 		l.txns[m.Line] = &llcTxn{kind: txnRvk, line: m.Line, origin: m, rvkMask: owned}
 		l.st.Inc("llc.blocked.rvk", 1)
+		if l.obs != nil {
+			l.blockEv(m)
+			l.txnOcc()
+		}
 		return
 	}
 	l.performUpdate(e, m)
@@ -540,6 +591,7 @@ func (l *LLC) performUpdate(e *cache.Entry[llcLine], m *proto.Message) {
 	rsp := &proto.Message{
 		Type: proto.RspWTData, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: m.Mask, HasData: true,
+		Trace: m.Trace,
 	}
 	m.Mask.ForEach(func(i int) {
 		old := st.data[i]
@@ -629,7 +681,7 @@ func (l *LLC) handleReqWB(m *proto.Message) {
 	}
 	l.send(&proto.Message{
 		Type: proto.RspWB, Dst: m.Src, Requestor: m.Src, ReqID: m.ReqID,
-		Line: m.Line, Mask: m.Mask,
+		Line: m.Line, Mask: m.Mask, Trace: m.Trace,
 	})
 	l.maybeCompleteRvk(m.Line)
 	l.afterTransition(m.Line)
@@ -697,6 +749,10 @@ func (l *LLC) maybeCompleteRvk(line memaddr.LineAddr) {
 		return
 	}
 	if t.origin != nil {
+		if l.obs != nil {
+			l.unblockEv(t.origin)
+			l.txnOcc()
+		}
 		// The blocked request resumes: for ReqWT+data, perform the update
 		// now that data is home; for ReqS(1), MESI owners already sent
 		// RspS directly, and the LLC now answers for any words it revoked
@@ -744,6 +800,10 @@ func (l *LLC) handleInvAck(m *proto.Message) {
 	if e == nil {
 		panic("core: InvAck for absent line")
 	}
+	if l.obs != nil {
+		l.unblockEv(t.origin)
+		l.txnOcc()
+	}
 	l.process(e, t.origin)
 	l.drain(t)
 }
@@ -756,6 +816,9 @@ func (l *LLC) drain(t *llcTxn) {
 		if nt, ok := l.txns[t.line]; ok {
 			nt.waiting = append(nt.waiting, t.waiting[i:]...)
 			return
+		}
+		if l.obs != nil {
+			l.unblockEv(m)
 		}
 		e := l.array.Lookup(t.line)
 		if e == nil {

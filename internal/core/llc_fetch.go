@@ -27,6 +27,10 @@ func (l *LLC) startFetch(m *proto.Message) {
 	t := &llcTxn{kind: txnFetch, line: m.Line, waiting: []*proto.Message{m}}
 	l.txns[m.Line] = t
 	l.st.Inc("llc.miss", 1)
+	if l.obs != nil {
+		l.blockEv(m)
+		l.txnOcc()
+	}
 
 	victim := l.pickVictim(m.Line)
 	if victim == nil {
@@ -137,9 +141,16 @@ func (l *LLC) installAndRead(frame *cache.Entry[llcLine], line memaddr.LineAddr)
 	for i := range frame.State.owner {
 		frame.State.owner[i] = noOwner
 	}
+	// The fetch is charged to the request that triggered it: the first
+	// queued message's trace rides on the MemRead (and back on the
+	// MemReadRsp), so the memory round trip lands in PhaseDRAM.
+	var tr uint64
+	if t, ok := l.txns[line]; ok && len(t.waiting) > 0 {
+		tr = t.waiting[0].Trace
+	}
 	l.send(&proto.Message{
 		Type: proto.MemRead, Dst: l.MemID, Requestor: l.ID,
-		Line: line, Mask: memaddr.FullMask,
+		Line: line, Mask: memaddr.FullMask, Trace: tr,
 	})
 	l.afterTransition(line)
 }
@@ -161,6 +172,9 @@ func (l *LLC) handleMemRsp(m *proto.Message) {
 		panic("core: memory response without fetch txn")
 	}
 	delete(l.txns, m.Line)
+	if l.obs != nil {
+		l.txnOcc()
+	}
 	l.afterTransition(m.Line)
 	l.drain(t)
 }

@@ -63,6 +63,9 @@ const (
 type tuPending struct {
 	kind    tuKind
 	l1ReqID uint64
+	// trace is the observability request id carried by the L1's request,
+	// re-stamped on every retry/escalation the TU issues for it.
+	trace   uint64
 	arrived memaddr.WordMask
 	data    memaddr.LineData
 	// owned marks words granted with ownership (RspO+data parts).
@@ -186,18 +189,18 @@ func (tu *MESITU) Send(m *proto.Message) {
 func (tu *MESITU) fromL1(m *proto.Message) {
 	switch m.Type {
 	case proto.MGetS:
-		p := &tuPending{kind: pendS, l1ReqID: m.ReqID}
+		p := &tuPending{kind: pendS, l1ReqID: m.ReqID, trace: m.Trace}
 		tu.pend[m.Line] = p
 		tu.sendLLC(&proto.Message{
 			Type: proto.ReqS, Requestor: tu.ID, ReqID: m.ReqID,
-			Line: m.Line, Mask: memaddr.FullMask,
+			Line: m.Line, Mask: memaddr.FullMask, Trace: p.trace,
 		})
 	case proto.MGetM:
-		p := &tuPending{kind: pendM, l1ReqID: m.ReqID}
+		p := &tuPending{kind: pendM, l1ReqID: m.ReqID, trace: m.Trace}
 		tu.pend[m.Line] = p
 		tu.sendLLC(&proto.Message{
 			Type: proto.ReqOData, Requestor: tu.ID, ReqID: m.ReqID,
-			Line: m.Line, Mask: memaddr.FullMask,
+			Line: m.Line, Mask: memaddr.FullMask, Trace: p.trace,
 		})
 	case proto.MPutM:
 		tu.wbs[m.Line] = &tuWB{mask: memaddr.FullMask, data: m.Data}
@@ -212,7 +215,7 @@ func (tu *MESITU) fromL1(m *proto.Message) {
 		}
 		tu.sendLLC(&proto.Message{
 			Type: proto.InvAck, Requestor: tu.ID, ReqID: m.ReqID,
-			Line: m.Line, Mask: m.Mask,
+			Line: m.Line, Mask: m.Mask, Trace: m.Trace,
 		})
 	case proto.MWBData:
 		probe, ok := tu.probes[m.ReqID]
@@ -292,7 +295,7 @@ func (tu *MESITU) handleOpt2Nack(m *proto.Message) {
 		tu.st.Inc("tu.nack_retry", 1)
 		tu.sendLLC(&proto.Message{
 			Type: proto.ReqS, Requestor: tu.ID, ReqID: p.l1ReqID,
-			Line: m.Line, Mask: fresh,
+			Line: m.Line, Mask: fresh, Trace: p.trace,
 		})
 	}
 	escalate := (m.Mask & p.retried &^ p.arrived &^ p.escalated) & ^fresh
@@ -301,7 +304,7 @@ func (tu *MESITU) handleOpt2Nack(m *proto.Message) {
 		tu.st.Inc("tu.nack_escalate", 1)
 		tu.sendLLC(&proto.Message{
 			Type: proto.ReqOData, Requestor: tu.ID, ReqID: p.l1ReqID,
-			Line: m.Line, Mask: escalate,
+			Line: m.Line, Mask: escalate, Trace: p.trace,
 		})
 	}
 }
@@ -339,6 +342,7 @@ func (tu *MESITU) handleGrantPart(m *proto.Message, owned bool) {
 	tu.l1.HandleMessage(&proto.Message{
 		Type: grant, Src: tu.ID, Requestor: tu.ID, ReqID: p.l1ReqID,
 		Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: p.data,
+		Trace: p.trace,
 	})
 
 	if p.opt2 {
@@ -418,11 +422,13 @@ func (tu *MESITU) probeDone(p *tuProbe, wb *proto.Message) {
 		tu.sendLLC(&proto.Message{
 			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: wb.Data,
+			Trace: m.Trace,
 		})
 	case proto.RvkO:
 		tu.sendLLC(&proto.Message{
 			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: wb.Data,
+			Trace: m.Trace,
 		})
 	default:
 		panic("core: TU probe for " + m.Type.String())
@@ -449,7 +455,7 @@ func (tu *MESITU) writeBack(line memaddr.LineAddr, mask memaddr.WordMask, data m
 func (tu *MESITU) respond(m *proto.Message, typ proto.MsgType, mask memaddr.WordMask, data *memaddr.LineData) {
 	rsp := &proto.Message{
 		Type: typ, Dst: m.Requestor, Requestor: m.Requestor, ReqID: m.ReqID,
-		Line: m.Line, Mask: mask,
+		Line: m.Line, Mask: mask, Trace: m.Trace,
 	}
 	if data != nil {
 		rsp.HasData = true
@@ -563,12 +569,14 @@ func (tu *MESITU) fromWBRecord(m *proto.Message, wb *tuWB) {
 		tu.sendLLC(&proto.Message{
 			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: m.Mask, HasData: true, Data: wb.data,
+			Trace: m.Trace,
 		})
 		clear(m.Mask)
 	case proto.RvkO:
 		tu.sendLLC(&proto.Message{
 			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: m.Mask, HasData: true, Data: wb.data,
+			Trace: m.Trace,
 		})
 		clear(m.Mask)
 	default:

@@ -21,6 +21,7 @@ import (
 	"spandex/internal/device"
 	"spandex/internal/memaddr"
 	"spandex/internal/noc"
+	"spandex/internal/obs"
 	"spandex/internal/proto"
 	"spandex/internal/sim"
 	"spandex/internal/stats"
@@ -70,6 +71,7 @@ type waiter struct {
 // readMiss tracks an outstanding ReqV for a line.
 type readMiss struct {
 	reqID   uint64
+	trace   uint64
 	want    memaddr.WordMask
 	arrived memaddr.WordMask
 	retried memaddr.WordMask
@@ -131,6 +133,23 @@ type L1 struct {
 
 	flushWaiters []func()
 	reqSeq       uint64
+
+	obs *obs.Recorder
+	// curTrace is the trace id of the operation currently inside Access,
+	// carried onto the read miss (loads) it opens. Coalesced stores issue
+	// their ReqO after the store has retired, so ownership requests stay
+	// untracked; atomics carry op.Trace directly.
+	curTrace uint64
+}
+
+// SetObserver installs the observability recorder; nil disables
+// instrumentation (MSHR occupancy samples and request-trace threading).
+func (l *L1) SetObserver(r *obs.Recorder) { l.obs = r }
+
+// mshrOcc samples the read-MSHR occupancy (caller checks l.obs != nil).
+func (l *L1) mshrOcc() {
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvOccupancy,
+		Node: l.ID, Res: "mshr", Arg: uint64(l.reads.Len())})
 }
 
 // New creates a DeNovo L1.
@@ -156,6 +175,7 @@ func (l *L1) nextReq() uint64 {
 
 // Access implements device.L1Cache.
 func (l *L1) Access(op device.Op, done func(uint32)) bool {
+	l.curTrace = op.Trace
 	switch op.Kind {
 	case device.OpLoad:
 		return l.load(op.Addr, done)
@@ -203,6 +223,7 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 			l.port.Send(&proto.Message{
 				Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
 				ReqID: r.reqID, Line: la, Mask: addr.WordMaskOf(),
+				Trace: l.curTrace,
 			})
 		}
 		return true
@@ -213,12 +234,16 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 	}
 	r := l.reads.Alloc(la)
 	r.reqID = l.nextReq()
+	r.trace = l.curTrace
 	r.want = addr.WordMaskOf()
 	r.waiters = append(r.waiters, waiter{word: w, done: done})
 	l.st.Inc("dnl1.miss", 1)
+	if l.obs != nil {
+		l.mshrOcc()
+	}
 	l.port.Send(&proto.Message{
 		Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
-		ReqID: r.reqID, Line: la, Mask: addr.WordMaskOf(),
+		ReqID: r.reqID, Line: la, Mask: addr.WordMaskOf(), Trace: r.trace,
 	})
 	return true
 }
@@ -335,6 +360,7 @@ func (l *L1) atomic(op device.Op, done func(uint32)) bool {
 		Type: typ, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: id, Line: la, Mask: op.Addr.WordMaskOf(),
 		Atomic: op.Atomic, Operand: op.Value, Compare: op.Compare,
+		Trace: op.Trace,
 	})
 	return true
 }

@@ -63,7 +63,7 @@ func (l *L1) handleNack(m *proto.Message) {
 		l.st.Inc("dnl1.nack_retry", 1)
 		l.port.Send(&proto.Message{
 			Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
-			ReqID: r.reqID, Line: m.Line, Mask: fresh,
+			ReqID: r.reqID, Line: m.Line, Mask: fresh, Trace: r.trace,
 		})
 	}
 	// Second failure: escalate to ReqO+data, which enforces global
@@ -74,7 +74,7 @@ func (l *L1) handleNack(m *proto.Message) {
 		l.st.Inc("dnl1.nack_escalate", 1)
 		l.port.Send(&proto.Message{
 			Type: proto.ReqOData, Dst: l.cfg.ParentID, Requestor: l.ID,
-			ReqID: r.reqID, Line: m.Line, Mask: escalate,
+			ReqID: r.reqID, Line: m.Line, Mask: escalate, Trace: r.trace,
 		})
 	}
 }
@@ -107,6 +107,9 @@ func (l *L1) completeRead(la memaddr.LineAddr, r *readMiss) {
 	e.State.valid |= install
 	e.State.owned |= r.ownedGot & install
 	l.reads.Free(la)
+	if l.obs != nil {
+		l.mshrOcc()
+	}
 }
 
 func (l *L1) handleRspO(m *proto.Message) {
@@ -290,6 +293,7 @@ func (l *L1) handleExtReqV(m *proto.Message) {
 		l.port.Send(&proto.Message{
 			Type: proto.RspV, Dst: m.Requestor, Requestor: m.Requestor,
 			ReqID: m.ReqID, Line: m.Line, Mask: serve, HasData: true, Data: data,
+			Trace: m.Trace,
 		})
 	}
 	if s.missing != 0 {
@@ -298,7 +302,7 @@ func (l *L1) handleExtReqV(m *proto.Message) {
 		l.st.Inc("dnl1.nack_sent", 1)
 		l.port.Send(&proto.Message{
 			Type: proto.NackV, Dst: m.Requestor, Requestor: m.Requestor,
-			ReqID: m.ReqID, Line: m.Line, Mask: s.missing,
+			ReqID: m.ReqID, Line: m.Line, Mask: s.missing, Trace: m.Trace,
 		})
 	}
 }
@@ -314,7 +318,7 @@ func (l *L1) handleExtOwn(m *proto.Message) {
 	}
 	rsp := &proto.Message{
 		Type: proto.RspO, Dst: m.Requestor, Requestor: m.Requestor,
-		ReqID: m.ReqID, Line: m.Line, Mask: act,
+		ReqID: m.ReqID, Line: m.Line, Mask: act, Trace: m.Trace,
 	}
 	if m.Type == proto.ReqOData {
 		rsp.Type = proto.RspOData
@@ -338,7 +342,7 @@ func (l *L1) handleExtReqWT(m *proto.Message) {
 	l.downgrade(m.Line, s)
 	l.port.Send(&proto.Message{
 		Type: proto.RspWT, Dst: m.Requestor, Requestor: m.Requestor,
-		ReqID: m.ReqID, Line: m.Line, Mask: act,
+		ReqID: m.ReqID, Line: m.Line, Mask: act, Trace: m.Trace,
 	})
 }
 
@@ -357,6 +361,7 @@ func (l *L1) handleRvkO(m *proto.Message) {
 	l.port.Send(&proto.Message{
 		Type: proto.RspRvkO, Dst: m.Src, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: act, HasData: true, Data: data,
+		Trace: m.Trace,
 	})
 }
 
@@ -386,5 +391,5 @@ func (l *L1) handleInv(m *proto.Message) {
 	if e := l.array.Peek(m.Line); e != nil {
 		e.State.valid &= e.State.owned
 	}
-	l.port.Send(&proto.Message{Type: proto.InvAck, Dst: m.Src, Line: m.Line, Mask: m.Mask})
+	l.port.Send(&proto.Message{Type: proto.InvAck, Dst: m.Src, Line: m.Line, Mask: m.Mask, Trace: m.Trace})
 }

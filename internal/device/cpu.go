@@ -3,8 +3,26 @@ package device
 import (
 	"fmt"
 
+	"spandex/internal/obs"
+	"spandex/internal/proto"
 	"spandex/internal/sim"
 )
+
+// obsClassOf maps an operation kind to its observability class.
+func obsClassOf(k OpKind) obs.OpClass {
+	switch k {
+	case OpLoad:
+		return obs.ClassLoad
+	case OpStore:
+		return obs.ClassStore
+	case OpAtomic:
+		return obs.ClassAtomic
+	case OpFence:
+		return obs.ClassFence
+	default:
+		panic("obsClassOf: not a traced operation kind")
+	}
+}
 
 // CPUCore is an in-order, latency-sensitive core (paper §II-A): loads and
 // atomics block the core until they complete; stores retire into the L1's
@@ -20,8 +38,20 @@ type CPUCore struct {
 	// IssueCost is the fixed per-operation pipeline cost.
 	IssueCost sim.Time
 
+	obs  *obs.Recorder
+	node proto.NodeID
+
 	ops      uint64
 	finished bool
+}
+
+// SetObserver installs the observability recorder; node is the core's
+// network endpoint id (its L1's node), the origin of its requests. The
+// core assigns a trace id to every memory operation and fence, emitting
+// EvOpIssue/EvOpDone around its lifetime.
+func (c *CPUCore) SetObserver(r *obs.Recorder, node proto.NodeID) {
+	c.obs = r
+	c.node = node
 }
 
 // NewCPUCore creates a core executing stream against l1. onDone fires when
@@ -67,9 +97,18 @@ func (c *CPUCore) exec(op Op) {
 		})
 
 	case OpFence:
+		if c.obs != nil {
+			op.Trace = c.obs.NextTrace()
+			c.obs.Emit(obs.Event{At: c.eng.Now(), Kind: obs.EvOpIssue,
+				Node: c.node, Trace: op.Trace, Class: obs.ClassFence})
+		}
 		finish := func() {
 			if op.Acq {
 				AcquireInvalidate(c.l1, op)
+			}
+			if c.obs != nil {
+				c.obs.Emit(obs.Event{At: c.eng.Now(), Kind: obs.EvOpDone,
+					Node: c.node, Trace: op.Trace, Class: obs.ClassFence})
 			}
 			c.eng.Schedule(c.IssueCost, func() { c.next(OpResult{Valid: true}) })
 		}
@@ -80,6 +119,12 @@ func (c *CPUCore) exec(op Op) {
 		}
 
 	case OpLoad, OpStore, OpAtomic:
+		if c.obs != nil {
+			op.Trace = c.obs.NextTrace()
+			c.obs.Emit(obs.Event{At: c.eng.Now(), Kind: obs.EvOpIssue,
+				Node: c.node, Trace: op.Trace, Class: obsClassOf(op.Kind),
+				Addr: op.Addr})
+		}
 		issue := func() { c.issueMem(op) }
 		// Release semantics: drain buffered stores and pending ownership
 		// before the releasing operation issues (paper §III-E).
@@ -96,6 +141,11 @@ func (c *CPUCore) exec(op Op) {
 
 func (c *CPUCore) issueMem(op Op) {
 	accepted := c.l1.Access(op, func(value uint32) {
+		if c.obs != nil {
+			c.obs.Emit(obs.Event{At: c.eng.Now(), Kind: obs.EvOpDone,
+				Node: c.node, Trace: op.Trace, Class: obsClassOf(op.Kind),
+				Addr: op.Addr})
+		}
 		if op.Acq {
 			// Acquire: self-invalidate before any subsequent access can
 			// read stale Valid data. Modeled as a single-cycle flash

@@ -3,6 +3,8 @@ package device
 import (
 	"fmt"
 
+	"spandex/internal/obs"
+	"spandex/internal/proto"
 	"spandex/internal/sim"
 )
 
@@ -37,6 +39,18 @@ type GPUCU struct {
 	live     int // warps not yet finished
 	ops      uint64
 	finished bool
+
+	obs  *obs.Recorder
+	node proto.NodeID
+}
+
+// SetObserver installs the observability recorder; node is the CU's
+// network endpoint id (its L1's node). Each warp memory operation and
+// fence gets a trace id at its first issue attempt, bracketed by
+// EvOpIssue/EvOpDone.
+func (g *GPUCU) SetObserver(r *obs.Recorder, node proto.NodeID) {
+	g.obs = r
+	g.node = node
 }
 
 // NewGPUCU creates a compute unit running the given warp streams.
@@ -138,6 +152,14 @@ func (g *GPUCU) step() {
 // operation was accepted (or handled without the L1).
 func (g *GPUCU) tryIssue(idx int) bool {
 	w := &g.warps[idx]
+	// The trace is assigned on the first issue attempt and survives
+	// structural-stall retries (the warp stays ready with the same op).
+	if g.obs != nil && w.op.Kind != OpCompute && w.op.Trace == 0 {
+		w.op.Trace = g.obs.NextTrace()
+		g.obs.Emit(obs.Event{At: g.eng.Now(), Kind: obs.EvOpIssue,
+			Node: g.node, Trace: w.op.Trace, Class: obsClassOf(w.op.Kind),
+			Addr: w.op.Addr})
+	}
 	op := w.op
 
 	switch op.Kind {
@@ -153,6 +175,10 @@ func (g *GPUCU) tryIssue(idx int) bool {
 		finish := func() {
 			if op.Acq {
 				AcquireInvalidate(g.l1, op)
+			}
+			if g.obs != nil {
+				g.obs.Emit(obs.Event{At: g.eng.Now(), Kind: obs.EvOpDone,
+					Node: g.node, Trace: op.Trace, Class: obs.ClassFence})
 			}
 			g.eng.Schedule(sim.GPUCycle, func() { g.advance(idx, OpResult{Valid: true}) })
 		}
@@ -198,6 +224,11 @@ func (g *GPUCU) issueMem(idx int, op Op) {
 
 func (g *GPUCU) completion(idx int, op Op) func(uint32) {
 	return func(value uint32) {
+		if g.obs != nil {
+			g.obs.Emit(obs.Event{At: g.eng.Now(), Kind: obs.EvOpDone,
+				Node: g.node, Trace: op.Trace, Class: obsClassOf(op.Kind),
+				Addr: op.Addr})
+		}
 		if op.Acq {
 			AcquireInvalidate(g.l1, op)
 		}

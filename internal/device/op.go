@@ -86,6 +86,12 @@ type Op struct {
 	// support ignore the hint and flash everything.
 	RegionLo Addr
 	RegionHi Addr
+
+	// Trace is the observability request id (internal/obs) assigned when
+	// the device issues the operation, or zero when tracing is off. Pure
+	// metadata: protocols copy it into outgoing messages but never branch
+	// on it.
+	Trace uint64
 }
 
 // Addr re-exports the address type for Op fields.
@@ -117,6 +123,7 @@ func (op Op) AsByteMerge() Op {
 		Value:  op.Value, Compare: lanes,
 		Acq: op.Acq, Rel: op.Rel,
 		RegionLo: op.RegionLo, RegionHi: op.RegionHi,
+		Trace: op.Trace,
 	}
 }
 

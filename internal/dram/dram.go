@@ -35,14 +35,14 @@ func New(id proto.NodeID, eng *sim.Engine, net *noc.Network, latency sim.Time) *
 func (m *Memory) HandleMessage(msg *proto.Message) {
 	switch msg.Type {
 	case proto.MemRead:
-		line, req, id, src := msg.Line, msg.Requestor, msg.ReqID, msg.Src
+		line, req, id, src, tr := msg.Line, msg.Requestor, msg.ReqID, msg.Src, msg.Trace
 		m.eng.Schedule(m.latency, func() {
 			data := m.lines[line]
 			m.net.Send(&proto.Message{
 				Type: proto.MemReadRsp, Src: m.ID, Dst: src,
 				Requestor: req, ReqID: id,
 				Line: line, Mask: memaddr.FullMask,
-				HasData: true, Data: data,
+				HasData: true, Data: data, Trace: tr,
 			})
 		})
 	case proto.MemWrite:

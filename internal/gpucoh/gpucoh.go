@@ -21,6 +21,7 @@ import (
 	"spandex/internal/device"
 	"spandex/internal/memaddr"
 	"spandex/internal/noc"
+	"spandex/internal/obs"
 	"spandex/internal/proto"
 	"spandex/internal/sim"
 	"spandex/internal/stats"
@@ -63,6 +64,7 @@ type waiter struct {
 // mshrEntry tracks one outstanding line read.
 type mshrEntry struct {
 	reqID   uint64
+	trace   uint64
 	want    memaddr.WordMask
 	arrived memaddr.WordMask
 	// noCache marks words fetched via the Nack-escape ReqWT+data path,
@@ -98,6 +100,23 @@ type L1 struct {
 
 	flushWaiters []func()
 	reqSeq       uint64
+
+	obs *obs.Recorder
+	// curTrace is the trace id of the operation currently inside Access,
+	// carried onto the line read (loads) it opens. Write-throughs issue
+	// after the store has retired, so ReqWT stays untracked; atomics carry
+	// op.Trace directly.
+	curTrace uint64
+}
+
+// SetObserver installs the observability recorder; nil disables
+// instrumentation (MSHR occupancy samples and request-trace threading).
+func (l *L1) SetObserver(r *obs.Recorder) { l.obs = r }
+
+// mshrOcc samples the MSHR occupancy (caller checks l.obs != nil).
+func (l *L1) mshrOcc() {
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvOccupancy,
+		Node: l.ID, Res: "mshr", Arg: uint64(l.mshr.Len())})
 }
 
 // New creates a GPU coherence L1. The caller must register it (or its TU
@@ -123,6 +142,7 @@ func (l *L1) nextReq() uint64 {
 
 // Access implements device.L1Cache.
 func (l *L1) Access(op device.Op, done func(uint32)) bool {
+	l.curTrace = op.Trace
 	switch op.Kind {
 	case device.OpLoad:
 		return l.load(op.Addr, done)
@@ -170,12 +190,16 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 	}
 	m := l.mshr.Alloc(la)
 	m.reqID = l.nextReq()
+	m.trace = l.curTrace
 	m.want = memaddr.FullMask
 	m.waiters = append(m.waiters, waiter{word: w, done: done})
 	l.st.Inc("gpul1.miss", 1)
+	if l.obs != nil {
+		l.mshrOcc()
+	}
 	l.port.Send(&proto.Message{
 		Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
-		ReqID: m.reqID, Line: la, Mask: memaddr.FullMask,
+		ReqID: m.reqID, Line: la, Mask: memaddr.FullMask, Trace: m.trace,
 	})
 	return true
 }
@@ -257,6 +281,7 @@ func (l *L1) atomic(op device.Op, done func(uint32)) bool {
 		Type: proto.ReqWTData, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: id, Line: la, Mask: op.Addr.WordMaskOf(),
 		Atomic: op.Atomic, Operand: op.Value, Compare: op.Compare,
+		Trace: op.Trace,
 	})
 	l.st.Inc("gpul1.atomic", 1)
 	return true
@@ -323,7 +348,7 @@ func (l *L1) HandleMessage(m *proto.Message) {
 		// GPU coherence holds no Shared state; a stray Inv (e.g. a stale
 		// sharer record) is acked without state change (paper §III-C3).
 		l.array.Invalidate(m.Line)
-		l.port.Send(&proto.Message{Type: proto.InvAck, Dst: m.Src, Line: m.Line, Mask: m.Mask})
+		l.port.Send(&proto.Message{Type: proto.InvAck, Dst: m.Src, Line: m.Line, Mask: m.Mask, Trace: m.Trace})
 	default:
 		panic("gpucoh: unexpected message " + m.Type.String())
 	}
@@ -351,7 +376,7 @@ func (l *L1) handleNack(m *proto.Message) {
 		l.st.Inc("gpul1.nack_retry", 1)
 		l.port.Send(&proto.Message{
 			Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
-			ReqID: e.reqID, Line: m.Line, Mask: fresh,
+			ReqID: e.reqID, Line: m.Line, Mask: fresh, Trace: e.trace,
 		})
 	}
 	escalate := m.Mask & e.retried &^ e.arrived & ^fresh
@@ -360,7 +385,7 @@ func (l *L1) handleNack(m *proto.Message) {
 		l.port.Send(&proto.Message{
 			Type: proto.ReqWTData, Dst: l.cfg.ParentID, Requestor: l.ID,
 			ReqID: e.reqID, Line: m.Line, Mask: memaddr.MaskOf(i),
-			Atomic: proto.AtomicRead,
+			Atomic: proto.AtomicRead, Trace: e.trace,
 		})
 	})
 }
@@ -410,6 +435,9 @@ func (l *L1) fill(la memaddr.LineAddr, mask memaddr.WordMask, data *memaddr.Line
 		}
 	}
 	l.mshr.Free(la)
+	if l.obs != nil {
+		l.mshrOcc()
+	}
 }
 
 func (l *L1) handleRspWT(m *proto.Message) {

@@ -18,6 +18,7 @@ import (
 	"spandex/internal/device"
 	"spandex/internal/memaddr"
 	"spandex/internal/noc"
+	"spandex/internal/obs"
 	"spandex/internal/proto"
 	"spandex/internal/sim"
 	"spandex/internal/stats"
@@ -89,6 +90,9 @@ type missEntry struct {
 	// escalate: a store or atomic arrived while a GetS was outstanding;
 	// a GetM follows the read grant before the entry completes.
 	escalate bool
+	// trace is the observability request id of the operation that opened
+	// the entry, stamped on the entry's directory requests.
+	trace uint64
 }
 
 // pendingWB retains an evicted line until the directory acks (races are
@@ -114,6 +118,21 @@ type L1 struct {
 
 	flushWaiters []func()
 	reqSeq       uint64
+
+	obs *obs.Recorder
+	// curTrace is the trace id of the operation currently inside Access,
+	// copied into any MSHR entry that operation opens.
+	curTrace uint64
+}
+
+// SetObserver installs the observability recorder; nil disables
+// instrumentation (MSHR occupancy samples and request-trace threading).
+func (l *L1) SetObserver(r *obs.Recorder) { l.obs = r }
+
+// mshrOcc samples the MSHR occupancy (caller checks l.obs != nil).
+func (l *L1) mshrOcc() {
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvOccupancy,
+		Node: l.ID, Res: "mshr", Arg: uint64(l.miss.Len())})
 }
 
 // New creates a MESI L1.
@@ -136,6 +155,7 @@ func (l *L1) nextReq() uint64 {
 
 // Access implements device.L1Cache.
 func (l *L1) Access(op device.Op, done func(uint32)) bool {
+	l.curTrace = op.Trace
 	switch op.Kind {
 	case device.OpLoad:
 		return l.load(op.Addr, done)
@@ -175,11 +195,15 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 	}
 	me := l.miss.Alloc(la)
 	me.reqID = l.nextReq()
+	me.trace = l.curTrace
 	me.waiters = append(me.waiters, loadWaiter{word: w, done: done})
 	l.st.Inc("mesil1.miss", 1)
+	if l.obs != nil {
+		l.mshrOcc()
+	}
 	l.port.Send(&proto.Message{
 		Type: proto.MGetS, Dst: l.cfg.ParentID, Requestor: l.ID,
-		ReqID: me.reqID, Line: la, Mask: memaddr.FullMask,
+		ReqID: me.reqID, Line: la, Mask: memaddr.FullMask, Trace: me.trace,
 	})
 	return true
 }
@@ -248,15 +272,19 @@ func (l *L1) drainStore(la memaddr.LineAddr) {
 func (l *L1) requestM(la memaddr.LineAddr, setup func(*missEntry)) {
 	me := l.miss.Alloc(la)
 	me.reqID = l.nextReq()
+	me.trace = l.curTrace
 	me.needM = true
 	if e := l.array.Lookup(la); e != nil && e.State.state == S {
 		me.wasS = true
 	}
 	setup(me)
 	l.st.Inc("mesil1.getm", 1)
+	if l.obs != nil {
+		l.mshrOcc()
+	}
 	l.port.Send(&proto.Message{
 		Type: proto.MGetM, Dst: l.cfg.ParentID, Requestor: l.ID,
-		ReqID: me.reqID, Line: la, Mask: memaddr.FullMask,
+		ReqID: me.reqID, Line: la, Mask: memaddr.FullMask, Trace: me.trace,
 	})
 }
 

@@ -87,12 +87,16 @@ func (l *L1) handleData(m *proto.Message, grant State) {
 		l.port.Send(&proto.Message{
 			Type: proto.MGetM, Dst: l.cfg.ParentID, Requestor: l.ID,
 			ReqID: me.reqID, Line: m.Line, Mask: memaddr.FullMask,
+			Trace: me.trace,
 		})
 		return
 	}
 
 	deferred := me.deferred
 	l.miss.Free(m.Line)
+	if l.obs != nil {
+		l.mshrOcc()
+	}
 	for _, d := range deferred {
 		l.HandleMessage(d)
 	}
@@ -109,7 +113,7 @@ func (l *L1) handleInv(m *proto.Message) {
 	l.st.Inc("mesil1.invalidated", 1)
 	l.port.Send(&proto.Message{
 		Type: proto.MInvAck, Dst: m.Src, Requestor: l.ID,
-		ReqID: m.ReqID, Line: m.Line, Mask: m.Mask,
+		ReqID: m.ReqID, Line: m.Line, Mask: m.Mask, Trace: m.Trace,
 	})
 }
 
@@ -137,12 +141,12 @@ func (l *L1) sendFwdGetSRsp(m *proto.Message, data memaddr.LineData) {
 	l.port.Send(&proto.Message{
 		Type: proto.MDataS, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
-		HasData: true, Data: data,
+		HasData: true, Data: data, Trace: m.Trace,
 	})
 	l.port.Send(&proto.Message{
 		Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
-		HasData: true, Data: data,
+		HasData: true, Data: data, Trace: m.Trace,
 	})
 }
 
@@ -173,17 +177,18 @@ func (l *L1) sendFwdGetMRsp(m *proto.Message, data memaddr.LineData) {
 		l.port.Send(&proto.Message{
 			Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
 			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
-			HasData: true, Data: data,
+			HasData: true, Data: data, Trace: m.Trace,
 		})
 		return
 	}
 	l.port.Send(&proto.Message{
 		Type: proto.MDataM, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
-		HasData: true, Data: data,
+		HasData: true, Data: data, Trace: m.Trace,
 	})
 	l.port.Send(&proto.Message{
 		Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
+		Trace: m.Trace,
 	})
 }

@@ -13,6 +13,7 @@ package noc
 import (
 	"fmt"
 
+	"spandex/internal/obs"
 	"spandex/internal/proto"
 	"spandex/internal/sim"
 	"spandex/internal/stats"
@@ -60,6 +61,7 @@ type Network struct {
 	pairLast  map[[2]proto.NodeID]sim.Time
 	trace     func(at sim.Time, m *proto.Message)
 	intercept func(m *proto.Message)
+	obs       *obs.Recorder
 }
 
 // New creates a network with n endpoints laid out row-major on the mesh.
@@ -84,7 +86,17 @@ func (n *Network) Register(id proto.NodeID, h Handler) {
 
 // SetTrace installs a callback invoked at each message's delivery time,
 // used by the protocol-trace example and the Figure 1 tests.
+//
+// Deprecated: SetTrace predates the structured observability layer; new
+// code should install an obs.Recorder via SetObserver (or
+// System.Observe) and watch EvMsgDeliver events. The hook is kept for
+// compatibility and still fires at delivery time.
 func (n *Network) SetTrace(fn func(at sim.Time, m *proto.Message)) { n.trace = fn }
+
+// SetObserver installs the observability recorder; nil disables
+// instrumentation. Send emits EvMsgSend (with the computed delivery time
+// in Arg) and EvMsgDeliver at the destination hand-off.
+func (n *Network) SetObserver(r *obs.Recorder) { n.obs = r }
 
 // NumNodes returns the number of endpoints.
 func (n *Network) NumNodes() int { return len(n.eps) }
@@ -180,9 +192,17 @@ func (n *Network) Send(m *proto.Message) {
 	n.pairLast[pair] = deliver
 	dst.ingressFree = deliver + ser
 
+	if n.obs != nil {
+		n.obs.Emit(obs.Event{At: now, Kind: obs.EvMsgSend, Node: cp.Src,
+			Trace: cp.Trace, Msg: &cp, Arg: uint64(deliver)})
+	}
 	n.eng.ScheduleAt(deliver, func() {
 		if n.trace != nil {
 			n.trace(n.eng.Now(), &cp)
+		}
+		if n.obs != nil {
+			n.obs.Emit(obs.Event{At: n.eng.Now(), Kind: obs.EvMsgDeliver,
+				Node: cp.Dst, Trace: cp.Trace, Msg: &cp})
 		}
 		h := n.eps[cp.Dst].handler
 		if h == nil {

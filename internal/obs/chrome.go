@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"spandex/internal/sim"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format (the JSON
+// flavour Perfetto loads). Async begin/end pairs ("b"/"e") are used for
+// slices because message flights and warp operations overlap freely —
+// duration ("X") events would violate stack nesting.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// tsOf converts simulated ticks (1 tick = 1 ps) to the trace format's
+// microseconds.
+func tsOf(t sim.Time) float64 { return float64(t) / 1e6 }
+
+type chromeOpen struct {
+	pid int
+	cat string
+	nm  string
+}
+
+// ChromeSink accumulates events and writes a Chrome trace-event file on
+// Close. Tracks: one process per node (devices, LLC banks, DRAM), async
+// slices for message flights ("msg"), operation lifetimes ("op") and LLC
+// blocking intervals ("llc"), counter tracks for occupancy.
+type ChromeSink struct {
+	events  []chromeEvent
+	names   map[int]string
+	pids    map[int]bool
+	openOp  map[uint64]chromeOpen
+	openBlk map[uint64]chromeOpen
+	seq     uint64
+	last    sim.Time
+}
+
+// NewChromeSink returns an empty sink.
+func NewChromeSink() *ChromeSink {
+	return &ChromeSink{
+		names:   make(map[int]string),
+		pids:    make(map[int]bool),
+		openOp:  make(map[uint64]chromeOpen),
+		openBlk: make(map[uint64]chromeOpen),
+	}
+}
+
+// SetNodeName labels a node's process track ("cpu0", "LLC", "MEM", …).
+func (s *ChromeSink) SetNodeName(node int, name string) { s.names[node] = name }
+
+// Event implements Sink.
+func (s *ChromeSink) Event(ev Event) {
+	if ev.At > s.last {
+		s.last = ev.At
+	}
+	//spandex:partialswitch EvMsgDeliver draws nothing: EvMsgSend already emitted the full flight slice
+	switch ev.Kind {
+	case EvMsgSend:
+		if ev.Msg == nil {
+			return
+		}
+		s.seq++
+		id := fmt.Sprintf("m%d", s.seq)
+		pid := int(ev.Msg.Src)
+		args := map[string]any{
+			"line": fmt.Sprintf("%#x", uint64(ev.Msg.Line)),
+			"dst":  int(ev.Msg.Dst),
+		}
+		if ev.Trace != 0 {
+			args["trace"] = ev.Trace
+		}
+		s.add(chromeEvent{Name: ev.Msg.Type.Ident(), Cat: "msg", Ph: "b",
+			Ts: tsOf(ev.At), Pid: pid, ID: id, Args: args})
+		s.add(chromeEvent{Name: ev.Msg.Type.Ident(), Cat: "msg", Ph: "e",
+			Ts: tsOf(sim.Time(ev.Arg)), Pid: pid, ID: id})
+		if sim.Time(ev.Arg) > s.last {
+			s.last = sim.Time(ev.Arg)
+		}
+	case EvOpIssue:
+		if _, dup := s.openOp[ev.Trace]; dup {
+			return
+		}
+		o := chromeOpen{pid: int(ev.Node), cat: "op", nm: ev.Class.String()}
+		s.openOp[ev.Trace] = o
+		s.add(chromeEvent{Name: o.nm, Cat: o.cat, Ph: "b", Ts: tsOf(ev.At),
+			Pid: o.pid, ID: fmt.Sprintf("t%d", ev.Trace),
+			Args: map[string]any{"addr": fmt.Sprintf("%#x", uint64(ev.Addr))}})
+	case EvOpDone:
+		o, ok := s.openOp[ev.Trace]
+		if !ok {
+			return
+		}
+		delete(s.openOp, ev.Trace)
+		s.add(chromeEvent{Name: o.nm, Cat: o.cat, Ph: "e", Ts: tsOf(ev.At),
+			Pid: o.pid, ID: fmt.Sprintf("t%d", ev.Trace)})
+	case EvLLCBlock:
+		if _, dup := s.openBlk[ev.Trace]; dup || ev.Trace == 0 {
+			return
+		}
+		o := chromeOpen{pid: int(ev.Node), cat: "llc", nm: "blocked"}
+		s.openBlk[ev.Trace] = o
+		s.add(chromeEvent{Name: o.nm, Cat: o.cat, Ph: "b", Ts: tsOf(ev.At),
+			Pid: o.pid, ID: fmt.Sprintf("blk%d", ev.Trace)})
+	case EvLLCUnblock:
+		o, ok := s.openBlk[ev.Trace]
+		if !ok {
+			return
+		}
+		delete(s.openBlk, ev.Trace)
+		s.add(chromeEvent{Name: o.nm, Cat: o.cat, Ph: "e", Ts: tsOf(ev.At),
+			Pid: o.pid, ID: fmt.Sprintf("blk%d", ev.Trace)})
+	case EvLLCForward:
+		s.add(chromeEvent{Name: "forward", Cat: "llc", Ph: "i",
+			Ts: tsOf(ev.At), Pid: int(ev.Node), S: "t",
+			Args: map[string]any{"trace": ev.Trace}})
+	case EvOccupancy:
+		s.add(chromeEvent{Name: ev.Res, Ph: "C", Ts: tsOf(ev.At),
+			Pid: int(ev.Node), Args: map[string]any{"value": ev.Arg}})
+	}
+}
+
+func (s *ChromeSink) add(e chromeEvent) {
+	s.pids[e.Pid] = true
+	s.events = append(s.events, e)
+}
+
+// Close finalizes the trace (closing any still-open slices at the last
+// observed timestamp, in deterministic order), prepends process-name
+// metadata, sorts events by timestamp and writes the JSON file.
+func (s *ChromeSink) Close(w io.Writer) error {
+	closeAll := func(open map[uint64]chromeOpen, prefix string) {
+		ids := make([]uint64, 0, len(open))
+		for id := range open {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			o := open[id]
+			s.add(chromeEvent{Name: o.nm, Cat: o.cat, Ph: "e",
+				Ts: tsOf(s.last), Pid: o.pid, ID: fmt.Sprintf("%s%d", prefix, id)})
+			delete(open, id)
+		}
+	}
+	closeAll(s.openOp, "t")
+	closeAll(s.openBlk, "blk")
+
+	pids := make([]int, 0, len(s.pids))
+	for pid := range s.pids {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	meta := make([]chromeEvent, 0, len(pids))
+	for _, pid := range pids {
+		name := s.names[pid]
+		if name == "" {
+			name = fmt.Sprintf("node%d", pid)
+		}
+		meta = append(meta, chromeEvent{Name: "process_name", Ph: "M",
+			Pid: pid, Args: map[string]any{"name": name}})
+	}
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Ts < s.events[j].Ts })
+	out := chromeFile{TraceEvents: append(meta, s.events...)}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ValidateChromeTrace checks that r holds a loadable Chrome trace-event
+// file with well-formed event nesting: every async end matches a prior
+// begin with the same (cat, id, pid) at a non-decreasing timestamp, and
+// no slice is left open. This is the CI trace-smoke gate.
+func ValidateChromeTrace(r io.Reader) error {
+	var f chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("chrome trace: not valid JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("chrome trace: no traceEvents")
+	}
+	type key struct {
+		cat, id string
+		pid     int
+	}
+	open := make(map[key]float64)
+	for i, e := range f.TraceEvents {
+		switch e.Ph {
+		case "b":
+			k := key{e.Cat, e.ID, e.Pid}
+			if _, dup := open[k]; dup {
+				return fmt.Errorf("chrome trace: event %d: duplicate begin for %s/%s pid=%d", i, e.Cat, e.ID, e.Pid)
+			}
+			open[k] = e.Ts
+		case "e":
+			k := key{e.Cat, e.ID, e.Pid}
+			ts, ok := open[k]
+			if !ok {
+				return fmt.Errorf("chrome trace: event %d: end without begin for %s/%s pid=%d", i, e.Cat, e.ID, e.Pid)
+			}
+			if e.Ts < ts {
+				return fmt.Errorf("chrome trace: event %d: end before begin for %s/%s pid=%d", i, e.Cat, e.ID, e.Pid)
+			}
+			delete(open, k)
+		case "M", "i", "C":
+			// metadata, instants and counters carry no nesting
+		case "":
+			return fmt.Errorf("chrome trace: event %d: missing ph", i)
+		default:
+			return fmt.Errorf("chrome trace: event %d: unexpected ph %q", i, e.Ph)
+		}
+	}
+	if len(open) != 0 {
+		return fmt.Errorf("chrome trace: %d slice(s) never closed", len(open))
+	}
+	return nil
+}

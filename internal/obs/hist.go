@@ -1,0 +1,75 @@
+package obs
+
+import "math/bits"
+
+// histBuckets is the number of log2 latency buckets: bucket b counts
+// latencies v with bits.Len64(v) == b, i.e. [2^(b-1), 2^b). Bucket 0
+// counts zero-latency completions (same-tick hits and buffered stores).
+const histBuckets = 64
+
+// Hist is a log2-bucketed latency histogram. Percentiles are bucket
+// upper bounds (conservative); Max is exact.
+type Hist struct {
+	Buckets [histBuckets]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+// Add records one latency observation.
+func (h *Hist) Add(v uint64) {
+	h.Buckets[bits.Len64(v)]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Quantile returns the upper bound of the bucket containing the q-th
+// quantile observation (0 < q <= 1), or 0 for an empty histogram. The
+// exact maximum caps the answer, so Quantile(1) == Max.
+func (h *Hist) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var cum uint64
+	for b := 0; b < histBuckets; b++ {
+		cum += h.Buckets[b]
+		if cum >= rank {
+			hi := bucketUpper(b)
+			if hi > h.Max {
+				hi = h.Max
+			}
+			return hi
+		}
+	}
+	return h.Max
+}
+
+// Mean returns the exact mean latency.
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// bucketUpper is the largest value bucket b can hold: 2^b - 1 (0 for
+// bucket 0).
+func bucketUpper(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(b) - 1
+}

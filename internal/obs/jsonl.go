@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonlEvent is the wire form of one Event: flat, stable field names,
+// message fields inlined (the *proto.Message must not be retained).
+type jsonlEvent struct {
+	At    uint64 `json:"at"`
+	Ev    string `json:"ev"`
+	Node  int    `json:"node"`
+	Trace uint64 `json:"trace,omitempty"`
+	Class string `json:"class,omitempty"`
+	Addr  uint64 `json:"addr,omitempty"`
+	Msg   string `json:"msg,omitempty"`
+	Line  uint64 `json:"line,omitempty"`
+	Src   int    `json:"src,omitempty"`
+	Dst   int    `json:"dst,omitempty"`
+	Arg   uint64 `json:"arg,omitempty"`
+	Res   string `json:"res,omitempty"`
+}
+
+// JSONLSink streams every event as one JSON object per line. Close
+// flushes the underlying buffer.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONLSink wraps w in a streaming JSONL sink.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Event implements Sink.
+func (s *JSONLSink) Event(ev Event) {
+	if s.err != nil {
+		return
+	}
+	rec := jsonlEvent{
+		At:    uint64(ev.At),
+		Ev:    ev.Kind.String(),
+		Node:  int(ev.Node),
+		Trace: ev.Trace,
+		Arg:   ev.Arg,
+		Res:   ev.Res,
+	}
+	//spandex:partialswitch only op events carry class/addr; every kind shares the flat fields above
+	switch ev.Kind {
+	case EvOpIssue, EvOpDone:
+		rec.Class = ev.Class.String()
+		rec.Addr = uint64(ev.Addr)
+	}
+	if ev.Msg != nil {
+		rec.Msg = ev.Msg.Type.Ident()
+		rec.Line = uint64(ev.Msg.Line)
+		rec.Src = int(ev.Msg.Src)
+		rec.Dst = int(ev.Msg.Dst)
+	}
+	s.err = s.enc.Encode(rec)
+}
+
+// Close flushes buffered output and reports the first write error.
+func (s *JSONLSink) Close() error {
+	if ferr := s.w.Flush(); s.err == nil {
+		s.err = ferr
+	}
+	return s.err
+}

@@ -322,6 +322,12 @@ type Message struct {
 	// AckCount lets a directory tell a requestor how many MInvAcks to
 	// expect, and probes tell devices auxiliary counts where needed.
 	AckCount int
+
+	// Trace is the observability request id (internal/obs) of the device
+	// operation this message serves, or zero when untracked. It is pure
+	// metadata: it never affects Bytes(), routing, or protocol decisions,
+	// so tracing cannot perturb simulated behaviour.
+	Trace uint64
 }
 
 // Control/header overhead per message, in bytes: destination, type,

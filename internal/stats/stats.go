@@ -69,7 +69,12 @@ func (s *Stats) Inc(name string, n uint64) {
 // Get returns a named counter's value.
 func (s *Stats) Get(name string) uint64 { return s.Counters[name] }
 
-// CounterNames returns all counter names in sorted order.
+// CounterNames returns all counter names in ascending lexicographic order.
+// The ordering is deterministic — independent of map iteration order and
+// of the order counters were first incremented — and is load-bearing:
+// Summary renders counters in this order and Snapshot.Fingerprint folds
+// them in this order, so two identical runs always produce byte-identical
+// summaries and equal fingerprints (see TestCounterNamesDeterministic).
 func (s *Stats) CounterNames() []string {
 	names := make([]string, 0, len(s.Counters))
 	for k := range s.Counters {
@@ -113,6 +118,27 @@ func (a Snapshot) Merge(b Snapshot) Snapshot {
 	}
 	for k, v := range b.Counters {
 		out.Counters[k] += v
+	}
+	return out
+}
+
+// Diff returns the measurements accumulated between prev and s: traffic
+// and counters subtract element-wise, ExecTime is s's. Both snapshots must
+// come from the same Stats with prev captured earlier — counters only ever
+// increase, so the subtraction cannot underflow. Counters whose delta is
+// zero are omitted, making the result a compact "what happened in this
+// window" record (e.g. around one phase of a workload).
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{ExecTime: s.ExecTime,
+		Counters: make(map[string]uint64, len(s.Counters))}
+	for c := range s.Traffic.Bytes {
+		out.Traffic.Bytes[c] = s.Traffic.Bytes[c] - prev.Traffic.Bytes[c]
+		out.Traffic.Messages[c] = s.Traffic.Messages[c] - prev.Traffic.Messages[c]
+	}
+	for k, v := range s.Counters {
+		if d := v - prev.Counters[k]; d != 0 {
+			out.Counters[k] = d
+		}
 	}
 	return out
 }
@@ -164,7 +190,10 @@ func (s Snapshot) Fingerprint() uint64 {
 	return h
 }
 
-// Summary renders a human-readable report.
+// Summary renders a human-readable report. The output is deterministic:
+// traffic classes appear in proto.Class order and counters in
+// CounterNames' sorted order, so identical runs yield byte-identical
+// summaries (diff-friendly in CI logs and golden files).
 func (s *Stats) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "exec time: %.3f us\n", float64(s.ExecTime)/1e6)

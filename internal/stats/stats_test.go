@@ -99,6 +99,75 @@ func TestSnapshotFingerprint(t *testing.T) {
 	}
 }
 
+func TestCounterNamesDeterministic(t *testing.T) {
+	// Same counters incremented in different orders must yield identical
+	// CounterNames, Summary bytes and fingerprints — the ordering contract
+	// golden files and determinism verification rely on.
+	keys := []string{"tu.probe", "llc.miss", "dnl1.hit", "gpul1.wt", "llc.blocked"}
+	a, b := New(), New()
+	for i, k := range keys {
+		a.Inc(k, uint64(i+1))
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		b.Inc(keys[i], uint64(i+1))
+	}
+	na, nb := a.CounterNames(), b.CounterNames()
+	if len(na) != len(keys) {
+		t.Fatalf("len = %d", len(na))
+	}
+	for i := range na {
+		if na[i] != nb[i] {
+			t.Fatalf("order differs: %v vs %v", na, nb)
+		}
+		if i > 0 && na[i-1] >= na[i] {
+			t.Fatalf("not strictly ascending: %v", na)
+		}
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatal("Summary not deterministic across insertion orders")
+	}
+	if a.Snapshot().Fingerprint() != b.Snapshot().Fingerprint() {
+		t.Fatal("Fingerprint not deterministic across insertion orders")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	s := New()
+	s.ExecTime = 100
+	s.Traffic.Add(proto.ClassReqV, 64)
+	s.Inc("llc.miss", 3)
+	s.Inc("tu.probe", 2)
+	before := s.Snapshot()
+
+	s.ExecTime = 400
+	s.Traffic.Add(proto.ClassReqV, 16)
+	s.Traffic.Add(proto.ClassProbe, 8)
+	s.Inc("llc.miss", 4)
+	s.Inc("llc.evict", 1)
+	d := s.Snapshot().Diff(before)
+
+	if d.ExecTime != 400 {
+		t.Fatalf("ExecTime = %d", d.ExecTime)
+	}
+	if d.Traffic.Bytes[proto.ClassReqV] != 16 || d.Traffic.Messages[proto.ClassReqV] != 1 {
+		t.Fatalf("ReqV delta = %d bytes / %d msgs",
+			d.Traffic.Bytes[proto.ClassReqV], d.Traffic.Messages[proto.ClassReqV])
+	}
+	if d.Traffic.Bytes[proto.ClassProbe] != 8 {
+		t.Fatalf("Probe delta = %d bytes", d.Traffic.Bytes[proto.ClassProbe])
+	}
+	if d.Counters["llc.miss"] != 4 || d.Counters["llc.evict"] != 1 {
+		t.Fatalf("counter deltas = %v", d.Counters)
+	}
+	if _, ok := d.Counters["tu.probe"]; ok {
+		t.Fatal("zero-delta counter not omitted")
+	}
+	// Diff must not mutate its operands.
+	if before.Counters["llc.miss"] != 3 || s.Snapshot().Counters["llc.miss"] != 7 {
+		t.Fatal("Diff mutated an operand")
+	}
+}
+
 func TestSummaryRendering(t *testing.T) {
 	s := New()
 	s.ExecTime = 2_000_000 // 2 µs

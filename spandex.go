@@ -33,6 +33,7 @@ import (
 	"spandex/internal/memaddr"
 	"spandex/internal/mesi"
 	"spandex/internal/noc"
+	"spandex/internal/obs"
 	"spandex/internal/proto"
 	"spandex/internal/sim"
 	"spandex/internal/stats"
@@ -51,6 +52,15 @@ type (
 	Program = workload.Program
 	// Machine describes the simulated machine shape.
 	Machine = workload.Machine
+
+	// TraceEvent is one observability event (internal/obs): an operation
+	// issue/completion, a message send/delivery, an LLC block/unblock/
+	// forward, or an occupancy sample.
+	TraceEvent = obs.Event
+	// TraceEventSink consumes observability events as the simulation runs.
+	TraceEventSink = obs.Sink
+	// LatencyReport is the per-run latency attribution (Result.Latency).
+	LatencyReport = obs.LatencyReport
 )
 
 // Configurations returns the paper's six cache configurations.
@@ -107,6 +117,20 @@ type Options struct {
 	Validate bool
 	// MaxTime aborts runs that exceed this simulated time (0 = 100 ms).
 	MaxTime sim.Time
+	// TraceLatency enables request-lifecycle tracking: every core/CU memory
+	// operation gets a request id threaded through the protocol messages it
+	// generates, and the per-phase wait breakdown (network, LLC, blocked,
+	// owner indirection, DRAM) is aggregated into Result.Latency. Tracing
+	// observes and never perturbs: Result.Fingerprint is bit-identical with
+	// every Trace* knob on or off (test-enforced).
+	TraceLatency bool
+	// TraceOccupancy additionally samples L1 MSHR and LLC transaction-table
+	// occupancy into Result.Latency.Occupancy time series.
+	TraceOccupancy bool
+	// TraceSink, when non-nil, receives every observability event as the
+	// simulation runs (see NewJSONLTraceSink and NewChromeTraceSink for
+	// ready-made exporters). Independent of TraceLatency/TraceOccupancy.
+	TraceSink TraceEventSink
 }
 
 // Result reports one run's measurements.
@@ -139,6 +163,11 @@ type Result struct {
 	// Transitions maps "state|msg" to the number of times the LLC
 	// processed that (state, message) pair (Options.RecordTransitions).
 	Transitions map[string]uint64
+	// Latency is the request-latency attribution (Options.TraceLatency /
+	// TraceOccupancy). It is deliberately excluded from Fingerprint: the
+	// fingerprint hashes simulated behaviour, and tracing must not change
+	// it.
+	Latency *LatencyReport
 }
 
 // Violation is one failed coherence invariant with reproduction context.
@@ -174,6 +203,8 @@ type System struct {
 	cus      []*device.GPUCU
 	doneAt   sim.Time
 	liveDevs int
+
+	obs *obs.Recorder
 }
 
 // NewSystem assembles a machine for the given options (without a program).
@@ -218,7 +249,62 @@ func NewSystem(opt Options) (*System, error) {
 	case config.LLCHierarchicalMESI:
 		s.buildHierarchical(opt)
 	}
+	if opt.TraceLatency || opt.TraceOccupancy || opt.TraceSink != nil {
+		s.installObserver(obs.Config{
+			Latency:   opt.TraceLatency,
+			Occupancy: opt.TraceOccupancy,
+			Sink:      opt.TraceSink,
+		})
+	}
 	return s, nil
+}
+
+// l1Observable is implemented by every L1 protocol controller that supports
+// request tracing and occupancy sampling.
+type l1Observable interface{ SetObserver(*obs.Recorder) }
+
+// installObserver creates the recorder and threads it through the NoC, the
+// LLC and every L1. Cores and CUs attach later (Attach). The recorder is
+// purely passive: it never schedules events, touches stats, or alters any
+// message, so an instrumented run is cycle-identical to a bare one.
+func (s *System) installObserver(cfg obs.Config) {
+	nDev := s.params.CPUCores + s.params.GPUCUs
+	if s.cfg.LLC == config.LLCHierarchicalMESI {
+		// GPU L2 and the L3 directory both act as "the LLC" for phase
+		// attribution; memory is one node further.
+		cfg.LLCNodes = []proto.NodeID{proto.NodeID(nDev), proto.NodeID(nDev + 1)}
+		cfg.MemID = proto.NodeID(nDev + 2)
+	} else {
+		cfg.LLCNodes = []proto.NodeID{proto.NodeID(nDev)}
+		cfg.MemID = proto.NodeID(nDev + 1)
+	}
+	s.obs = obs.New(cfg)
+	if cfg.Sink != nil {
+		s.nameNodes(cfg.Sink)
+	}
+	s.Net.SetObserver(s.obs)
+	if s.LLC != nil {
+		s.LLC.SetObserver(s.obs)
+	}
+	for _, l1 := range s.CPUL1s {
+		if o, ok := l1.(l1Observable); ok {
+			o.SetObserver(s.obs)
+		}
+	}
+	for _, l1 := range s.GPUL1s {
+		if o, ok := l1.(l1Observable); ok {
+			o.SetObserver(s.obs)
+		}
+	}
+}
+
+// ensureObserver returns the system's recorder, creating a sink-less,
+// aggregation-less one on first use (Observe relies on this).
+func (s *System) ensureObserver() *obs.Recorder {
+	if s.obs == nil {
+		s.installObserver(obs.Config{})
+	}
+	return s.obs
 }
 
 func (s *System) buildSpandex(opt Options) {
@@ -397,6 +483,9 @@ func (s *System) Attach(prog *Program) error {
 		}
 		s.liveDevs++
 		c := device.NewCPUCore(fmt.Sprintf("cpu%d", i), s.Engine, s.CPUL1s[i], stream, done)
+		if s.obs != nil {
+			c.SetObserver(s.obs, proto.NodeID(i))
+		}
 		s.cores = append(s.cores, c)
 	}
 	for i, warps := range prog.GPU {
@@ -411,6 +500,9 @@ func (s *System) Attach(prog *Program) error {
 		}
 		s.liveDevs++
 		cu := device.NewGPUCU(fmt.Sprintf("cu%d", i), s.Engine, s.GPUL1s[i], streams, done)
+		if s.obs != nil {
+			cu.SetObserver(s.obs, proto.NodeID(s.params.CPUCores+i))
+		}
 		s.cus = append(s.cus, cu)
 	}
 	return nil
@@ -460,6 +552,9 @@ func (s *System) Run(maxTime sim.Time) (Result, error) {
 	}
 	if s.Coverage != nil {
 		res.Transitions = s.Coverage.Snapshot()
+	}
+	if s.obs != nil {
+		res.Latency = s.obs.Report()
 	}
 	if s.Checker != nil && len(s.Checker.Violations) > 0 {
 		res.Violations = append([]Violation(nil), s.Checker.Violations...)

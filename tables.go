@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"spandex/internal/config"
+	"spandex/internal/obs"
 	"spandex/internal/proto"
 	"spandex/internal/workload"
 )
@@ -139,6 +140,59 @@ func renderTableVI() string {
 		p.NoCMeshWidth, p.NoCHopCycles, p.NoCBytesPerCyc)
 	b.WriteString("(Latency values are representative; the published table was corrupted\n" +
 		" in the source text — see DESIGN.md §2.)\n")
+	return b.String()
+}
+
+// RenderLatency renders a traced Result's latency attribution as text: a
+// per-class quantile table (log-bucketed, so quantiles are bucket upper
+// bounds) followed by the per-phase wait breakdown. The phase columns of
+// each class sum exactly to its total cycles — the recorder closes one
+// phase interval per event, so no wait time is dropped or double-counted.
+// Requires Options.TraceLatency; occupancy series (Options.TraceOccupancy)
+// are summarized by sample count only.
+func RenderLatency(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Request latency: %s on %s\n", res.Workload, res.Config)
+	r := res.Latency
+	if r == nil {
+		b.WriteString("(no data: run with Options.TraceLatency)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-8s %10s %12s %10s %10s %10s %12s\n",
+		"class", "count", "mean", "p50", "p90", "p99", "max")
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "%-8s %10d %12.0f %10d %10d %10d %12d\n",
+			c.Class, c.Count, c.Mean, c.P50, c.P90, c.P99, c.Max)
+	}
+	if r.Unfinished > 0 {
+		fmt.Fprintf(&b, "(%d requests still in flight at quiescence)\n", r.Unfinished)
+	}
+	b.WriteString("\nPhase breakdown (ticks; 1 CPU cycle = 500 ticks):\n")
+	fmt.Fprintf(&b, "%-8s", "class")
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		fmt.Fprintf(&b, " %12s", p.String())
+	}
+	fmt.Fprintf(&b, " %14s\n", "total")
+	for _, c := range r.Classes {
+		fmt.Fprintf(&b, "%-8s", c.Class)
+		for _, v := range c.Phases {
+			fmt.Fprintf(&b, " %12d", v)
+		}
+		fmt.Fprintf(&b, " %14d\n", c.TotalTicks)
+	}
+	if len(r.Occupancy) > 0 {
+		b.WriteString("\nOccupancy series (node/resource: samples, peak):\n")
+		for _, s := range r.Occupancy {
+			var peak uint64
+			for _, pt := range s.Points {
+				if pt.Value > peak {
+					peak = pt.Value
+				}
+			}
+			fmt.Fprintf(&b, "  node%-3d %-10s %6d samples, peak %d\n",
+				s.Node, s.Res, len(s.Points), peak)
+		}
+	}
 	return b.String()
 }
 
