@@ -5,9 +5,9 @@ GO ?= go
 
 .PHONY: ci build vet fmt lint test race smoke check bench clean \
 	transgraph transgraph-check mcheck mcheck-smoke mutants crosscheck \
-	trace-smoke trace-overhead
+	trace-smoke trace-overhead fuzz fuzz-mutants corpus
 
-ci: build vet fmt lint test race smoke check transgraph-check mcheck-smoke mutants trace-smoke
+ci: build vet fmt lint test race smoke check transgraph-check mcheck-smoke mutants trace-smoke fuzz fuzz-mutants
 
 build:
 	$(GO) build ./...
@@ -88,6 +88,31 @@ trace-overhead:
 # model checker to catch each with a concrete interleaving trace.
 mutants:
 	$(GO) test -tags spandexmut ./internal/mcheck -run TestMutation
+
+# Differential conformance fuzzing (CI-budgeted): a fixed seed range of
+# random DRF programs, each run on all six configurations and required to
+# behave observationally identically; a second pass shrinks every cache to
+# a few lines (-pressure) so evictions and write-backs dominate — the
+# regime that exposed the stale-RspRvkO, MPutM-window, and Inv-overtaking-
+# grant races. Every (state, message) pair either pass observed is then
+# cross-checked against the static transition graph.
+fuzz:
+	$(GO) run ./cmd/spandex-fuzz -seeds 0:2000 -coverage-out /tmp/fuzz-cov.json
+	$(GO) run ./cmd/spandex-fuzz -seeds 0:500 -pressure -coverage-out /tmp/fuzz-pressure-cov.json
+	$(GO) run ./cmd/spandex-transgraph -diff /tmp/fuzz-cov.json,/tmp/fuzz-pressure-cov.json
+
+# Fuzzer mutation detection: with each seeded protocol bug armed, the
+# fuzzer must find, shrink, and deterministically replay a failing case
+# within the seed budget (also asserted as go tests for CI visibility).
+fuzz-mutants:
+	$(GO) run -tags spandexmut ./cmd/spandex-fuzz -mutate dropinvack -seeds 0:500 -out /tmp/conform-mutants
+	$(GO) run -tags spandexmut ./cmd/spandex-fuzz -mutate skiprvko -seeds 0:500 -out /tmp/conform-mutants
+	$(GO) test -tags spandexmut ./internal/conform -run TestMutant
+
+# Regenerate the checked-in litmus corpus (testdata/conform/) from
+# internal/conform/corpus.go.
+corpus:
+	$(GO) run ./cmd/spandex-fuzz -write-corpus testdata/conform
 
 # Full cross-check: headline sweep coverage + mcheck coverage vs the
 # statically extracted LLC graph.

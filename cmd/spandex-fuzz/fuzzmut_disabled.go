@@ -1,0 +1,11 @@
+//go:build !spandexmut
+
+package main
+
+import "fmt"
+
+// armMutant in the stock build: fault injection is compiled out, so
+// -mutate can only report how to get it.
+func armMutant(name string) (func(), error) {
+	return nil, fmt.Errorf("-mutate %s requires a build with -tags spandexmut", name)
+}

@@ -1,0 +1,36 @@
+//go:build spandexmut
+
+package main
+
+import (
+	"fmt"
+
+	"spandex/internal/core"
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+// armMutant enables one of the seeded protocol faults for the whole run.
+// Compiled only under the spandexmut build tag; the stock build refuses
+// -mutate (fuzzmut_disabled.go).
+func armMutant(name string) (disarm func(), err error) {
+	switch name {
+	case "dropinvack":
+		// Lose every invalidation ack. The hook must be a pure function of
+		// the message (it is shared by the concurrently running per-config
+		// Systems), and any single lost ack already stalls its txnInv
+		// forever, so the all-drop fault is both the simplest deterministic
+		// choice and the easiest to minimize against.
+		core.SetMutDropInvAck(func(m *proto.Message) bool { return true })
+		return func() { core.SetMutDropInvAck(nil) }, nil
+	case "skiprvko":
+		// Forget the RvkO forward entirely: any ReqS hitting words owned
+		// by a self-invalidating device waits on a revocation that never
+		// arrives.
+		core.SetMutSkipRvkOFwd(func(mask memaddr.WordMask) memaddr.WordMask {
+			return 0
+		})
+		return func() { core.SetMutSkipRvkOFwd(nil) }, nil
+	}
+	return nil, fmt.Errorf("unknown -mutate %q (want dropinvack or skiprvko)", name)
+}

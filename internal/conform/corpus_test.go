@@ -1,0 +1,73 @@
+package conform
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCorpusCasesConform runs every hand-written corpus case through the
+// full differential oracle.
+func TestCorpusCasesConform(t *testing.T) {
+	for _, c := range CorpusCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			if err := c.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if rep := CheckCase(c, nil, RunOpts{}); rep.Failed() {
+				t.Fatal(rep.Err())
+			}
+		})
+	}
+}
+
+// TestCorpusFilesInSync checks the corpus checked into testdata/conform/
+// matches CorpusCases — both the JSON and the generated Go reproducer.
+// Regenerate with: go run ./cmd/spandex-fuzz -write-corpus testdata/conform
+// (from the repository root).
+func TestCorpusFilesInSync(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata", "conform")
+	for _, c := range CorpusCases() {
+		for ext, want := range map[string][]byte{
+			".json": c.ToJSON(),
+			".go":   GoReproSource(c),
+		} {
+			path := filepath.Join(dir, sanitizeName(c.Name)+ext)
+			got, err := os.ReadFile(path)
+			if err != nil {
+				t.Errorf("%s: %v (regenerate with spandex-fuzz -write-corpus)", path, err)
+				continue
+			}
+			if string(got) != string(want) {
+				t.Errorf("%s is stale (regenerate with spandex-fuzz -write-corpus)", path)
+			}
+		}
+	}
+}
+
+// TestCorpusReplayFromJSON replays every checked-in JSON case through the
+// oracle — the exact path a minimized fuzz reproducer takes.
+func TestCorpusReplayFromJSON(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "testdata", "conform", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no JSON cases under testdata/conform")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			c, err := LoadCaseFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := CheckCase(c, nil, RunOpts{}); rep.Failed() {
+				t.Fatal(rep.Err())
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+package conform
+
+import (
+	"fmt"
+
+	"spandex"
+)
+
+// GenParams bounds the random program generator. Zero values take the
+// defaults noted per field.
+type GenParams struct {
+	MinThreads, MaxThreads int // 2, 5
+	MinPhases, MaxPhases   int // 2, 4
+	OpsPerPhase            int // 8 (mean per thread per phase)
+	PrivateWords           int // 8
+	ROWords                int // 16
+	Chunks                 int // 4
+	ChunkWords             int // 6 (sub-line, so adjacent chunks share cache lines)
+	AtomicWords            int // 4
+}
+
+func (p GenParams) norm() GenParams {
+	def := func(v *int, d int) {
+		if *v <= 0 {
+			*v = d
+		}
+	}
+	def(&p.MinThreads, 2)
+	def(&p.MaxThreads, 5)
+	def(&p.MinPhases, 2)
+	def(&p.MaxPhases, 4)
+	def(&p.OpsPerPhase, 8)
+	def(&p.PrivateWords, 8)
+	def(&p.ROWords, 16)
+	def(&p.Chunks, 4)
+	// ChunkWords deliberately defaults below a full line (16 words):
+	// adjacent chunks then share cache lines, so different owners write
+	// disjoint words of one line concurrently — DRF false sharing, the
+	// word- vs line-granularity boundary the protocols must all get right.
+	def(&p.ChunkWords, 6)
+	def(&p.AtomicWords, 4)
+	if p.MaxThreads < p.MinThreads {
+		p.MaxThreads = p.MinThreads
+	}
+	if p.MaxPhases < p.MinPhases {
+		p.MaxPhases = p.MinPhases
+	}
+	return p
+}
+
+// Generate builds a random race-free case from a seed. The result is a
+// pure function of (seed, params): the case stores explicit operation
+// lists, so replay and shrinking never consult the generator again.
+// Generated cases always pass Validate.
+func Generate(seed uint64, gp GenParams) *Case {
+	gp = gp.norm()
+	rng := spandex.NewRand(seed)
+	nThr := gp.MinThreads + rng.Intn(gp.MaxThreads-gp.MinThreads+1)
+	c := &Case{
+		Name:         fmt.Sprintf("seed-%d", seed),
+		Seed:         seed,
+		Phases:       gp.MinPhases + rng.Intn(gp.MaxPhases-gp.MinPhases+1),
+		PrivateWords: gp.PrivateWords,
+		ROWords:      gp.ROWords,
+		Chunks:       gp.Chunks,
+		ChunkWords:   gp.ChunkWords,
+		AtomicWords:  gp.AtomicWords,
+	}
+	for t := 0; t < nThr; t++ {
+		c.Threads = append(c.Threads, ThreadCase{OnGPU: rng.Intn(2) == 1})
+	}
+	// Ownership schedule: each (phase, chunk) is read-shared 1 time in 4,
+	// otherwise owned by a random thread. Consecutive phases frequently
+	// hand a chunk to a different thread — and with GPU placement random,
+	// to a different coherence strategy.
+	for p := 0; p < c.Phases; p++ {
+		row := make([]int, c.Chunks)
+		for k := range row {
+			if rng.Intn(4) == 0 {
+				row[k] = ReadShared
+			} else {
+				row[k] = rng.Intn(nThr)
+			}
+		}
+		c.Owner = append(c.Owner, row)
+	}
+	for t := 0; t < nThr; t++ {
+		for p := 0; p < c.Phases; p++ {
+			n := 1 + rng.Intn(2*gp.OpsPerPhase)
+			ops := make([]Op, 0, n)
+			for i := 0; i < n; i++ {
+				ops = append(ops, c.genOp(rng, t, p))
+			}
+			c.Threads[t].Ops = append(c.Threads[t].Ops, ops)
+		}
+	}
+	return c
+}
+
+// genOp picks one discipline-respecting operation for thread t in phase p.
+func (c *Case) genOp(rng *spandex.Rand, t, p int) Op {
+	var owned, readable []int
+	for k, o := range c.Owner[p] {
+		if o == t {
+			owned = append(owned, k)
+		}
+		if o == t || o == ReadShared {
+			readable = append(readable, k)
+		}
+	}
+	type choice struct {
+		weight int
+		make   func() Op
+	}
+	choices := []choice{
+		{12, func() Op {
+			return Op{Kind: OpLoad, Region: RegPrivate, Word: rng.Intn(c.PrivateWords)}
+		}},
+		{12, func() Op {
+			return Op{Kind: OpStore, Region: RegPrivate, Word: rng.Intn(c.PrivateWords), Val: rng.U32()}
+		}},
+		{10, func() Op {
+			return Op{Kind: OpLoad, Region: RegRO, Word: rng.Intn(c.ROWords)}
+		}},
+		{10, func() Op {
+			return Op{Kind: OpFetchAdd, Region: RegAtomic, Word: rng.Intn(c.AtomicWords), Val: uint32(1 + rng.Intn(9))}
+		}},
+		{3, func() Op { return Op{Kind: OpFence} }},
+		{5, func() Op { return Op{Kind: OpCompute, Val: uint32(rng.Intn(200))} }},
+	}
+	if len(owned) > 0 {
+		choices = append(choices,
+			choice{22, func() Op {
+				return Op{Kind: OpStore, Region: RegChunk, Chunk: owned[rng.Intn(len(owned))],
+					Word: rng.Intn(c.ChunkWords), Val: rng.U32()}
+			}},
+			choice{14, func() Op {
+				return Op{Kind: OpLoad, Region: RegChunk, Chunk: owned[rng.Intn(len(owned))],
+					Word: rng.Intn(c.ChunkWords)}
+			}})
+	}
+	if len(readable) > 0 {
+		choices = append(choices, choice{12, func() Op {
+			return Op{Kind: OpLoad, Region: RegChunk, Chunk: readable[rng.Intn(len(readable))],
+				Word: rng.Intn(c.ChunkWords)}
+		}})
+	}
+	total := 0
+	for _, ch := range choices {
+		total += ch.weight
+	}
+	pick := rng.Intn(total)
+	for _, ch := range choices {
+		if pick < ch.weight {
+			return ch.make()
+		}
+		pick -= ch.weight
+	}
+	panic("conform: weighted pick out of range")
+}

@@ -1,0 +1,125 @@
+package conform
+
+import (
+	"fmt"
+
+	"spandex"
+)
+
+// caseLayout fixes the address-space placement of a case's regions. It is
+// a pure function of the case geometry, so the executor, the expectation
+// model and the final-image read-back all agree on addresses.
+type caseLayout struct {
+	barrier spandex.Barrier
+	ro      spandex.Addr
+	chunks  spandex.Addr
+	atomics spandex.Addr
+	private []spandex.Addr
+
+	// words lists every allocated word address in a fixed order (including
+	// line-alignment padding); the final memory image is read and compared
+	// in this order, so a stray write anywhere in the span is caught.
+	words []spandex.Addr
+}
+
+// layout allocates the case's regions. Allocation order is part of the
+// format: barrier counter, barrier generation, ro, chunks, atomics, then
+// one private region per thread.
+func (c *Case) layout() *caseLayout {
+	lay := spandex.NewLayout()
+	l := &caseLayout{}
+	start := lay.Words(0)
+	counter := lay.Words(16)
+	gen := lay.Words(16)
+	l.barrier = spandex.Barrier{Counter: counter, Gen: gen, N: uint32(len(c.Threads))}
+	l.ro = lay.Words(maxInt(c.ROWords, 1))
+	l.chunks = lay.Words(maxInt(c.Chunks*c.ChunkWords, 1))
+	l.atomics = lay.Words(maxInt(c.AtomicWords, 1))
+	for range c.Threads {
+		l.private = append(l.private, lay.Words(maxInt(c.PrivateWords, 1)))
+	}
+	end := lay.Words(0)
+	for a := start; a < end; a += 4 {
+		l.words = append(l.words, a)
+	}
+	return l
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// addrOf resolves an op's target address for thread t.
+func (l *caseLayout) addrOf(c *Case, t int, op Op) spandex.Addr {
+	switch op.Region {
+	case RegPrivate:
+		return spandex.WordAddr(l.private[t], op.Word)
+	case RegRO:
+		return spandex.WordAddr(l.ro, op.Word)
+	case RegChunk:
+		return spandex.WordAddr(l.chunks, op.Chunk*c.ChunkWords+op.Word)
+	case RegAtomic:
+		return spandex.WordAddr(l.atomics, op.Word)
+	}
+	panic("conform: unresolvable op region " + string(op.Region))
+}
+
+// describe names an address for failure messages ("chunk 1 word 3",
+// "thread 2 private word 0", ...).
+func (l *caseLayout) describe(c *Case, a spandex.Addr) string {
+	word := func(base spandex.Addr) int { return int(a-base) / 4 }
+	switch {
+	case a >= l.barrier.Counter && a < l.barrier.Gen:
+		return fmt.Sprintf("barrier counter word %d", word(l.barrier.Counter))
+	case a >= l.barrier.Gen && a < l.ro:
+		return fmt.Sprintf("barrier generation word %d", word(l.barrier.Gen))
+	case a >= l.ro && a < l.chunks:
+		return fmt.Sprintf("ro word %d", word(l.ro))
+	case a >= l.chunks && a < l.atomics:
+		w := word(l.chunks)
+		if c.ChunkWords > 0 && w < c.Chunks*c.ChunkWords {
+			return fmt.Sprintf("chunk %d word %d", w/c.ChunkWords, w%c.ChunkWords)
+		}
+		return fmt.Sprintf("chunk region word %d", w)
+	case a >= l.atomics && len(l.private) > 0 && a < l.private[0]:
+		return fmt.Sprintf("atomic word %d", word(l.atomics))
+	}
+	for t := len(l.private) - 1; t >= 0; t-- {
+		if a >= l.private[t] {
+			return fmt.Sprintf("thread %d private word %d", t, word(l.private[t]))
+		}
+	}
+	return fmt.Sprintf("word %#x", uint64(a))
+}
+
+// initVal is the deterministic pre-execution value of region words: a
+// region tag mixed with the word's coordinates, so every seeded word is
+// distinct and a misdirected read is recognizable.
+func initVal(region byte, a, b int) uint32 {
+	x := uint32(region)<<24 ^ uint32(a)<<12 ^ uint32(b)
+	return x * 2654435761
+}
+
+// inits returns the memory seeding shared by the executor (Program.Init)
+// and the expectation model: every ro, chunk and private word gets a
+// distinct deterministic value; atomic and barrier words start at zero.
+func (c *Case) inits(l *caseLayout) []spandex.WordInit {
+	var out []spandex.WordInit
+	for i := 0; i < c.ROWords; i++ {
+		out = append(out, spandex.WordInit{Addr: spandex.WordAddr(l.ro, i), Val: initVal('R', 0, i)})
+	}
+	for k := 0; k < c.Chunks; k++ {
+		for w := 0; w < c.ChunkWords; w++ {
+			out = append(out, spandex.WordInit{Addr: spandex.WordAddr(l.chunks, k*c.ChunkWords+w), Val: initVal('C', k, w)})
+		}
+	}
+	for t := range c.Threads {
+		for w := 0; w < c.PrivateWords; w++ {
+			out = append(out, spandex.WordInit{Addr: spandex.WordAddr(l.private[t], w), Val: initVal('P', t, w)})
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+//go:build spandexmut
+
+// Mutation-detection acceptance tests: with a seeded protocol fault armed,
+// the fuzzer must find a failing case within a bounded seed budget, the
+// shrinker must reduce it to a small reproducer, and the reproducer must
+// replay deterministically from its JSON form. Run with:
+//
+//	go test -tags spandexmut -run TestMutant ./internal/conform/
+package conform
+
+import (
+	"testing"
+
+	"spandex/internal/core"
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+const mutantSeedBudget = 500
+
+// mutants pairs each seeded fault with the configurations able to expose
+// it (the hooks live in the Spandex LLC, so only S* configurations reach
+// them; skiprvko additionally needs a self-invalidating owner facing a
+// MESI ReqS, which only SMD wires up).
+var mutants = []struct {
+	name    string
+	arm     func()
+	disarm  func()
+	configs []string
+}{
+	{
+		name:    "dropinvack",
+		arm:     func() { core.SetMutDropInvAck(func(m *proto.Message) bool { return true }) },
+		disarm:  func() { core.SetMutDropInvAck(nil) },
+		configs: []string{"SMG", "SMD"},
+	},
+	{
+		name:    "skiprvko",
+		arm:     func() { core.SetMutSkipRvkOFwd(func(mask memaddr.WordMask) memaddr.WordMask { return 0 }) },
+		disarm:  func() { core.SetMutSkipRvkOFwd(nil) },
+		configs: []string{"SMD"},
+	},
+}
+
+func TestMutantDetection(t *testing.T) {
+	for _, m := range mutants {
+		m := m
+		t.Run(m.name, func(t *testing.T) {
+			m.arm()
+			defer m.disarm()
+
+			var failing *Case
+			var rep *Report
+			for seed := uint64(0); seed < mutantSeedBudget; seed++ {
+				c := Generate(seed, GenParams{})
+				if r := CheckCase(c, m.configs, RunOpts{}); r.Failed() {
+					failing, rep = c, r
+					break
+				}
+			}
+			if failing == nil {
+				t.Fatalf("mutation %s undetected across %d seeds", m.name, mutantSeedBudget)
+			}
+			if rep.Kind != KindRunError {
+				t.Logf("note: detected as %s rather than run-error", rep.Kind)
+			}
+
+			fails := func(c *Case) bool { return CheckCase(c, m.configs, RunOpts{}).Failed() }
+			min, evals := Shrink(failing, fails, 400)
+			t.Logf("%s: seed %d shrunk from %d threads / %d ops to %d threads / %d ops in %d evals",
+				m.name, failing.Seed, len(failing.Threads), failing.NumOps(),
+				len(min.Threads), min.NumOps(), evals)
+			if got := len(min.Threads); got > 4 {
+				t.Errorf("minimized case has %d threads, want <= 4", got)
+			}
+			if got := min.NumOps(); got > 16 {
+				t.Errorf("minimized case has %d ops, want <= 16", got)
+			}
+
+			// The JSON reproducer must replay the failure deterministically.
+			back, err := FromJSON(min.ToJSON())
+			if err != nil {
+				t.Fatalf("minimized case does not round-trip: %v", err)
+			}
+			for i := 0; i < 3; i++ {
+				if !CheckCase(back, m.configs, RunOpts{}).Failed() {
+					t.Fatalf("replay %d of the minimized case did not reproduce", i)
+				}
+			}
+		})
+	}
+}
+
+// TestMutantInvisibleWhenDisarmed re-runs a short seed range with no fault
+// armed, guarding against hooks leaking between tests.
+func TestMutantInvisibleWhenDisarmed(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		if rep := CheckCase(Generate(seed, GenParams{}), nil, RunOpts{}); rep.Failed() {
+			t.Fatalf("seed %d fails with no mutation armed: %v", seed, rep.Err())
+		}
+	}
+}

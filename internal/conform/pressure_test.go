@@ -1,0 +1,74 @@
+package conform
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPressureSweepConforms fuzzes under PressureParams, where every cache
+// level is a few lines and evictions dominate. This sweep is what exposed
+// the hierarchical directory's data-less upgrade-grant bug (an L1 that had
+// silently dropped its Shared copy assembled the "upgraded" line in a
+// zero-filled frame and later wrote the zeros back over memory).
+func TestPressureSweepConforms(t *testing.T) {
+	ro := RunOpts{Params: PressureParams()}
+	for seed := uint64(0); seed < 24; seed++ {
+		c := Generate(seed, GenParams{})
+		rep := CheckCase(c, nil, ro)
+		if rep.Failed() {
+			t.Fatalf("seed %d under cache pressure (%s):\n%v", seed, rep.Kind, rep.Err())
+		}
+	}
+}
+
+// TestPressureRegressions replays the minimized reproducers of the three
+// protocol races the pressure fuzzer exposed in the Spandex configurations,
+// under the same tiny-cache geometry that surfaced them:
+//
+//   - seed-13-min: the LLC resolved an owner revocation through a crossing
+//     ReqWB, re-granted ownership, then let the late RspRvkO from the
+//     abandoned probe clear the new epoch's ownership and merge stale data
+//     (SMG livelock). The GPU L2 had the same hole for child revocations.
+//   - seed-894-min: a MESI L1 eviction invalidates its frame instantly but
+//     the MPutM crossed the TU port with latency, so an external forwarded
+//     request in that window found Invalid with no write-back record and
+//     panicked. The record is now created synchronously.
+//   - seed-2712-min: an Inv from a later writer overtook an in-flight read
+//     grant travelling from the previous owner on a different channel; the
+//     L1 acked the Inv, then installed a stale Shared copy off the grant
+//     (SMD stale final image). The TU now downgrades such grants to
+//     Invalid after the waiting loads complete.
+func TestPressureRegressions(t *testing.T) {
+	for _, name := range []string{"seed-13-min", "seed-894-min", "seed-2712-min"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := LoadCaseFile("../../testdata/conform/" + name + ".json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := CheckCase(c, nil, RunOpts{Params: PressureParams()}); rep.Failed() {
+				t.Fatalf("%s under cache pressure (%s):\n%v", name, rep.Kind, rep.Err())
+			}
+		})
+	}
+}
+
+// TestPressureUpgradeRegression pins the seed that minimized to the
+// upgrade-grant reproducer: two CPU threads share one line (sub-line
+// chunks), the 4-line L1 silently evicts a Shared copy between load and
+// store, and the store's GetM grant must carry data — a data-less grant
+// loses every word of the line the store didn't touch.
+func TestPressureUpgradeRegression(t *testing.T) {
+	c := Generate(4, GenParams{})
+	rep := CheckCase(c, []string{"HMG", "HMD"}, RunOpts{Params: PressureParams()})
+	if !rep.Failed() {
+		return
+	}
+	for _, f := range rep.Failures {
+		if strings.Contains(f, "= 0x0") {
+			t.Fatalf("zero-filled line resurfaced (data-less upgrade grant?): %v", f)
+		}
+	}
+	t.Fatalf("seed 4 under pressure failed (%s): %v", rep.Kind, rep.Err())
+}

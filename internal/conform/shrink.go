@@ -1,0 +1,114 @@
+package conform
+
+// Shrink delta-debugs a failing case down to a minimal reproducer: it
+// repeatedly tries structural reductions — drop a thread, drop a phase,
+// drop runs of operations (largest chunks first, ddmin style) — keeping a
+// candidate only when fails still holds, until no reduction sticks or the
+// evaluation budget runs out. Every candidate is re-validated against the
+// race-freedom discipline (reductions preserve it by construction, since
+// removing operations or reassigning an absent thread's chunks never adds
+// an access) and its expectation model is recomputed from scratch on
+// execution, so the shrunken case is exactly as self-checking as the
+// original.
+//
+// fails must be deterministic; with a deterministic property the shrink is
+// a pure function of (c, fails, maxEvals). It returns the minimized case
+// and the number of property evaluations spent.
+func Shrink(c *Case, fails func(*Case) bool, maxEvals int) (*Case, int) {
+	cur := c.Clone()
+	evals := 0
+	budget := func() bool { return evals < maxEvals }
+	attempt := func(cand *Case) bool {
+		if cand == nil || !budget() || cand.Validate() != nil {
+			return false
+		}
+		evals++
+		if fails(cand) {
+			cur = cand
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed && budget(); {
+		changed = false
+
+		// Threads, last first (keeps earlier indices stable).
+		for t := len(cur.Threads) - 1; t >= 0 && len(cur.Threads) > 1 && budget(); t-- {
+			if attempt(removeThread(cur, t)) {
+				changed = true
+			}
+		}
+
+		// Phases, last first.
+		for p := cur.Phases - 1; p >= 0 && cur.Phases > 1 && budget(); p-- {
+			if attempt(removePhase(cur, p)) {
+				changed = true
+			}
+		}
+
+		// Operations: per (thread, phase) list, try removing spans of
+		// halving size.
+		for t := 0; t < len(cur.Threads) && budget(); t++ {
+			for p := 0; p < cur.Phases && budget(); p++ {
+				for size := len(cur.Threads[t].Ops[p]); size >= 1; size /= 2 {
+					for start := 0; start < len(cur.Threads[t].Ops[p]) && budget(); {
+						if attempt(removeOps(cur, t, p, start, size)) {
+							changed = true // same start now names the next span
+						} else {
+							start += size
+						}
+					}
+				}
+			}
+		}
+	}
+	return cur, evals
+}
+
+// removeThread drops thread t, collapsing thread indices above it and
+// reassigning its chunks (which now have no accessor) to thread 0.
+func removeThread(c *Case, t int) *Case {
+	out := c.Clone()
+	out.Threads = append(out.Threads[:t], out.Threads[t+1:]...)
+	for p, row := range out.Owner {
+		for k, o := range row {
+			switch {
+			case o == ReadShared:
+			case o == t:
+				out.Owner[p][k] = 0
+			case o > t:
+				out.Owner[p][k] = o - 1
+			}
+		}
+	}
+	return out
+}
+
+// removePhase drops phase p from the schedule and every thread.
+func removePhase(c *Case, p int) *Case {
+	out := c.Clone()
+	out.Phases--
+	out.Owner = append(out.Owner[:p], out.Owner[p+1:]...)
+	for t := range out.Threads {
+		ops := out.Threads[t].Ops
+		out.Threads[t].Ops = append(ops[:p], ops[p+1:]...)
+	}
+	return out
+}
+
+// removeOps drops up to n operations of thread t's phase p starting at
+// start; nil when the span is empty.
+func removeOps(c *Case, t, p, start, n int) *Case {
+	ops := c.Threads[t].Ops[p]
+	if start >= len(ops) || n <= 0 {
+		return nil
+	}
+	end := start + n
+	if end > len(ops) {
+		end = len(ops)
+	}
+	out := c.Clone()
+	out.Threads[t].Ops[p] = append(out.Threads[t].Ops[p][:start], out.Threads[t].Ops[p][end:]...)
+	return out
+}

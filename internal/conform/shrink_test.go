@@ -1,0 +1,98 @@
+package conform
+
+import "testing"
+
+// hasFetchAdd is the synthetic "bug" used to exercise the shrinker: a
+// deterministic structural property that single operations can carry, so
+// the minimal reproducer is known exactly (one thread, one phase, one op).
+func hasFetchAdd(c *Case) bool {
+	for _, th := range c.Threads {
+		for _, ops := range th.Ops {
+			for _, op := range ops {
+				if op.Kind == OpFetchAdd {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func TestShrinkToMinimal(t *testing.T) {
+	c := Generate(3, GenParams{})
+	if !hasFetchAdd(c) {
+		t.Fatal("seed 3 generated no fetch-add; pick another seed")
+	}
+	min, evals := Shrink(c, hasFetchAdd, 10_000)
+	if !hasFetchAdd(min) {
+		t.Fatal("shrink lost the property")
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunken case invalid: %v", err)
+	}
+	if len(min.Threads) != 1 || min.Phases != 1 || min.NumOps() != 1 {
+		t.Fatalf("shrunk to %d threads / %d phases / %d ops, want 1/1/1 (%d evals)",
+			len(min.Threads), min.Phases, min.NumOps(), evals)
+	}
+	if min.Threads[0].Ops[0][0].Kind != OpFetchAdd {
+		t.Fatalf("surviving op is %s, want fetchadd", min.Threads[0].Ops[0][0].Kind)
+	}
+}
+
+func TestShrinkRespectsBudget(t *testing.T) {
+	c := Generate(4, GenParams{})
+	if !hasFetchAdd(c) {
+		t.Fatal("seed 4 generated no fetch-add; pick another seed")
+	}
+	min, evals := Shrink(c, hasFetchAdd, 5)
+	if evals > 5 {
+		t.Fatalf("shrink spent %d evaluations, budget was 5", evals)
+	}
+	if !hasFetchAdd(min) {
+		t.Fatal("shrink lost the property")
+	}
+}
+
+func TestShrinkDeterministic(t *testing.T) {
+	c := Generate(5, GenParams{})
+	if !hasFetchAdd(c) {
+		t.Fatal("seed 5 generated no fetch-add; pick another seed")
+	}
+	a, _ := Shrink(c, hasFetchAdd, 1000)
+	b, _ := Shrink(c, hasFetchAdd, 1000)
+	if string(a.ToJSON()) != string(b.ToJSON()) {
+		t.Fatal("two shrinks of the same case differ")
+	}
+}
+
+// TestShrinkPreservesDiscipline drives the shrinker with a property over
+// chunk stores, where thread removal has to renumber the ownership
+// schedule to keep candidates valid.
+func TestShrinkPreservesDiscipline(t *testing.T) {
+	hasChunkStore := func(c *Case) bool {
+		for _, th := range c.Threads {
+			for _, ops := range th.Ops {
+				for _, op := range ops {
+					if op.Kind == OpStore && op.Region == RegChunk {
+						return true
+					}
+				}
+			}
+		}
+		return false
+	}
+	c := Generate(6, GenParams{})
+	if !hasChunkStore(c) {
+		t.Fatal("seed 6 generated no chunk store; pick another seed")
+	}
+	min, _ := Shrink(c, hasChunkStore, 10_000)
+	if !hasChunkStore(min) {
+		t.Fatal("shrink lost the property")
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("shrunken case breaks the race-freedom discipline: %v", err)
+	}
+	if n := min.NumOps(); n > 2 {
+		t.Fatalf("shrunk to %d ops, want <= 2", n)
+	}
+}

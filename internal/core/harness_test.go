@@ -81,7 +81,7 @@ func (d *testDev) HandleMessage(m *proto.Message) {
 		// Owner downgrades to S: data to requestor, write-back to LLC.
 		d.send(&proto.Message{Type: proto.RspS, Dst: m.Requestor, Requestor: m.Requestor,
 			ReqID: m.ReqID, Line: m.Line, Mask: m.Mask, HasData: true, Data: d.data[m.Line]})
-		d.respondRvk(&proto.Message{Type: proto.RvkO, Line: m.Line, Mask: m.Mask})
+		d.respondRvk(m)
 	default:
 		panic("testDev: unhandled " + m.Type.String())
 	}
@@ -93,7 +93,10 @@ func (d *testDev) respondRvk(m *proto.Message) {
 		mask = m.Mask
 	}
 	d.owned[m.Line] = 0
-	d.send(&proto.Message{Type: proto.RspRvkO, Dst: d.h.llc.ID, Line: m.Line,
+	// Echo the probe's identity (all real devices do): the LLC matches
+	// RspRvkO against the open transaction's Requestor/ReqID.
+	d.send(&proto.Message{Type: proto.RspRvkO, Dst: d.h.llc.ID,
+		Requestor: m.Requestor, ReqID: m.ReqID, Line: m.Line,
 		Mask: mask, HasData: true, Data: d.data[m.Line]})
 }
 

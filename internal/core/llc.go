@@ -16,8 +16,10 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"spandex/internal/cache"
+	"spandex/internal/detsort"
 	"spandex/internal/memaddr"
 	"spandex/internal/noc"
 	"spandex/internal/obs"
@@ -99,6 +101,11 @@ type llcTxn struct {
 
 	// evict bookkeeping (txnEvict): the fetch transaction to resume.
 	resume func()
+	// rvkID stamps a txnEvict's RvkO probes so late RspRvkOs from an
+	// earlier eviction epoch of the same line cannot be mistaken for
+	// answers to this one (txnRvk probes are identified by origin's
+	// Requestor/ReqID instead).
+	rvkID uint64
 }
 
 // Config holds the Spandex LLC parameters.
@@ -136,6 +143,9 @@ type LLC struct {
 	checker  *Checker
 	coverage *TransitionCoverage
 	obs      *obs.Recorder
+
+	// rvkSeq numbers eviction revocation probes (see llcTxn.rvkID).
+	rvkSeq uint64
 }
 
 // NewLLC creates a Spandex LLC endpoint.
@@ -190,6 +200,38 @@ func (l *LLC) unblockEv(m *proto.Message) {
 func (l *LLC) txnOcc() {
 	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvOccupancy,
 		Node: l.ID, Res: "llc.txns", Arg: uint64(len(l.txns))})
+}
+
+// StuckReport describes every in-flight blocking transaction, one line
+// each: kind, line address, outstanding acks, unrevoked words, and the
+// queued request types. When a run aborts at MaxTime this is the state
+// that tells a deadlocked protocol cycle apart from a merely slow run —
+// the fuzzer folds it into the abort error so a minimized deadlock names
+// the transactions that wedged.
+func (l *LLC) StuckReport() string {
+	var b strings.Builder
+	for _, line := range detsort.Keys(l.txns) {
+		t := l.txns[line]
+		fmt.Fprintf(&b, "  llc txn %s line %#x", t.kind, uint64(line))
+		if t.pendingAcks != 0 {
+			fmt.Fprintf(&b, " pendingAcks=%d", t.pendingAcks)
+		}
+		if t.rvkMask != 0 {
+			fmt.Fprintf(&b, " rvkMask=%#x", uint64(t.rvkMask))
+		}
+		if len(t.waiting) > 0 {
+			fmt.Fprintf(&b, " waiting=[")
+			for i, w := range t.waiting {
+				if i > 0 {
+					b.WriteString(" ")
+				}
+				fmt.Fprintf(&b, "%s from dev%d", w.Type, l.dev(w.Requestor))
+			}
+			b.WriteString("]")
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 // afterTransition runs the configured invariant checks once a message has
@@ -692,13 +734,23 @@ func (l *LLC) handleReqWB(m *proto.Message) {
 // mask may be larger than requested (line-granularity devices write back
 // the whole line, paper Fig. 1b).
 func (l *LLC) handleRspRvkO(m *proto.Message) {
-	// With a transaction waiting, the revocation write-back may resolve it
-	// (data-less RspRvkO leaves it to the owner's in-flight ReqWB); without
-	// one, the transaction already resolved via a racing ReqWB and the late
-	// response just clears any ownership it still carries.
+	// A revocation write-back is only meaningful while the transaction
+	// whose RvkO solicited it is still open; the response echoes the
+	// probe's (Requestor, ReqID) and both must match. Without a match the
+	// transaction already resolved via the owner's racing ReqWB — and any
+	// ownership the sender appears to hold *now* is a newer grant it
+	// re-acquired after that write-back, so applying the response's stale
+	// data or clearing the fresh ownership would corrupt the line. (Found
+	// by the pressure fuzzer: a ReqWB/RvkO/ReqO crossing on a barrier
+	// line left the LLC answering GPU spin reads from a stale copy.)
 	//spandex:transition RspRvkO from=O+rvk|SO+rvk|O+evict|SO+evict to=V|S|O|SO|I|F+fetch|O+rvk|SO+rvk|O+evict|SO+evict emits=RspS,RspWTData,MemWrite,MemRead
-	//spandex:transition RspRvkO from=V|S|O|SO to=V|S|O|SO
+	//spandex:transition RspRvkO from=V|S|O|SO|I|I+fetch|F+fetch|V+inv|O+inv|V+evict to=V|S|O|SO|I|I+fetch|F+fetch|V+inv|O+inv|V+evict
 	l.observe(m)
+	t, ok := l.txns[m.Line]
+	if !ok || (t.kind != txnRvk && t.kind != txnEvict) || !l.rvkEchoMatches(t, m) {
+		l.st.Inc("llc.rvko.stale", 1)
+		return
+	}
 	e := l.array.Peek(m.Line)
 	if e == nil {
 		panic("core: RspRvkO for absent line")
@@ -725,6 +777,19 @@ func (l *LLC) handleRspRvkO(m *proto.Message) {
 	}
 	l.maybeCompleteRvk(m.Line)
 	l.afterTransition(m.Line)
+}
+
+// rvkEchoMatches reports whether a RspRvkO echoes the identity of the
+// revocation probe t sent: forwarded revocations (txnRvk) carry the origin
+// request's (Requestor, ReqID); eviction revocations carry the LLC's own
+// ID and the eviction sequence number. A mismatch means the response
+// answers an older, already-resolved revocation of the same line.
+func (l *LLC) rvkEchoMatches(t *llcTxn, m *proto.Message) bool {
+	if t.kind == txnRvk {
+		return t.origin != nil &&
+			m.Requestor == t.origin.Requestor && m.ReqID == t.origin.ReqID
+	}
+	return m.Requestor == l.ID && m.ReqID == t.rvkID
 }
 
 // maybeCompleteRvk resolves a txnRvk (or txnEvict) once every word it was

@@ -101,10 +101,12 @@ func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
 
 	if st.ownedMask != 0 {
 		t.rvkMask = st.ownedMask
+		l.rvkSeq++
+		t.rvkID = l.rvkSeq
 		for _, ow := range ownersOf(st, st.ownedMask) {
 			l.send(&proto.Message{
 				Type: proto.RvkO, Dst: l.devices[ow.owner], Requestor: l.ID,
-				Line: line, Mask: ow.words,
+				ReqID: t.rvkID, Line: line, Mask: ow.words,
 			})
 		}
 		l.txns[line] = t

@@ -80,7 +80,15 @@ type tuPending struct {
 	// downgraded: words answered to external ownership requests while the
 	// grant was pending (case 2).
 	downgraded memaddr.WordMask
-	deferred   []*proto.Message
+	// invalidated marks a read grant that an external Inv overtook: the
+	// LLC registered this TU as a sharer when it processed the ReqS, a
+	// later writer invalidated the sharer set, and the Inv arrived before
+	// the grant data (which travels from the previous owner on a
+	// different channel, so pairwise FIFO cannot order them). The grant
+	// still serves the waiting loads — they are ordered before the
+	// invalidating write — but the line must not stay resident.
+	invalidated bool
+	deferred    []*proto.Message
 }
 
 type tuWB struct {
@@ -180,6 +188,15 @@ func (tu *MESITU) sendNet(m *proto.Message) {
 // Send implements noc.Port: it receives everything the MESI L1 emits.
 func (tu *MESITU) Send(m *proto.Message) {
 	cp := *m
+	if cp.Type == proto.MPutM {
+		// Record the write-back synchronously: the L1 invalidates its
+		// frame in the same instant it announces the eviction, so the
+		// record must exist before any concurrently delivered external
+		// probes the now-Invalid cache (the port latency models moving
+		// the data, not the state change). Externals may consume words
+		// from the record before fromL1 emits the ReqWB.
+		tu.wbs[cp.Line] = &tuWB{mask: memaddr.FullMask, data: cp.Data}
+	}
 	tu.eng.Schedule(tu.latency, func() {
 		tu.fromL1(&cp)
 		tu.audit(&cp)
@@ -203,7 +220,9 @@ func (tu *MESITU) fromL1(m *proto.Message) {
 			Line: m.Line, Mask: memaddr.FullMask, Trace: p.trace,
 		})
 	case proto.MPutM:
-		tu.wbs[m.Line] = &tuWB{mask: memaddr.FullMask, data: m.Data}
+		// The write-back record was created synchronously in Send (and
+		// externals may have consumed words from it since); only the
+		// ReqWB emission pays the port latency.
 		tu.sendLLC(&proto.Message{
 			Type: proto.ReqWB, Requestor: tu.ID, ReqID: m.ReqID,
 			Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: m.Data,
@@ -270,6 +289,9 @@ func (tu *MESITU) fromNet(m *proto.Message) {
 			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 		})
 	case proto.Inv:
+		if p, ok := tu.pend[m.Line]; ok && p.kind == pendS {
+			p.invalidated = true
+		}
 		tu.l1.HandleMessage(&proto.Message{
 			Type: proto.MInv, Src: tu.ID, Requestor: tu.ID,
 			ReqID: m.ReqID, Line: m.Line, Mask: m.Mask,
@@ -331,7 +353,7 @@ func (tu *MESITU) handleGrantPart(m *proto.Message, owned bool) {
 	switch {
 	case p.kind == pendM:
 		grant = proto.MDataM
-	case p.owned == memaddr.FullMask && !p.opt2:
+	case p.owned == memaddr.FullMask && !p.opt2 && !p.invalidated:
 		// ReqS answered via option (3): exclusive ownership (paper §IV:
 		// "similar to MESI's response to a Shared request with Exclusive
 		// state").
@@ -345,10 +367,10 @@ func (tu *MESITU) handleGrantPart(m *proto.Message, owned bool) {
 		Trace: p.trace,
 	})
 
-	if p.opt2 {
-		// Option (2) contract: downgrade to Invalid after the read is
-		// satisfied (the waiting loads completed off the grant above),
-		// and release any words the Nack escalation left us owning.
+	if p.opt2 || p.invalidated {
+		// Option (2) contract — or a grant an Inv overtook: downgrade to
+		// Invalid after the read is satisfied (the waiting loads completed
+		// off the grant above), and release any words we were left owning.
 		id := tu.nextReq()
 		tu.internalInvs[id] = true
 		tu.l1.HandleMessage(&proto.Message{

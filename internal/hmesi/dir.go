@@ -44,10 +44,7 @@ type dirTxn struct {
 	waiting     []*proto.Message
 	origin      *proto.Message
 	pendingAcks int
-	// reqWasSharer: the blocked GetM's requestor held the line in S, so
-	// the eventual grant is a data-less upgrade.
-	reqWasSharer bool
-	resume       func()
+	resume      func()
 }
 
 // DirConfig parameterizes the L3 directory cache.
@@ -197,7 +194,7 @@ func (d *Directory) handleGetM(e *cache.Entry[dirLine], m *proto.Message) {
 			// Race: the owner's clean-evict PutM crossed with this GetM;
 			// treat like a miss from Invalid (grant fresh ownership).
 			st.owner = int8(reqIdx)
-			d.grantM(m, e, true)
+			d.grantM(m, e)
 			return
 		}
 		d.st.Inc("dir.fwd_getm", 1)
@@ -209,10 +206,9 @@ func (d *Directory) handleGetM(e *cache.Entry[dirLine], m *proto.Message) {
 		d.txns[m.Line] = &dirTxn{kind: dirFwd, line: m.Line, origin: m}
 		return
 	}
-	wasSharer := st.sharers&(1<<reqIdx) != 0
 	remote := st.sharers &^ (1 << reqIdx)
 	if remote != 0 {
-		t := &dirTxn{kind: dirInv, line: m.Line, origin: m, reqWasSharer: wasSharer}
+		t := &dirTxn{kind: dirInv, line: m.Line, origin: m}
 		for i := 0; i < len(d.devices); i++ {
 			if remote&(1<<i) == 0 {
 				continue
@@ -230,21 +226,21 @@ func (d *Directory) handleGetM(e *cache.Entry[dirLine], m *proto.Message) {
 	}
 	st.sharers = 0
 	st.owner = int8(reqIdx)
-	d.grantM(m, e, !wasSharer)
+	d.grantM(m, e)
 }
 
-// grantM sends the Modified grant; withData is false for upgrades whose
-// requestor still holds a Shared copy.
-func (d *Directory) grantM(m *proto.Message, e *cache.Entry[dirLine], withData bool) {
-	rsp := &proto.Message{
+// grantM sends the Modified grant, always carrying data. A data-less
+// upgrade grant would only be sound if a set sharer bit guaranteed the
+// requestor still holds the line, but L1s drop Shared lines silently, so
+// the sharer list over-approximates: an upgrade granted against a stale
+// bit would leave the requestor assembling the line from a zero-filled
+// frame and later writing those zeros back over memory.
+func (d *Directory) grantM(m *proto.Message, e *cache.Entry[dirLine]) {
+	d.send(&proto.Message{
 		Type: proto.MDataM, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
-	}
-	if withData {
-		rsp.HasData = true
-		rsp.Data = e.State.data
-	}
-	d.send(rsp)
+		HasData: true, Data: e.State.data,
+	})
 }
 
 func (d *Directory) handlePutM(m *proto.Message) {
@@ -330,7 +326,7 @@ func (d *Directory) handleInvAck(m *proto.Message) {
 		panic("hmesi: InvAck for absent line")
 	}
 	e.State.owner = int8(d.dev(t.origin.Requestor))
-	d.grantM(t.origin, e, !t.reqWasSharer)
+	d.grantM(t.origin, e)
 	d.drain(t)
 }
 

@@ -44,6 +44,10 @@ type l2Txn struct {
 	// revocation state
 	rvkMask memaddr.WordMask
 	after   func()
+	// rvkID stamps this revocation's RvkO probes so a child's late
+	// RspRvkO from an earlier, already-resolved revocation of the same
+	// line (raced by its ReqWB) cannot corrupt a newer epoch.
+	rvkID uint64
 
 	origin *proto.Message
 	resume func()
@@ -420,6 +424,16 @@ func (l *GPUL2) handleChildWB(m *proto.Message) {
 }
 
 func (l *GPUL2) handleChildRvkRsp(m *proto.Message) {
+	// Only meaningful while the revocation that sent the RvkO is still
+	// open (the response echoes the probe's Requestor/ReqID). Without a
+	// match, the revocation already resolved via the child's racing ReqWB
+	// and the line may have been evicted or the child re-granted since —
+	// applying the stale response would corrupt the newer state.
+	t, ok := l.txns[m.Line]
+	if !ok || t.kind != l2Rvk || m.Requestor != l.ID || m.ReqID != t.rvkID {
+		l.st.Inc("gpul2.rvk.stale", 1)
+		return
+	}
 	e := l.array.Peek(m.Line)
 	if e == nil {
 		panic("hmesi: RspRvkO for absent L2 line")
@@ -446,10 +460,12 @@ func (l *GPUL2) handleChildRvkRsp(m *proto.Message) {
 func (l *GPUL2) revokeChildren(e *cache.Entry[l2Line], mask memaddr.WordMask, origin *proto.Message, after func()) {
 	st := &e.State
 	t := &l2Txn{kind: l2Rvk, line: e.Line, rvkMask: mask, after: after, origin: origin}
+	l.reqSeq++
+	t.rvkID = l.reqSeq
 	for _, ow := range l.childOwners(st, mask) {
 		l.send(&proto.Message{
 			Type: proto.RvkO, Dst: l.children[ow.owner], Requestor: l.ID,
-			Line: e.Line, Mask: ow.words,
+			ReqID: t.rvkID, Line: e.Line, Mask: ow.words,
 		})
 	}
 	l.txns[e.Line] = t

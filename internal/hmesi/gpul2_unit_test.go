@@ -148,10 +148,12 @@ func TestL2FwdRevokesChildrenFirst(t *testing.T) {
 	if r.lastTo(l2Peer, proto.MDataM) != nil {
 		t.Fatal("responded before the child wrote back")
 	}
-	// Child writes back; the forward completes with the child's data.
+	// Child writes back (echoing the probe's identity); the forward
+	// completes with the child's data.
 	var cd memaddr.LineData
 	cd[1] = 99
 	r.send(&proto.Message{Type: proto.RspRvkO, Src: l2Child1, Dst: l2Node,
+		Requestor: rvk.Requestor, ReqID: rvk.ReqID,
 		Line: 0x2000, Mask: 0b10, HasData: true, Data: cd})
 	rsp := r.lastTo(l2Peer, proto.MDataM)
 	if rsp == nil || rsp.Data[1] != 99 {
@@ -252,9 +254,14 @@ func TestL2QueuesChildRequestsBehindRevocation(t *testing.T) {
 	if r.lastTo(l2Child1, proto.RspV) != nil {
 		t.Fatal("queued read served before revocation completed")
 	}
+	rvk := r.lastTo(l2Child0, proto.RvkO)
+	if rvk == nil {
+		t.Fatal("child not revoked")
+	}
 	var cd memaddr.LineData
 	cd[0] = 5
 	r.send(&proto.Message{Type: proto.RspRvkO, Src: l2Child0, Dst: l2Node,
+		Requestor: rvk.Requestor, ReqID: rvk.ReqID,
 		Line: 0x6000, Mask: 0b1, HasData: true, Data: cd})
 	atomicRsp := r.lastTo(l2Child1, proto.RspWTData)
 	readRsp := r.lastTo(l2Child1, proto.RspV)

@@ -73,14 +73,9 @@ type atomicCtx struct {
 
 // missEntry tracks one outstanding line transaction (IS_D / IM_D / SM_D).
 type missEntry struct {
-	reqID uint64
-	needM bool
-	// wasS: upgrade request issued from S; the grant may omit data unless
-	// an intervening Inv removed us from the sharer set.
-	wasS bool
-	// invalidated: an Inv arrived while the request was pending.
-	invalidated bool
-	waiters     []loadWaiter
+	reqID   uint64
+	needM   bool
+	waiters []loadWaiter
 	// applyStores: drain the line's store-buffer entry on grant.
 	applyStores bool
 	atomics     []atomicCtx
@@ -274,9 +269,6 @@ func (l *L1) requestM(la memaddr.LineAddr, setup func(*missEntry)) {
 	me.reqID = l.nextReq()
 	me.trace = l.curTrace
 	me.needM = true
-	if e := l.array.Lookup(la); e != nil && e.State.state == S {
-		me.wasS = true
-	}
 	setup(me)
 	l.st.Inc("mesil1.getm", 1)
 	if l.obs != nil {

@@ -33,15 +33,18 @@ func (l *L1) handleData(m *proto.Message, grant State) {
 	if me == nil {
 		return
 	}
+	// A data-less grant relies on a valid local copy — a guarantee silent
+	// S-eviction revokes, which is why the directory always sends data.
+	// Assembling a line in a fresh zero-filled frame would later write
+	// zeros back over memory, so fail loudly instead.
+	if !m.HasData {
+		if e := l.array.Lookup(m.Line); e == nil || e.State.state == I {
+			panic("mesi: data-less grant without a valid copy")
+		}
+	}
 	e := l.ensureFrame(m.Line)
 	if m.HasData {
 		e.State.data = m.Data
-	}
-	// An upgrade grant without data relies on our Shared copy, which must
-	// not have been invalidated in flight (the directory sends data when
-	// it removed us from the sharer set before processing our GetM).
-	if !m.HasData && me.invalidated {
-		panic("mesi: data-less grant after invalidation")
 	}
 	e.State.state = grant
 
@@ -81,8 +84,6 @@ func (l *L1) handleData(m *proto.Message, grant State) {
 		// Stores/atomics arrived during the GetS: follow with a GetM.
 		me.escalate = false
 		me.reqID = l.nextReq()
-		me.wasS = grant == S
-		me.invalidated = false
 		l.st.Inc("mesil1.getm", 1)
 		l.port.Send(&proto.Message{
 			Type: proto.MGetM, Dst: l.cfg.ParentID, Requestor: l.ID,
@@ -105,10 +106,6 @@ func (l *L1) handleData(m *proto.Message, grant State) {
 func (l *L1) handleInv(m *proto.Message) {
 	if e := l.array.Peek(m.Line); e != nil && e.State.state == S {
 		l.array.Invalidate(m.Line)
-	}
-	if me := l.miss.Lookup(m.Line); me != nil {
-		me.invalidated = true
-		me.wasS = false
 	}
 	l.st.Inc("mesil1.invalidated", 1)
 	l.port.Send(&proto.Message{

@@ -143,6 +143,41 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 	return out
 }
 
+// FirstDiff names the first measurement on which two snapshots disagree,
+// in a fixed deterministic order — execution time, traffic classes in
+// proto.Class order, then counters sorted by name — with both values, or
+// "" when the snapshots are identical. Fingerprint mismatches should be
+// explained with this rather than by printing the raw hashes: the named
+// counter is actionable, the hashes are not.
+func (s Snapshot) FirstDiff(other Snapshot) string {
+	if s.ExecTime != other.ExecTime {
+		return fmt.Sprintf("exec time differs: %d vs %d ticks", s.ExecTime, other.ExecTime)
+	}
+	for c := proto.Class(0); c < proto.NumClasses; c++ {
+		if s.Traffic.Bytes[c] != other.Traffic.Bytes[c] || s.Traffic.Messages[c] != other.Traffic.Messages[c] {
+			return fmt.Sprintf("%s traffic differs: %d B/%d msgs vs %d B/%d msgs", c,
+				s.Traffic.Bytes[c], s.Traffic.Messages[c], other.Traffic.Bytes[c], other.Traffic.Messages[c])
+		}
+	}
+	names := make([]string, 0, len(s.Counters)+len(other.Counters))
+	seen := make(map[string]bool, len(s.Counters)+len(other.Counters))
+	for k := range s.Counters {
+		names, seen[k] = append(names, k), true
+	}
+	for k := range other.Counters {
+		if !seen[k] {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if s.Counters[k] != other.Counters[k] {
+			return fmt.Sprintf("counter %q differs: %d vs %d", k, s.Counters[k], other.Counters[k])
+		}
+	}
+	return ""
+}
+
 // FNV-1a 64-bit parameters, used for deterministic fingerprints.
 const (
 	fnvOffset = 14695981039346656037

@@ -180,3 +180,44 @@ func TestSummaryRendering(t *testing.T) {
 		}
 	}
 }
+
+func TestFirstDiff(t *testing.T) {
+	base := func() Snapshot {
+		return Snapshot{ExecTime: 100,
+			Counters: map[string]uint64{"llc.hit": 5, "tu.nack": 2, "a.first": 1}}
+	}
+
+	if d := base().FirstDiff(base()); d != "" {
+		t.Fatalf("identical snapshots diff: %q", d)
+	}
+
+	a, b := base(), base()
+	b.ExecTime = 200
+	if d := a.FirstDiff(b); !strings.Contains(d, "exec time") {
+		t.Errorf("exec-time diff reported as %q", d)
+	}
+
+	a, b = base(), base()
+	b.Traffic.Add(proto.ClassReqV, 64)
+	if d := a.FirstDiff(b); !strings.Contains(d, "traffic") {
+		t.Errorf("traffic diff reported as %q", d)
+	}
+
+	// Two divergent counters: the lexicographically first must be named,
+	// regardless of map iteration order.
+	a, b = base(), base()
+	b.Counters["llc.hit"] = 9
+	b.Counters["tu.nack"] = 9
+	for i := 0; i < 20; i++ {
+		if d := a.FirstDiff(b); !strings.Contains(d, `"llc.hit"`) {
+			t.Fatalf("first divergent counter reported as %q, want llc.hit", d)
+		}
+	}
+
+	// A counter present on only one side still diffs (zero vs value).
+	a, b = base(), base()
+	b.Counters["b.extra"] = 1
+	if d := a.FirstDiff(b); !strings.Contains(d, `"b.extra"`) {
+		t.Errorf("one-sided counter reported as %q", d)
+	}
+}

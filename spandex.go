@@ -520,8 +520,14 @@ func (s *System) Run(maxTime sim.Time) (Result, error) {
 		cu.Start()
 	}
 	if !s.Engine.RunUntil(maxTime) {
-		return Result{}, fmt.Errorf("spandex: %s run exceeded %d ticks (possible deadlock or undersized MaxTime); %d threads unfinished",
-			s.cfg.Name, maxTime, s.liveDevs)
+		stuck := ""
+		if s.LLC != nil {
+			if r := s.LLC.StuckReport(); r != "" {
+				stuck = "; stuck LLC transactions:\n" + r
+			}
+		}
+		return Result{}, fmt.Errorf("spandex: %s run exceeded %d ticks (possible deadlock or undersized MaxTime); %d threads unfinished%s",
+			s.cfg.Name, maxTime, s.liveDevs, stuck)
 	}
 	if s.liveDevs != 0 {
 		return Result{}, fmt.Errorf("spandex: event queue drained with %d threads unfinished (protocol deadlock)", s.liveDevs)

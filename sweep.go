@@ -7,7 +7,6 @@ import (
 	"sync"
 	"time"
 
-	"spandex/internal/proto"
 	"spandex/internal/stats"
 	"spandex/internal/workload"
 )
@@ -157,38 +156,30 @@ func (r Result) Fingerprint() uint64 {
 	return h
 }
 
-// diffResults explains the first difference between two runs of what
-// should be the same cell, or returns nil if they are bit-identical.
-func diffResults(a, b Result) error {
-	if a.ExecTime != b.ExecTime {
-		return fmt.Errorf("exec time differs: %d vs %d ticks", a.ExecTime, b.ExecTime)
-	}
+// DiffResults explains the first difference between two runs of what
+// should be the same cell, or returns nil if they are bit-identical. The
+// explanation names the first divergent measurement in a deterministic
+// order (stats.Snapshot.FirstDiff: exec time, traffic classes, counters
+// sorted by name) — never a raw fingerprint hash, which would name
+// nothing. The fuzzer and the determinism verifier both report through
+// this, so a nondeterminism failure always points at a counter.
+func DiffResults(a, b Result) error {
 	if a.Ops != b.Ops {
 		return fmt.Errorf("operation count differs: %d vs %d", a.Ops, b.Ops)
 	}
-	for c := proto.Class(0); c < proto.NumClasses; c++ {
-		if a.Traffic.Bytes[c] != b.Traffic.Bytes[c] || a.Traffic.Messages[c] != b.Traffic.Messages[c] {
-			return fmt.Errorf("%s traffic differs: %d B/%d msgs vs %d B/%d msgs", c,
-				a.Traffic.Bytes[c], a.Traffic.Messages[c], b.Traffic.Bytes[c], b.Traffic.Messages[c])
-		}
-	}
-	keys := map[string]bool{}
-	for k := range a.Counters {
-		keys[k] = true
-	}
-	for k := range b.Counters {
-		keys[k] = true
-	}
-	for k := range keys {
-		if a.Counters[k] != b.Counters[k] {
-			return fmt.Errorf("counter %q differs: %d vs %d", k, a.Counters[k], b.Counters[k])
-		}
+	sa := stats.Snapshot{Traffic: a.Traffic, ExecTime: a.ExecTime, Counters: a.Counters}
+	sb := stats.Snapshot{Traffic: b.Traffic, ExecTime: b.ExecTime, Counters: b.Counters}
+	if d := sa.FirstDiff(sb); d != "" {
+		return fmt.Errorf("%s", d)
 	}
 	if a.MemHash != b.MemHash {
 		return fmt.Errorf("final DRAM image differs: %#x vs %#x", a.MemHash, b.MemHash)
 	}
 	if a.Fingerprint() != b.Fingerprint() {
-		return fmt.Errorf("fingerprint differs: %#x vs %#x", a.Fingerprint(), b.Fingerprint())
+		// Every measured quantity matched, so the identity fields folded
+		// into the fingerprint must differ.
+		return fmt.Errorf("run identity differs: %s/%s vs %s/%s",
+			a.Workload, a.Config, b.Workload, b.Config)
 	}
 	return nil
 }
@@ -212,7 +203,7 @@ func CellsEquivalent(a, b []Cell) error {
 		if a[i].Err != nil {
 			continue
 		}
-		if err := diffResults(a[i].Result, b[i].Result); err != nil {
+		if err := DiffResults(a[i].Result, b[i].Result); err != nil {
 			return fmt.Errorf("cell %s/%s: %w", a[i].Workload, a[i].Config, err)
 		}
 	}
@@ -297,7 +288,7 @@ func VerifyDeterminism(ctx context.Context, workloads, configs []string, opt Opt
 			return reports, fmt.Errorf("spandex: contended run of %s/%s failed: %w", wn, cn, rerun.Err)
 		}
 
-		if err := diffResults(ref.Result, rerun.Result); err != nil {
+		if err := DiffResults(ref.Result, rerun.Result); err != nil {
 			return reports, fmt.Errorf("spandex: %s/%s is not deterministic under contention: %w", wn, cn, err)
 		}
 		reports = append(reports, DeterminismReport{

@@ -84,21 +84,43 @@ func (w *tortureWorkload) Build(m Machine, seed uint64) *Program {
 // every configuration; it catches lost updates, duplicated updates, and
 // serialization violations in all three atomic implementations (local
 // RMW under MESI ownership, DeNovo word ownership, and LLC/L2-performed
-// updates).
+// updates). The variants × configurations table covers the contention
+// extremes (one hot word vs. spread), a CPU-only and a GPU-heavy machine,
+// and runs every Spandex transition through the per-transition invariant
+// audit.
 func TestAtomicTorture(t *testing.T) {
 	if testing.Short() {
 		t.Skip("torture in -short mode")
 	}
-	w := &tortureWorkload{words: 4, perThr: 60, threads: 20}
-	for _, cn := range ConfigNames() {
-		cn := cn
-		t.Run(cn, func(t *testing.T) {
-			params := FastParams()
-			params.CPUCores = 4
-			params.GPUCUs = 4
-			if _, err := Run(w, Options{ConfigName: cn, Params: &params,
-				Seed: 77, CheckInvariants: true, Validate: true}); err != nil {
-				t.Fatal(err)
+	variants := []struct {
+		name               string
+		words, perThr, thr int
+		cpuCores, gpuCUs   int
+		seed               uint64
+	}{
+		{"baseline", 4, 60, 20, 4, 4, 77},
+		{"single-hot-word", 1, 80, 20, 4, 4, 78},
+		{"spread", 16, 40, 20, 4, 4, 79},
+		{"cpu-only", 4, 60, 8, 4, 0, 80},
+		{"gpu-heavy", 4, 40, 24, 1, 8, 81},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			w := &tortureWorkload{words: v.words, perThr: v.perThr, threads: v.thr}
+			for _, cn := range ConfigNames() {
+				cn := cn
+				t.Run(cn, func(t *testing.T) {
+					t.Parallel()
+					params := FastParams()
+					params.CPUCores = v.cpuCores
+					params.GPUCUs = v.gpuCUs
+					if _, err := Run(w, Options{ConfigName: cn, Params: &params,
+						Seed: v.seed, CheckInvariants: true,
+						CheckEveryTransition: true, Validate: true}); err != nil {
+						t.Fatal(err)
+					}
+				})
 			}
 		})
 	}
