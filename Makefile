@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: ci build vet fmt lint test race smoke check bench clean \
+.PHONY: ci build vet fmt lint test race smoke check bench bench-json \
+	bench-gate clean \
 	transgraph transgraph-check mcheck mcheck-smoke mutants crosscheck \
 	trace-smoke trace-overhead fuzz fuzz-mutants corpus
 
@@ -50,6 +51,17 @@ check:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Checked-in benchmark snapshot: measures single-worker headline-sweep
+# throughput and writes BENCH_<date>_<shortsha>.json at the repo root.
+# Commit the file to extend the performance trajectory.
+bench-json:
+	./scripts/bench_snapshot.sh
+
+# Perf-regression gate (the CI bench-gate job): re-measure and fail on
+# >10% regression vs the newest checked-in BENCH_*.json.
+bench-gate:
+	./scripts/bench_gate.sh
 
 # Regenerate docs/transitions/ (static transition graphs, JSON + DOT).
 transgraph:

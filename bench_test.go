@@ -184,3 +184,20 @@ func BenchmarkAblationWordVsLineOwnership(b *testing.B) {
 			"line-vs-word-traffic")
 	}
 }
+
+// BenchmarkHeadlineSweep is the perf-gate workload: the full 54-cell
+// Figure 2+3 matrix on a single worker, exactly what
+// `spandex-bench -perf` / scripts/bench_snapshot.sh measures and what the
+// EXPERIMENTS.md performance-trajectory table tracks.
+func BenchmarkHeadlineSweep(b *testing.B) {
+	wls := append(append([]string{}, Figure2Workloads()...), Figure3Workloads()...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cells := RunMatrix(nil, wls, ConfigNames(), Options{Seed: 42}, MatrixOptions{Workers: 1})
+		for _, c := range cells {
+			if c.Err != nil {
+				b.Fatalf("%s/%s: %v", c.Workload, c.Config, c.Err)
+			}
+		}
+	}
+}

@@ -39,6 +39,16 @@ func main() {
 		"run sampled cells serially and under contention and require bit-identical results")
 	covOut := flag.String("coverage-out", "",
 		"write the (LLC state, message) pairs observed across every simulated cell as JSON, for the spandex-transgraph cross-check")
+	perfOut := flag.String("perf", "",
+		"write a single-worker headline-sweep perf snapshot (BENCH JSON schema) to this path and exit")
+	perfRounds := flag.Int("perf-rounds", 3, "perf mode: measurement rounds (throughput is best-of)")
+	perfBaseline := flag.String("perf-baseline", "",
+		"perf mode: compare against this BENCH_*.json and exit non-zero on regression")
+	perfTolerance := flag.Float64("perf-tolerance", 0.10,
+		"perf mode: allowed fractional regression vs the baseline")
+	perfCPU := flag.String("perf-cpuprofile", "", "perf mode: write a CPU profile covering all rounds")
+	perfMem := flag.String("perf-memprofile", "", "perf mode: write a heap profile after the last round")
+	gitSHA := flag.String("git-sha", "", "git short SHA recorded in the perf snapshot")
 	flag.Parse()
 
 	opt := spandex.Options{
@@ -52,6 +62,14 @@ func main() {
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "spandex-bench:", err)
 		os.Exit(1)
+	}
+
+	if *perfOut != "" {
+		if err := runPerf(*perfOut, *perfRounds, *seed, *gitSHA, *perfCPU, *perfMem,
+			*perfBaseline, *perfTolerance); err != nil {
+			die(err)
+		}
+		return
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)

@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"spandex"
+)
+
+// perfSnapshot is the schema of the checked-in BENCH_<date>_<shortsha>.json
+// files at the repository root: one single-worker headline-sweep
+// measurement. The newest checked-in snapshot is the baseline the CI
+// bench-gate compares against (scripts/bench_gate.sh).
+type perfSnapshot struct {
+	Schema    int    `json:"schema"`
+	Date      string `json:"date"`
+	GitSHA    string `json:"git_sha,omitempty"`
+	GoVersion string `json:"go_version"`
+	Seed      uint64 `json:"seed"`
+	Rounds    int    `json:"rounds"`
+	Cells     int    `json:"cells"`
+
+	// Throughput of the best (minimum-wall) round. The sweep runs on a
+	// single worker, so this is per-core cell throughput; min-of-rounds
+	// discards transient host contention.
+	WallSeconds  float64 `json:"wall_seconds"`
+	CellsPerSec  float64 `json:"cells_per_sec"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	// Deterministic work content of one sweep: engine events fired and
+	// device operations completed. Host-independent; a change here means
+	// the simulated work itself changed, not the hardware.
+	Events uint64 `json:"events"`
+	Ops    uint64 `json:"ops"`
+
+	// Heap allocation cost of one sweep (minimum across rounds, measured
+	// from runtime.MemStats deltas).
+	AllocsPerSweep     uint64 `json:"allocs_per_sweep"`
+	AllocBytesPerSweep uint64 `json:"alloc_bytes_per_sweep"`
+
+	// Wall seconds per figure workload (summed over its six
+	// configuration cells) in the best round.
+	WorkloadWallSeconds map[string]float64 `json:"workload_wall_seconds"`
+
+	// Every round's wall time, for eyeballing host noise.
+	RoundWallSeconds []float64 `json:"round_wall_seconds"`
+}
+
+// runPerf measures single-worker headline-sweep throughput over several
+// rounds, writes the snapshot JSON to out, and — when baseline names a
+// previous snapshot — enforces the regression gate against it.
+func runPerf(out string, rounds int, seed uint64, gitSHA, cpuProfile, memProfile, baseline string, tolerance float64) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	workloads := append(append([]string{}, spandex.Figure2Workloads()...), spandex.Figure3Workloads()...)
+	configs := spandex.ConfigNames()
+
+	if cpuProfile != "" {
+		f, err := os.Create(cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	snap := perfSnapshot{
+		Schema:    1,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GitSHA:    gitSHA,
+		GoVersion: runtime.Version(),
+		Seed:      seed,
+		Rounds:    rounds,
+	}
+	best := -1
+	var bestCells []spandex.Cell
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < rounds; r++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		cells := spandex.RunMatrix(nil, workloads, configs, spandex.Options{Seed: seed},
+			spandex.MatrixOptions{Workers: 1})
+		wall := time.Since(start).Seconds()
+		runtime.ReadMemStats(&ms1)
+		for _, c := range cells {
+			if c.Err != nil {
+				return fmt.Errorf("%s/%s: %w", c.Workload, c.Config, c.Err)
+			}
+		}
+		snap.RoundWallSeconds = append(snap.RoundWallSeconds, wall)
+		allocs, bytes := ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc
+		if r == 0 || allocs < snap.AllocsPerSweep {
+			snap.AllocsPerSweep, snap.AllocBytesPerSweep = allocs, bytes
+		}
+		if best < 0 || wall < snap.WallSeconds {
+			best, snap.WallSeconds, bestCells = r, wall, cells
+		}
+		fmt.Fprintf(os.Stderr, "perf: round %d/%d wall=%.3fs allocs=%d\n", r+1, rounds, wall, allocs)
+	}
+
+	snap.Cells = len(bestCells)
+	snap.WorkloadWallSeconds = map[string]float64{}
+	for _, c := range bestCells {
+		snap.Events += c.Result.Events
+		snap.Ops += c.Result.Ops
+		snap.WorkloadWallSeconds[c.Workload] += c.Wall.Seconds()
+	}
+	snap.CellsPerSec = float64(snap.Cells) / snap.WallSeconds
+	snap.EventsPerSec = float64(snap.Events) / snap.WallSeconds
+	_ = best
+
+	if memProfile != "" {
+		f, err := os.Create(memProfile)
+		if err != nil {
+			return err
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		f.Close()
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("perf: %d cells in %.3fs (%.2f cells/sec, %.1fM events/sec, %d allocs/sweep) -> %s\n",
+		snap.Cells, snap.WallSeconds, snap.CellsPerSec, snap.EventsPerSec/1e6, snap.AllocsPerSweep, out)
+
+	if baseline == "" {
+		return nil
+	}
+	return perfGate(snap, baseline, tolerance)
+}
+
+// perfGate compares a fresh snapshot against a checked-in baseline and
+// fails on >tolerance regression in cells/sec or events/sec throughput,
+// or >tolerance growth in allocations per sweep (the one metric that is
+// host-independent and so gets no noise allowance beyond the tolerance).
+func perfGate(now perfSnapshot, baseline string, tolerance float64) error {
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		return fmt.Errorf("perf gate: %w", err)
+	}
+	var base perfSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("perf gate: %s: %w", baseline, err)
+	}
+	fail := false
+	check := func(metric string, nowV, baseV float64, lowerIsBetter bool) {
+		ratio := nowV / baseV
+		var regressed bool
+		var bound string
+		if lowerIsBetter {
+			regressed = ratio > 1+tolerance
+			bound = fmt.Sprintf("ceiling %.2f", 1+tolerance)
+		} else {
+			regressed = ratio < 1-tolerance
+			bound = fmt.Sprintf("floor %.2f", 1-tolerance)
+		}
+		status := "ok"
+		if regressed {
+			status, fail = "REGRESSED", true
+		}
+		fmt.Printf("perf gate: %-18s now=%.4g baseline=%.4g ratio=%.3f (%s) %s\n",
+			metric, nowV, baseV, ratio, bound, status)
+	}
+	check("cells/sec", now.CellsPerSec, base.CellsPerSec, false)
+	check("events/sec", now.EventsPerSec, base.EventsPerSec, false)
+	check("allocs/sweep", float64(now.AllocsPerSweep), float64(base.AllocsPerSweep), true)
+	if fail {
+		return fmt.Errorf("perf gate: regression beyond %.0f%% vs %s", tolerance*100, baseline)
+	}
+	fmt.Printf("perf gate: within %.0f%% of %s\n", tolerance*100, baseline)
+	return nil
+}

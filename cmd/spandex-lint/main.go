@@ -7,6 +7,7 @@
 //	protostate   — switches over protocol/state enums must be exhaustive
 //	               or end in a panicking default
 //	mutafter     — no mutating a *Message after Send/Schedule
+//	poolret      — no using a pooled object after Pool.Put/free* released it
 //
 // Usage:
 //
@@ -28,6 +29,7 @@ import (
 	"spandex/internal/analysis"
 	"spandex/internal/analysis/determinism"
 	"spandex/internal/analysis/mutafter"
+	"spandex/internal/analysis/poolret"
 	"spandex/internal/analysis/protostate"
 )
 
@@ -35,6 +37,7 @@ var suite = []*analysis.Analyzer{
 	determinism.Analyzer,
 	protostate.Analyzer,
 	mutafter.Analyzer,
+	poolret.Analyzer,
 }
 
 func main() {

@@ -1,3 +1,3 @@
 module spandex
 
-go 1.22
+go 1.23

@@ -1,0 +1,289 @@
+// Package poolret implements the spandex-lint analyzer that enforces the
+// object-pool ownership discipline introduced with the engine hot-path
+// overhaul: once a pooled object has been released — handed back via
+// Pool.Put or one of the free* helpers that wrap it (LLC.freeTxn,
+// Directory.freeTxn, GPUL2.freeTxn, ...) — the releasing function must
+// not touch it again.
+//
+// sim.Pool recycles objects without zeroing, so a released object can be
+// handed to the next Get caller and overwritten at any later point; a
+// read through the stale pointer then observes another transaction's
+// state, and a write corrupts it. Unlike a leaked heap object this never
+// crashes — it silently perturbs simulation results, which is exactly the
+// class of bug the deterministic-fingerprint infrastructure exists to
+// catch after the fact. The rule is therefore enforced at the source:
+// release is the last touch; drain queues and read fields first, or copy
+// what outlives the release.
+//
+// The analysis is lexical and per-function, in the same style as the
+// mutafter analyzer: after a statement that passes a variable to
+//
+//   - a Put method on a receiver of a named type Pool (sim.Pool[T], and
+//     any future pool with the same shape), or
+//   - a call whose name begins with free/Free taking a pointer-to-struct
+//     argument (the project's freeTxn-style wrappers),
+//
+// later statements in the same or enclosing block sequence may not
+// mention that variable at all — read, write, call argument, or closure
+// capture. Rebinding the variable (t = pool.Get(), t = ...) ends
+// tracking; a release inside a conditional branch does not leak past the
+// branch, so the common "if done { free; return }" shape stays clean.
+//
+// Suppress a deliberate violation with a justified //spandex:poolret
+// comment on or above the flagged line.
+package poolret
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spandex/internal/analysis"
+)
+
+// Analyzer is the poolret analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "poolret",
+	Doc:  "forbid using a pooled object after releasing it via Pool.Put/free*",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					tr := &tracker{pass: pass}
+					tr.list(n.Body.List, map[types.Object]string{})
+				}
+			case *ast.FuncLit:
+				tr := &tracker{pass: pass}
+				tr.list(n.Body.List, map[types.Object]string{})
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type tracker struct {
+	pass *analysis.Pass
+}
+
+// list walks one statement sequence, threading the set of released
+// variables (object -> name of the call that released it).
+func (tr *tracker) list(stmts []ast.Stmt, rel map[types.Object]string) {
+	for _, s := range stmts {
+		tr.stmt(s, rel)
+	}
+}
+
+func (tr *tracker) stmt(s ast.Stmt, rel map[types.Object]string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		tr.list(s.List, clone(rel))
+	case *ast.IfStmt:
+		inner := clone(rel)
+		if s.Init != nil {
+			tr.stmt(s.Init, inner)
+		}
+		tr.checkExpr(s.Cond, inner)
+		tr.list(s.Body.List, clone(inner))
+		if s.Else != nil {
+			tr.stmt(s.Else, clone(inner))
+		}
+	case *ast.ForStmt:
+		inner := clone(rel)
+		if s.Init != nil {
+			tr.stmt(s.Init, inner)
+		}
+		if s.Cond != nil {
+			tr.checkExpr(s.Cond, inner)
+		}
+		if s.Post != nil {
+			tr.stmt(s.Post, inner)
+		}
+		tr.list(s.Body.List, clone(inner))
+	case *ast.RangeStmt:
+		inner := clone(rel)
+		tr.checkExpr(s.X, inner)
+		tr.list(s.Body.List, clone(inner))
+	case *ast.SwitchStmt:
+		inner := clone(rel)
+		if s.Init != nil {
+			tr.stmt(s.Init, inner)
+		}
+		if s.Tag != nil {
+			tr.checkExpr(s.Tag, inner)
+		}
+		for _, c := range s.Body.List {
+			tr.list(c.(*ast.CaseClause).Body, clone(inner))
+		}
+	case *ast.TypeSwitchStmt:
+		inner := clone(rel)
+		for _, c := range s.Body.List {
+			tr.list(c.(*ast.CaseClause).Body, clone(inner))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			tr.list(c.(*ast.CommClause).Body, clone(rel))
+		}
+	case *ast.LabeledStmt:
+		tr.stmt(s.Stmt, rel)
+	default:
+		// Simple statement: report any mention of a released variable,
+		// then record the releases it performs.
+		tr.checkSimple(s, rel)
+		tr.releases(s, rel)
+	}
+}
+
+// checkSimple reports uses of released variables anywhere in a
+// non-control statement. A plain-identifier assignment target rebinds the
+// variable and ends tracking instead of reporting.
+func (tr *tracker) checkSimple(s ast.Stmt, rel map[types.Object]string) {
+	rebound := map[*ast.Ident]bool{}
+	if a, ok := s.(*ast.AssignStmt); ok {
+		for _, lhs := range a.Lhs {
+			if id, ok := unparen(lhs).(*ast.Ident); ok {
+				rebound[id] = true
+			}
+		}
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || rebound[id] {
+			return true
+		}
+		tr.checkIdent(id, rel)
+		return true
+	})
+	for id := range rebound {
+		if obj := tr.obj(id); obj != nil {
+			delete(rel, obj)
+		}
+	}
+}
+
+// checkExpr reports uses of released variables in a control-flow
+// expression (if/for condition, switch tag, range operand).
+func (tr *tracker) checkExpr(e ast.Expr, rel map[types.Object]string) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			tr.checkIdent(id, rel)
+		}
+		return true
+	})
+}
+
+func (tr *tracker) checkIdent(id *ast.Ident, rel map[types.Object]string) {
+	obj := tr.obj(id)
+	if obj == nil {
+		return
+	}
+	via, ok := rel[obj]
+	if !ok || tr.pass.HasDirective(id, "poolret") {
+		return
+	}
+	tr.pass.Reportf(id.Pos(),
+		"pooled %s used after release to %s: the pool owns it after release; drain queues and copy fields first",
+		id.Name, via)
+}
+
+// releases records variables released by statement s: passed to Put on a
+// Pool-typed receiver, or to a free*-named call as a pointer-to-struct
+// argument.
+func (tr *tracker) releases(s ast.Stmt, rel map[types.Object]string) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a release inside a closure happens at call time, not here
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		isPut := name == "Put" && tr.poolReceiver(call)
+		isFree := strings.HasPrefix(name, "free") || strings.HasPrefix(name, "Free")
+		if !isPut && !isFree {
+			return true
+		}
+		for _, arg := range call.Args {
+			id, ok := unparen(arg).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := tr.obj(id); obj != nil && isPtrToStruct(obj.Type()) {
+				rel[obj] = name
+			}
+		}
+		return true
+	})
+}
+
+// poolReceiver reports whether call is a method call on a value whose
+// type (after dereferencing) is a named type called Pool — sim.Pool[T]
+// in the real tree, any Pool-shaped type in testdata.
+func (tr *tracker) poolReceiver(call *ast.CallExpr) bool {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	tv, ok := tr.pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Pool"
+}
+
+func clone(rel map[types.Object]string) map[types.Object]string {
+	out := make(map[types.Object]string, len(rel))
+	for k, v := range rel {
+		out[k] = v
+	}
+	return out
+}
+
+func (tr *tracker) obj(id *ast.Ident) types.Object {
+	if o := tr.pass.TypesInfo.Uses[id]; o != nil {
+		return o
+	}
+	return tr.pass.TypesInfo.Defs[id]
+}
+
+// isPtrToStruct reports whether t is a pointer to a struct type — the
+// shape of every pooled object (txns, probes, write-back records).
+func isPtrToStruct(t types.Type) bool {
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	_, isStruct := ptr.Elem().Underlying().(*types.Struct)
+	return isStruct
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

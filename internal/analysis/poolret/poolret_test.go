@@ -1,0 +1,12 @@
+package poolret_test
+
+import (
+	"testing"
+
+	"spandex/internal/analysis/analysistest"
+	"spandex/internal/analysis/poolret"
+)
+
+func TestPoolret(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), poolret.Analyzer, "pools")
+}

@@ -22,9 +22,12 @@ type Entry[S any] struct {
 }
 
 // Array is a set-associative cache array with true-LRU replacement.
+// Set frame storage is allocated lazily on first touch: configured arrays
+// are often far larger than a workload's footprint, and eagerly zeroing
+// hundreds of megabytes of untouched frames dominates construction cost.
 type Array[S any] struct {
 	sets, ways int
-	frames     []Entry[S]
+	chunks     [][]Entry[S]
 	tick       uint64
 }
 
@@ -39,7 +42,7 @@ func NewArray[S any](sizeBytes, ways int) *Array[S] {
 	if sets&(sets-1) != 0 {
 		panic(fmt.Sprintf("cache: set count %d not a power of two", sets))
 	}
-	return &Array[S]{sets: sets, ways: ways, frames: make([]Entry[S], lines)}
+	return &Array[S]{sets: sets, ways: ways, chunks: make([][]Entry[S], sets)}
 }
 
 // Sets returns the number of sets.
@@ -52,11 +55,22 @@ func (a *Array[S]) setOf(line memaddr.LineAddr) int {
 	return int(uint64(line)>>memaddr.LineShift) & (a.sets - 1)
 }
 
+// set returns setOf(line)'s frames, allocating them on first touch.
+func (a *Array[S]) set(line memaddr.LineAddr) []Entry[S] {
+	i := a.setOf(line)
+	s := a.chunks[i]
+	if s == nil {
+		s = make([]Entry[S], a.ways)
+		a.chunks[i] = s
+	}
+	return s
+}
+
 // Lookup returns the entry holding line, or nil. It refreshes LRU state.
 func (a *Array[S]) Lookup(line memaddr.LineAddr) *Entry[S] {
-	base := a.setOf(line) * a.ways
-	for i := 0; i < a.ways; i++ {
-		e := &a.frames[base+i]
+	s := a.chunks[a.setOf(line)]
+	for i := range s {
+		e := &s[i]
 		if e.Valid && e.Line == line {
 			a.tick++
 			e.lru = a.tick
@@ -68,9 +82,9 @@ func (a *Array[S]) Lookup(line memaddr.LineAddr) *Entry[S] {
 
 // Peek is Lookup without the LRU update (probes must not perturb reuse).
 func (a *Array[S]) Peek(line memaddr.LineAddr) *Entry[S] {
-	base := a.setOf(line) * a.ways
-	for i := 0; i < a.ways; i++ {
-		e := &a.frames[base+i]
+	s := a.chunks[a.setOf(line)]
+	for i := range s {
+		e := &s[i]
 		if e.Valid && e.Line == line {
 			return e
 		}
@@ -82,10 +96,10 @@ func (a *Array[S]) Peek(line memaddr.LineAddr) *Entry[S] {
 // set if one exists, otherwise the least recently used entry. The caller
 // is responsible for evicting a valid victim before reusing the frame.
 func (a *Array[S]) Victim(line memaddr.LineAddr) *Entry[S] {
-	base := a.setOf(line) * a.ways
+	s := a.set(line)
 	var victim *Entry[S]
-	for i := 0; i < a.ways; i++ {
-		e := &a.frames[base+i]
+	for i := range s {
+		e := &s[i]
 		if !e.Valid {
 			return e
 		}
@@ -100,10 +114,10 @@ func (a *Array[S]) Victim(line memaddr.LineAddr) *Entry[S] {
 // always satisfy). It returns nil when every frame in the set is excluded —
 // the caller must retry later.
 func (a *Array[S]) VictimWhere(line memaddr.LineAddr, ok func(e *Entry[S]) bool) *Entry[S] {
-	base := a.setOf(line) * a.ways
+	s := a.set(line)
 	var victim *Entry[S]
-	for i := 0; i < a.ways; i++ {
-		e := &a.frames[base+i]
+	for i := range s {
+		e := &s[i]
 		if !e.Valid {
 			return e
 		}
@@ -137,9 +151,26 @@ func (a *Array[S]) Invalidate(line memaddr.LineAddr) {
 // ForEach visits every valid entry. The callback must not install or
 // invalidate entries.
 func (a *Array[S]) ForEach(fn func(e *Entry[S])) {
-	for i := range a.frames {
-		if a.frames[i].Valid {
-			fn(&a.frames[i])
+	for _, s := range a.chunks {
+		for i := range s {
+			if s[i].Valid {
+				fn(&s[i])
+			}
+		}
+	}
+}
+
+// InvalidateWhere visits every valid entry and releases those for which fn
+// returns true. fn may mutate the entry's state in place, so acquire-flash
+// sweeps (downgrade every line, drop the now-empty ones) run in one pass
+// without collecting victim lines into a slice first.
+func (a *Array[S]) InvalidateWhere(fn func(e *Entry[S]) bool) {
+	for _, s := range a.chunks {
+		for i := range s {
+			if s[i].Valid && fn(&s[i]) {
+				var zero S
+				s[i] = Entry[S]{State: zero}
+			}
 		}
 	}
 }

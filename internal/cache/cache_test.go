@@ -180,7 +180,7 @@ func TestWriteBufferFIFOOrder(t *testing.T) {
 	if e.Line != memaddr.Addr(0x40).Line() {
 		t.Fatal("drain not FIFO")
 	}
-	e.Issued = true
+	w.MarkIssued(e)
 	if w.NextUnissued().Line != memaddr.Addr(0x80).Line() {
 		t.Fatal("drain not FIFO after issue")
 	}

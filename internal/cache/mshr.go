@@ -1,49 +1,115 @@
 package cache
 
-import "spandex/internal/memaddr"
+import (
+	"math/bits"
+
+	"spandex/internal/memaddr"
+)
 
 // MSHR is a miss-status holding register file: one entry per outstanding
-// line transaction, with protocol-specific payload T.
+// line transaction, with protocol-specific payload T. Entries live in a
+// fixed slot array; allocation picks the first free slot by a
+// trailing-zero scan over a free bitmap, so the steady state allocates
+// nothing and entry pointers stay valid for the entry's lifetime (the
+// slot array never grows).
 type MSHR[T any] struct {
-	cap     int
-	entries map[memaddr.LineAddr]*T
+	slots  []T
+	free   []uint64 // 1 = slot free
+	byLine map[memaddr.LineAddr]int32
 }
 
 // NewMSHR creates an MSHR file with the given capacity.
 func NewMSHR[T any](capacity int) *MSHR[T] {
-	return &MSHR[T]{cap: capacity, entries: make(map[memaddr.LineAddr]*T)}
+	m := &MSHR[T]{
+		slots:  make([]T, capacity),
+		free:   make([]uint64, (capacity+63)/64),
+		byLine: make(map[memaddr.LineAddr]int32, capacity),
+	}
+	for i := 0; i < capacity; i++ {
+		m.free[i>>6] |= 1 << (i & 63)
+	}
+	return m
 }
 
 // Full reports whether a new allocation would exceed capacity.
-func (m *MSHR[T]) Full() bool { return len(m.entries) >= m.cap }
+func (m *MSHR[T]) Full() bool { return len(m.byLine) >= len(m.slots) }
 
 // Len returns the number of live entries.
-func (m *MSHR[T]) Len() int { return len(m.entries) }
+func (m *MSHR[T]) Len() int { return len(m.byLine) }
 
 // Lookup returns the entry for line, or nil.
-func (m *MSHR[T]) Lookup(line memaddr.LineAddr) *T { return m.entries[line] }
+func (m *MSHR[T]) Lookup(line memaddr.LineAddr) *T {
+	if i, ok := m.byLine[line]; ok {
+		return &m.slots[i]
+	}
+	return nil
+}
 
-// Alloc creates and returns a new zero entry for line. It panics if the
-// line already has an entry or the file is full; callers must check first.
+// Alloc returns a zeroed entry for line from the first free slot. It
+// panics if the line already has an entry or the file is full; callers
+// must check first.
 func (m *MSHR[T]) Alloc(line memaddr.LineAddr) *T {
 	if m.Full() {
 		panic("cache: MSHR overflow")
 	}
-	if _, ok := m.entries[line]; ok {
+	if _, ok := m.byLine[line]; ok {
 		panic("cache: duplicate MSHR allocation")
 	}
-	e := new(T)
-	m.entries[line] = e
-	return e
+	idx := -1
+	for w, word := range m.free {
+		if word != 0 {
+			idx = w<<6 + bits.TrailingZeros64(word)
+			break
+		}
+	}
+	m.free[idx>>6] &^= 1 << (idx & 63)
+	var zero T
+	m.slots[idx] = zero
+	m.byLine[line] = int32(idx)
+	return &m.slots[idx]
 }
 
-// Free releases the entry for line.
-func (m *MSHR[T]) Free(line memaddr.LineAddr) { delete(m.entries, line) }
+// AllocReuse is Alloc without the slot zeroing: the returned entry still
+// holds whatever the slot's previous occupant left behind. The caller must
+// reinitialize every field — typically one struct-literal assignment that
+// truncates slice fields to [:0] so their backing arrays are reused:
+//
+//	r := mshr.AllocReuse(line)
+//	*r = entry{id: id, waiters: r.waiters[:0]}
+//
+// This keeps the per-miss waiter-list allocation out of the steady state.
+func (m *MSHR[T]) AllocReuse(line memaddr.LineAddr) *T {
+	if m.Full() {
+		panic("cache: MSHR overflow")
+	}
+	if _, ok := m.byLine[line]; ok {
+		panic("cache: duplicate MSHR allocation")
+	}
+	idx := -1
+	for w, word := range m.free {
+		if word != 0 {
+			idx = w<<6 + bits.TrailingZeros64(word)
+			break
+		}
+	}
+	m.free[idx>>6] &^= 1 << (idx & 63)
+	m.byLine[line] = int32(idx)
+	return &m.slots[idx]
+}
+
+// Free releases the entry for line. The slot may be reused by the next
+// Alloc; callers must not retain the entry pointer past this call.
+func (m *MSHR[T]) Free(line memaddr.LineAddr) {
+	if i, ok := m.byLine[line]; ok {
+		delete(m.byLine, line)
+		m.free[i>>6] |= 1 << (i & 63)
+	}
+}
 
 // ForEach visits all entries (iteration order unspecified; callers needing
 // determinism must not depend on order).
 func (m *MSHR[T]) ForEach(fn func(line memaddr.LineAddr, e *T)) {
-	for l, e := range m.entries {
-		fn(l, e)
+	for l, i := range m.byLine {
+		fn(l, &m.slots[i])
 	}
 }

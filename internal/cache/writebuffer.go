@@ -1,6 +1,10 @@
 package cache
 
-import "spandex/internal/memaddr"
+import (
+	"math/bits"
+
+	"spandex/internal/memaddr"
+)
 
 // WBEntry is one coalesced write-buffer slot: pending store data for one
 // line. Stores to the same line coalesce into a single slot until the slot
@@ -11,30 +15,46 @@ type WBEntry struct {
 	Mask   memaddr.WordMask
 	Data   memaddr.LineData
 	Issued bool
+	// seq is the allocation stamp: FIFO age order among live slots.
+	seq uint64
 }
 
-// WriteBuffer is a FIFO of coalescing store entries. The zero value is not
-// usable; use NewWriteBuffer.
+// WriteBuffer holds coalescing store entries in a fixed slot array with
+// occupancy and unissued bitmaps. Slot allocation and the oldest-unissued
+// pick are trailing-zero scans over the bitmaps instead of linear walks
+// over a FIFO slice; per-slot sequence stamps preserve the FIFO issue
+// order the protocols' message emission (and thus the run fingerprint)
+// depends on. The zero value is not usable; use NewWriteBuffer.
 type WriteBuffer struct {
-	cap      int
-	fifo     []*WBEntry
-	byLine   map[memaddr.LineAddr]*WBEntry
-	unissued int
+	slots []WBEntry
+	// occ marks occupied slots; unissuedBits marks occupied slots whose
+	// entry has not been issued (occ ⊇ unissuedBits).
+	occ          []uint64
+	unissuedBits []uint64
+	byLine       map[memaddr.LineAddr]int32
+	nextSeq      uint64
+	count        int
+	unissued     int
 }
 
 // NewWriteBuffer creates a write buffer holding up to capacity line slots.
 func NewWriteBuffer(capacity int) *WriteBuffer {
-	return &WriteBuffer{cap: capacity, byLine: make(map[memaddr.LineAddr]*WBEntry)}
+	return &WriteBuffer{
+		slots:        make([]WBEntry, capacity),
+		occ:          make([]uint64, (capacity+63)/64),
+		unissuedBits: make([]uint64, (capacity+63)/64),
+		byLine:       make(map[memaddr.LineAddr]int32, capacity),
+	}
 }
 
 // Full reports whether a store to a new line would overflow the buffer.
-func (w *WriteBuffer) Full() bool { return len(w.fifo) >= w.cap }
+func (w *WriteBuffer) Full() bool { return w.count >= len(w.slots) }
 
 // Empty reports whether no stores are pending.
-func (w *WriteBuffer) Empty() bool { return len(w.fifo) == 0 }
+func (w *WriteBuffer) Empty() bool { return w.count == 0 }
 
 // Len returns the number of occupied line slots.
-func (w *WriteBuffer) Len() int { return len(w.fifo) }
+func (w *WriteBuffer) Len() int { return w.count }
 
 // Put records a store of value to addr. It coalesces into an existing
 // un-issued slot for the same line; otherwise it allocates a new slot
@@ -42,7 +62,8 @@ func (w *WriteBuffer) Len() int { return len(w.fifo) }
 // It reports whether a new slot was allocated.
 func (w *WriteBuffer) Put(addr memaddr.Addr, value uint32) bool {
 	line := addr.Line()
-	if e, ok := w.byLine[line]; ok && !e.Issued {
+	if i, ok := w.byLine[line]; ok && !w.slots[i].Issued {
+		e := &w.slots[i]
 		e.Mask |= addr.WordMaskOf()
 		e.Data[addr.WordIndex()] = value
 		return false
@@ -50,10 +71,21 @@ func (w *WriteBuffer) Put(addr memaddr.Addr, value uint32) bool {
 	if w.Full() {
 		panic("cache: write buffer overflow")
 	}
-	e := &WBEntry{Line: line, Mask: addr.WordMaskOf()}
+	idx := -1
+	for wd, word := range w.occ {
+		if free := ^word; free != 0 {
+			idx = wd<<6 + bits.TrailingZeros64(free)
+			break
+		}
+	}
+	e := &w.slots[idx]
+	w.nextSeq++
+	*e = WBEntry{Line: line, Mask: addr.WordMaskOf(), seq: w.nextSeq}
 	e.Data[addr.WordIndex()] = value
-	w.fifo = append(w.fifo, e)
-	w.byLine[line] = e
+	w.occ[idx>>6] |= 1 << (idx & 63)
+	w.unissuedBits[idx>>6] |= 1 << (idx & 63)
+	w.byLine[line] = int32(idx)
+	w.count++
 	w.unissued++
 	return true
 }
@@ -67,32 +99,49 @@ func (w *WriteBuffer) MarkIssued(e *WBEntry) {
 	if !e.Issued {
 		e.Issued = true
 		w.unissued--
+		i := w.byLine[e.Line]
+		w.unissuedBits[i>>6] &^= 1 << (i & 63)
 	}
 }
 
 // CanCoalesce reports whether a store to addr would coalesce (not needing
 // a free slot).
 func (w *WriteBuffer) CanCoalesce(addr memaddr.Addr) bool {
-	e, ok := w.byLine[addr.Line()]
-	return ok && !e.Issued
+	i, ok := w.byLine[addr.Line()]
+	return ok && !w.slots[i].Issued
 }
 
-// NextUnissued returns the oldest entry not yet issued, or nil.
+// NextUnissued returns the oldest entry not yet issued, or nil. "Oldest"
+// is allocation order (the seq stamp), matching the FIFO semantics the
+// issue order — and thus the run fingerprint — depends on.
 func (w *WriteBuffer) NextUnissued() *WBEntry {
-	for _, e := range w.fifo {
-		if !e.Issued {
-			return e
+	var best *WBEntry
+	for wd, word := range w.unissuedBits {
+		for ; word != 0; word &= word - 1 {
+			e := &w.slots[wd<<6+bits.TrailingZeros64(word)]
+			if best == nil || e.seq < best.seq {
+				best = e
+			}
 		}
 	}
-	return nil
+	return best
 }
 
-// Unissued returns every entry not yet issued, in FIFO order.
+// Unissued returns every entry not yet issued, in FIFO (allocation) order.
 func (w *WriteBuffer) Unissued() []*WBEntry {
 	var out []*WBEntry
-	for _, e := range w.fifo {
-		if !e.Issued {
-			out = append(out, e)
+	for wd, word := range w.unissuedBits {
+		for ; word != 0; word &= word - 1 {
+			e := &w.slots[wd<<6+bits.TrailingZeros64(word)]
+			// Insertion sort by seq: slot index order is not age order once
+			// slots recycle, and the flush paths that call this are rare.
+			pos := len(out)
+			for pos > 0 && out[pos-1].seq > e.seq {
+				pos--
+			}
+			out = append(out, nil)
+			copy(out[pos+1:], out[pos:])
+			out[pos] = e
 		}
 	}
 	return out
@@ -100,32 +149,34 @@ func (w *WriteBuffer) Unissued() []*WBEntry {
 
 // Complete removes the slot for line (its write has been acknowledged).
 func (w *WriteBuffer) Complete(line memaddr.LineAddr) {
-	e, ok := w.byLine[line]
+	i, ok := w.byLine[line]
 	if !ok {
 		return
 	}
-	if !e.Issued {
+	if !w.slots[i].Issued {
 		w.unissued--
 	}
 	delete(w.byLine, line)
-	for i, f := range w.fifo {
-		if f == e {
-			w.fifo = append(w.fifo[:i], w.fifo[i+1:]...)
-			break
-		}
-	}
+	w.occ[i>>6] &^= 1 << (i & 63)
+	w.unissuedBits[i>>6] &^= 1 << (i & 63)
+	w.count--
 }
 
 // Lookup returns the slot for line, or nil.
-func (w *WriteBuffer) Lookup(line memaddr.LineAddr) *WBEntry { return w.byLine[line] }
+func (w *WriteBuffer) Lookup(line memaddr.LineAddr) *WBEntry {
+	if i, ok := w.byLine[line]; ok {
+		return &w.slots[i]
+	}
+	return nil
+}
 
 // ReadForward returns the buffered value for addr if the buffer holds a
 // store to that word (store→load forwarding), preserving read-your-writes
 // even while the store is in flight.
 func (w *WriteBuffer) ReadForward(addr memaddr.Addr) (uint32, bool) {
-	e, ok := w.byLine[addr.Line()]
-	if !ok || !e.Mask.Has(addr.WordIndex()) {
+	i, ok := w.byLine[addr.Line()]
+	if !ok || !w.slots[i].Mask.Has(addr.WordIndex()) {
 		return 0, false
 	}
-	return e.Data[addr.WordIndex()], true
+	return w.slots[i].Data[addr.WordIndex()], true
 }

@@ -85,11 +85,12 @@ func (k txnKind) String() string {
 type llcTxn struct {
 	kind    txnKind
 	line    memaddr.LineAddr
-	waiting []*proto.Message
+	waiting []proto.Message
 
 	// origin is the request that started a txnInv/txnRvk, completed when
-	// the transaction resolves.
-	origin *proto.Message
+	// the transaction resolves. Valid only for those kinds (txns are
+	// pool-recycled, so a stale origin may linger on other kinds).
+	origin proto.Message
 
 	// pendingAcks counts outstanding InvAcks (txnInv).
 	pendingAcks int
@@ -107,6 +108,20 @@ type llcTxn struct {
 	// Requestor/ReqID instead).
 	rvkID uint64
 }
+
+// newTxn takes a transaction from the pool and resets it for kind/line,
+// keeping the waiting queue's backing array from its previous life. The
+// caller fills kind-specific fields (origin, masks, resume) afterwards.
+func (l *LLC) newTxn(kind txnKind, line memaddr.LineAddr) *llcTxn {
+	t := l.txnPool.Get()
+	*t = llcTxn{kind: kind, line: line, waiting: t.waiting[:0]}
+	return t
+}
+
+// freeTxn returns a resolved transaction to the pool. It must only be
+// called after the transaction is out of l.txns and fully drained: the
+// next newTxn reuses both the struct and its queue memory.
+func (l *LLC) freeTxn(t *llcTxn) { l.txnPool.Put(t) }
 
 // Config holds the Spandex LLC parameters.
 type Config struct {
@@ -136,9 +151,16 @@ type LLC struct {
 	array *cache.Array[llcLine]
 	txns  map[memaddr.LineAddr]*llcTxn
 
+	// txnPool recycles llcTxn structs (and their waiting queues' backing
+	// arrays) across blocking transactions; see newTxn/freeTxn.
+	txnPool sim.Pool[llcTxn]
+
 	devices []proto.NodeID
-	devIdx  map[proto.NodeID]int
-	isMESI  []bool
+
+	// out is the sendV scratch slot (see sendV).
+	out    proto.Message
+	devIdx map[proto.NodeID]int
+	isMESI []bool
 
 	checker  *Checker
 	coverage *TransitionCoverage
@@ -146,6 +168,10 @@ type LLC struct {
 
 	// rvkSeq numbers eviction revocation probes (see llcTxn.rvkID).
 	rvkSeq uint64
+
+	// dispq defers each delivered message by AccessLatency into dispatch
+	// (pooled; see noc.DelayQueue).
+	dispq *noc.DelayQueue
 }
 
 // NewLLC creates a Spandex LLC endpoint.
@@ -156,6 +182,7 @@ func NewLLC(id, memID proto.NodeID, eng *sim.Engine, net *noc.Network, st *stats
 		txns:   make(map[memaddr.LineAddr]*llcTxn),
 		devIdx: make(map[proto.NodeID]int),
 	}
+	l.dispq = noc.NewDelayQueue(eng, cfg.AccessLatency, l.dispatch)
 	net.Register(id, l)
 	return l
 }
@@ -258,7 +285,7 @@ func (l *LLC) dev(id proto.NodeID) int {
 // HandleMessage implements noc.Handler. Requests are charged the LLC
 // access latency and then processed atomically in arrival order.
 func (l *LLC) HandleMessage(m *proto.Message) {
-	l.eng.Schedule(l.cfg.AccessLatency, func() { l.dispatch(m) })
+	l.dispq.Post(m)
 }
 
 // dispatch routes a message, queuing requests that hit a blocked line.
@@ -286,7 +313,7 @@ func (l *LLC) dispatch(m *proto.Message) {
 	}
 
 	if t, ok := l.txns[m.Line]; ok {
-		t.waiting = append(t.waiting, m)
+		t.waiting = append(t.waiting, *m)
 		l.st.Inc("llc.queued", 1)
 		if l.obs != nil {
 			l.blockEv(m)
@@ -330,12 +357,22 @@ func (l *LLC) send(m *proto.Message) {
 	l.net.Send(m)
 }
 
+// sendV transmits a by-value message. Every network/port Send copies the
+// message synchronously before anything downstream can run, so a single
+// scratch slot per sender is safe and avoids a heap allocation per send
+// (the &proto.Message{...} literal idiom escapes through the Port
+// interface).
+func (l *LLC) sendV(m proto.Message) {
+	l.out = m
+	l.send(&l.out)
+}
+
 // respond sends a response type for the masked words of m's line.
 func (l *LLC) respond(m *proto.Message, typ proto.MsgType, mask memaddr.WordMask, withData bool, e *cache.Entry[llcLine]) {
 	if mask == 0 {
 		return
 	}
-	rsp := &proto.Message{
+	rsp := proto.Message{
 		Type: typ, Dst: m.Requestor, Requestor: m.Requestor, ReqID: m.ReqID,
 		Line: m.Line, Mask: mask, Trace: m.Trace,
 	}
@@ -343,7 +380,7 @@ func (l *LLC) respond(m *proto.Message, typ proto.MsgType, mask memaddr.WordMask
 		rsp.HasData = true
 		rsp.Data = e.State.data
 	}
-	l.send(rsp)
+	l.sendV(rsp)
 }
 
 // ownerWords pairs a device index with the words it owns in one line.
@@ -352,9 +389,15 @@ type ownerWords struct {
 	words memaddr.WordMask
 }
 
+// ownerBuf is the caller-provided backing for ownersOf: sized for one
+// entry per word (the worst case), it lives on the caller's stack so
+// grouping owners does not allocate.
+type ownerBuf [memaddr.WordsPerLine]ownerWords
+
 // ownersOf groups the owned words of mask by owning device index, in
-// ascending owner order (deterministic message emission).
-func ownersOf(st *llcLine, mask memaddr.WordMask) []ownerWords {
+// ascending owner order (deterministic message emission). Results are
+// appended into buf and the filled prefix returned.
+func ownersOf(st *llcLine, mask memaddr.WordMask, buf *ownerBuf) []ownerWords {
 	owned := mask & st.ownedMask
 	if owned == 0 {
 		return nil
@@ -368,7 +411,7 @@ func ownersOf(st *llcLine, mask memaddr.WordMask) []ownerWords {
 			max = o
 		}
 	})
-	var out []ownerWords
+	out := buf[:0]
 	for o := 0; o <= max; o++ {
 		if byOwner[o] != 0 {
 			out = append(out, ownerWords{owner: o, words: byOwner[o]})
@@ -380,8 +423,9 @@ func ownersOf(st *llcLine, mask memaddr.WordMask) []ownerWords {
 // forward relays a request to each owner of the masked words, preserving
 // the original requestor so owners respond directly (paper Fig. 1c/1d).
 func (l *LLC) forward(e *cache.Entry[llcLine], m *proto.Message, typ proto.MsgType, mask memaddr.WordMask) {
-	for _, ow := range ownersOf(&e.State, mask) {
-		fwd := &proto.Message{
+	var owb ownerBuf
+	for _, ow := range ownersOf(&e.State, mask, &owb) {
+		fwd := proto.Message{
 			Type: typ, Dst: l.devices[ow.owner],
 			Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: ow.words,
@@ -393,11 +437,12 @@ func (l *LLC) forward(e *cache.Entry[llcLine], m *proto.Message, typ proto.MsgTy
 		if typ != proto.RvkO {
 			fwd.Trace = m.Trace
 			if l.obs != nil {
+				cp := fwd
 				l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvLLCForward,
-					Node: l.ID, Trace: m.Trace, Msg: fwd})
+					Node: l.ID, Trace: m.Trace, Msg: &cp})
 			}
 		}
-		l.send(fwd)
+		l.sendV(fwd)
 		l.st.Inc("llc.forwards", 1)
 	}
 }
@@ -486,7 +531,8 @@ func (l *LLC) handleReqS(e *cache.Entry[llcLine], m *proto.Message) {
 			otherOwned |= memaddr.MaskOf(i)
 		}
 	})
-	for _, ow := range ownersOf(st, mesiOwned) {
+	var owb ownerBuf
+	for _, ow := range ownersOf(st, mesiOwned, &owb) {
 		st.sharers |= 1 << ow.owner
 	}
 	l.forward(e, m, proto.ReqS, mesiOwned)
@@ -495,8 +541,10 @@ func (l *LLC) handleReqS(e *cache.Entry[llcLine], m *proto.Message) {
 		rvkFwd = mutSkipRvkOFwd(rvkFwd)
 	}
 	l.forward(e, m, proto.RvkO, rvkFwd)
-	l.txns[m.Line] = &llcTxn{kind: txnRvk, line: m.Line, origin: m,
-		rvkMask: ownedReq, serveMask: otherOwned}
+	t := l.newTxn(txnRvk, m.Line)
+	t.origin = *m
+	t.rvkMask, t.serveMask = ownedReq, otherOwned
+	l.txns[m.Line] = t
 	l.st.Inc("llc.blocked.rvk", 1)
 	if l.obs != nil {
 		l.blockEv(m)
@@ -508,7 +556,8 @@ func (l *LLC) handleReqS(e *cache.Entry[llcLine], m *proto.Message) {
 // The original message is re-processed once all acks arrive.
 func (l *LLC) invalidateSharers(e *cache.Entry[llcLine], m *proto.Message) {
 	st := &e.State
-	t := &llcTxn{kind: txnInv, line: m.Line, origin: m}
+	t := l.newTxn(txnInv, m.Line)
+	t.origin = *m
 	reqIdx := -1
 	if i, ok := l.devIdx[m.Requestor]; ok {
 		reqIdx = i
@@ -518,7 +567,7 @@ func (l *LLC) invalidateSharers(e *cache.Entry[llcLine], m *proto.Message) {
 			continue
 		}
 		t.pendingAcks++
-		l.send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.Inv, Dst: l.devices[i], Requestor: l.devices[i],
 			Line: m.Line, Mask: memaddr.FullMask,
 		})
@@ -529,6 +578,7 @@ func (l *LLC) invalidateSharers(e *cache.Entry[llcLine], m *proto.Message) {
 	st.shared = false
 	if t.pendingAcks == 0 {
 		// No remote sharers: proceed immediately.
+		l.freeTxn(t)
 		l.process(e, m)
 		return
 	}
@@ -615,7 +665,10 @@ func (l *LLC) handleReqWTData(e *cache.Entry[llcLine], m *proto.Message) {
 		// Table III: ReqWT+data on O → blocking RvkO to the owner; the
 		// update is performed here once up-to-date data returns (Fig. 1b).
 		l.forward(e, m, proto.RvkO, owned)
-		l.txns[m.Line] = &llcTxn{kind: txnRvk, line: m.Line, origin: m, rvkMask: owned}
+		t := l.newTxn(txnRvk, m.Line)
+		t.origin = *m
+		t.rvkMask = owned
+		l.txns[m.Line] = t
 		l.st.Inc("llc.blocked.rvk", 1)
 		if l.obs != nil {
 			l.blockEv(m)
@@ -630,7 +683,7 @@ func (l *LLC) handleReqWTData(e *cache.Entry[llcLine], m *proto.Message) {
 // with the pre-update value (paper §III-A).
 func (l *LLC) performUpdate(e *cache.Entry[llcLine], m *proto.Message) {
 	st := &e.State
-	rsp := &proto.Message{
+	rsp := proto.Message{
 		Type: proto.RspWTData, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: m.Mask, HasData: true,
 		Trace: m.Trace,
@@ -650,7 +703,7 @@ func (l *LLC) performUpdate(e *cache.Entry[llcLine], m *proto.Message) {
 			st.dirty |= memaddr.MaskOf(i)
 		}
 	})
-	l.send(rsp)
+	l.sendV(rsp)
 	l.st.Inc("llc.atomics", 1)
 }
 
@@ -721,7 +774,7 @@ func (l *LLC) handleReqWB(m *proto.Message) {
 		// eviction race and the data is stale.
 		l.st.Inc("llc.wb.nonowner", 1)
 	}
-	l.send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.RspWB, Dst: m.Src, Requestor: m.Src, ReqID: m.ReqID,
 		Line: m.Line, Mask: m.Mask, Trace: m.Trace,
 	})
@@ -786,8 +839,7 @@ func (l *LLC) handleRspRvkO(m *proto.Message) {
 // answers an older, already-resolved revocation of the same line.
 func (l *LLC) rvkEchoMatches(t *llcTxn, m *proto.Message) bool {
 	if t.kind == txnRvk {
-		return t.origin != nil &&
-			m.Requestor == t.origin.Requestor && m.ReqID == t.origin.ReqID
+		return m.Requestor == t.origin.Requestor && m.ReqID == t.origin.ReqID
 	}
 	return m.Requestor == l.ID && m.ReqID == t.rvkID
 }
@@ -811,27 +863,27 @@ func (l *LLC) maybeCompleteRvk(line memaddr.LineAddr) {
 	if t.kind == txnEvict {
 		t.resume()
 		l.drain(t)
+		l.freeTxn(t)
 		return
 	}
-	if t.origin != nil {
-		if l.obs != nil {
-			l.unblockEv(t.origin)
-			l.txnOcc()
-		}
-		// The blocked request resumes: for ReqWT+data, perform the update
-		// now that data is home; for ReqS(1), MESI owners already sent
-		// RspS directly, and the LLC now answers for any words it revoked
-		// from self-invalidating owners.
-		switch t.origin.Type {
-		case proto.ReqWTData:
-			l.performUpdate(e, t.origin)
-		case proto.ReqS:
-			l.respond(t.origin, proto.RspS, t.serveMask, true, e)
-		default:
-			panic("core: unexpected rvk origin " + t.origin.Type.String())
-		}
+	if l.obs != nil {
+		l.unblockEv(&t.origin)
+		l.txnOcc()
+	}
+	// The blocked request resumes: for ReqWT+data, perform the update
+	// now that data is home; for ReqS(1), MESI owners already sent
+	// RspS directly, and the LLC now answers for any words it revoked
+	// from self-invalidating owners.
+	switch t.origin.Type {
+	case proto.ReqWTData:
+		l.performUpdate(e, &t.origin)
+	case proto.ReqS:
+		l.respond(&t.origin, proto.RspS, t.serveMask, true, e)
+	default:
+		panic("core: unexpected rvk origin " + t.origin.Type.String())
 	}
 	l.drain(t)
+	l.freeTxn(t)
 }
 
 // handleInvAck counts sharer invalidation acks; when the last arrives the
@@ -859,6 +911,7 @@ func (l *LLC) handleInvAck(m *proto.Message) {
 	if t.kind == txnEvict {
 		t.resume()
 		l.drain(t)
+		l.freeTxn(t)
 		return
 	}
 	e := l.array.Peek(m.Line)
@@ -866,18 +919,20 @@ func (l *LLC) handleInvAck(m *proto.Message) {
 		panic("core: InvAck for absent line")
 	}
 	if l.obs != nil {
-		l.unblockEv(t.origin)
+		l.unblockEv(&t.origin)
 		l.txnOcc()
 	}
-	l.process(e, t.origin)
+	l.process(e, &t.origin)
 	l.drain(t)
+	l.freeTxn(t)
 }
 
 // drain re-dispatches requests queued behind a completed transaction. If a
 // re-dispatched request starts a new transaction, the remainder transfers
 // to its queue, preserving order.
 func (l *LLC) drain(t *llcTxn) {
-	for i, m := range t.waiting {
+	for i := range t.waiting {
+		m := &t.waiting[i]
 		if nt, ok := l.txns[t.line]; ok {
 			nt.waiting = append(nt.waiting, t.waiting[i:]...)
 			return

@@ -24,7 +24,8 @@ func (l *LLC) startFetch(m *proto.Message) {
 	//spandex:transition ReqWTData from=I to=F+fetch|I+fetch emits=MemRead,RvkO,Inv,MemWrite
 	//spandex:transition ReqOData from=I to=F+fetch|I+fetch emits=MemRead,RvkO,Inv,MemWrite
 	l.observe(m)
-	t := &llcTxn{kind: txnFetch, line: m.Line, waiting: []*proto.Message{m}}
+	t := l.newTxn(txnFetch, m.Line)
+	t.waiting = append(t.waiting, *m)
 	l.txns[m.Line] = t
 	l.st.Inc("llc.miss", 1)
 	if l.obs != nil {
@@ -32,18 +33,19 @@ func (l *LLC) startFetch(m *proto.Message) {
 		l.txnOcc()
 	}
 
-	victim := l.pickVictim(m.Line)
+	line := m.Line
+	victim := l.pickVictim(line)
 	if victim == nil {
 		// Every frame in the set is mid-transaction; retry shortly.
-		l.eng.Schedule(victimRetry, func() { l.retryAlloc(m.Line) })
+		l.eng.Schedule(victimRetry, func() { l.retryAlloc(line) })
 		return
 	}
 	if !victim.Valid {
-		l.installAndRead(victim, m.Line)
+		l.installAndRead(victim, line)
 		return
 	}
 	l.evict(victim, func() {
-		l.installAndRead(victim, m.Line)
+		l.installAndRead(victim, line)
 	})
 }
 
@@ -88,7 +90,7 @@ func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
 			panic("core: victim vanished during eviction")
 		}
 		if e.State.dirty != 0 {
-			l.send(&proto.Message{
+			l.sendV(proto.Message{
 				Type: proto.MemWrite, Dst: l.MemID, Requestor: l.ID,
 				Line: line, Mask: e.State.dirty, HasData: true, Data: e.State.data,
 			})
@@ -97,14 +99,16 @@ func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
 		resume()
 	}
 
-	t := &llcTxn{kind: txnEvict, line: line, resume: finish}
+	t := l.newTxn(txnEvict, line)
+	t.resume = finish
 
 	if st.ownedMask != 0 {
 		t.rvkMask = st.ownedMask
 		l.rvkSeq++
 		t.rvkID = l.rvkSeq
-		for _, ow := range ownersOf(st, st.ownedMask) {
-			l.send(&proto.Message{
+		var owb ownerBuf
+		for _, ow := range ownersOf(st, st.ownedMask, &owb) {
+			l.sendV(proto.Message{
 				Type: proto.RvkO, Dst: l.devices[ow.owner], Requestor: l.ID,
 				ReqID: t.rvkID, Line: line, Mask: ow.words,
 			})
@@ -119,7 +123,7 @@ func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
 				continue
 			}
 			t.pendingAcks++
-			l.send(&proto.Message{
+			l.sendV(proto.Message{
 				Type: proto.Inv, Dst: l.devices[i], Requestor: l.devices[i],
 				Line: line, Mask: memaddr.FullMask,
 			})
@@ -132,6 +136,8 @@ func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
 			return
 		}
 	}
+	// Neither owners nor sharers: the txn was never installed.
+	l.freeTxn(t)
 	finish()
 	l.afterTransition(line)
 }
@@ -150,7 +156,7 @@ func (l *LLC) installAndRead(frame *cache.Entry[llcLine], line memaddr.LineAddr)
 	if t, ok := l.txns[line]; ok && len(t.waiting) > 0 {
 		tr = t.waiting[0].Trace
 	}
-	l.send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.MemRead, Dst: l.MemID, Requestor: l.ID,
 		Line: line, Mask: memaddr.FullMask, Trace: tr,
 	})
@@ -179,4 +185,5 @@ func (l *LLC) handleMemRsp(m *proto.Message) {
 	}
 	l.afterTransition(m.Line)
 	l.drain(t)
+	l.freeTxn(t)
 }

@@ -50,7 +50,23 @@ type MESITU struct {
 	internalInvs map[uint64]bool
 	reqSeq       uint64
 
+	// out is the sendV scratch slot (see sendV); toL1 is the same idiom
+	// for synchronous L1 injections (see l1V).
+	out  proto.Message
+	toL1 proto.Message
+
+	// pendPool/probePool/wbPool recycle the TU's transient records (and
+	// their queues' backing arrays) across transactions.
+	pendPool  sim.Pool[tuPending]
+	probePool sim.Pool[tuProbe]
+	wbPool    sim.Pool[tuWB]
+
 	checker *Checker
+
+	// fromL1Q/fromNetQ defer messages by the TU lookup latency into the
+	// translation paths (pooled; see noc.DelayQueue).
+	fromL1Q  *noc.DelayQueue
+	fromNetQ *noc.DelayQueue
 }
 
 type tuKind uint8
@@ -88,7 +104,9 @@ type tuPending struct {
 	// still serves the waiting loads — they are ordered before the
 	// invalidating write — but the line must not stay resident.
 	invalidated bool
-	deferred    []*proto.Message
+	// deferred holds externals by value; the backing array is recycled
+	// with the tuPending through pendPool.
+	deferred []proto.Message
 }
 
 type tuWB struct {
@@ -98,12 +116,14 @@ type tuWB struct {
 
 type tuProbe struct {
 	// orig is the external Spandex request that triggered the synthesized
-	// MESI probe; nil for the case-2 post-grant cleanup.
-	orig *proto.Message
+	// MESI probe; hasOrig is false for the case-2 post-grant cleanup.
+	orig    proto.Message
+	hasOrig bool
 	// downgraded: words not written back after a case-2 cleanup.
 	downgraded memaddr.WordMask
-	// afterward: externals that arrived while the probe was in flight.
-	afterward []*proto.Message
+	// afterward: externals that arrived while the probe was in flight,
+	// held by value (backing array recycled through probePool).
+	afterward []proto.Message
 }
 
 // NewMESITU creates the TU for one MESI device. Call Bind with the L1
@@ -117,6 +137,14 @@ func NewMESITU(id proto.NodeID, eng *sim.Engine, net *noc.Network, st *stats.Sta
 		probeLines:   make(map[memaddr.LineAddr]uint64),
 		internalInvs: make(map[uint64]bool),
 	}
+	tu.fromL1Q = noc.NewDelayQueue(eng, latency, func(m *proto.Message) {
+		tu.fromL1(m)
+		tu.audit(m)
+	})
+	tu.fromNetQ = noc.NewDelayQueue(eng, latency, func(m *proto.Message) {
+		tu.fromNet(m)
+		tu.audit(m)
+	})
 	net.Register(id, tu)
 	return tu
 }
@@ -185,37 +213,66 @@ func (tu *MESITU) sendNet(m *proto.Message) {
 	tu.net.Send(m)
 }
 
+// sendV transmits a by-value message. Every network/port Send copies the
+// message synchronously before anything downstream can run, so a single
+// scratch slot per sender is safe and avoids a heap allocation per send
+// (the &proto.Message{...} literal idiom escapes through the Port
+// interface).
+func (tu *MESITU) sendNetV(m proto.Message) {
+	tu.out = m
+	tu.sendNet(&tu.out)
+}
+
+func (tu *MESITU) sendLLCV(m proto.Message) {
+	tu.out = m
+	tu.sendLLC(&tu.out)
+}
+
+// l1V injects a by-value message into the MESI cache. L1.HandleMessage
+// consumes the message synchronously (anything it retains is copied), so
+// one scratch slot is safe — the same contract sendV relies on.
+func (tu *MESITU) l1V(m proto.Message) {
+	tu.toL1 = m
+	tu.l1.HandleMessage(&tu.toL1)
+}
+
+// newPending takes a grant record from the pool, keeping the deferred
+// queue's backing array from its previous life.
+func (tu *MESITU) newPending(kind tuKind, l1ReqID, trace uint64) *tuPending {
+	p := tu.pendPool.Get()
+	*p = tuPending{kind: kind, l1ReqID: l1ReqID, trace: trace, deferred: p.deferred[:0]}
+	return p
+}
+
 // Send implements noc.Port: it receives everything the MESI L1 emits.
 func (tu *MESITU) Send(m *proto.Message) {
-	cp := *m
-	if cp.Type == proto.MPutM {
+	if m.Type == proto.MPutM {
 		// Record the write-back synchronously: the L1 invalidates its
 		// frame in the same instant it announces the eviction, so the
 		// record must exist before any concurrently delivered external
 		// probes the now-Invalid cache (the port latency models moving
 		// the data, not the state change). Externals may consume words
 		// from the record before fromL1 emits the ReqWB.
-		tu.wbs[cp.Line] = &tuWB{mask: memaddr.FullMask, data: cp.Data}
+		wb := tu.wbPool.Get()
+		*wb = tuWB{mask: memaddr.FullMask, data: m.Data}
+		tu.wbs[m.Line] = wb
 	}
-	tu.eng.Schedule(tu.latency, func() {
-		tu.fromL1(&cp)
-		tu.audit(&cp)
-	})
+	tu.fromL1Q.Post(m)
 }
 
 func (tu *MESITU) fromL1(m *proto.Message) {
 	switch m.Type {
 	case proto.MGetS:
-		p := &tuPending{kind: pendS, l1ReqID: m.ReqID, trace: m.Trace}
+		p := tu.newPending(pendS, m.ReqID, m.Trace)
 		tu.pend[m.Line] = p
-		tu.sendLLC(&proto.Message{
+		tu.sendLLCV(proto.Message{
 			Type: proto.ReqS, Requestor: tu.ID, ReqID: m.ReqID,
 			Line: m.Line, Mask: memaddr.FullMask, Trace: p.trace,
 		})
 	case proto.MGetM:
-		p := &tuPending{kind: pendM, l1ReqID: m.ReqID, trace: m.Trace}
+		p := tu.newPending(pendM, m.ReqID, m.Trace)
 		tu.pend[m.Line] = p
-		tu.sendLLC(&proto.Message{
+		tu.sendLLCV(proto.Message{
 			Type: proto.ReqOData, Requestor: tu.ID, ReqID: m.ReqID,
 			Line: m.Line, Mask: memaddr.FullMask, Trace: p.trace,
 		})
@@ -223,7 +280,7 @@ func (tu *MESITU) fromL1(m *proto.Message) {
 		// The write-back record was created synchronously in Send (and
 		// externals may have consumed words from it since); only the
 		// ReqWB emission pays the port latency.
-		tu.sendLLC(&proto.Message{
+		tu.sendLLCV(proto.Message{
 			Type: proto.ReqWB, Requestor: tu.ID, ReqID: m.ReqID,
 			Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: m.Data,
 		})
@@ -232,7 +289,7 @@ func (tu *MESITU) fromL1(m *proto.Message) {
 			delete(tu.internalInvs, m.ReqID)
 			return
 		}
-		tu.sendLLC(&proto.Message{
+		tu.sendLLCV(proto.Message{
 			Type: proto.InvAck, Requestor: tu.ID, ReqID: m.ReqID,
 			Line: m.Line, Mask: m.Mask, Trace: m.Trace,
 		})
@@ -243,6 +300,7 @@ func (tu *MESITU) fromL1(m *proto.Message) {
 		}
 		delete(tu.probes, m.ReqID)
 		tu.probeDone(probe, m)
+		tu.probePool.Put(probe)
 	case proto.MDataS, proto.MDataM:
 		// Duplicate copies of probe responses addressed to ourselves;
 		// MWBData carries everything the TU needs.
@@ -256,11 +314,7 @@ func (tu *MESITU) fromL1(m *proto.Message) {
 
 // HandleMessage implements noc.Handler for network-side traffic.
 func (tu *MESITU) HandleMessage(m *proto.Message) {
-	cp := *m
-	tu.eng.Schedule(tu.latency, func() {
-		tu.fromNet(&cp)
-		tu.audit(&cp)
-	})
+	tu.fromNetQ.Post(m)
 }
 
 func (tu *MESITU) fromNet(m *proto.Message) {
@@ -282,9 +336,10 @@ func (tu *MESITU) fromNet(m *proto.Message) {
 			wb.mask &^= m.Mask
 			if wb.mask == 0 {
 				delete(tu.wbs, m.Line)
+				tu.wbPool.Put(wb)
 			}
 		}
-		tu.l1.HandleMessage(&proto.Message{
+		tu.l1V(proto.Message{
 			Type: proto.MAckWB, Src: tu.ID, Requestor: tu.ID,
 			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 		})
@@ -292,7 +347,7 @@ func (tu *MESITU) fromNet(m *proto.Message) {
 		if p, ok := tu.pend[m.Line]; ok && p.kind == pendS {
 			p.invalidated = true
 		}
-		tu.l1.HandleMessage(&proto.Message{
+		tu.l1V(proto.Message{
 			Type: proto.MInv, Src: tu.ID, Requestor: tu.ID,
 			ReqID: m.ReqID, Line: m.Line, Mask: m.Mask,
 		})
@@ -315,7 +370,7 @@ func (tu *MESITU) handleOpt2Nack(m *proto.Message) {
 	if fresh != 0 {
 		p.retried |= fresh
 		tu.st.Inc("tu.nack_retry", 1)
-		tu.sendLLC(&proto.Message{
+		tu.sendLLCV(proto.Message{
 			Type: proto.ReqS, Requestor: tu.ID, ReqID: p.l1ReqID,
 			Line: m.Line, Mask: fresh, Trace: p.trace,
 		})
@@ -324,7 +379,7 @@ func (tu *MESITU) handleOpt2Nack(m *proto.Message) {
 	if escalate != 0 {
 		p.escalated |= escalate
 		tu.st.Inc("tu.nack_escalate", 1)
-		tu.sendLLC(&proto.Message{
+		tu.sendLLCV(proto.Message{
 			Type: proto.ReqOData, Requestor: tu.ID, ReqID: p.l1ReqID,
 			Line: m.Line, Mask: escalate, Trace: p.trace,
 		})
@@ -361,7 +416,7 @@ func (tu *MESITU) handleGrantPart(m *proto.Message, owned bool) {
 	default:
 		grant = proto.MDataS
 	}
-	tu.l1.HandleMessage(&proto.Message{
+	tu.l1V(proto.Message{
 		Type: grant, Src: tu.ID, Requestor: tu.ID, ReqID: p.l1ReqID,
 		Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: p.data,
 		Trace: p.trace,
@@ -373,7 +428,7 @@ func (tu *MESITU) handleGrantPart(m *proto.Message, owned bool) {
 		// off the grant above), and release any words we were left owning.
 		id := tu.nextReq()
 		tu.internalInvs[id] = true
-		tu.l1.HandleMessage(&proto.Message{
+		tu.l1V(proto.Message{
 			Type: proto.MInv, Src: tu.ID, Requestor: tu.ID, ReqID: id,
 			Line: m.Line, Mask: memaddr.FullMask,
 		})
@@ -385,22 +440,32 @@ func (tu *MESITU) handleGrantPart(m *proto.Message, owned bool) {
 		// word that received no downgrade request (paper §III-D). The
 		// deferred externals resume once the write-back record exists.
 		id := tu.probe(m.Line, proto.MFwdGetM, nil, p.downgraded)
-		tu.probes[id].afterward = p.deferred
+		// Copy, not alias: p (and its deferred backing array) returns to
+		// the pool now, while the probe's queue lives on.
+		pr := tu.probes[id]
+		pr.afterward = append(pr.afterward, p.deferred...)
+		tu.pendPool.Put(p)
 		return
 	}
-	for _, d := range p.deferred {
-		tu.fromNet(d)
+	for i := range p.deferred {
+		tu.fromNet(&p.deferred[i])
 	}
+	tu.pendPool.Put(p)
 }
 
 // probe synthesizes a MESI-native probe so the unmodified cache performs
 // the downgrade; the response returns through Send as MWBData.
 func (tu *MESITU) probe(line memaddr.LineAddr, typ proto.MsgType, orig *proto.Message, downgraded memaddr.WordMask) uint64 {
 	id := tu.nextReq()
-	tu.probes[id] = &tuProbe{orig: orig, downgraded: downgraded}
+	pr := tu.probePool.Get()
+	*pr = tuProbe{downgraded: downgraded, afterward: pr.afterward[:0]}
+	if orig != nil {
+		pr.orig, pr.hasOrig = *orig, true
+	}
+	tu.probes[id] = pr
 	tu.probeLines[line] = id
 	tu.st.Inc("tu.probe", 1)
-	tu.l1.HandleMessage(&proto.Message{
+	tu.l1V(proto.Message{
 		Type: typ, Src: tu.ID, Requestor: tu.ID, ReqID: id,
 		Line: line, Mask: memaddr.FullMask,
 	})
@@ -413,17 +478,17 @@ func (tu *MESITU) probe(line memaddr.LineAddr, typ proto.MsgType, orig *proto.Me
 func (tu *MESITU) probeDone(p *tuProbe, wb *proto.Message) {
 	delete(tu.probeLines, wb.Line)
 	defer func() {
-		for _, d := range p.afterward {
-			tu.handleExternal(d)
+		for i := range p.afterward {
+			tu.handleExternal(&p.afterward[i])
 		}
 	}()
-	if p.orig == nil {
+	if !p.hasOrig {
 		// Case-2 cleanup: write back the words that were not downgraded.
 		rest := memaddr.FullMask &^ p.downgraded
 		tu.writeBack(wb.Line, rest, wb.Data)
 		return
 	}
-	m := p.orig
+	m := &p.orig
 	rest := memaddr.FullMask &^ m.Mask
 	switch m.Type {
 	case proto.ReqO:
@@ -441,13 +506,13 @@ func (tu *MESITU) probeDone(p *tuProbe, wb *proto.Message) {
 		// M→S downgrade: data to the reader, write-back to the LLC. The
 		// full line's ownership clears at the LLC.
 		tu.respond(m, proto.RspS, m.Mask, &wb.Data)
-		tu.sendLLC(&proto.Message{
+		tu.sendLLCV(proto.Message{
 			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: wb.Data,
 			Trace: m.Trace,
 		})
 	case proto.RvkO:
-		tu.sendLLC(&proto.Message{
+		tu.sendLLCV(proto.Message{
 			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: memaddr.FullMask, HasData: true, Data: wb.Data,
 			Trace: m.Trace,
@@ -466,16 +531,18 @@ func (tu *MESITU) writeBack(line memaddr.LineAddr, mask memaddr.WordMask, data m
 		wb.mask |= mask
 		wb.data.Merge(&data, mask)
 	} else {
-		tu.wbs[line] = &tuWB{mask: mask, data: data}
+		wb := tu.wbPool.Get()
+		*wb = tuWB{mask: mask, data: data}
+		tu.wbs[line] = wb
 	}
-	tu.sendLLC(&proto.Message{
+	tu.sendLLCV(proto.Message{
 		Type: proto.ReqWB, Requestor: tu.ID, ReqID: tu.nextReq(),
 		Line: line, Mask: mask, HasData: true, Data: data,
 	})
 }
 
 func (tu *MESITU) respond(m *proto.Message, typ proto.MsgType, mask memaddr.WordMask, data *memaddr.LineData) {
-	rsp := &proto.Message{
+	rsp := proto.Message{
 		Type: typ, Dst: m.Requestor, Requestor: m.Requestor, ReqID: m.ReqID,
 		Line: m.Line, Mask: mask, Trace: m.Trace,
 	}
@@ -483,7 +550,7 @@ func (tu *MESITU) respond(m *proto.Message, typ proto.MsgType, mask memaddr.Word
 		rsp.HasData = true
 		rsp.Data = *data
 	}
-	tu.sendNet(rsp)
+	tu.sendNetV(rsp)
 }
 
 // handleExternal routes a forwarded request or probe by the line's current
@@ -498,19 +565,20 @@ func (tu *MESITU) respond(m *proto.Message, typ proto.MsgType, mask memaddr.Word
 // response.
 func (tu *MESITU) handleExternal(m *proto.Message) {
 	if wb, ok := tu.wbs[m.Line]; ok && m.Mask&wb.mask != 0 {
-		if rest := m.Mask &^ wb.mask; rest != 0 {
-			sub := *m
-			sub.Mask = rest
-			defer tu.handleExternal(&sub)
-		}
+		rest := m.Mask &^ wb.mask
 		sub := *m
 		sub.Mask = m.Mask & wb.mask
 		tu.fromWBRecord(&sub, wb)
+		if rest != 0 {
+			sub = *m
+			sub.Mask = rest
+			tu.handleExternal(&sub)
+		}
 		return
 	}
 	if id, ok := tu.probeLines[m.Line]; ok {
-		cp := *m
-		tu.probes[id].afterward = append(tu.probes[id].afterward, &cp)
+		pr := tu.probes[id]
+		pr.afterward = append(pr.afterward, *m)
 		return
 	}
 	if p, ok := tu.pend[m.Line]; ok {
@@ -526,8 +594,7 @@ func (tu *MESITU) handleExternal(m *proto.Message) {
 			return
 		}
 		// Data-requiring requests wait for the grant.
-		cp := *m
-		p.deferred = append(p.deferred, &cp)
+		p.deferred = append(p.deferred, *m)
 		tu.st.Inc("tu.case2_deferred", 1)
 		return
 	}
@@ -563,10 +630,12 @@ func (tu *MESITU) handleExternal(m *proto.Message) {
 func (tu *MESITU) fromWBRecord(m *proto.Message, wb *tuWB) {
 	avail := m.Mask & wb.mask
 	missing := m.Mask &^ wb.mask
+	la := m.Line
 	clear := func(mask memaddr.WordMask) {
 		wb.mask &^= mask
 		if wb.mask == 0 {
-			delete(tu.wbs, m.Line)
+			delete(tu.wbs, la)
+			tu.wbPool.Put(wb)
 		}
 	}
 	switch m.Type {
@@ -588,14 +657,14 @@ func (tu *MESITU) fromWBRecord(m *proto.Message, wb *tuWB) {
 		clear(m.Mask)
 	case proto.ReqS:
 		tu.respond(m, proto.RspS, m.Mask, &wb.data)
-		tu.sendLLC(&proto.Message{
+		tu.sendLLCV(proto.Message{
 			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: m.Mask, HasData: true, Data: wb.data,
 			Trace: m.Trace,
 		})
 		clear(m.Mask)
 	case proto.RvkO:
-		tu.sendLLC(&proto.Message{
+		tu.sendLLCV(proto.Message{
 			Type: proto.RspRvkO, Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: m.Mask, HasData: true, Data: wb.data,
 			Trace: m.Trace,

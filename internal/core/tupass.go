@@ -18,12 +18,19 @@ type PassTU struct {
 	net     *noc.Network
 	latency sim.Time
 	inner   noc.Handler
+
+	// outQ/inQ defer messages by the TU lookup latency in each direction
+	// (pooled; see noc.DelayQueue).
+	outQ *noc.DelayQueue
+	inQ  *noc.DelayQueue
 }
 
 // NewPassTU creates the shim and registers it as node id's handler. Attach
 // the device with Bind, and give the device the TU as its port.
 func NewPassTU(id proto.NodeID, eng *sim.Engine, net *noc.Network, latency sim.Time) *PassTU {
 	tu := &PassTU{ID: id, eng: eng, net: net, latency: latency}
+	tu.outQ = noc.NewDelayQueue(eng, latency, func(m *proto.Message) { tu.net.Send(m) })
+	tu.inQ = noc.NewDelayQueue(eng, latency, func(m *proto.Message) { tu.inner.HandleMessage(m) })
 	net.Register(id, tu)
 	return tu
 }
@@ -35,11 +42,10 @@ func (tu *PassTU) Bind(h noc.Handler) { tu.inner = h }
 func (tu *PassTU) Send(m *proto.Message) {
 	cp := *m
 	cp.Src = tu.ID
-	tu.eng.Schedule(tu.latency, func() { tu.net.Send(&cp) })
+	tu.outQ.Post(&cp)
 }
 
 // HandleMessage implements noc.Handler for inbound messages.
 func (tu *PassTU) HandleMessage(m *proto.Message) {
-	cp := *m
-	tu.eng.Schedule(tu.latency, func() { tu.inner.HandleMessage(&cp) })
+	tu.inQ.Post(m)
 }

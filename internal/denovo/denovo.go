@@ -98,8 +98,9 @@ type atomicReq struct {
 	op   device.Op
 	done func(uint32)
 	// deferred external requests for this word, processed once data
-	// arrives (paper §III-C1).
-	deferred []*proto.Message
+	// arrives (paper §III-C1). Held by value: the queue's backing array
+	// is the only allocation, amortized across the atom's lifetime.
+	deferred []proto.Message
 	// downgradeAfter marks that a deferred external revokes our ownership
 	// as soon as the atomic completes.
 	atLLC bool
@@ -122,17 +123,23 @@ type L1 struct {
 
 	port noc.Port
 
+	// out is the sendV scratch slot (see sendV).
+	out proto.Message
+
 	array *cache.Array[line]
 	reads *cache.MSHR[readMiss]
 	wb    *cache.WriteBuffer
 	owns  map[memaddr.LineAddr]*ownReq
-	atoms map[uint64]*atomicReq
+	atoms map[uint64]atomicReq
 	// atomByWord finds the pending atomic covering a word for deferral.
 	atomByWord map[memaddr.Addr]uint64
 	wbs        map[memaddr.LineAddr]*pendingWB
 
 	flushWaiters []func()
 	reqSeq       uint64
+
+	// ownPool recycles ownReq records across ownership transactions.
+	ownPool sim.Pool[ownReq]
 
 	obs *obs.Recorder
 	// curTrace is the trace id of the operation currently inside Access,
@@ -160,13 +167,23 @@ func New(id proto.NodeID, eng *sim.Engine, port noc.Port, st *stats.Stats, cfg C
 		reads:      cache.NewMSHR[readMiss](cfg.MSHREntries),
 		wb:         cache.NewWriteBuffer(cfg.WriteBufferEntries),
 		owns:       make(map[memaddr.LineAddr]*ownReq),
-		atoms:      make(map[uint64]*atomicReq),
+		atoms:      make(map[uint64]atomicReq),
 		atomByWord: make(map[memaddr.Addr]uint64),
 		wbs:        make(map[memaddr.LineAddr]*pendingWB),
 	}
 }
 
 var _ device.L1Cache = (*L1)(nil)
+
+// sendV transmits a by-value message through the port. Every port Send
+// copies the message synchronously before anything downstream can run, so
+// a single scratch slot per sender is safe and avoids a heap allocation
+// per send (the &proto.Message{...} literal idiom escapes through the
+// Port interface).
+func (l *L1) sendV(m proto.Message) {
+	l.out = m
+	l.port.Send(&l.out)
+}
 
 func (l *L1) nextReq() uint64 {
 	l.reqSeq++
@@ -196,31 +213,31 @@ func (l *L1) Access(op device.Op, done func(uint32)) bool {
 func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 	la, w := addr.Line(), addr.WordIndex()
 	if v, ok := l.wb.ReadForward(addr); ok {
-		l.eng.Schedule(l.cfg.HitLatency, func() { done(v) })
+		l.eng.ScheduleCall(l.cfg.HitLatency, done, v)
 		return true
 	}
 	if o := l.owns[la]; o != nil && o.issued.Has(w) {
 		v := o.data[w]
-		l.eng.Schedule(l.cfg.HitLatency, func() { done(v) })
+		l.eng.ScheduleCall(l.cfg.HitLatency, done, v)
 		return true
 	}
 	if e := l.array.Lookup(la); e != nil && e.State.valid.Has(w) {
 		v := e.State.data[w]
 		l.st.Inc("dnl1.hit", 1)
-		l.eng.Schedule(l.cfg.HitLatency, func() { done(v) })
+		l.eng.ScheduleCall(l.cfg.HitLatency, done, v)
 		return true
 	}
 	if r := l.reads.Lookup(la); r != nil {
 		if r.arrived.Has(w) {
 			v := r.data[w]
-			l.eng.Schedule(l.cfg.HitLatency, func() { done(v) })
+			l.eng.ScheduleCall(l.cfg.HitLatency, done, v)
 			return true
 		}
 		r.waiters = append(r.waiters, waiter{word: w, done: done})
 		if !r.want.Has(w) {
 			// Extend the outstanding read (word granularity, Table II).
 			r.want |= addr.WordMaskOf()
-			l.port.Send(&proto.Message{
+			l.sendV(proto.Message{
 				Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
 				ReqID: r.reqID, Line: la, Mask: addr.WordMaskOf(),
 				Trace: l.curTrace,
@@ -232,16 +249,15 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 		l.st.Inc("dnl1.mshr_stall", 1)
 		return false
 	}
-	r := l.reads.Alloc(la)
-	r.reqID = l.nextReq()
-	r.trace = l.curTrace
-	r.want = addr.WordMaskOf()
+	r := l.reads.AllocReuse(la)
+	*r = readMiss{reqID: l.nextReq(), trace: l.curTrace,
+		want: addr.WordMaskOf(), waiters: r.waiters[:0]}
 	r.waiters = append(r.waiters, waiter{word: w, done: done})
 	l.st.Inc("dnl1.miss", 1)
 	if l.obs != nil {
 		l.mshrOcc()
 	}
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: r.reqID, Line: la, Mask: addr.WordMaskOf(), Trace: r.trace,
 	})
@@ -307,10 +323,11 @@ func (l *L1) issueOwn(la memaddr.LineAddr) {
 		return
 	}
 	l.wb.MarkIssued(e)
-	o := &ownReq{reqID: l.nextReq(), issued: e.Mask, data: e.Data}
+	o := l.ownPool.Get()
+	*o = ownReq{reqID: l.nextReq(), issued: e.Mask, data: e.Data}
 	l.owns[la] = o
 	l.st.Inc("dnl1.reqo", 1)
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.ReqO, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: o.reqID, Line: la, Mask: e.Mask,
 	})
@@ -329,7 +346,7 @@ func (l *L1) atomic(op device.Op, done func(uint32)) bool {
 					e.State.data[w] = nv
 				}
 				l.st.Inc("dnl1.atomic_hit", 1)
-				l.eng.Schedule(l.cfg.HitLatency, func() { done(old) })
+				l.eng.ScheduleCall(l.cfg.HitLatency, done, old)
 				return true
 			}
 		}
@@ -348,15 +365,14 @@ func (l *L1) atomic(op device.Op, done func(uint32)) bool {
 	// spin-waiter steal the flag word and ping-pong it.
 	atLLC := l.cfg.AtomicsAtLLC || op.Atomic == proto.AtomicRead
 	id := l.nextReq()
-	a := &atomicReq{op: op, done: done, atLLC: atLLC}
-	l.atoms[id] = a
+	l.atoms[id] = atomicReq{op: op, done: done, atLLC: atLLC}
 	l.atomByWord[op.Addr] = id
 	typ := proto.ReqOData
 	if atLLC {
 		typ = proto.ReqWTData
 	}
 	l.st.Inc("dnl1.atomic_miss", 1)
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: typ, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: id, Line: la, Mask: op.Addr.WordMaskOf(),
 		Atomic: op.Atomic, Operand: op.Value, Compare: op.Compare,
@@ -370,19 +386,13 @@ func (l *L1) atomic(op device.Op, done func(uint32)) bool {
 // acquire flash drops Valid words in that range only, keeping read reuse
 // in the rest of the cache.
 func (l *L1) SelfInvalidateRegion(lo, hi memaddr.Addr) {
-	var drop []memaddr.LineAddr
-	l.array.ForEach(func(e *cache.Entry[line]) {
+	l.array.InvalidateWhere(func(e *cache.Entry[line]) bool {
 		if memaddr.Addr(e.Line)+memaddr.LineBytes <= lo || memaddr.Addr(e.Line) >= hi {
-			return
+			return false
 		}
 		e.State.valid &= e.State.owned
-		if e.State.valid == 0 && e.State.owned == 0 {
-			drop = append(drop, e.Line)
-		}
+		return e.State.valid == 0 && e.State.owned == 0
 	})
-	for _, la := range drop {
-		l.array.Invalidate(la)
-	}
 	l.st.Inc("dnl1.selfinv_region", 1)
 }
 
@@ -391,16 +401,10 @@ var _ device.RegionInvalidator = (*L1)(nil)
 // SelfInvalidate drops Valid-but-not-Owned words (the acquire flash).
 // Owned words keep both state and data — DeNovo's key reuse property.
 func (l *L1) SelfInvalidate() {
-	var drop []memaddr.LineAddr
-	l.array.ForEach(func(e *cache.Entry[line]) {
+	l.array.InvalidateWhere(func(e *cache.Entry[line]) bool {
 		e.State.valid &= e.State.owned
-		if e.State.valid == 0 && e.State.owned == 0 {
-			drop = append(drop, e.Line)
-		}
+		return e.State.valid == 0 && e.State.owned == 0
 	})
-	for _, la := range drop {
-		l.array.Invalidate(la)
-	}
 	l.st.Inc("dnl1.selfinv", 1)
 }
 
@@ -471,7 +475,7 @@ func (l *L1) evict(frame *cache.Entry[line]) {
 		}
 		l.wbs[frame.Line] = wb
 		l.st.Inc("dnl1.wb_evict", 1)
-		l.port.Send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.ReqWB, Dst: l.cfg.ParentID, Requestor: l.ID,
 			ReqID: l.nextReq(), Line: frame.Line, Mask: st.owned,
 			HasData: true, Data: st.data,

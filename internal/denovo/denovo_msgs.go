@@ -61,7 +61,7 @@ func (l *L1) handleNack(m *proto.Message) {
 	if fresh != 0 {
 		r.retried |= fresh
 		l.st.Inc("dnl1.nack_retry", 1)
-		l.port.Send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
 			ReqID: r.reqID, Line: m.Line, Mask: fresh, Trace: r.trace,
 		})
@@ -72,7 +72,7 @@ func (l *L1) handleNack(m *proto.Message) {
 	if escalate != 0 {
 		r.escalated |= escalate
 		l.st.Inc("dnl1.nack_escalate", 1)
-		l.port.Send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.ReqOData, Dst: l.cfg.ParentID, Requestor: l.ID,
 			ReqID: r.reqID, Line: m.Line, Mask: escalate, Trace: r.trace,
 		})
@@ -82,11 +82,14 @@ func (l *L1) handleNack(m *proto.Message) {
 // completeRead fires waiters whose words arrived and installs the line
 // when the outstanding set is fully covered.
 func (l *L1) completeRead(la memaddr.LineAddr, r *readMiss) {
-	var rest []waiter
+	// Compact still-waiting entries in place: rest aliases r.waiters'
+	// backing array (appends lag the scan), so the slot keeps its waiter
+	// capacity across Free/AllocReuse cycles.
+	rest := r.waiters[:0]
 	for _, w := range r.waiters {
 		if r.arrived.Has(w.word) {
 			v := r.data[w.word]
-			l.eng.Schedule(0, func() { w.done(v) })
+			l.eng.ScheduleCall(0, w.done, v)
 		} else {
 			rest = append(rest, w)
 		}
@@ -133,6 +136,7 @@ func (l *L1) completeOwn(la memaddr.LineAddr, o *ownReq) {
 		e.State.data.Merge(&o.data, grant)
 	}
 	delete(l.owns, la)
+	l.ownPool.Put(o)
 	l.wb.Complete(la)
 	l.checkFlush()
 }
@@ -154,7 +158,7 @@ func (l *L1) handleRspOData(m *proto.Message) {
 	l.completeRead(m.Line, r)
 }
 
-func (l *L1) finishAtomic(id uint64, a *atomicReq, m *proto.Message) {
+func (l *L1) finishAtomic(id uint64, a atomicReq, m *proto.Message) {
 	la, w := a.op.Addr.Line(), a.op.Addr.WordIndex()
 	old := m.Data[w]
 	if a.atLLC {
@@ -176,8 +180,8 @@ func (l *L1) finishAtomic(id uint64, a *atomicReq, m *proto.Message) {
 	a.done(old)
 	// Externals that raced with the pending atomic resume against the now
 	// stable state (paper §III-C1: delayed until the data request completes).
-	for _, d := range deferred {
-		l.HandleMessage(d)
+	for i := range deferred {
+		l.HandleMessage(&deferred[i])
 	}
 }
 
@@ -207,7 +211,9 @@ func (l *L1) deferToAtomic(m *proto.Message, word int) {
 	id := l.atomByWord[addr]
 	cp := *m
 	cp.Mask = memaddr.MaskOf(word)
-	l.atoms[id].deferred = append(l.atoms[id].deferred, &cp)
+	a := l.atoms[id]
+	a.deferred = append(a.deferred, cp)
+	l.atoms[id] = a
 }
 
 // splitExternal partitions an external request's words by where their
@@ -290,7 +296,7 @@ func (l *L1) handleExtReqV(m *proto.Message) {
 			}
 		}
 		data := l.gatherData(extra, s)
-		l.port.Send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.RspV, Dst: m.Requestor, Requestor: m.Requestor,
 			ReqID: m.ReqID, Line: m.Line, Mask: serve, HasData: true, Data: data,
 			Trace: m.Trace,
@@ -300,7 +306,7 @@ func (l *L1) handleExtReqV(m *proto.Message) {
 		// We no longer own these words: Nack so the requestor retries
 		// (paper §III-C3).
 		l.st.Inc("dnl1.nack_sent", 1)
-		l.port.Send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.NackV, Dst: m.Requestor, Requestor: m.Requestor,
 			ReqID: m.ReqID, Line: m.Line, Mask: s.missing, Trace: m.Trace,
 		})
@@ -316,7 +322,7 @@ func (l *L1) handleExtOwn(m *proto.Message) {
 	if act == 0 {
 		return
 	}
-	rsp := &proto.Message{
+	rsp := proto.Message{
 		Type: proto.RspO, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: act, Trace: m.Trace,
 	}
@@ -326,7 +332,7 @@ func (l *L1) handleExtOwn(m *proto.Message) {
 		rsp.Data = l.gatherData(m, s)
 	}
 	l.downgrade(m.Line, s)
-	l.port.Send(rsp)
+	l.sendV(rsp)
 }
 
 // handleExtReqWT: the LLC already serialized the remote write-through and
@@ -340,7 +346,7 @@ func (l *L1) handleExtReqWT(m *proto.Message) {
 		return
 	}
 	l.downgrade(m.Line, s)
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.RspWT, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: act, Trace: m.Trace,
 	})
@@ -358,7 +364,7 @@ func (l *L1) handleRvkO(m *proto.Message) {
 	}
 	data := l.gatherData(m, s)
 	l.downgrade(m.Line, s)
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.RspRvkO, Dst: m.Src, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: act, HasData: true, Data: data,
 		Trace: m.Trace,
@@ -391,5 +397,5 @@ func (l *L1) handleInv(m *proto.Message) {
 	if e := l.array.Peek(m.Line); e != nil {
 		e.State.valid &= e.State.owned
 	}
-	l.port.Send(&proto.Message{Type: proto.InvAck, Dst: m.Src, Line: m.Line, Mask: m.Mask, Trace: m.Trace})
+	l.sendV(proto.Message{Type: proto.InvAck, Dst: m.Src, Line: m.Line, Mask: m.Mask, Trace: m.Trace})
 }

@@ -43,6 +43,20 @@ type CPUCore struct {
 
 	ops      uint64
 	finished bool
+
+	// The core is in-order with one outstanding operation, so every
+	// continuation is pre-bound once at construction and reuses curOp /
+	// resVal instead of capturing per-op state in fresh closures.
+	curOp  Op
+	resVal uint32
+
+	startFn  func()
+	advance  func()
+	memDone  func(uint32)
+	retryFn  func()
+	fenceEnd func()
+	issueFn  func()
+	endFn    func()
 }
 
 // SetObserver installs the observability recorder; node is the core's
@@ -57,13 +71,21 @@ func (c *CPUCore) SetObserver(r *obs.Recorder, node proto.NodeID) {
 // NewCPUCore creates a core executing stream against l1. onDone fires when
 // the stream is exhausted and the final operation has completed.
 func NewCPUCore(name string, eng *sim.Engine, l1 L1Cache, stream OpStream, onDone func()) *CPUCore {
-	return &CPUCore{Name: name, eng: eng, l1: l1, stream: stream,
+	c := &CPUCore{Name: name, eng: eng, l1: l1, stream: stream,
 		onDone: onDone, IssueCost: sim.CPUCycle}
+	c.startFn = func() { c.next(OpResult{}) }
+	c.advance = func() { c.next(OpResult{Valid: true, Value: c.resVal}) }
+	c.memDone = c.onMemDone
+	c.retryFn = c.issueMem
+	c.fenceEnd = c.onFenceEnd
+	c.issueFn = c.issueMem
+	c.endFn = c.onStreamEnd
+	return c
 }
 
 // Start begins execution (call once, before running the engine).
 func (c *CPUCore) Start() {
-	c.eng.Schedule(0, func() { c.next(OpResult{}) })
+	c.eng.Schedule(0, c.startFn)
 }
 
 // Ops reports how many operations the core has completed.
@@ -77,61 +99,52 @@ func (c *CPUCore) next(prev OpResult) {
 	if !ok {
 		// Drain buffered stores before retiring: lazily coalesced writes
 		// must reach the memory system.
-		c.l1.Flush(func() {
-			c.finished = true
-			if c.onDone != nil {
-				c.onDone()
-			}
-		})
+		c.l1.Flush(c.endFn)
 		return
 	}
 	c.ops++
 	c.exec(op)
 }
 
+func (c *CPUCore) onStreamEnd() {
+	c.finished = true
+	if c.onDone != nil {
+		c.onDone()
+	}
+}
+
 func (c *CPUCore) exec(op Op) {
+	c.curOp = op
 	switch op.Kind {
 	case OpCompute:
-		c.eng.Schedule(sim.CPUCycles(uint64(op.Cycles)), func() {
-			c.next(OpResult{Valid: true})
-		})
+		c.resVal = 0
+		c.eng.Schedule(sim.CPUCycles(uint64(op.Cycles)), c.advance)
 
 	case OpFence:
 		if c.obs != nil {
-			op.Trace = c.obs.NextTrace()
+			c.curOp.Trace = c.obs.NextTrace()
 			c.obs.Emit(obs.Event{At: c.eng.Now(), Kind: obs.EvOpIssue,
-				Node: c.node, Trace: op.Trace, Class: obs.ClassFence})
-		}
-		finish := func() {
-			if op.Acq {
-				AcquireInvalidate(c.l1, op)
-			}
-			if c.obs != nil {
-				c.obs.Emit(obs.Event{At: c.eng.Now(), Kind: obs.EvOpDone,
-					Node: c.node, Trace: op.Trace, Class: obs.ClassFence})
-			}
-			c.eng.Schedule(c.IssueCost, func() { c.next(OpResult{Valid: true}) })
+				Node: c.node, Trace: c.curOp.Trace, Class: obs.ClassFence})
 		}
 		if op.Rel {
-			c.l1.Flush(finish)
+			c.l1.Flush(c.fenceEnd)
 		} else {
-			finish()
+			c.onFenceEnd()
 		}
 
 	case OpLoad, OpStore, OpAtomic:
 		if c.obs != nil {
-			op.Trace = c.obs.NextTrace()
+			c.curOp.Trace = c.obs.NextTrace()
 			c.obs.Emit(obs.Event{At: c.eng.Now(), Kind: obs.EvOpIssue,
-				Node: c.node, Trace: op.Trace, Class: obsClassOf(op.Kind),
+				Node: c.node, Trace: c.curOp.Trace, Class: obsClassOf(op.Kind),
 				Addr: op.Addr})
 		}
-		issue := func() { c.issueMem(op) }
 		// Release semantics: drain buffered stores and pending ownership
 		// before the releasing operation issues (paper §III-E).
 		if op.Rel {
-			c.l1.Flush(issue)
+			c.l1.Flush(c.issueFn)
 		} else {
-			issue()
+			c.issueMem()
 		}
 
 	default:
@@ -139,26 +152,42 @@ func (c *CPUCore) exec(op Op) {
 	}
 }
 
-func (c *CPUCore) issueMem(op Op) {
-	accepted := c.l1.Access(op, func(value uint32) {
-		if c.obs != nil {
-			c.obs.Emit(obs.Event{At: c.eng.Now(), Kind: obs.EvOpDone,
-				Node: c.node, Trace: op.Trace, Class: obsClassOf(op.Kind),
-				Addr: op.Addr})
-		}
-		if op.Acq {
-			// Acquire: self-invalidate before any subsequent access can
-			// read stale Valid data. Modeled as a single-cycle flash
-			// (paper §IV-A), charged as part of the issue cost; a region
-			// hint narrows the flash on caches that support it.
-			AcquireInvalidate(c.l1, op)
-		}
-		c.eng.Schedule(c.IssueCost, func() {
-			c.next(OpResult{Valid: true, Value: value})
-		})
-	})
-	if !accepted {
-		// Structural stall: retry next cycle.
-		c.eng.Schedule(sim.CPUCycle, func() { c.issueMem(op) })
+// onFenceEnd completes the in-flight fence (after the release drain, when
+// one was required).
+func (c *CPUCore) onFenceEnd() {
+	if c.curOp.Acq {
+		AcquireInvalidate(c.l1, c.curOp)
 	}
+	if c.obs != nil {
+		c.obs.Emit(obs.Event{At: c.eng.Now(), Kind: obs.EvOpDone,
+			Node: c.node, Trace: c.curOp.Trace, Class: obs.ClassFence})
+	}
+	c.resVal = 0
+	c.eng.Schedule(c.IssueCost, c.advance)
+}
+
+func (c *CPUCore) issueMem() {
+	if !c.l1.Access(c.curOp, c.memDone) {
+		// Structural stall: retry next cycle.
+		c.eng.Schedule(sim.CPUCycle, c.retryFn)
+	}
+}
+
+// onMemDone completes the in-flight memory operation.
+func (c *CPUCore) onMemDone(value uint32) {
+	op := c.curOp
+	if c.obs != nil {
+		c.obs.Emit(obs.Event{At: c.eng.Now(), Kind: obs.EvOpDone,
+			Node: c.node, Trace: op.Trace, Class: obsClassOf(op.Kind),
+			Addr: op.Addr})
+	}
+	if op.Acq {
+		// Acquire: self-invalidate before any subsequent access can
+		// read stale Valid data. Modeled as a single-cycle flash
+		// (paper §IV-A), charged as part of the issue cost; a region
+		// hint narrows the flash on caches that support it.
+		AcquireInvalidate(c.l1, op)
+	}
+	c.resVal = value
+	c.eng.Schedule(c.IssueCost, c.advance)
 }

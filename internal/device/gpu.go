@@ -21,6 +21,15 @@ type warp struct {
 	stream OpStream
 	state  warpState
 	op     Op // pending operation when ready
+
+	// Pre-bound continuations, created once at construction: a warp has at
+	// most one outstanding operation (held in op), so its completions reuse
+	// these instead of capturing per-op state in fresh closures.
+	resVal    uint32
+	advanceFn func()
+	doneFn    func(uint32)
+	fenceFn   func()
+	issueFn   func()
 }
 
 // GPUCU is a latency-tolerant GPU compute unit (paper §II-B): it interleaves
@@ -35,6 +44,7 @@ type GPUCU struct {
 	onDone func()
 
 	rr       int // round-robin issue pointer
+	stepFn   func()
 	running  bool
 	live     int // warps not yet finished
 	ops      uint64
@@ -56,8 +66,19 @@ func (g *GPUCU) SetObserver(r *obs.Recorder, node proto.NodeID) {
 // NewGPUCU creates a compute unit running the given warp streams.
 func NewGPUCU(name string, eng *sim.Engine, l1 L1Cache, streams []OpStream, onDone func()) *GPUCU {
 	cu := &GPUCU{Name: name, eng: eng, l1: l1, onDone: onDone}
+	cu.stepFn = cu.step
 	for _, s := range streams {
 		cu.warps = append(cu.warps, warp{stream: s, state: warpBlocked})
+	}
+	for i := range cu.warps {
+		i := i
+		w := &cu.warps[i]
+		w.advanceFn = func() {
+			cu.advance(i, OpResult{Valid: true, Value: cu.warps[i].resVal})
+		}
+		w.doneFn = func(v uint32) { cu.memDone(i, v) }
+		w.fenceFn = func() { cu.fenceEnd(i) }
+		w.issueFn = func() { cu.issueMem(i) }
 	}
 	return cu
 }
@@ -116,7 +137,7 @@ func (g *GPUCU) kick() {
 		return
 	}
 	g.running = true
-	g.eng.Schedule(0, g.step)
+	g.eng.Schedule(0, g.stepFn)
 }
 
 // step issues at most one operation, then reschedules itself for the next
@@ -125,13 +146,19 @@ func (g *GPUCU) step() {
 	n := len(g.warps)
 	anyReady := false
 	for i := 0; i < n; i++ {
-		idx := (g.rr + i) % n
+		idx := g.rr + i
+		if idx >= n {
+			idx -= n
+		}
 		w := &g.warps[idx]
 		if w.state != warpReady {
 			continue
 		}
 		if g.tryIssue(idx) {
-			g.rr = (idx + 1) % n
+			g.rr = idx + 1
+			if g.rr == n {
+				g.rr = 0
+			}
 			break
 		}
 		anyReady = true // rejected; stays ready, try another warp
@@ -142,7 +169,7 @@ func (g *GPUCU) step() {
 		}
 	}
 	if anyReady {
-		g.eng.Schedule(sim.GPUCycle, g.step)
+		g.eng.Schedule(sim.GPUCycle, g.stepFn)
 	} else {
 		g.running = false
 	}
@@ -160,80 +187,77 @@ func (g *GPUCU) tryIssue(idx int) bool {
 			Node: g.node, Trace: w.op.Trace, Class: obsClassOf(w.op.Kind),
 			Addr: w.op.Addr})
 	}
-	op := w.op
-
-	switch op.Kind {
+	switch w.op.Kind {
 	case OpCompute:
 		w.state = warpBlocked
-		g.eng.Schedule(sim.GPUCycles(uint64(op.Cycles)), func() {
-			g.advance(idx, OpResult{Valid: true})
-		})
+		w.resVal = 0
+		g.eng.Schedule(sim.GPUCycles(uint64(w.op.Cycles)), w.advanceFn)
 		return true
 
 	case OpFence:
 		w.state = warpBlocked
-		finish := func() {
-			if op.Acq {
-				AcquireInvalidate(g.l1, op)
-			}
-			if g.obs != nil {
-				g.obs.Emit(obs.Event{At: g.eng.Now(), Kind: obs.EvOpDone,
-					Node: g.node, Trace: op.Trace, Class: obs.ClassFence})
-			}
-			g.eng.Schedule(sim.GPUCycle, func() { g.advance(idx, OpResult{Valid: true}) })
-		}
-		if op.Rel {
-			g.l1.Flush(finish)
+		if w.op.Rel {
+			g.l1.Flush(w.fenceFn)
 		} else {
-			finish()
+			g.fenceEnd(idx)
 		}
 		return true
 
 	case OpLoad, OpStore, OpAtomic:
-		if op.Rel {
+		if w.op.Rel {
 			// Release: block the warp, drain the write buffer, then issue.
 			w.state = warpBlocked
-			g.l1.Flush(func() { g.issueMem(idx, op) })
+			g.l1.Flush(w.issueFn)
 			return true
 		}
-		return g.issueMemInline(idx, op)
+		// Inline issue during the scheduler step; rejection leaves the
+		// warp ready for a later retry.
+		if g.l1.Access(w.op, w.doneFn) {
+			w.state = warpBlocked
+			return true
+		}
+		return false
 
 	default:
-		panic(fmt.Sprintf("device: unknown op kind %v", op.Kind))
+		panic(fmt.Sprintf("device: unknown op kind %v", w.op.Kind))
 	}
 }
 
-// issueMemInline issues during the scheduler step; rejection leaves the
-// warp ready for a later retry.
-func (g *GPUCU) issueMemInline(idx int, op Op) bool {
+// fenceEnd completes warp idx's in-flight fence (after the release drain,
+// when one was required).
+func (g *GPUCU) fenceEnd(idx int) {
 	w := &g.warps[idx]
-	accepted := g.l1.Access(op, g.completion(idx, op))
-	if accepted {
-		w.state = warpBlocked
+	if w.op.Acq {
+		AcquireInvalidate(g.l1, w.op)
 	}
-	return accepted
+	if g.obs != nil {
+		g.obs.Emit(obs.Event{At: g.eng.Now(), Kind: obs.EvOpDone,
+			Node: g.node, Trace: w.op.Trace, Class: obs.ClassFence})
+	}
+	w.resVal = 0
+	g.eng.Schedule(sim.GPUCycle, w.advanceFn)
 }
 
 // issueMem issues after a flush; rejection retries every GPU cycle.
-func (g *GPUCU) issueMem(idx int, op Op) {
-	if g.l1.Access(op, g.completion(idx, op)) {
+func (g *GPUCU) issueMem(idx int) {
+	w := &g.warps[idx]
+	if g.l1.Access(w.op, w.doneFn) {
 		return
 	}
-	g.eng.Schedule(sim.GPUCycle, func() { g.issueMem(idx, op) })
+	g.eng.Schedule(sim.GPUCycle, w.issueFn)
 }
 
-func (g *GPUCU) completion(idx int, op Op) func(uint32) {
-	return func(value uint32) {
-		if g.obs != nil {
-			g.obs.Emit(obs.Event{At: g.eng.Now(), Kind: obs.EvOpDone,
-				Node: g.node, Trace: op.Trace, Class: obsClassOf(op.Kind),
-				Addr: op.Addr})
-		}
-		if op.Acq {
-			AcquireInvalidate(g.l1, op)
-		}
-		g.eng.Schedule(0, func() {
-			g.advance(idx, OpResult{Valid: true, Value: value})
-		})
+// memDone completes warp idx's in-flight memory operation.
+func (g *GPUCU) memDone(idx int, value uint32) {
+	w := &g.warps[idx]
+	if g.obs != nil {
+		g.obs.Emit(obs.Event{At: g.eng.Now(), Kind: obs.EvOpDone,
+			Node: g.node, Trace: w.op.Trace, Class: obsClassOf(w.op.Kind),
+			Addr: w.op.Addr})
 	}
+	if w.op.Acq {
+		AcquireInvalidate(g.l1, w.op)
+	}
+	w.resVal = value
+	g.eng.Schedule(0, w.advanceFn)
 }

@@ -21,6 +21,33 @@ type Memory struct {
 	net     *noc.Network
 	latency sim.Time
 	lines   map[memaddr.LineAddr]memaddr.LineData
+	pool    sim.Pool[readRsp]
+}
+
+// readRsp is a pooled pending MemRead answer; the line data is looked up
+// at response time, after the access latency has elapsed. out is the
+// response scratch slot: Send copies the message before returning, so
+// building it in the pooled struct avoids a heap-allocated literal.
+type readRsp struct {
+	mem  *Memory
+	line memaddr.LineAddr
+	req  proto.NodeID
+	id   uint64
+	src  proto.NodeID
+	tr   uint64
+	out  proto.Message
+}
+
+func (r *readRsp) Fire() {
+	m := r.mem
+	r.out = proto.Message{
+		Type: proto.MemReadRsp, Src: m.ID, Dst: r.src,
+		Requestor: r.req, ReqID: r.id,
+		Line: r.line, Mask: memaddr.FullMask,
+		HasData: true, Data: m.lines[r.line], Trace: r.tr,
+	}
+	m.net.Send(&r.out)
+	m.pool.Put(r)
 }
 
 // New creates a memory endpoint with the given access latency in ticks.
@@ -35,16 +62,11 @@ func New(id proto.NodeID, eng *sim.Engine, net *noc.Network, latency sim.Time) *
 func (m *Memory) HandleMessage(msg *proto.Message) {
 	switch msg.Type {
 	case proto.MemRead:
-		line, req, id, src, tr := msg.Line, msg.Requestor, msg.ReqID, msg.Src, msg.Trace
-		m.eng.Schedule(m.latency, func() {
-			data := m.lines[line]
-			m.net.Send(&proto.Message{
-				Type: proto.MemReadRsp, Src: m.ID, Dst: src,
-				Requestor: req, ReqID: id,
-				Line: line, Mask: memaddr.FullMask,
-				HasData: true, Data: data, Trace: tr,
-			})
-		})
+		r := m.pool.Get()
+		r.mem = m
+		r.line, r.req, r.id = msg.Line, msg.Requestor, msg.ReqID
+		r.src, r.tr = msg.Src, msg.Trace
+		m.eng.ScheduleEvent(m.latency, r)
 	case proto.MemWrite:
 		cur := m.lines[msg.Line]
 		cur.Merge(&msg.Data, msg.Mask)

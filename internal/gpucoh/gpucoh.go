@@ -61,6 +61,15 @@ type waiter struct {
 	done func(uint32)
 }
 
+// pendingAtomic is an outstanding ReqWT+data atomic. On response the word
+// is downgraded locally — the RspWT+data value is potentially stale the
+// moment it arrives (paper §III-A) — before done fires.
+type pendingAtomic struct {
+	la   memaddr.LineAddr
+	mask memaddr.WordMask
+	done func(uint32)
+}
+
 // mshrEntry tracks one outstanding line read.
 type mshrEntry struct {
 	reqID   uint64
@@ -87,6 +96,9 @@ type L1 struct {
 
 	port noc.Port
 
+	// out is the sendV scratch slot (see sendV).
+	out proto.Message
+
 	array *cache.Array[line]
 	mshr  *cache.MSHR[mshrEntry]
 	wb    *cache.WriteBuffer
@@ -95,8 +107,9 @@ type L1 struct {
 	wtArrived map[memaddr.LineAddr]memaddr.WordMask
 	wtIssued  map[memaddr.LineAddr]memaddr.WordMask
 
-	// atomics maps outstanding ReqWT+data request IDs to completions.
-	atomics map[uint64]func(uint32)
+	// atomics maps outstanding ReqWT+data request IDs to their pending
+	// completion. Stored by value so issuing an atomic does not allocate.
+	atomics map[uint64]pendingAtomic
 
 	flushWaiters []func()
 	reqSeq       uint64
@@ -129,11 +142,21 @@ func New(id proto.NodeID, eng *sim.Engine, port noc.Port, st *stats.Stats, cfg C
 		wb:        cache.NewWriteBuffer(cfg.WriteBufferEntries),
 		wtArrived: make(map[memaddr.LineAddr]memaddr.WordMask),
 		wtIssued:  make(map[memaddr.LineAddr]memaddr.WordMask),
-		atomics:   make(map[uint64]func(uint32)),
+		atomics:   make(map[uint64]pendingAtomic),
 	}
 }
 
 var _ device.L1Cache = (*L1)(nil)
+
+// sendV transmits a by-value message through the port. Every port Send
+// copies the message synchronously before anything downstream can run, so
+// a single scratch slot per sender is safe and avoids a heap allocation
+// per send (the &proto.Message{...} literal idiom escapes through the
+// Port interface).
+func (l *L1) sendV(m proto.Message) {
+	l.out = m
+	l.port.Send(&l.out)
+}
 
 func (l *L1) nextReq() uint64 {
 	l.reqSeq++
@@ -165,20 +188,20 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 	// Store-to-load forwarding from the write buffer.
 	if v, ok := l.wb.ReadForward(addr); ok {
 		l.st.Inc("gpul1.wb_fwd", 1)
-		l.eng.Schedule(l.cfg.HitLatency, func() { done(v) })
+		l.eng.ScheduleCall(l.cfg.HitLatency, done, v)
 		return true
 	}
 	if e := l.array.Lookup(la); e != nil && e.State.valid.Has(w) {
 		v := e.State.data[w]
 		l.st.Inc("gpul1.hit", 1)
-		l.eng.Schedule(l.cfg.HitLatency, func() { done(v) })
+		l.eng.ScheduleCall(l.cfg.HitLatency, done, v)
 		return true
 	}
 	// Miss: line-granularity ReqV (Table II).
 	if m := l.mshr.Lookup(la); m != nil {
 		if m.arrived.Has(w) {
 			v := m.data[w]
-			l.eng.Schedule(l.cfg.HitLatency, func() { done(v) })
+			l.eng.ScheduleCall(l.cfg.HitLatency, done, v)
 			return true
 		}
 		m.waiters = append(m.waiters, waiter{word: w, done: done})
@@ -188,16 +211,15 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 		l.st.Inc("gpul1.mshr_stall", 1)
 		return false
 	}
-	m := l.mshr.Alloc(la)
-	m.reqID = l.nextReq()
-	m.trace = l.curTrace
-	m.want = memaddr.FullMask
+	m := l.mshr.AllocReuse(la)
+	*m = mshrEntry{reqID: l.nextReq(), trace: l.curTrace,
+		want: memaddr.FullMask, waiters: m.waiters[:0]}
 	m.waiters = append(m.waiters, waiter{word: w, done: done})
 	l.st.Inc("gpul1.miss", 1)
 	if l.obs != nil {
 		l.mshrOcc()
 	}
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: m.reqID, Line: la, Mask: memaddr.FullMask, Trace: m.trace,
 	})
@@ -256,7 +278,7 @@ func (l *L1) issueWT(la memaddr.LineAddr) {
 	id := l.nextReq()
 	l.wtIssued[la] = e.Mask
 	l.wtArrived[la] = 0
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.ReqWT, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: id, Line: la, Mask: e.Mask, HasData: true, Data: e.Data,
 	})
@@ -269,15 +291,8 @@ func (l *L1) atomic(op device.Op, done func(uint32)) bool {
 	}
 	la := op.Addr.Line()
 	id := l.nextReq()
-	l.atomics[id] = func(v uint32) {
-		// Downgrade the word locally: the RspWT+data value is potentially
-		// stale the moment it arrives (paper §III-A).
-		if ce := l.array.Peek(la); ce != nil {
-			ce.State.valid &^= op.Addr.WordMaskOf()
-		}
-		done(v)
-	}
-	l.port.Send(&proto.Message{
+	l.atomics[id] = pendingAtomic{la: la, mask: op.Addr.WordMaskOf(), done: done}
+	l.sendV(proto.Message{
 		Type: proto.ReqWTData, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: id, Line: la, Mask: op.Addr.WordMaskOf(),
 		Atomic: op.Atomic, Operand: op.Value, Compare: op.Compare,
@@ -290,11 +305,7 @@ func (l *L1) atomic(op device.Op, done func(uint32)) bool {
 // SelfInvalidate implements the acquire flash: every Valid word drops
 // (GPU coherence holds nothing but Valid state, so the whole cache clears).
 func (l *L1) SelfInvalidate() {
-	var lines []memaddr.LineAddr
-	l.array.ForEach(func(e *cache.Entry[line]) { lines = append(lines, e.Line) })
-	for _, la := range lines {
-		l.array.Invalidate(la)
-	}
+	l.array.InvalidateWhere(func(e *cache.Entry[line]) bool { return true })
 	l.st.Inc("gpul1.selfinv", 1)
 }
 
@@ -336,10 +347,13 @@ func (l *L1) HandleMessage(m *proto.Message) {
 	case proto.RspWT:
 		l.handleRspWT(m)
 	case proto.RspWTData:
-		if done, ok := l.atomics[m.ReqID]; ok {
+		if p, ok := l.atomics[m.ReqID]; ok {
 			delete(l.atomics, m.ReqID)
+			if ce := l.array.Peek(p.la); ce != nil {
+				ce.State.valid &^= p.mask
+			}
 			w := firstWord(m.Mask)
-			done(m.Data[w])
+			p.done(m.Data[w])
 			return
 		}
 		// Nack-escape fill: value usable, word not cacheable.
@@ -348,7 +362,7 @@ func (l *L1) HandleMessage(m *proto.Message) {
 		// GPU coherence holds no Shared state; a stray Inv (e.g. a stale
 		// sharer record) is acked without state change (paper §III-C3).
 		l.array.Invalidate(m.Line)
-		l.port.Send(&proto.Message{Type: proto.InvAck, Dst: m.Src, Line: m.Line, Mask: m.Mask, Trace: m.Trace})
+		l.sendV(proto.Message{Type: proto.InvAck, Dst: m.Src, Line: m.Line, Mask: m.Mask, Trace: m.Trace})
 	default:
 		panic("gpucoh: unexpected message " + m.Type.String())
 	}
@@ -374,7 +388,7 @@ func (l *L1) handleNack(m *proto.Message) {
 	if fresh != 0 {
 		e.retried |= fresh
 		l.st.Inc("gpul1.nack_retry", 1)
-		l.port.Send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
 			ReqID: e.reqID, Line: m.Line, Mask: fresh, Trace: e.trace,
 		})
@@ -382,7 +396,7 @@ func (l *L1) handleNack(m *proto.Message) {
 	escalate := m.Mask & e.retried &^ e.arrived & ^fresh
 	escalate.ForEach(func(i int) {
 		l.st.Inc("gpul1.nack_escalate", 1)
-		l.port.Send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.ReqWTData, Dst: l.cfg.ParentID, Requestor: l.ID,
 			ReqID: e.reqID, Line: m.Line, Mask: memaddr.MaskOf(i),
 			Atomic: proto.AtomicRead, Trace: e.trace,
@@ -402,11 +416,13 @@ func (l *L1) fill(la memaddr.LineAddr, mask memaddr.WordMask, data *memaddr.Line
 	e.noCache |= noCache & fresh
 	e.data.Merge(data, fresh)
 
-	var rest []waiter
+	// In-place compaction keeps the slot's waiter capacity alive across
+	// Free/AllocReuse cycles (rest aliases e.waiters' backing array).
+	rest := e.waiters[:0]
 	for _, w := range e.waiters {
 		if e.arrived.Has(w.word) {
 			v := e.data[w.word]
-			l.eng.Schedule(0, func() { w.done(v) })
+			l.eng.ScheduleCall(0, w.done, v)
 		} else {
 			rest = append(rest, w)
 		}

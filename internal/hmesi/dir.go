@@ -41,8 +41,8 @@ const (
 type dirTxn struct {
 	kind        dirTxnKind
 	line        memaddr.LineAddr
-	waiting     []*proto.Message
-	origin      *proto.Message
+	waiting     []proto.Message
+	origin      proto.Message
 	pendingAcks int
 	resume      func()
 }
@@ -68,7 +68,18 @@ type Directory struct {
 	txns  map[memaddr.LineAddr]*dirTxn
 
 	devices []proto.NodeID
-	devIdx  map[proto.NodeID]int
+
+	// out is the sendV scratch slot (see sendV).
+	out    proto.Message
+	devIdx map[proto.NodeID]int
+
+	// txnPool recycles completed dirTxns; waiting queues keep their
+	// backing arrays, so blocking a line allocates nothing steady-state.
+	txnPool sim.Pool[dirTxn]
+
+	// dispq defers each delivered message by AccessLatency into dispatch
+	// (pooled; see noc.DelayQueue).
+	dispq *noc.DelayQueue
 }
 
 // NewDirectory creates the L3 endpoint.
@@ -79,6 +90,7 @@ func NewDirectory(id, memID proto.NodeID, eng *sim.Engine, net *noc.Network, st 
 		txns:   make(map[memaddr.LineAddr]*dirTxn),
 		devIdx: make(map[proto.NodeID]int),
 	}
+	d.dispq = noc.NewDelayQueue(eng, cfg.AccessLatency, d.dispatch)
 	net.Register(id, d)
 	return d
 }
@@ -92,6 +104,18 @@ func (d *Directory) RegisterDevice(id proto.NodeID) {
 	d.devices = append(d.devices, id)
 }
 
+// newTxn returns a reset pooled transaction for line (waiting keeps its
+// previous backing array, truncated).
+func (d *Directory) newTxn(kind dirTxnKind, line memaddr.LineAddr) *dirTxn {
+	t := d.txnPool.Get()
+	*t = dirTxn{kind: kind, line: line, waiting: t.waiting[:0]}
+	return t
+}
+
+// freeTxn recycles a completed transaction; touching t afterwards is a
+// use-after-free.
+func (d *Directory) freeTxn(t *dirTxn) { d.txnPool.Put(t) }
+
 func (d *Directory) dev(id proto.NodeID) int {
 	i, ok := d.devIdx[id]
 	if !ok {
@@ -102,7 +126,7 @@ func (d *Directory) dev(id proto.NodeID) int {
 
 // HandleMessage implements noc.Handler.
 func (d *Directory) HandleMessage(m *proto.Message) {
-	d.eng.Schedule(d.cfg.AccessLatency, func() { d.dispatch(m) })
+	d.dispq.Post(m)
 }
 
 func (d *Directory) dispatch(m *proto.Message) {
@@ -125,7 +149,7 @@ func (d *Directory) dispatch(m *proto.Message) {
 		panic("hmesi: directory cannot handle " + m.Type.String())
 	}
 	if t, ok := d.txns[m.Line]; ok {
-		t.waiting = append(t.waiting, m)
+		t.waiting = append(t.waiting, *m)
 		d.st.Inc("dir.queued", 1)
 		return
 	}
@@ -153,6 +177,16 @@ func (d *Directory) send(m *proto.Message) {
 	d.net.Send(m)
 }
 
+// sendV transmits a by-value message. Every network/port Send copies the
+// message synchronously before anything downstream can run, so a single
+// scratch slot per sender is safe and avoids a heap allocation per send
+// (the &proto.Message{...} literal idiom escapes through the Port
+// interface).
+func (d *Directory) sendV(m proto.Message) {
+	d.out = m
+	d.send(&d.out)
+}
+
 func (d *Directory) handleGetS(e *cache.Entry[dirLine], m *proto.Message) {
 	st := &e.State
 	reqIdx := d.dev(m.Requestor)
@@ -160,18 +194,20 @@ func (d *Directory) handleGetS(e *cache.Entry[dirLine], m *proto.Message) {
 		// Blocking forward: the owner supplies data to the requestor and
 		// writes back here (paper §II-A: transient blocking states).
 		d.st.Inc("dir.fwd_gets", 1)
-		d.send(&proto.Message{
+		d.sendV(proto.Message{
 			Type: proto.MFwdGetS, Dst: d.devices[st.owner],
 			Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: memaddr.FullMask,
 		})
-		d.txns[m.Line] = &dirTxn{kind: dirFwd, line: m.Line, origin: m}
+		t := d.newTxn(dirFwd, m.Line)
+		t.origin = *m
+		d.txns[m.Line] = t
 		return
 	}
 	if st.sharers == 0 {
 		// Exclusive optimization: no sharer anywhere → grant E.
 		st.owner = int8(reqIdx)
-		d.send(&proto.Message{
+		d.sendV(proto.Message{
 			Type: proto.MDataE, Dst: m.Requestor, Requestor: m.Requestor,
 			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 			HasData: true, Data: st.data,
@@ -179,7 +215,7 @@ func (d *Directory) handleGetS(e *cache.Entry[dirLine], m *proto.Message) {
 		return
 	}
 	st.sharers |= 1 << reqIdx
-	d.send(&proto.Message{
+	d.sendV(proto.Message{
 		Type: proto.MDataS, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 		HasData: true, Data: st.data,
@@ -198,23 +234,26 @@ func (d *Directory) handleGetM(e *cache.Entry[dirLine], m *proto.Message) {
 			return
 		}
 		d.st.Inc("dir.fwd_getm", 1)
-		d.send(&proto.Message{
+		d.sendV(proto.Message{
 			Type: proto.MFwdGetM, Dst: d.devices[st.owner],
 			Requestor: m.Requestor, ReqID: m.ReqID,
 			Line: m.Line, Mask: memaddr.FullMask,
 		})
-		d.txns[m.Line] = &dirTxn{kind: dirFwd, line: m.Line, origin: m}
+		t := d.newTxn(dirFwd, m.Line)
+		t.origin = *m
+		d.txns[m.Line] = t
 		return
 	}
 	remote := st.sharers &^ (1 << reqIdx)
 	if remote != 0 {
-		t := &dirTxn{kind: dirInv, line: m.Line, origin: m}
+		t := d.newTxn(dirInv, m.Line)
+		t.origin = *m
 		for i := 0; i < len(d.devices); i++ {
 			if remote&(1<<i) == 0 {
 				continue
 			}
 			t.pendingAcks++
-			d.send(&proto.Message{
+			d.sendV(proto.Message{
 				Type: proto.MInv, Dst: d.devices[i], Requestor: d.devices[i],
 				Line: m.Line, Mask: memaddr.FullMask,
 			})
@@ -236,7 +275,7 @@ func (d *Directory) handleGetM(e *cache.Entry[dirLine], m *proto.Message) {
 // bit would leave the requestor assembling the line from a zero-filled
 // frame and later writing those zeros back over memory.
 func (d *Directory) grantM(m *proto.Message, e *cache.Entry[dirLine]) {
-	d.send(&proto.Message{
+	d.sendV(proto.Message{
 		Type: proto.MDataM, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 		HasData: true, Data: e.State.data,
@@ -255,7 +294,7 @@ func (d *Directory) handlePutM(m *proto.Message) {
 	} else {
 		d.st.Inc("dir.putm_nonowner", 1)
 	}
-	d.send(&proto.Message{
+	d.sendV(proto.Message{
 		Type: proto.MAckWB, Dst: m.Src, Requestor: m.Src,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 	})
@@ -304,6 +343,7 @@ func (d *Directory) handleWBData(m *proto.Message) {
 		panic("hmesi: WBData for non-fwd txn")
 	}
 	d.drain(t)
+	d.freeTxn(t)
 }
 
 func (d *Directory) handleInvAck(m *proto.Message) {
@@ -319,6 +359,7 @@ func (d *Directory) handleInvAck(m *proto.Message) {
 	if t.kind == dirEvict {
 		t.resume()
 		d.drain(t)
+		d.freeTxn(t)
 		return
 	}
 	e := d.array.Peek(m.Line)
@@ -326,12 +367,16 @@ func (d *Directory) handleInvAck(m *proto.Message) {
 		panic("hmesi: InvAck for absent line")
 	}
 	e.State.owner = int8(d.dev(t.origin.Requestor))
-	d.grantM(t.origin, e)
+	d.grantM(&t.origin, e)
 	d.drain(t)
+	d.freeTxn(t)
 }
 
+// drain replays t's waiting queue in arrival order; remainders transfer
+// (by value) onto any new transaction a replay opens on the same line.
 func (d *Directory) drain(t *dirTxn) {
-	for i, m := range t.waiting {
+	for i := range t.waiting {
+		m := &t.waiting[i]
 		if nt, ok := d.txns[t.line]; ok {
 			nt.waiting = append(nt.waiting, t.waiting[i:]...)
 			return

@@ -10,7 +10,8 @@ import (
 const victimRetry = 8 * sim.CPUCycle
 
 func (d *Directory) startFetch(m *proto.Message) {
-	t := &dirTxn{kind: dirFetch, line: m.Line, waiting: []*proto.Message{m}}
+	t := d.newTxn(dirFetch, m.Line)
+	t.waiting = append(t.waiting, *m)
 	d.txns[m.Line] = t
 	d.st.Inc("dir.miss", 1)
 	d.allocate(m.Line)
@@ -45,7 +46,7 @@ func (d *Directory) evict(victim *cache.Entry[dirLine], resume func()) {
 			panic("hmesi: victim vanished")
 		}
 		if e.State.dirty {
-			d.send(&proto.Message{
+			d.sendV(proto.Message{
 				Type: proto.MemWrite, Dst: d.MemID, Requestor: d.ID,
 				Line: line, Mask: memaddr.FullMask, HasData: true, Data: e.State.data,
 			})
@@ -57,21 +58,24 @@ func (d *Directory) evict(victim *cache.Entry[dirLine], resume func()) {
 	if st.owner != noOwner {
 		// Recall: FwdGetM with ourselves as requestor; the owner answers
 		// with MWBData carrying the line.
-		d.send(&proto.Message{
+		d.sendV(proto.Message{
 			Type: proto.MFwdGetM, Dst: d.devices[st.owner],
 			Requestor: d.ID, Line: line, Mask: memaddr.FullMask,
 		})
-		d.txns[line] = &dirTxn{kind: dirEvict, line: line, resume: finish}
+		t := d.newTxn(dirEvict, line)
+		t.resume = finish
+		d.txns[line] = t
 		return
 	}
 	if st.sharers != 0 {
-		t := &dirTxn{kind: dirEvict, line: line, resume: finish}
+		t := d.newTxn(dirEvict, line)
+		t.resume = finish
 		for i := 0; i < len(d.devices); i++ {
 			if st.sharers&(1<<i) == 0 {
 				continue
 			}
 			t.pendingAcks++
-			d.send(&proto.Message{
+			d.sendV(proto.Message{
 				Type: proto.MInv, Dst: d.devices[i], Requestor: d.devices[i],
 				Line: line, Mask: memaddr.FullMask,
 			})
@@ -87,7 +91,7 @@ func (d *Directory) installAndRead(frame *cache.Entry[dirLine], line memaddr.Lin
 	d.array.Install(frame, line)
 	frame.State.fetching = true
 	frame.State.owner = noOwner
-	d.send(&proto.Message{
+	d.sendV(proto.Message{
 		Type: proto.MemRead, Dst: d.MemID, Requestor: d.ID,
 		Line: line, Mask: memaddr.FullMask,
 	})
@@ -106,4 +110,5 @@ func (d *Directory) handleMemRsp(m *proto.Message) {
 	}
 	delete(d.txns, m.Line)
 	d.drain(t)
+	d.freeTxn(t)
 }

@@ -32,14 +32,14 @@ const (
 type l2Txn struct {
 	kind    l2TxnKind
 	line    memaddr.LineAddr
-	waiting []*proto.Message
+	waiting []proto.Message
 
 	// fetch state
 	wantM       bool
 	wasS        bool
 	invalidated bool
 	// deferred L3 forwards that arrived while the grant was in flight.
-	deferred []*proto.Message
+	deferred []proto.Message
 
 	// revocation state
 	rvkMask memaddr.WordMask
@@ -83,7 +83,33 @@ type GPUL2 struct {
 	childIdx map[proto.NodeID]int
 
 	reqSeq uint64
+
+	// out is the sendV scratch slot (see sendV).
+	out proto.Message
+
+	// txnPool recycles completed l2Txns; their waiting/deferred backing
+	// arrays survive the round trip, so blocking a line allocates nothing
+	// in the steady state.
+	txnPool sim.Pool[l2Txn]
+
+	// dispq defers each delivered message by AccessLatency into dispatch
+	// (pooled; see noc.DelayQueue).
+	dispq *noc.DelayQueue
 }
+
+// newTxn returns a reset pooled transaction registered for line. The
+// waiting/deferred queues keep their previous backing arrays (truncated).
+func (l *GPUL2) newTxn(kind l2TxnKind, line memaddr.LineAddr) *l2Txn {
+	t := l.txnPool.Get()
+	*t = l2Txn{kind: kind, line: line,
+		waiting: t.waiting[:0], deferred: t.deferred[:0]}
+	return t
+}
+
+// freeTxn recycles a completed transaction. The caller must be done with
+// the waiting/deferred contents (drain and any deferred replay finished);
+// touching t afterwards is a use-after-free.
+func (l *GPUL2) freeTxn(t *l2Txn) { l.txnPool.Put(t) }
 
 type pendingL2WB struct {
 	data  memaddr.LineData
@@ -99,6 +125,7 @@ func NewGPUL2(id proto.NodeID, eng *sim.Engine, net *noc.Network, st *stats.Stat
 		wbs:      make(map[memaddr.LineAddr]*pendingL2WB),
 		childIdx: make(map[proto.NodeID]int),
 	}
+	l.dispq = noc.NewDelayQueue(eng, cfg.AccessLatency, l.dispatch)
 	net.Register(id, l)
 	return l
 }
@@ -130,6 +157,16 @@ func (l *GPUL2) send(m *proto.Message) {
 	l.net.Send(m)
 }
 
+// sendV transmits a by-value message. Every network/port Send copies the
+// message synchronously before anything downstream can run, so a single
+// scratch slot per sender is safe and avoids a heap allocation per send
+// (the &proto.Message{...} literal idiom escapes through the Port
+// interface).
+func (l *GPUL2) sendV(m proto.Message) {
+	l.out = m
+	l.send(&l.out)
+}
+
 // ProbeOwned lets system-level checkers audit child ownership records.
 func (l *GPUL2) ProbeOwned() map[memaddr.LineAddr]memaddr.WordMask {
 	out := make(map[memaddr.LineAddr]memaddr.WordMask)
@@ -143,7 +180,7 @@ func (l *GPUL2) ProbeOwned() map[memaddr.LineAddr]memaddr.WordMask {
 
 // HandleMessage implements noc.Handler.
 func (l *GPUL2) HandleMessage(m *proto.Message) {
-	l.eng.Schedule(l.cfg.AccessLatency, func() { l.dispatch(m) })
+	l.dispq.Post(m)
 }
 
 func (l *GPUL2) dispatch(m *proto.Message) {
@@ -181,7 +218,7 @@ func (l *GPUL2) dispatch(m *proto.Message) {
 	}
 
 	if t, ok := l.txns[m.Line]; ok {
-		t.waiting = append(t.waiting, m)
+		t.waiting = append(t.waiting, *m)
 		l.st.Inc("gpul2.queued", 1)
 		return
 	}
@@ -217,8 +254,9 @@ func (l *GPUL2) need(m *proto.Message, wantM bool) *cache.Entry[l2Line] {
 			return e
 		}
 	}
-	t := &l2Txn{kind: l2Fetch, line: m.Line, wantM: wantM,
-		waiting: []*proto.Message{m}}
+	t := l.newTxn(l2Fetch, m.Line)
+	t.wantM = wantM
+	t.waiting = append(t.waiting, *m)
 	l.txns[m.Line] = t
 	if e != nil {
 		// The frame exists (Shared upgrade, or a line the L3 invalidated
@@ -242,14 +280,14 @@ func (l *GPUL2) handleReqV(m *proto.Message) {
 	}
 	st := &e.State
 	if m.Mask&^st.childMask != 0 {
-		l.send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.RspV, Dst: m.Requestor, Requestor: m.Requestor,
 			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask &^ st.childMask,
 			HasData: true, Data: st.data,
 		})
 	}
 	for _, ow := range l.childOwners(st, m.Mask&st.childMask) {
-		l.send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.ReqV, Dst: l.children[ow.owner],
 			Requestor: m.Requestor, ReqID: m.ReqID, Line: m.Line, Mask: ow.words,
 		})
@@ -296,14 +334,14 @@ func (l *GPUL2) handleReqWT(m *proto.Message) {
 	plain := m.Mask &^ owned
 	if plain != 0 {
 		st.data.Merge(&m.Data, plain)
-		l.send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.RspWT, Dst: m.Requestor, Requestor: m.Requestor,
 			ReqID: m.ReqID, Line: m.Line, Mask: plain,
 		})
 	}
 	if owned != 0 {
 		for _, ow := range l.childOwners(st, owned) {
-			l.send(&proto.Message{
+			l.sendV(proto.Message{
 				Type: proto.ReqWT, Dst: l.children[ow.owner],
 				Requestor: m.Requestor, ReqID: m.ReqID, Line: m.Line, Mask: ow.words,
 			})
@@ -321,7 +359,8 @@ func (l *GPUL2) handleReqWTData(m *proto.Message) {
 	st := &e.State
 	owned := m.Mask & st.childMask
 	if owned != 0 {
-		l.revokeChildren(e, owned, m, func() { l.performUpdate(m) })
+		cp := *m
+		l.revokeChildren(e, owned, &cp, func() { l.performUpdate(&cp) })
 		return
 	}
 	l.performUpdate(m)
@@ -334,7 +373,7 @@ func (l *GPUL2) performUpdate(m *proto.Message) {
 		panic("hmesi: update on absent line")
 	}
 	st := &e.State
-	rsp := &proto.Message{
+	rsp := proto.Message{
 		Type: proto.RspWTData, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: m.Mask, HasData: true,
 	}
@@ -353,7 +392,7 @@ func (l *GPUL2) performUpdate(m *proto.Message) {
 		}
 	})
 	l.st.Inc("gpul2.atomics", 1)
-	l.send(rsp)
+	l.sendV(rsp)
 }
 
 func (l *GPUL2) handleReqOwn(m *proto.Message) {
@@ -380,7 +419,7 @@ func (l *GPUL2) handleReqOwn(m *proto.Message) {
 		fwdType, rspType, withData = proto.ReqOData, proto.RspOData, true
 	}
 	for _, ow := range l.childOwners(st, transfer) {
-		l.send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: fwdType, Dst: l.children[ow.owner],
 			Requestor: m.Requestor, ReqID: m.ReqID, Line: m.Line, Mask: ow.words,
 		})
@@ -388,7 +427,7 @@ func (l *GPUL2) handleReqOwn(m *proto.Message) {
 	m.Mask.ForEach(func(i int) { st.childOwner[i] = reqIdx })
 	st.childMask |= m.Mask
 	if plain|self != 0 {
-		rsp := &proto.Message{
+		rsp := proto.Message{
 			Type: rspType, Dst: m.Requestor, Requestor: m.Requestor,
 			ReqID: m.ReqID, Line: m.Line, Mask: plain | self,
 		}
@@ -396,7 +435,7 @@ func (l *GPUL2) handleReqOwn(m *proto.Message) {
 			rsp.HasData = true
 			rsp.Data = st.data
 		}
-		l.send(rsp)
+		l.sendV(rsp)
 	}
 }
 
@@ -416,7 +455,7 @@ func (l *GPUL2) handleChildWB(m *proto.Message) {
 			st.childMask &^= applied
 		}
 	}
-	l.send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.RspWB, Dst: m.Src, Requestor: m.Src, ReqID: m.ReqID,
 		Line: m.Line, Mask: m.Mask,
 	})
@@ -459,11 +498,12 @@ func (l *GPUL2) handleChildRvkRsp(m *proto.Message) {
 // the line queue behind the revocation.
 func (l *GPUL2) revokeChildren(e *cache.Entry[l2Line], mask memaddr.WordMask, origin *proto.Message, after func()) {
 	st := &e.State
-	t := &l2Txn{kind: l2Rvk, line: e.Line, rvkMask: mask, after: after, origin: origin}
+	t := l.newTxn(l2Rvk, e.Line)
+	t.rvkMask, t.after, t.origin = mask, after, origin
 	l.reqSeq++
 	t.rvkID = l.reqSeq
 	for _, ow := range l.childOwners(st, mask) {
-		l.send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.RvkO, Dst: l.children[ow.owner], Requestor: l.ID,
 			ReqID: t.rvkID, Line: e.Line, Mask: ow.words,
 		})
@@ -489,14 +529,18 @@ func (l *GPUL2) maybeCompleteRvk(line memaddr.LineAddr) {
 		t.after()
 	}
 	l.drain(t)
+	l.freeTxn(t)
 }
 
+// drain replays t's waiting queue in arrival order. If a replay opens a new
+// transaction on the same line, the remainder transfers (by value) onto the
+// new transaction's queue.
 func (l *GPUL2) drain(t *l2Txn) {
-	for i, m := range t.waiting {
+	for i := range t.waiting {
 		if nt, ok := l.txns[t.line]; ok {
 			nt.waiting = append(nt.waiting, t.waiting[i:]...)
 			return
 		}
-		l.redispatch(m)
+		l.redispatch(&t.waiting[i])
 	}
 }

@@ -42,7 +42,7 @@ func (l *GPUL2) sendFetch(line memaddr.LineAddr, wantM bool) {
 	} else {
 		l.st.Inc("gpul2.gets", 1)
 	}
-	l.send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: typ, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: l.nextReq(), Line: line, Mask: memaddr.FullMask,
 	})
@@ -60,7 +60,7 @@ func (l *GPUL2) evictL2(victim *cache.Entry[l2Line], resume func()) {
 		}
 		if e.State.state == mesi.M || e.State.state == mesi.E {
 			l.wbs[line] = &pendingL2WB{data: e.State.data, dirty: e.State.state == mesi.M}
-			l.send(&proto.Message{
+			l.sendV(proto.Message{
 				Type: proto.MPutM, Dst: l.cfg.ParentID, Requestor: l.ID,
 				ReqID: l.nextReq(), Line: line, Mask: memaddr.FullMask,
 				HasData: true, Data: e.State.data,
@@ -97,11 +97,11 @@ func (l *GPUL2) handleGrant(m *proto.Message, grant mesi.State) {
 	// first: apply them while we hold the grant, then serve the L3
 	// forwards that arrived mid-flight (they downgrade the line after our
 	// writes, exactly as the MESI L1 orders its own case-2 epilogue).
-	deferred := t.deferred
 	l.drain(t)
-	for _, d := range deferred {
-		l.redispatch(d)
+	for i := range t.deferred {
+		l.redispatch(&t.deferred[i])
 	}
+	l.freeTxn(t)
 }
 
 func (l *GPUL2) handleL3Inv(m *proto.Message) {
@@ -116,7 +116,7 @@ func (l *GPUL2) handleL3Inv(m *proto.Message) {
 		e.State.state = mesi.I
 	}
 	l.st.Inc("gpul2.invalidated", 1)
-	l.send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.MInvAck, Dst: m.Src, Requestor: l.ID,
 		ReqID: m.ReqID, Line: m.Line, Mask: m.Mask,
 	})
@@ -131,12 +131,10 @@ func (l *GPUL2) handleL3Fwd(m *proto.Message) {
 		switch t.kind {
 		case l2Fetch:
 			// Grant in flight: defer until data arrives (§III-C1).
-			cp := *m
-			t.deferred = append(t.deferred, &cp)
+			t.deferred = append(t.deferred, *m)
 		case l2Rvk, l2Evict:
 			// Mid-revocation or eviction: serialize behind it.
-			cp := *m
-			t.waiting = append(t.waiting, &cp)
+			t.waiting = append(t.waiting, *m)
 		}
 		return
 	}
@@ -166,12 +164,12 @@ func (l *GPUL2) respondL3FwdFrom(m *proto.Message, data memaddr.LineData, e *cac
 		if e != nil {
 			e.State.state = mesi.S
 		}
-		l.send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.MDataS, Dst: m.Requestor, Requestor: m.Requestor,
 			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 			HasData: true, Data: data,
 		})
-		l.send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
 			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 			HasData: true, Data: data,
@@ -182,19 +180,19 @@ func (l *GPUL2) respondL3FwdFrom(m *proto.Message, data memaddr.LineData, e *cac
 		}
 		if m.Requestor == m.Src {
 			// Recall from the directory (L3 eviction).
-			l.send(&proto.Message{
+			l.sendV(proto.Message{
 				Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
 				ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 				HasData: true, Data: data,
 			})
 			return
 		}
-		l.send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.MDataM, Dst: m.Requestor, Requestor: m.Requestor,
 			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 			HasData: true, Data: data,
 		})
-		l.send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
 			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 		})
@@ -212,7 +210,7 @@ func (l *GPUL2) redispatch(m *proto.Message) {
 		l.handleL3Inv(m)
 	case proto.ReqV, proto.ReqWT, proto.ReqWTData, proto.ReqO, proto.ReqOData:
 		if t, ok := l.txns[m.Line]; ok {
-			t.waiting = append(t.waiting, m)
+			t.waiting = append(t.waiting, *m)
 			return
 		}
 		l.process(m)

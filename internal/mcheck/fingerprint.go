@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"sort"
+	"strings"
 
 	"spandex/internal/stats"
 )
@@ -19,6 +20,14 @@ import (
 //     differ between interleavings without affecting protocol behaviour;
 //   - skips cache LRU bookkeeping (field names "lru"/"lastUse"), which
 //     counts accesses and would otherwise split logically equal states;
+//   - skips sim.Pool fields and collapses nil and empty slices: object
+//     pools and recycled backing arrays are allocator state, and which of
+//     two logically equal worlds happened to recycle a record is an
+//     interleaving-history artifact;
+//   - hashes cache.MSHR and cache.WriteBuffer by their live entries only
+//     (sorted by line, resp. FIFO seq order): slot indices, free bitmaps,
+//     stale content in freed slots, and raw allocation stamps all differ
+//     between interleavings that reach the same protocol state;
 //   - hashes pointers by first-visit traversal index, never by address, so
 //     aliasing structure is captured but heap layout is not;
 //   - hashes func values as nil/non-nil only (completion callbacks; which
@@ -99,7 +108,10 @@ func (h *hasher) walk(v reflect.Value, buf *bytes.Buffer) {
 		fmt.Fprintf(buf, "n<%s>", elem.Type().String())
 		h.walk(elem, buf)
 	case reflect.Slice:
-		if v.IsNil() {
+		// nil and empty collapse: a recycled record holds non-nil empty
+		// queues ([:0] over the old backing array) where a fresh record
+		// holds nil — the same logical state either way.
+		if v.Len() == 0 {
 			buf.WriteString("l0")
 			return
 		}
@@ -139,10 +151,24 @@ func (h *hasher) walk(v reflect.Value, buf *bytes.Buffer) {
 		buf.WriteByte('}')
 	case reflect.Struct:
 		t := v.Type()
+		if strings.HasPrefix(t.String(), "cache.MSHR[") {
+			h.walkMSHR(v, buf)
+			return
+		}
+		if t.String() == "cache.WriteBuffer" {
+			h.walkWriteBuffer(v, buf)
+			return
+		}
 		fmt.Fprintf(buf, "t<%s>{", t.String())
 		for i := 0; i < t.NumField(); i++ {
 			f := t.Field(i)
-			if skipFields[f.Name] || f.Type.String() == "sim.Time" {
+			if skipFields[f.Name] || f.Type.String() == "sim.Time" ||
+				strings.HasPrefix(f.Type.String(), "sim.Pool[") {
+				continue
+			}
+			// The sendV/l1V scratch slots hold a copy of the last message
+			// sent — pure history residue, never read after the Send.
+			if (f.Name == "out" || f.Name == "toL1") && f.Type.String() == "proto.Message" {
 				continue
 			}
 			buf.WriteString(f.Name)
@@ -155,6 +181,65 @@ func (h *hasher) walk(v reflect.Value, buf *bytes.Buffer) {
 		reflect.Float32, reflect.Float64:
 		panic("mcheck: unhashable kind " + v.Kind().String() + " in protocol state")
 	}
+}
+
+// walkMSHR hashes a cache.MSHR by its live entries, sorted by line. Slot
+// indices, the free bitmap, and stale content left in freed slots are
+// allocation-history artifacts: two interleavings that reach the same set
+// of outstanding transactions may place them in different slots.
+func (h *hasher) walkMSHR(v reflect.Value, buf *bytes.Buffer) {
+	byLine := v.FieldByName("byLine")
+	slots := v.FieldByName("slots")
+	entries := make([]string, 0, byLine.Len())
+	iter := byLine.MapRange()
+	for iter.Next() {
+		var eb bytes.Buffer
+		h.walk(iter.Key(), &eb)
+		eb.WriteByte(':')
+		h.walk(slots.Index(int(iter.Value().Int())), &eb)
+		entries = append(entries, eb.String())
+	}
+	sort.Strings(entries)
+	fmt.Fprintf(buf, "mshr%d{", len(entries))
+	for _, e := range entries {
+		buf.WriteString(e)
+		buf.WriteByte(';')
+	}
+	buf.WriteByte('}')
+}
+
+// walkWriteBuffer hashes a cache.WriteBuffer by its live entries in FIFO
+// (seq) order. Emission order captures the protocol-visible age ordering;
+// the raw seq stamps, nextSeq counter, slot indices and occupancy bitmaps
+// all advance with interleaving history without changing protocol state.
+func (h *hasher) walkWriteBuffer(v reflect.Value, buf *bytes.Buffer) {
+	byLine := v.FieldByName("byLine")
+	slots := v.FieldByName("slots")
+	type live struct {
+		seq uint64
+		idx int
+	}
+	lives := make([]live, 0, byLine.Len())
+	iter := byLine.MapRange()
+	for iter.Next() {
+		idx := int(iter.Value().Int())
+		lives = append(lives, live{slots.Index(idx).FieldByName("seq").Uint(), idx})
+	}
+	sort.Slice(lives, func(i, j int) bool { return lives[i].seq < lives[j].seq })
+	fmt.Fprintf(buf, "wb%d{", len(lives))
+	for _, l := range lives {
+		e := slots.Index(l.idx)
+		t := e.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if t.Field(i).Name == "seq" {
+				continue
+			}
+			h.walk(e.Field(i), buf)
+			buf.WriteByte(';')
+		}
+		buf.WriteByte('|')
+	}
+	buf.WriteByte('}')
 }
 
 // structuralHash canonicalizes and hashes the given roots.

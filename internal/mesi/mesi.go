@@ -106,6 +106,9 @@ type L1 struct {
 
 	port noc.Port
 
+	// out is the sendV scratch slot (see sendV).
+	out proto.Message
+
 	array *cache.Array[line]
 	miss  *cache.MSHR[missEntry]
 	sb    *cache.WriteBuffer
@@ -143,6 +146,16 @@ func New(id proto.NodeID, eng *sim.Engine, port noc.Port, st *stats.Stats, cfg C
 
 var _ device.L1Cache = (*L1)(nil)
 
+// sendV transmits a by-value message through the port. Every port Send
+// copies the message synchronously before anything downstream can run, so
+// a single scratch slot per sender is safe and avoids a heap allocation
+// per send (the &proto.Message{...} literal idiom escapes through the
+// Port interface).
+func (l *L1) sendV(m proto.Message) {
+	l.out = m
+	l.port.Send(&l.out)
+}
+
 func (l *L1) nextReq() uint64 {
 	l.reqSeq++
 	return l.reqSeq
@@ -171,13 +184,13 @@ func (l *L1) Access(op device.Op, done func(uint32)) bool {
 func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 	la, w := addr.Line(), addr.WordIndex()
 	if v, ok := l.sb.ReadForward(addr); ok {
-		l.eng.Schedule(l.cfg.HitLatency, func() { done(v) })
+		l.eng.ScheduleCall(l.cfg.HitLatency, done, v)
 		return true
 	}
 	if e := l.array.Lookup(la); e != nil && e.State.state != I {
 		v := e.State.data[w]
 		l.st.Inc("mesil1.hit", 1)
-		l.eng.Schedule(l.cfg.HitLatency, func() { done(v) })
+		l.eng.ScheduleCall(l.cfg.HitLatency, done, v)
 		return true
 	}
 	if me := l.miss.Lookup(la); me != nil {
@@ -188,15 +201,15 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 		l.st.Inc("mesil1.mshr_stall", 1)
 		return false
 	}
-	me := l.miss.Alloc(la)
-	me.reqID = l.nextReq()
-	me.trace = l.curTrace
+	me := l.miss.AllocReuse(la)
+	*me = missEntry{reqID: l.nextReq(), trace: l.curTrace,
+		waiters: me.waiters[:0], atomics: me.atomics[:0], deferred: me.deferred[:0]}
 	me.waiters = append(me.waiters, loadWaiter{word: w, done: done})
 	l.st.Inc("mesil1.miss", 1)
 	if l.obs != nil {
 		l.mshrOcc()
 	}
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.MGetS, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: me.reqID, Line: la, Mask: memaddr.FullMask, Trace: me.trace,
 	})
@@ -265,16 +278,15 @@ func (l *L1) drainStore(la memaddr.LineAddr) {
 }
 
 func (l *L1) requestM(la memaddr.LineAddr, setup func(*missEntry)) {
-	me := l.miss.Alloc(la)
-	me.reqID = l.nextReq()
-	me.trace = l.curTrace
-	me.needM = true
+	me := l.miss.AllocReuse(la)
+	*me = missEntry{reqID: l.nextReq(), trace: l.curTrace, needM: true,
+		waiters: me.waiters[:0], atomics: me.atomics[:0], deferred: me.deferred[:0]}
 	setup(me)
 	l.st.Inc("mesil1.getm", 1)
 	if l.obs != nil {
 		l.mshrOcc()
 	}
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.MGetM, Dst: l.cfg.ParentID, Requestor: l.ID,
 		ReqID: me.reqID, Line: la, Mask: memaddr.FullMask, Trace: me.trace,
 	})
@@ -290,7 +302,7 @@ func (l *L1) atomic(op device.Op, done func(uint32)) bool {
 			e.State.data[w] = nv
 		}
 		l.st.Inc("mesil1.atomic_hit", 1)
-		l.eng.Schedule(l.cfg.HitLatency, func() { done(old) })
+		l.eng.ScheduleCall(l.cfg.HitLatency, done, old)
 		return true
 	}
 	if me := l.miss.Lookup(la); me != nil {
@@ -395,7 +407,7 @@ func (l *L1) evict(frame *cache.Entry[line]) {
 	case M, E:
 		l.wbs[la] = &pendingWB{data: st.data, dirty: st.state == M}
 		l.st.Inc("mesil1.wb_evict", 1)
-		l.port.Send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.MPutM, Dst: l.cfg.ParentID, Requestor: l.ID,
 			ReqID: l.nextReq(), Line: la, Mask: memaddr.FullMask,
 			HasData: true, Data: st.data,

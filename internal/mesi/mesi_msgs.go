@@ -51,9 +51,9 @@ func (l *L1) handleData(m *proto.Message, grant State) {
 	for _, w := range me.waiters {
 		v := e.State.data[w.word]
 		done := w.done
-		l.eng.Schedule(0, func() { done(v) })
+		l.eng.ScheduleCall(0, done, v)
 	}
-	me.waiters = nil
+	me.waiters = me.waiters[:0]
 
 	if grant == E || grant == M {
 		if me.applyStores {
@@ -74,9 +74,9 @@ func (l *L1) handleData(m *proto.Message, grant State) {
 			}
 			e.State.state = M
 			done := a.done
-			l.eng.Schedule(0, func() { done(old) })
+			l.eng.ScheduleCall(0, done, old)
 		}
-		me.atomics = nil
+		me.atomics = me.atomics[:0]
 		me.escalate = false
 	}
 
@@ -85,7 +85,7 @@ func (l *L1) handleData(m *proto.Message, grant State) {
 		me.escalate = false
 		me.reqID = l.nextReq()
 		l.st.Inc("mesil1.getm", 1)
-		l.port.Send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.MGetM, Dst: l.cfg.ParentID, Requestor: l.ID,
 			ReqID: me.reqID, Line: m.Line, Mask: memaddr.FullMask,
 			Trace: me.trace,
@@ -108,7 +108,7 @@ func (l *L1) handleInv(m *proto.Message) {
 		l.array.Invalidate(m.Line)
 	}
 	l.st.Inc("mesil1.invalidated", 1)
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.MInvAck, Dst: m.Src, Requestor: l.ID,
 		ReqID: m.ReqID, Line: m.Line, Mask: m.Mask, Trace: m.Trace,
 	})
@@ -135,12 +135,12 @@ func (l *L1) handleFwdGetS(m *proto.Message) {
 }
 
 func (l *L1) sendFwdGetSRsp(m *proto.Message, data memaddr.LineData) {
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.MDataS, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 		HasData: true, Data: data, Trace: m.Trace,
 	})
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 		HasData: true, Data: data, Trace: m.Trace,
@@ -171,19 +171,19 @@ func (l *L1) handleFwdGetM(m *proto.Message) {
 func (l *L1) sendFwdGetMRsp(m *proto.Message, data memaddr.LineData) {
 	if m.Requestor == m.Src {
 		// Recall: the directory itself wants the data (LLC eviction).
-		l.port.Send(&proto.Message{
+		l.sendV(proto.Message{
 			Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
 			ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 			HasData: true, Data: data, Trace: m.Trace,
 		})
 		return
 	}
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.MDataM, Dst: m.Requestor, Requestor: m.Requestor,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 		HasData: true, Data: data, Trace: m.Trace,
 	})
-	l.port.Send(&proto.Message{
+	l.sendV(proto.Message{
 		Type: proto.MWBData, Dst: m.Src, Requestor: l.ID,
 		ReqID: m.ReqID, Line: m.Line, Mask: memaddr.FullMask,
 		Trace: m.Trace,

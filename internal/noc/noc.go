@@ -54,14 +54,84 @@ type endpoint struct {
 // deterministic routing provides per virtual network, and which the
 // protocols' race handling assumes for grant-before-probe ordering).
 type Network struct {
-	eng       *sim.Engine
-	st        *stats.Stats
-	cfg       Config
-	eps       []endpoint
-	pairLast  map[[2]proto.NodeID]sim.Time
+	eng *sim.Engine
+	st  *stats.Stats
+	cfg Config
+	eps []endpoint
+	// pairLast is a dense src-major matrix of last delivery times, indexed
+	// src*len(eps)+dst (a map here costs a hash per message send).
+	pairLast  []sim.Time
 	trace     func(at sim.Time, m *proto.Message)
 	intercept func(m *proto.Message)
 	obs       *obs.Recorder
+	pool      sim.Pool[deliverEvent]
+}
+
+// deliverEvent is a pooled in-flight message. The message payload is
+// embedded by value and recycled as soon as the destination handler
+// returns, so handlers (and observer sinks) must copy any message they
+// retain past HandleMessage.
+type deliverEvent struct {
+	net *Network
+	msg proto.Message
+}
+
+func (d *deliverEvent) Fire() {
+	n := d.net
+	m := &d.msg
+	if n.trace != nil {
+		n.trace(n.eng.Now(), m)
+	}
+	if n.obs != nil {
+		n.obs.Emit(obs.Event{At: n.eng.Now(), Kind: obs.EvMsgDeliver,
+			Node: m.Dst, Trace: m.Trace, Msg: m})
+	}
+	h := n.eps[m.Dst].handler
+	if h == nil {
+		panic(fmt.Sprintf("noc: no handler registered for node %d (msg %s)", m.Dst, m))
+	}
+	h.HandleMessage(m)
+	n.pool.Put(d)
+}
+
+// DelayQueue defers messages by a fixed latency into a dispatch function.
+// It is the pooled replacement for the Schedule-closure queuing idiom the
+// translation units and LLC-like controllers share: Post copies the
+// message into a recycled in-flight slot, so the steady state allocates
+// nothing. The dispatch function must not retain the message past its
+// return — it is recycled immediately after — so handlers clone at
+// retention points (transaction origins, blocked-line queues).
+type DelayQueue struct {
+	eng  *sim.Engine
+	d    sim.Time
+	fn   func(*proto.Message)
+	pool sim.Pool[delayedMsg]
+}
+
+type delayedMsg struct {
+	q   *DelayQueue
+	msg proto.Message
+}
+
+func (e *delayedMsg) Fire() {
+	q := e.q
+	q.fn(&e.msg)
+	q.pool.Put(e)
+}
+
+// NewDelayQueue creates a queue that hands each posted message to fn after
+// d ticks. Messages posted at the same tick dispatch in post order.
+func NewDelayQueue(eng *sim.Engine, d sim.Time, fn func(*proto.Message)) *DelayQueue {
+	return &DelayQueue{eng: eng, d: d, fn: fn}
+}
+
+// Post schedules m's dispatch. The message is copied; the caller may reuse
+// the struct.
+func (q *DelayQueue) Post(m *proto.Message) {
+	e := q.pool.Get()
+	e.q = q
+	e.msg = *m
+	q.eng.ScheduleEvent(q.d, e)
 }
 
 // New creates a network with n endpoints laid out row-major on the mesh.
@@ -70,7 +140,7 @@ func New(eng *sim.Engine, st *stats.Stats, cfg Config, n int) *Network {
 		cfg.MeshWidth = 1
 	}
 	nw := &Network{eng: eng, st: st, cfg: cfg, eps: make([]endpoint, n),
-		pairLast: make(map[[2]proto.NodeID]sim.Time)}
+		pairLast: make([]sim.Time, n*n)}
 	for i := range nw.eps {
 		nw.eps[i].x = i % cfg.MeshWidth
 		nw.eps[i].y = i / cfg.MeshWidth
@@ -160,54 +230,44 @@ func (n *Network) Send(m *proto.Message) {
 	if m.Src < 0 || int(m.Src) >= len(n.eps) || m.Dst < 0 || int(m.Dst) >= len(n.eps) {
 		panic(fmt.Sprintf("noc: bad endpoints in %s", m))
 	}
-	cp := *m
 	if n.intercept != nil {
+		cp := *m
 		n.intercept(&cp)
 		return
 	}
-	size := cp.Bytes()
-	n.st.Traffic.Add(proto.ClassOf(cp.Type), size)
+	size := m.Bytes()
+	n.st.Traffic.Add(proto.ClassOf(m.Type), size)
 
 	now := n.eng.Now()
 	ser := sim.Time(size) * n.cfg.TicksPerByte
 
-	src := &n.eps[cp.Src]
+	src := &n.eps[m.Src]
 	start := now
 	if src.egressFree > start {
 		start = src.egressFree
 	}
 	src.egressFree = start + ser
 
-	arrive := start + ser + n.cfg.HopLatency*n.hops(cp.Src, cp.Dst)
+	arrive := start + ser + n.cfg.HopLatency*n.hops(m.Src, m.Dst)
 
-	dst := &n.eps[cp.Dst]
+	dst := &n.eps[m.Dst]
 	deliver := arrive
 	if dst.ingressFree > deliver {
 		deliver = dst.ingressFree
 	}
-	pair := [2]proto.NodeID{cp.Src, cp.Dst}
+	pair := int(m.Src)*len(n.eps) + int(m.Dst)
 	if last := n.pairLast[pair]; deliver <= last {
 		deliver = last + 1
 	}
 	n.pairLast[pair] = deliver
 	dst.ingressFree = deliver + ser
 
+	d := n.pool.Get()
+	d.net = n
+	d.msg = *m
 	if n.obs != nil {
-		n.obs.Emit(obs.Event{At: now, Kind: obs.EvMsgSend, Node: cp.Src,
-			Trace: cp.Trace, Msg: &cp, Arg: uint64(deliver)})
+		n.obs.Emit(obs.Event{At: now, Kind: obs.EvMsgSend, Node: m.Src,
+			Trace: m.Trace, Msg: &d.msg, Arg: uint64(deliver)})
 	}
-	n.eng.ScheduleAt(deliver, func() {
-		if n.trace != nil {
-			n.trace(n.eng.Now(), &cp)
-		}
-		if n.obs != nil {
-			n.obs.Emit(obs.Event{At: n.eng.Now(), Kind: obs.EvMsgDeliver,
-				Node: cp.Dst, Trace: cp.Trace, Msg: &cp})
-		}
-		h := n.eps[cp.Dst].handler
-		if h == nil {
-			panic(fmt.Sprintf("noc: no handler registered for node %d (msg %s)", cp.Dst, &cp))
-		}
-		h.HandleMessage(&cp)
-	})
+	n.eng.ScheduleEventAt(deliver, d)
 }

@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -117,5 +119,121 @@ func TestClockConversions(t *testing.T) {
 	}
 	if GPUCycles(2) != 2858 {
 		t.Fatalf("GPUCycles(2) = %d", GPUCycles(2))
+	}
+}
+
+// TestZeroDelaySelfReschedule: an event that re-arms itself with zero
+// delay fires again at the same tick — behind events already queued for
+// that tick, so zero-delay loops cannot starve their peers — and the
+// engine still advances to later ticks afterwards.
+func TestZeroDelaySelfReschedule(t *testing.T) {
+	e := New()
+	var log []int
+	hops := 0
+	var self func()
+	self = func() {
+		log = append(log, hops)
+		hops++
+		if hops < 5 {
+			e.Schedule(0, self)
+		}
+	}
+	e.Schedule(10, self)
+	e.Schedule(10, func() { log = append(log, 100) })
+	reached := false
+	e.Schedule(11, func() { reached = true })
+	e.Run()
+	want := []int{0, 100, 1, 2, 3, 4}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v, want %v", log, want)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+	if !reached || e.Now() != 11 {
+		t.Fatalf("reached=%v now=%d", reached, e.Now())
+	}
+}
+
+// TestBucketWrap exercises the overflow path: targets past the current
+// wheel window [base, base+wheelTicks) go to the overflow heap and drain
+// back into the wheel as the window turns over, including a chain that
+// always jumps one full window ahead of itself.
+func TestBucketWrap(t *testing.T) {
+	e := New()
+	var fired []Time
+	rec := func() { fired = append(fired, e.Now()) }
+	for _, at := range []Time{3, wheelTicks - 1, wheelTicks, wheelTicks + 1,
+		3*wheelTicks + 7, 10*wheelTicks + 123} {
+		e.ScheduleAt(at, rec)
+	}
+	jumps := 0
+	var hop func()
+	hop = func() {
+		fired = append(fired, e.Now())
+		if jumps < 4 {
+			jumps++
+			e.Schedule(wheelTicks, hop)
+		}
+	}
+	e.ScheduleAt(5, hop)
+	e.Run()
+	want := []Time{3, 5, wheelTicks - 1, wheelTicks, wheelTicks + 1,
+		wheelTicks + 5, 2*wheelTicks + 5, 3*wheelTicks + 5, 3*wheelTicks + 7,
+		4*wheelTicks + 5, 10*wheelTicks + 123}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d: %v", len(fired), len(want), fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired[%d] = %d, want %d", i, fired[i], want[i])
+		}
+	}
+	if e.Fired() != uint64(len(want)) {
+		t.Fatalf("Fired = %d", e.Fired())
+	}
+}
+
+// TestCalendarHeapCrossCheck drives the calendar queue against a plain
+// reference ordered by (time, schedule order), with randomized targets
+// spanning several wheel windows and callbacks that schedule follow-up
+// work mid-run — so wheel inserts, overflow inserts, and overflow→wheel
+// migration at turnover all interleave.
+func TestCalendarHeapCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := New()
+	type ev struct {
+		at  Time
+		seq int
+	}
+	var model, got []ev
+	seq := 0
+	var schedule func(at Time)
+	schedule = func(at Time) {
+		id := seq
+		seq++
+		model = append(model, ev{at, id})
+		e.ScheduleAt(at, func() {
+			got = append(got, ev{e.Now(), id})
+			if seq < 3000 && rng.Intn(3) == 0 {
+				schedule(e.Now() + Time(rng.Intn(4*wheelTicks)))
+			}
+		})
+	}
+	for i := 0; i < 1000; i++ {
+		schedule(Time(rng.Intn(6 * wheelTicks)))
+	}
+	e.Run()
+	sort.SliceStable(model, func(i, j int) bool { return model[i].at < model[j].at })
+	if len(got) != len(model) {
+		t.Fatalf("fired %d events, want %d", len(got), len(model))
+	}
+	for i := range model {
+		if got[i] != model[i] {
+			t.Fatalf("event %d: got (at=%d seq=%d), want (at=%d seq=%d)",
+				i, got[i].at, got[i].seq, model[i].at, model[i].seq)
+		}
 	}
 }

@@ -1,0 +1,30 @@
+package sim
+
+// Pool is a trivial free-list allocator for pooled event and message
+// structs. Unlike sync.Pool it is single-threaded (the simulation runs on
+// one goroutine), never drops entries under GC pressure, and costs a slice
+// append/pop per op. The zero value is ready to use.
+//
+// Objects returned by Get may hold stale field values from a previous
+// life; callers overwrite every field they read. After Put the object
+// belongs to the pool again: retaining or touching it is a use-after-free
+// (the poolret analyzer in internal/analysis flags this pattern).
+type Pool[T any] struct {
+	free []*T
+}
+
+// Get returns a recycled *T, or a fresh zero value if the pool is empty.
+func (p *Pool[T]) Get() *T {
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+		return x
+	}
+	return new(T)
+}
+
+// Put returns x to the pool for reuse.
+func (p *Pool[T]) Put(x *T) {
+	p.free = append(p.free, x)
+}

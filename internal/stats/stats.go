@@ -53,21 +53,41 @@ type Stats struct {
 	// ExecTime is the simulated time at which the workload finished.
 	ExecTime sim.Time
 
-	Counters map[string]uint64
+	// Counters boxes each named counter so Counter can hand out a stable
+	// pointer: hot paths increment through the pointer instead of paying a
+	// string-map assignment per protocol event.
+	Counters map[string]*uint64
 }
 
 // New returns an empty Stats.
 func New() *Stats {
-	return &Stats{Counters: make(map[string]uint64)}
+	return &Stats{Counters: make(map[string]*uint64)}
+}
+
+// Counter returns a stable pointer to the named counter, creating it at
+// zero if needed. Components resolve their hot counters once at
+// construction and increment through the pointer on the fast path.
+func (s *Stats) Counter(name string) *uint64 {
+	if p, ok := s.Counters[name]; ok {
+		return p
+	}
+	p := new(uint64)
+	s.Counters[name] = p
+	return p
 }
 
 // Inc adds n to a named counter (e.g. "llc.blocked", "tu.nack").
 func (s *Stats) Inc(name string, n uint64) {
-	s.Counters[name] += n
+	*s.Counter(name) += n
 }
 
 // Get returns a named counter's value.
-func (s *Stats) Get(name string) uint64 { return s.Counters[name] }
+func (s *Stats) Get(name string) uint64 {
+	if p, ok := s.Counters[name]; ok {
+		return *p
+	}
+	return 0
+}
 
 // CounterNames returns all counter names in ascending lexicographic order.
 // The ordering is deterministic — independent of map iteration order and
@@ -98,7 +118,7 @@ type Snapshot struct {
 func (s *Stats) Snapshot() Snapshot {
 	c := make(map[string]uint64, len(s.Counters))
 	for k, v := range s.Counters {
-		c[k] = v
+		c[k] = *v
 	}
 	return Snapshot{Traffic: s.Traffic, ExecTime: s.ExecTime, Counters: c}
 }
@@ -242,7 +262,7 @@ func (s *Stats) Summary() string {
 	}
 	fmt.Fprintf(&b, "  %-8s %12d bytes (excl. mem)\n", "total", s.Traffic.TotalBytes(false))
 	for _, k := range s.CounterNames() {
-		fmt.Fprintf(&b, "  %-28s %12d\n", k, s.Counters[k])
+		fmt.Fprintf(&b, "  %-28s %12d\n", k, s.Get(k))
 	}
 	return b.String()
 }

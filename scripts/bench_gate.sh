@@ -1,0 +1,25 @@
+#!/bin/sh
+# CI perf-regression gate: re-measure single-worker headline-sweep
+# throughput on this host and fail if cells/sec or events/sec regressed
+# more than BENCH_TOLERANCE (default 10%) against the newest checked-in
+# BENCH_*.json, or if allocations per sweep grew by more than the same
+# margin. Leaves /tmp/bench_now.json plus CPU and heap profiles behind
+# for artifact upload.
+#
+# BENCH_*.json names sort chronologically (BENCH_<yyyymmdd>_<shortsha>),
+# so the lexicographically last file is the newest baseline.
+set -eu
+cd "$(dirname "$0")/.."
+
+base=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+if [ -z "$base" ]; then
+	echo "bench_gate: no BENCH_*.json baseline checked in" >&2
+	exit 1
+fi
+echo "bench_gate: baseline $base"
+
+go run ./cmd/spandex-bench -perf /tmp/bench_now.json \
+	-perf-rounds "${BENCH_ROUNDS:-3}" \
+	-perf-baseline "$base" -perf-tolerance "${BENCH_TOLERANCE:-0.10}" \
+	-perf-cpuprofile /tmp/bench_cpu.pprof -perf-memprofile /tmp/bench_mem.pprof \
+	-git-sha "$(git rev-parse --short HEAD)"

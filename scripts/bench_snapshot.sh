@@ -1,0 +1,20 @@
+#!/bin/sh
+# Produce a checked-in benchmark snapshot at the repository root:
+#
+#   BENCH_<yyyymmdd>_<shortsha>.json
+#
+# measuring single-worker headline-sweep throughput (cells/sec,
+# events/sec, per-workload wall time, allocations per sweep). Commit the
+# file to extend the performance trajectory; the CI bench-gate
+# (scripts/bench_gate.sh) compares every push against the newest one.
+#
+#   BENCH_ROUNDS=5 ./scripts/bench_snapshot.sh   # more rounds (default 3)
+set -eu
+cd "$(dirname "$0")/.."
+
+sha=$(git rev-parse --short HEAD)
+stamp=$(date -u +%Y%m%d)
+out="BENCH_${stamp}_${sha}.json"
+
+go run ./cmd/spandex-bench -perf "$out" -perf-rounds "${BENCH_ROUNDS:-3}" -git-sha "$sha"
+echo "bench_snapshot: wrote $out"

@@ -145,6 +145,12 @@ type Result struct {
 	Counters map[string]uint64
 	// Ops is the total device operations executed.
 	Ops uint64
+	// Events is the number of engine events fired during the run. It is a
+	// throughput denominator (events/sec in BENCH_*.json), not simulated
+	// behaviour, so it is excluded from Fingerprint: pooling and event-
+	// structure changes in the engine may alter it while the simulated
+	// machine stays bit-identical.
+	Events uint64
 	// MemHash is a deterministic hash of the final DRAM image (captured
 	// at quiescence, before any validation reads). Together with ExecTime,
 	// Traffic, Counters and Ops it fingerprints a run for determinism
@@ -546,7 +552,7 @@ func (s *System) Run(maxTime sim.Time) (Result, error) {
 	}
 	counters := make(map[string]uint64, len(s.Stats.Counters))
 	for k, v := range s.Stats.Counters {
-		counters[k] = v
+		counters[k] = *v
 	}
 	res := Result{
 		Config:   s.cfg.Name,
@@ -554,6 +560,7 @@ func (s *System) Run(maxTime sim.Time) (Result, error) {
 		Traffic:  s.Stats.Traffic,
 		Counters: counters,
 		Ops:      ops,
+		Events:   s.Engine.Fired(),
 		MemHash:  s.Mem.Fingerprint(),
 	}
 	if s.Coverage != nil {
