@@ -6,9 +6,11 @@ GO ?= go
 .PHONY: ci build vet fmt lint test race smoke check bench bench-json \
 	bench-gate clean \
 	transgraph transgraph-check mcheck mcheck-smoke mutants crosscheck \
-	trace-smoke trace-overhead fuzz fuzz-mutants corpus
+	trace-smoke trace-overhead fuzz fuzz-mutants corpus \
+	flow flow-check flow-mutants
 
-ci: build vet fmt lint test race smoke check transgraph-check mcheck-smoke mutants trace-smoke fuzz fuzz-mutants
+ci: build vet fmt lint test race smoke check transgraph-check flow-check \
+	flow-mutants mcheck-smoke mutants trace-smoke fuzz fuzz-mutants
 
 build:
 	$(GO) build ./...
@@ -70,6 +72,25 @@ transgraph:
 # Freshness gate: the checked-in graphs must match the source byte-for-byte.
 transgraph-check:
 	$(GO) run ./cmd/spandex-transgraph -check
+
+# Regenerate docs/msgflow/ (whole-system message-flow graph, JSON + DOT)
+# and run the three global checks: completeness (every emitted message
+# handled at every reachable receiver state or proven unreachable),
+# deadlock-freedom (no dependency cycle made entirely of deferrable hops),
+# and stall-safety (every blocking wait has a progress supplier).
+flow:
+	$(GO) run ./cmd/spandex-flow
+
+# Freshness gate: checked-in flow graph must match the source, and the
+# three checks must report zero violations.
+flow-check:
+	$(GO) run ./cmd/spandex-flow -check
+
+# Static mutation detection: each seeded protocol bug, mirrored on the
+# flow graph, must surface as at least one violation.
+flow-mutants:
+	$(GO) run ./cmd/spandex-flow -mutate dropinvack
+	$(GO) run ./cmd/spandex-flow -mutate skiprvko
 
 # Exhaustive model check: every CPU×GPU protocol pairing, every scenario,
 # all message interleavings up to the state budget.

@@ -14,8 +14,11 @@
 // hmesi). -diff compares coverage snapshots (written by spandex-mcheck
 // -coverage-out or spandex-bench -coverage-out) against the LLC's
 // annotated graph: an observed (state, message) pair missing from the
-// static graph is an extraction bug and exits nonzero; static pairs never
-// observed are printed as coverage gaps.
+// static graph is an extraction bug and exits nonzero, as is an observed
+// pair the source declares unreachable (a contradicted proof); static
+// pairs never observed are classified as "proven unreachable" (covered by
+// a //spandex:unreachable declaration) or "untested" (a real coverage
+// hole).
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"spandex/internal/analysis"
@@ -72,6 +76,7 @@ func main() {
 	}
 
 	stale := false
+	produced := map[string]bool{}
 	for _, pkg := range pkgs {
 		graphs, err := transgraph.Extract(pkg)
 		if err != nil {
@@ -83,6 +88,7 @@ func main() {
 				filepath.Join(*out, g.Name()+".dot"):  g.DOT(),
 			}
 			for path, want := range files {
+				produced[filepath.Base(path)] = true
 				if *check {
 					have, err := os.ReadFile(path)
 					if err != nil || !bytes.Equal(have, want) {
@@ -102,6 +108,28 @@ func main() {
 				fmt.Printf("%-16s %s: %d states, %d messages, %d transitions (%s)\n",
 					g.Name(), g.Source, len(g.States), len(g.Messages), len(g.Transitions), *out)
 			}
+		}
+	}
+	// Orphans — checked-in artifacts no extracted unit produces — mean a
+	// unit silently vanished from extraction (e.g. a dispatch-idiom change
+	// the extractor no longer follows). Without this, -check passes while
+	// the on-disk graph rots.
+	if entries, err := os.ReadDir(*out); err == nil {
+		for _, ent := range entries {
+			name := ent.Name()
+			ext := filepath.Ext(name)
+			if ent.IsDir() || (ext != ".json" && ext != ".dot") || produced[name] {
+				continue
+			}
+			if *check {
+				fmt.Fprintf(os.Stderr, "orphan: %s (no extracted unit produces it — extraction regression or leftover; re-run spandex-transgraph)\n", filepath.Join(*out, name))
+				stale = true
+				continue
+			}
+			if err := os.Remove(filepath.Join(*out, name)); err != nil {
+				die("%v", err)
+			}
+			fmt.Printf("removed orphan %s\n", filepath.Join(*out, name))
 		}
 	}
 	if stale {
@@ -140,8 +168,16 @@ func runDiff(graphPath string, covPaths []string) error {
 
 	res := transgraph.DiffCoverage(&g, observed)
 	fmt.Printf("cross-check %s: %d observed pairs vs %d static pairs\n", g.Name(), res.Observed, res.Static)
+	proven := make([]string, 0, len(res.Proven))
+	for pair := range res.Proven {
+		proven = append(proven, pair)
+	}
+	sort.Strings(proven)
+	for _, pair := range proven {
+		fmt.Printf("  proven unreachable: %-18s — %s\n", pair, res.Proven[pair])
+	}
 	for _, gap := range res.Gaps {
-		fmt.Printf("  gap (static, never observed): %s\n", gap)
+		fmt.Printf("  untested (static, never observed): %s\n", gap)
 	}
 	if len(res.Unknown) > 0 {
 		for _, u := range res.Unknown {
@@ -149,6 +185,13 @@ func runDiff(graphPath string, covPaths []string) error {
 		}
 		return fmt.Errorf("%d observed transitions missing from the static graph", len(res.Unknown))
 	}
-	fmt.Printf("ok: every observed transition is in the static graph (%d gaps)\n", len(res.Gaps))
+	if len(res.Contradicted) > 0 {
+		for _, c := range res.Contradicted {
+			fmt.Printf("  CONTRADICTED (observed but declared unreachable): %s\n", c)
+		}
+		return fmt.Errorf("%d observed transitions contradict //spandex:unreachable declarations", len(res.Contradicted))
+	}
+	fmt.Printf("ok: every observed transition is in the static graph (%d proven unreachable, %d untested)\n",
+		len(res.Proven), len(res.Gaps))
 	return nil
 }

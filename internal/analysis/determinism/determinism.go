@@ -32,6 +32,12 @@
 //     sink is installed. Instrumentation must emit structured obs.Events
 //     and let the sink (off the sim path) do the formatting. Arguments to
 //     panic are exempt: a dying run may format freely.
+//  6. sync.Map.Range with an order-sensitive callback. sync.Map iterates
+//     in unspecified order exactly like a plain map, but hides behind a
+//     method call the map-range syntax check cannot see. The callback
+//     body is classified with the same commutativity rules as a range
+//     body; `return true` (keep iterating) is accepted, `return false`
+//     (early stop) is order-dependent. //spandex:maprange suppresses.
 package determinism
 
 import (
@@ -43,7 +49,12 @@ import (
 )
 
 // Packages lists the import paths forming the deterministic sim path.
-// Tests may append to this to bring testdata packages in scope.
+// internal/conform (the differential oracle: case generation, execution
+// order, shrinking) and internal/obs (event decimation, sink ordering)
+// are deterministic-replay surfaces too — a nondeterministic iteration
+// there diverges shrink results or trace files rather than fingerprints,
+// which is just as corrosive and harder to notice. Tests may append to
+// this to bring testdata packages in scope.
 var Packages = []string{
 	"spandex/internal/sim",
 	"spandex/internal/noc",
@@ -55,6 +66,8 @@ var Packages = []string{
 	"spandex/internal/device",
 	"spandex/internal/workload",
 	"spandex/internal/dram",
+	"spandex/internal/conform",
+	"spandex/internal/obs",
 }
 
 // globalRandFuncs are the math/rand package-level functions backed by the
@@ -103,12 +116,16 @@ type checker struct {
 	callbackDepth int
 	// panicDepth > 0 while walking the arguments of a panic call.
 	panicDepth int
+	// rangeCallbackDepth > 0 while classifying a sync.Map.Range callback
+	// body, where `return true` means "keep iterating" and commutes.
+	rangeCallbackDepth int
 }
 
 func (d *checker) node(n ast.Node) bool {
 	switch n := n.(type) {
 	case *ast.CallExpr:
 		d.call(n)
+		d.syncMapRange(n)
 		// panic arguments are exempt from the hot-path formatting check:
 		// walk them with the exemption armed, then skip the default walk.
 		if isPanic(d.info, n) {
@@ -221,6 +238,51 @@ func isPanic(info *types.Info, call *ast.CallExpr) bool {
 	// In testdata fakes panic may be unresolved; match by name with no
 	// other object bound.
 	return id.Name == "panic" && info.Uses[id] == nil && info.Defs[id] == nil
+}
+
+// syncMapRange flags sync.Map.Range calls with an order-sensitive
+// callback — the method-shaped twin of the map-range check, which the
+// range-statement syntax walk cannot see.
+func (d *checker) syncMapRange(n *ast.CallExpr) {
+	sel, ok := n.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" {
+		return
+	}
+	tv, ok := d.info.Types[sel.X]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Map" ||
+		named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return
+	}
+	if d.pass.HasDirective(n, "maprange") {
+		return
+	}
+	if len(n.Args) == 1 {
+		if lit, ok := n.Args[0].(*ast.FuncLit); ok {
+			loopVars := make(map[types.Object]bool)
+			for _, field := range lit.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := d.info.Defs[name]; obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+			d.rangeCallbackDepth++
+			insensitive := d.orderInsensitive(lit.Body.List, loopVars)
+			d.rangeCallbackDepth--
+			if insensitive {
+				return
+			}
+		}
+	}
+	d.pass.Reportf(n.Pos(), "nondeterministic sync.Map.Range feeds an order-sensitive sink: collect and sort the keys (detsort.Keys over a plain map) or add //spandex:maprange <why>")
 }
 
 // rangeStmt flags map iterations whose bodies are order-sensitive.
@@ -351,6 +413,15 @@ func (d *checker) stmtOK(s ast.Stmt, loopVars map[types.Object]bool) bool {
 		// continue skips an element, which commutes; break terminates
 		// early and is order-dependent.
 		return s.Tok == token.CONTINUE && s.Label == nil
+	case *ast.ReturnStmt:
+		// In a sync.Map.Range callback, `return true` is that loop's
+		// continue; `return false` stops early and is order-dependent.
+		if d.rangeCallbackDepth > 0 && len(s.Results) == 1 {
+			if id, ok := unparen(s.Results[0]).(*ast.Ident); ok && id.Name == "true" {
+				return true
+			}
+		}
+		return false
 	case *ast.EmptyStmt:
 		return true
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -205,4 +206,60 @@ func sliceRange(xs []int) []int {
 		out = append(out, x)
 	}
 	return out
+}
+
+// syncMapOrderSensitive: sync.Map iterates in unspecified order just like
+// a plain map; appending in the callback is order-dependent.
+func syncMapOrderSensitive(m *sync.Map) []any {
+	var out []any
+	m.Range(func(k, v any) bool { // want `nondeterministic sync.Map.Range`
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// syncMapEarlyStop: `return false` stops the iteration at an
+// order-dependent element even though the body otherwise commutes.
+func syncMapEarlyStop(m *sync.Map, counts map[int]int) {
+	m.Range(func(k, v any) bool { // want `nondeterministic sync.Map.Range`
+		n, _ := v.(int)
+		counts[n]++
+		return n == 0
+	})
+}
+
+// syncMapCommutative: keyed writes plus `return true` commute, exactly
+// like the accepted plain-map range bodies.
+func syncMapCommutative(m *sync.Map, counts map[int]int) {
+	m.Range(func(k, v any) bool {
+		n, _ := k.(int)
+		counts[n]++
+		return true
+	})
+}
+
+// syncMapSuppressed carries a justified directive.
+func syncMapSuppressed(m *sync.Map) []any {
+	var out []any
+	//spandex:maprange order normalized by the caller's sort
+	m.Range(func(k, v any) bool {
+		out = append(out, v)
+		return true
+	})
+	return out
+}
+
+// valueMapRange: Range on a non-sync Map type is not flagged.
+type registry struct{}
+
+func (registry) Range(fn func(int) bool) {}
+
+func notSyncMap(r registry) {
+	var xs []int
+	r.Range(func(i int) bool {
+		xs = append(xs, i)
+		return true
+	})
+	_ = xs
 }

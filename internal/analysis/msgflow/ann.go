@@ -1,0 +1,135 @@
+package msgflow
+
+import (
+	"fmt"
+	"strings"
+
+	"spandex/internal/analysis"
+	"spandex/internal/analysis/transgraph"
+)
+
+// flowAnn aggregates one unit's //spandex:flow directives. The grammar,
+// with every directive inside a method body of the unit:
+//
+//	//spandex:flow queue <M1,M2,...> [at=<S1|S2|...>]
+//
+// The listed messages may be deferred (queued behind a busy line, parked
+// behind an in-flight grant) instead of consumed; for annotated units the
+// at= states say where (omitted = any state).
+//
+//	//spandex:flow wait <name> awaits=<A1,A2> via=<V1,V2> [opener=any]
+//
+// A blocking condition: for annotated units name is a state suffix
+// ("+rvk") and the opener transitions — those entering a suffixed state
+// from an unsuffixed one — must emit a via message; opener=any skips that
+// per-transition obligation (used when the wait opens on a different line
+// than the handled one, or the unit's graph is state-less). The via
+// messages must, transitively through the system, produce one of the
+// awaited messages back at this unit.
+//
+//	//spandex:flow emit <Msg> dst=<unit1,unit2>
+//
+// Overrides the AST destination classification for Msg: the emission only
+// ever reaches the listed unit kinds (e.g. revocations only go to
+// owner-capable device kinds).
+type flowAnn struct {
+	queues []QueueSpec
+	waits  []WaitSpec
+	emits  []EmitOverride
+}
+
+// collectFlowAnns parses every //spandex:flow directive in pkg, keyed by
+// the canonical unit name of the enclosing method's receiver.
+func collectFlowAnns(pkg *analysis.Package, names map[string]string, out map[string]*flowAnn) error {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "spandex:flow") {
+					continue
+				}
+				recv := transgraph.EnclosingRecv(f, c.Pos())
+				if recv == "" {
+					return fmt.Errorf("%s: spandex:flow directive outside a method body", pkg.Path)
+				}
+				unit, ok := names[recv]
+				if !ok {
+					return fmt.Errorf("%s: spandex:flow directive in method of %s, which is not a message-handling unit", pkg.Path, recv)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				posStr := fmt.Sprintf("%s:%d", trimPath(pos.Filename), pos.Line)
+				if out[unit] == nil {
+					out[unit] = &flowAnn{}
+				}
+				if err := parseFlow(out[unit], strings.TrimPrefix(text, "spandex:flow"), posStr); err != nil {
+					return fmt.Errorf("%s: %s: %v", pkg.Path, posStr, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func parseFlow(fa *flowAnn, s, pos string) error {
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return fmt.Errorf("spandex:flow: need a directive kind and operand")
+	}
+	kind, rest := fields[0], fields[1:]
+	switch kind {
+	case "queue":
+		q := QueueSpec{Msgs: splitList(rest[0]), Pos: pos}
+		for _, kv := range rest[1:] {
+			val, ok := strings.CutPrefix(kv, "at=")
+			if !ok {
+				return fmt.Errorf("spandex:flow queue: unknown field %q", kv)
+			}
+			q.At = strings.Split(val, "|")
+		}
+		if len(q.Msgs) == 0 {
+			return fmt.Errorf("spandex:flow queue: no messages")
+		}
+		fa.queues = append(fa.queues, q)
+	case "wait":
+		w := WaitSpec{Name: rest[0], Pos: pos}
+		for _, kv := range rest[1:] {
+			switch {
+			case strings.HasPrefix(kv, "awaits="):
+				w.Awaits = splitList(strings.TrimPrefix(kv, "awaits="))
+			case strings.HasPrefix(kv, "via="):
+				w.Via = splitList(strings.TrimPrefix(kv, "via="))
+			case kv == "opener=any":
+				w.Opener = "any"
+			default:
+				return fmt.Errorf("spandex:flow wait: unknown field %q", kv)
+			}
+		}
+		if len(w.Awaits) == 0 || len(w.Via) == 0 {
+			return fmt.Errorf("spandex:flow wait %s: awaits= and via= are required", w.Name)
+		}
+		fa.waits = append(fa.waits, w)
+	case "emit":
+		o := EmitOverride{Msg: rest[0], Pos: pos}
+		for _, kv := range rest[1:] {
+			val, ok := strings.CutPrefix(kv, "dst=")
+			if !ok {
+				return fmt.Errorf("spandex:flow emit: unknown field %q", kv)
+			}
+			o.Dst = splitList(val)
+		}
+		if len(o.Dst) == 0 {
+			return fmt.Errorf("spandex:flow emit %s: dst= is required", o.Msg)
+		}
+		fa.emits = append(fa.emits, o)
+	default:
+		return fmt.Errorf("spandex:flow: unknown directive %q", kind)
+	}
+	return nil
+}
+
+func trimPath(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

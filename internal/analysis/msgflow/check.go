@@ -1,0 +1,385 @@
+package msgflow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Verify runs the three whole-system checks and returns the findings.
+func Verify(g *Graph) *Result {
+	r := &Result{Graph: g}
+	r.checkCompleteness()
+	r.checkDeadlock()
+	r.checkStalls()
+	sort.Slice(r.Violations, func(i, j int) bool {
+		a, b := r.Violations[i], r.Violations[j]
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Unit != b.Unit {
+			return a.Unit < b.Unit
+		}
+		return a.Text < b.Text
+	})
+	return r
+}
+
+func (r *Result) add(check, unit, msg, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Check: check, Unit: unit, Msg: msg, Text: fmt.Sprintf(format, args...),
+	})
+}
+
+// checkCompleteness: every flow edge's message must be consumable at its
+// destination. For units with annotated (precise, stateful) graphs the
+// obligation is per state: a transition covers it, a queue directive
+// defers it, or a //spandex:unreachable declaration proves the pair
+// impossible. For extracted (from="*") graphs the obligation is
+// message-level.
+func (r *Result) checkCompleteness() {
+	g := r.Graph
+	for _, e := range g.Edges {
+		u := g.Units[e.Dst]
+		handled := map[string]bool{}
+		for _, m := range u.Handled {
+			handled[m] = true
+		}
+		if !handled[e.Msg] {
+			r.add("completeness", e.Dst, e.Msg,
+				"orphaned message: %s emits %s to %s, which has no handler for it", e.Src, e.Msg, e.Dst)
+			continue
+		}
+		if u.Source != "annotations" {
+			r.CheckedPairs++
+			continue
+		}
+		// Per-state obligation against the precise graph.
+		unre := u.graph.UnreachablePairs()
+		for _, st := range u.graph.States {
+			r.CheckedPairs++
+			if u.covers(e.Msg, st) {
+				continue
+			}
+			if _, ok := unre[st+"|"+e.Msg]; ok {
+				r.ProvenExceptions++
+				continue
+			}
+			r.add("completeness", e.Dst, e.Msg,
+				"unhandled pair: %s from %s has no transition, queue rule, or unreachability proof at state %s of %s",
+				e.Msg, e.Src, st, e.Dst)
+		}
+	}
+}
+
+// covers reports whether msg is consumed (transition) or legally deferred
+// (queue directive) at state st.
+func (u *Unit) covers(msg, st string) bool {
+	for _, t := range u.graph.Transitions {
+		if t.Msg != msg {
+			continue
+		}
+		for _, from := range t.From {
+			if from == "*" || from == st {
+				return true
+			}
+		}
+	}
+	for _, q := range u.Queues {
+		if !contains(q.Msgs, msg) {
+			continue
+		}
+		if len(q.At) == 0 || contains(q.At, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// deferrableEdge reports whether the destination may defer the message
+// instead of consuming it immediately — the hops a deadlock cycle is made
+// of.
+func (g *Graph) deferrableEdge(e Edge) bool {
+	return contains(g.Units[e.Dst].Deferrable, e.Msg)
+}
+
+// successors returns the dependency successors of edge e: the edges e'
+// whose emission is caused by handling e.Msg at e.Dst.
+func (g *Graph) successors(e Edge) []Edge {
+	emits := map[string]bool{}
+	for _, t := range g.Units[e.Dst].graph.Transitions {
+		if t.Msg == e.Msg {
+			for _, em := range t.Emits {
+				emits[em] = true
+			}
+		}
+	}
+	var out []Edge
+	for _, e2 := range g.Edges {
+		if e2.Src == e.Dst && emits[e2.Msg] {
+			out = append(out, e2)
+		}
+	}
+	return out
+}
+
+// checkDeadlock finds message-dependency cycles in which every hop is
+// deferrable — nothing in the loop is guaranteed to drain, so every
+// queue can end up waiting on the next. Cycles containing at least one
+// guaranteed-sinkable hop are benign: that receiver always consumes,
+// breaking the wait loop.
+func (r *Result) checkDeadlock() {
+	g := r.Graph
+	var blockable []Edge
+	index := map[string]int{}
+	for _, e := range g.Edges {
+		if g.deferrableEdge(e) {
+			index[e.key()] = len(blockable)
+			blockable = append(blockable, e)
+		}
+	}
+	r.BlockableEdges = len(blockable)
+	adj := make([][]int, len(blockable))
+	for i, e := range blockable {
+		for _, s := range g.successors(e) {
+			if j, ok := index[s.key()]; ok {
+				adj[i] = append(adj[i], j)
+			}
+		}
+	}
+	// Iterative DFS cycle detection with path recovery; each cycle is
+	// reported once, anchored at its smallest edge key.
+	state := make([]int, len(blockable)) // 0 white, 1 gray, 2 black
+	parent := make([]int, len(blockable))
+	seen := map[string]bool{}
+	var dfs func(v int)
+	dfs = func(v int) {
+		state[v] = 1
+		for _, w := range adj[v] {
+			if state[w] == 0 {
+				parent[w] = v
+				dfs(w)
+			} else if state[w] == 1 {
+				cycle := []int{w}
+				for x := v; x != w; x = parent[x] {
+					cycle = append(cycle, x)
+				}
+				sort.Ints(cycle)
+				names := make([]string, len(cycle))
+				for i, idx := range cycle {
+					names[i] = blockable[idx].key()
+				}
+				key := strings.Join(names, " ")
+				if !seen[key] {
+					seen[key] = true
+					r.add("deadlock", blockable[w].Dst, blockable[w].Msg,
+						"unbroken dependency cycle (every hop deferrable): %s", key)
+				}
+			}
+		}
+		state[v] = 2
+	}
+	for v := range blockable {
+		if state[v] == 0 {
+			parent[v] = -1
+			dfs(v)
+		}
+	}
+}
+
+// checkStalls verifies every declared wait: the awaited messages must be
+// handled here and arrive on some edge, the opener transitions must emit
+// a via message, and following the dependency graph from each via
+// emission must reach an awaited message arriving back at this unit.
+func (r *Result) checkStalls() {
+	g := r.Graph
+	for _, name := range sortedUnits(g) {
+		u := g.Units[name]
+		for _, w := range u.Waits {
+			// (a) every awaited message is handled and actually sent here.
+			for _, a := range w.Awaits {
+				if !contains(u.Handled, a) {
+					r.add("stall", name, a, "wait %s awaits %s, which %s does not handle", w.Name, a, name)
+				}
+			}
+			if !anyEdge(g, func(e Edge) bool { return e.Dst == name && contains(w.Awaits, e.Msg) }) {
+				r.add("stall", name, w.Name, "wait %s: no unit ever sends any of %v to %s", w.Name, w.Awaits, name)
+			}
+			// (b) openers emit a via message.
+			if w.Opener != "any" {
+				for _, t := range u.graph.Transitions {
+					if !opensWait(t.From, t.To, w.Name) {
+						continue
+					}
+					emitsVia := false
+					for _, em := range t.Emits {
+						if contains(w.Via, em) {
+							emitsVia = true
+						}
+					}
+					if !emitsVia {
+						r.add("stall", name, t.Msg,
+							"wait %s: opener transition %s (%s) enters a %s state without emitting any of %v — the wait has no progress supplier",
+							w.Name, t.Msg, t.Pos, w.Name, w.Via)
+					}
+				}
+			} else {
+				for _, v := range w.Via {
+					if !anyEdge(g, func(e Edge) bool { return e.Src == name && e.Msg == v }) {
+						r.add("stall", name, v, "wait %s: %s never emits via message %s", w.Name, name, v)
+					}
+				}
+			}
+			// (c) the via emissions transitively supply an awaited message.
+			if !r.supplies(name, w) {
+				r.add("stall", name, w.Name,
+					"wait %s: no dependency path from via %v leads back to %v at %s",
+					w.Name, w.Via, w.Awaits, name)
+			}
+		}
+	}
+}
+
+// opensWait reports whether a transition from → to enters the wait's
+// suffix states from outside them. A to-state that also appears in from
+// is discounted: multi-state annotations are cross-products, and such a
+// state is a self-loop (e.g. a partial revocation response leaving the
+// line in +rvk), not an entry.
+func opensWait(from, to []string, suffix string) bool {
+	entered := false
+	for _, s := range to {
+		if strings.HasSuffix(s, suffix) && !contains(from, s) {
+			entered = true
+		}
+	}
+	if !entered {
+		return false
+	}
+	for _, s := range from {
+		if !strings.HasSuffix(s, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// supplies BFSes the dependency graph from the unit's via emissions and
+// accepts on any awaited message arriving back.
+func (r *Result) supplies(unit string, w WaitSpec) bool {
+	g := r.Graph
+	var frontier []Edge
+	visited := map[string]bool{}
+	for _, e := range g.Edges {
+		if e.Src == unit && contains(w.Via, e.Msg) {
+			frontier = append(frontier, e)
+			visited[e.key()] = true
+		}
+	}
+	for len(frontier) > 0 {
+		e := frontier[0]
+		frontier = frontier[1:]
+		if e.Dst == unit && contains(w.Awaits, e.Msg) {
+			return true
+		}
+		for _, s := range g.successors(e) {
+			if !visited[s.key()] {
+				visited[s.key()] = true
+				frontier = append(frontier, s)
+			}
+		}
+	}
+	return false
+}
+
+// Mutations mirror the -tags spandexmut protocol mutants on the flow
+// graph, so the checker's power is testable: each must surface as at
+// least one violation.
+var Mutations = map[string]func(*Graph) error{
+	// dropinvack: the LLC's handleInvAck ignores invalidation acks — in
+	// the graph, the LLC no longer handles InvAck at all.
+	"dropinvack": func(g *Graph) error {
+		return dropHandler(g, "core-llc", "InvAck")
+	},
+	// skiprvko: the LLC's ReqS path skips the RvkO forward to owners — in
+	// the graph, ReqS transitions lose their RvkO emission.
+	"skiprvko": func(g *Graph) error {
+		return dropEmit(g, "core-llc", "ReqS", "RvkO")
+	},
+}
+
+func dropHandler(g *Graph, unit, msg string) error {
+	u := g.Units[unit]
+	if u == nil || !contains(u.Handled, msg) {
+		return fmt.Errorf("msgflow: mutation target %s/%s not in graph", unit, msg)
+	}
+	u.Handled = remove(u.Handled, msg)
+	kept := u.graph.Transitions[:0:0]
+	for _, t := range u.graph.Transitions {
+		if t.Msg != msg {
+			kept = append(kept, t)
+		}
+	}
+	u.graph.Transitions = kept
+	return nil
+}
+
+func dropEmit(g *Graph, unit, onMsg, emit string) error {
+	u := g.Units[unit]
+	if u == nil {
+		return fmt.Errorf("msgflow: mutation target %s not in graph", unit)
+	}
+	found := false
+	for i := range u.graph.Transitions {
+		t := &u.graph.Transitions[i]
+		if t.Msg != onMsg {
+			continue
+		}
+		for _, em := range t.Emits {
+			if em == emit {
+				found = true
+			}
+		}
+		t.Emits = remove(t.Emits, emit)
+	}
+	if !found {
+		return fmt.Errorf("msgflow: mutation target %s: no %s transition emits %s", unit, onMsg, emit)
+	}
+	return nil
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func remove(list []string, s string) []string {
+	out := list[:0:0]
+	for _, x := range list {
+		if x != s {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func anyEdge(g *Graph, pred func(Edge) bool) bool {
+	for _, e := range g.Edges {
+		if pred(e) {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedUnits(g *Graph) []string {
+	out := make([]string, 0, len(g.Units))
+	for k := range g.Units {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

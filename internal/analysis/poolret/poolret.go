@@ -21,13 +21,27 @@
 //   - a Put method on a receiver of a named type Pool (sim.Pool[T], and
 //     any future pool with the same shape), or
 //   - a call whose name begins with free/Free taking a pointer-to-struct
-//     argument (the project's freeTxn-style wrappers),
+//     argument (the project's freeTxn-style wrappers), or
+//   - a same-package function whose depth-1 summary says it releases the
+//     corresponding parameter (see below),
 //
 // later statements in the same or enclosing block sequence may not
 // mention that variable at all — read, write, call argument, or closure
 // capture. Rebinding the variable (t = pool.Get(), t = ...) ends
 // tracking; a release inside a conditional branch does not leak past the
 // branch, so the common "if done { free; return }" shape stays clean.
+//
+// A purely lexical pass misses one level of indirection: a helper that
+// hands its parameter back to the pool but is not free*-named hides the
+// release from its callers. A pre-pass therefore summarizes every
+// function declared in the package — which pointer-to-struct parameters
+// its body releases on the fall-through path (branch-only releases do not
+// count, matching the intraprocedural branch rule) — and calls to a
+// summarized function release the corresponding arguments at the call
+// site. Summaries are depth-1: they are computed from direct Pool.Put and
+// free*-named calls only, so a chain of two unnamed helpers still hides a
+// release (none exist in the tree; deepening the summary is mechanical if
+// one appears).
 //
 // Suppress a deliberate violation with a justified //spandex:poolret
 // comment on or above the flagged line.
@@ -49,16 +63,17 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) error {
+	sums := summarize(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					tr := &tracker{pass: pass}
+					tr := &tracker{pass: pass, sums: sums}
 					tr.list(n.Body.List, map[types.Object]string{})
 				}
 			case *ast.FuncLit:
-				tr := &tracker{pass: pass}
+				tr := &tracker{pass: pass, sums: sums}
 				tr.list(n.Body.List, map[types.Object]string{})
 			}
 			return true
@@ -67,8 +82,60 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
+// summarize computes the depth-1 release summaries: for every function
+// declared in the package, the indices of the pointer-to-struct
+// parameters its body releases on the fall-through path. The walk reuses
+// the tracker with reporting off and no summaries of its own (that is
+// what bounds the depth at one), so the branch-visibility rule is
+// identical to the intraprocedural analysis: a release inside an if/for
+// body stays inside it and does not make the function a releaser.
+func summarize(pass *analysis.Pass) map[types.Object][]int {
+	sums := map[types.Object][]int{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fobj := pass.TypesInfo.Defs[fd.Name]
+			if fobj == nil {
+				continue
+			}
+			rel := map[types.Object]string{}
+			tr := &tracker{pass: pass, silent: true}
+			tr.list(fd.Body.List, rel)
+			var idxs []int
+			i := 0
+			for _, field := range fd.Type.Params.List {
+				if len(field.Names) == 0 {
+					i++
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						if _, released := rel[obj]; released {
+							idxs = append(idxs, i)
+						}
+					}
+					i++
+				}
+			}
+			if len(idxs) > 0 {
+				sums[fobj] = idxs
+			}
+		}
+	}
+	return sums
+}
+
 type tracker struct {
 	pass *analysis.Pass
+	// sums maps a function object to the parameter indices it releases;
+	// nil while computing the summaries themselves.
+	sums map[types.Object][]int
+	// silent suppresses reporting (the summary pre-pass walks every body
+	// a first time; diagnostics belong to the main pass only).
+	silent bool
 }
 
 // list walks one statement sequence, threading the set of released
@@ -183,7 +250,7 @@ func (tr *tracker) checkIdent(id *ast.Ident, rel map[types.Object]string) {
 		return
 	}
 	via, ok := rel[obj]
-	if !ok || tr.pass.HasDirective(id, "poolret") {
+	if !ok || tr.silent || tr.pass.HasDirective(id, "poolret") {
 		return
 	}
 	tr.pass.Reportf(id.Pos(),
@@ -206,11 +273,32 @@ func (tr *tracker) releases(s ast.Stmt, rel map[types.Object]string) {
 		name := calleeName(call)
 		isPut := name == "Put" && tr.poolReceiver(call)
 		isFree := strings.HasPrefix(name, "free") || strings.HasPrefix(name, "Free")
-		if !isPut && !isFree {
+		if isPut || isFree {
+			for _, arg := range call.Args {
+				id, ok := unparen(arg).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := tr.obj(id); obj != nil && isPtrToStruct(obj.Type()) {
+					rel[obj] = name
+				}
+			}
 			return true
 		}
-		for _, arg := range call.Args {
-			id, ok := unparen(arg).(*ast.Ident)
+		// Depth-1 interprocedural: a call to a summarized releaser frees
+		// exactly the arguments at its released-parameter indices.
+		if tr.sums == nil {
+			return true
+		}
+		callee := tr.calleeObj(call)
+		if callee == nil {
+			return true
+		}
+		for _, ix := range tr.sums[callee] {
+			if ix >= len(call.Args) {
+				continue
+			}
+			id, ok := unparen(call.Args[ix]).(*ast.Ident)
 			if !ok {
 				continue
 			}
@@ -240,6 +328,18 @@ func (tr *tracker) poolReceiver(call *ast.CallExpr) bool {
 	}
 	named, ok := t.(*types.Named)
 	return ok && named.Obj().Name() == "Pool"
+}
+
+// calleeObj resolves the function object a direct call targets (plain
+// function or method); nil for indirect calls through values.
+func (tr *tracker) calleeObj(call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return tr.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return tr.pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
 }
 
 func clone(rel map[types.Object]string) map[types.Object]string {

@@ -120,3 +120,52 @@ func releaseOtherVariable(l *llc, a, b *txn) {
 	l.freeTxn(a)
 	b.kind = 6
 }
+
+// retire hands its parameter back to the pool but is not free*-named —
+// the lexical false negative the depth-1 summary closes. Callers must
+// treat a call to it as a release.
+func (l *llc) retire(t *txn) {
+	l.drain(t)
+	l.pool.Put(t)
+}
+
+func useAfterHelperRelease(l *llc, t *txn) {
+	l.retire(t)
+	t.kind = 7 // want `pooled t used after release to retire`
+}
+
+// retireVia wraps a free*-named helper; the summary still sees the
+// release at depth 1 (free* is a direct release inside retireVia).
+func (l *llc) retireVia(t *txn) { l.freeTxn(t) }
+
+func useAfterWrappedRelease(l *llc, t *txn) int {
+	l.retireVia(t)
+	return t.kind // want `pooled t used after release to retireVia`
+}
+
+// maybeRetire releases only on one branch, so its fall-through path does
+// not release — calls to it are not releases, same rule as an inline
+// "if done { free }".
+func (l *llc) maybeRetire(t *txn, done bool) {
+	if done {
+		l.pool.Put(t)
+	}
+}
+
+func helperBranchReleaseDoesNotLeak(l *llc, t *txn) {
+	l.maybeRetire(t, false)
+	t.kind = 8
+}
+
+// retireFirst releases only its first parameter; the summary carries the
+// parameter index, so the second argument stays live at call sites.
+func (l *llc) retireFirst(a, b *txn) {
+	l.drain(b)
+	l.pool.Put(a)
+}
+
+func releaseTracksArgumentIndex(l *llc, a, b *txn) {
+	l.retireFirst(a, b)
+	b.kind = 9
+	a.kind = 10 // want `pooled a used after release to retireFirst`
+}

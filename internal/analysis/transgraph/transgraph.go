@@ -30,6 +30,20 @@
 //     annotations they are authoritative and automatic entries are
 //     dropped: annotated units opt into precision, and the cross-check
 //     (DiffCoverage) is only meaningful against precise graphs.
+//
+// Annotated units may additionally declare (state, message) pairs that
+// can never occur, with the argument why:
+//
+//	//spandex:unreachable <M1,M2> at=<S1|S2> <justification>
+//
+// Unreachable declarations serve two consumers. DiffCoverage splits the
+// never-observed static pairs into "proven unreachable" (declared, with
+// the recorded argument) and "untested" (a real coverage hole), and fails
+// if a declared-unreachable pair is ever observed — a contradiction means
+// the proof or the protocol is wrong. The msgflow whole-system checker
+// (internal/analysis/msgflow) uses them as the authorized exceptions to
+// its completeness rule: every message a peer can emit must be handled at
+// every receiver state, or the pair must be declared unreachable here.
 package transgraph
 
 import (
@@ -63,6 +77,27 @@ type Transition struct {
 	Pos string `json:"pos"`
 }
 
+// Unreachable is one //spandex:unreachable declaration: the (state, msg)
+// pairs At×Msgs are proven never to occur, for the recorded reason.
+type Unreachable struct {
+	Msgs []string `json:"msgs"`
+	At   []string `json:"at"`
+	Why  string   `json:"why"`
+	// Pos is the file:line the declaration was parsed from.
+	Pos string `json:"pos"`
+}
+
+// Pairs expands the declaration into its "State|Msg" pair set.
+func (u *Unreachable) Pairs() []string {
+	out := make([]string, 0, len(u.At)*len(u.Msgs))
+	for _, at := range u.At {
+		for _, m := range u.Msgs {
+			out = append(out, at+"|"+m)
+		}
+	}
+	return out
+}
+
 // UnitGraph is the transition relation of one message-handling unit.
 type UnitGraph struct {
 	// Package is the import path, Unit the handler's receiver type name.
@@ -76,6 +111,20 @@ type UnitGraph struct {
 	States      []string     `json:"states"`
 	Messages    []string     `json:"messages"`
 	Transitions []Transition `json:"transitions"`
+	// Unreachable holds the unit's //spandex:unreachable declarations.
+	Unreachable []Unreachable `json:"unreachable,omitempty"`
+}
+
+// UnreachablePairs collects every declared-unreachable "State|Msg" pair.
+func (g *UnitGraph) UnreachablePairs() map[string]*Unreachable {
+	out := make(map[string]*Unreachable)
+	for i := range g.Unreachable {
+		u := &g.Unreachable[i]
+		for _, p := range u.Pairs() {
+			out[p] = u
+		}
+	}
+	return out
 }
 
 // Name is the unit's canonical file basename: "<pkg>-<unit>", lowercased
@@ -92,7 +141,8 @@ func (g *UnitGraph) Name() string {
 // sorted by unit name.
 func Extract(pkg *analysis.Package) ([]*UnitGraph, error) {
 	x := &extractor{pkg: pkg, funcs: indexFuncs(pkg)}
-	ann, err := x.annotations()
+	x.delayq = x.indexDelayHandlers()
+	ann, unre, err := x.annotations()
 	if err != nil {
 		return nil, err
 	}
@@ -108,6 +158,12 @@ func Extract(pkg *analysis.Package) ([]*UnitGraph, error) {
 		}
 		if len(g.Transitions) == 0 {
 			continue // stateless pass-through (e.g. PassTU): nothing to graph
+		}
+		if list := unre[unit.name]; len(list) > 0 {
+			if g.Source != "annotations" {
+				return nil, fmt.Errorf("%s: unit %s declares //spandex:unreachable but has no //spandex:transition annotations; unreachability claims are only checkable against a precise graph", pkg.Path, unit.name)
+			}
+			g.Unreachable = list
 		}
 		finish(g)
 		graphs = append(graphs, g)
@@ -138,6 +194,13 @@ func finish(g *UnitGraph) {
 		}
 		return strings.Join(a.From, "|") < strings.Join(b.From, "|")
 	})
+	sort.Slice(g.Unreachable, func(i, j int) bool {
+		a, b := g.Unreachable[i], g.Unreachable[j]
+		if am, bm := strings.Join(a.Msgs, ","), strings.Join(b.Msgs, ","); am != bm {
+			return am < bm
+		}
+		return strings.Join(a.At, "|") < strings.Join(b.At, "|")
+	})
 }
 
 func sortedKeys(m map[string]bool) []string {
@@ -149,15 +212,25 @@ func sortedKeys(m map[string]bool) []string {
 	return out
 }
 
-// unit is one HandleMessage-bearing type.
+// unit is one HandleMessage-bearing type. send is the unit's optional
+// second message face: a Send(*proto.Message) method (the noc.Port side a
+// translation unit exposes to its bound L1) whose transitions merge into
+// the same graph — the two faces dispatch disjoint message vocabularies.
 type unit struct {
 	name string
 	decl *ast.FuncDecl
+	send *ast.FuncDecl
 }
 
 type extractor struct {
 	pkg   *analysis.Package
 	funcs map[types.Object]*ast.FuncDecl
+	// delayq maps a noc.DelayQueue struct field to the handler methods its
+	// NewDelayQueue registration installs (a method value, or every
+	// same-package call inside a closure handler), so call-following can
+	// step through the Post-then-callback indirection the hot-path engine
+	// uses in place of direct dispatch calls.
+	delayq map[types.Object][]*ast.FuncDecl
 }
 
 // indexFuncs maps every package-level func/method object to its decl, for
@@ -177,20 +250,30 @@ func indexFuncs(pkg *analysis.Package) map[types.Object]*ast.FuncDecl {
 }
 
 // units finds every type with a HandleMessage(*proto.Message) method, in
-// source order.
+// source order, pairing each with its Send(*proto.Message) port face when
+// one exists.
 func (x *extractor) units() []unit {
 	var out []unit
+	sends := map[string]*ast.FuncDecl{}
 	for _, f := range x.pkg.Files {
 		for _, d := range f.Decls {
 			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Name.Name != "HandleMessage" || fd.Recv == nil || fd.Body == nil {
+			if !ok || fd.Recv == nil || fd.Body == nil {
 				continue
 			}
 			if fd.Type.Params.NumFields() != 1 || !x.isProtoMessagePtr(fd.Type.Params.List[0].Type) {
 				continue
 			}
-			out = append(out, unit{name: recvTypeName(fd), decl: fd})
+			switch fd.Name.Name {
+			case "HandleMessage":
+				out = append(out, unit{name: recvTypeName(fd), decl: fd})
+			case "Send":
+				sends[recvTypeName(fd)] = fd
+			}
 		}
+	}
+	for i := range out {
+		out[i].send = sends[out[i].name]
 	}
 	return out
 }
@@ -238,7 +321,19 @@ func newFacts() *facts {
 // the switch (the queue-or-process dispatcher idiom), which are analyzed
 // in their place.
 func (x *extractor) extractUnit(u unit) []Transition {
-	sw, cont := x.findMsgSwitch(u.decl, map[types.Object]bool{}, maxCallDepth)
+	out := x.extractFace(u.decl)
+	if u.send != nil {
+		// The Send port face dispatches a disjoint message vocabulary
+		// (e.g. a translation unit's MESI side), so the merge is a plain
+		// concatenation; finish() sorts.
+		out = append(out, x.extractFace(u.send)...)
+	}
+	return out
+}
+
+// extractFace extracts the transitions behind one entry method.
+func (x *extractor) extractFace(fd *ast.FuncDecl) []Transition {
+	sw, cont := x.findMsgSwitch(fd, map[types.Object]bool{}, maxCallDepth)
 	if sw == nil {
 		return nil // stateless pass-through unit
 	}
@@ -321,7 +416,11 @@ func (x *extractor) findMsgSwitch(fd *ast.FuncDecl, seen map[types.Object]bool, 
 	var calls []*ast.FuncDecl
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		if call, ok := n.(*ast.CallExpr); ok {
+			callees := x.postHandlers(call)
 			if callee := x.calleeDecl(call); callee != nil {
+				callees = append(callees, callee)
+			}
+			for _, callee := range callees {
 				obj := x.pkg.Info.Defs[callee.Name]
 				if !seen[obj] {
 					seen[obj] = true
@@ -468,7 +567,11 @@ func (x *extractor) collect(n ast.Node, f *facts, msgSet map[string]bool, seen m
 				}
 			}
 			if depth > 0 {
+				callees := x.postHandlers(v)
 				if callee := x.calleeDecl(v); callee != nil {
+					callees = append(callees, callee)
+				}
+				for _, callee := range callees {
 					obj := x.pkg.Info.Defs[callee.Name]
 					if !seen[obj] {
 						seen[obj] = true
@@ -481,6 +584,75 @@ func (x *extractor) collect(n ast.Node, f *facts, msgSet map[string]bool, seen m
 		}
 		return true
 	})
+}
+
+// indexDelayHandlers finds every `x.field = noc.NewDelayQueue(eng, d,
+// handler)` registration in the package and maps the queue field to the
+// handler declarations: the method itself for a method-value handler, or
+// every same-package callee for a closure handler.
+func (x *extractor) indexDelayHandlers() map[types.Object][]*ast.FuncDecl {
+	out := make(map[types.Object][]*ast.FuncDecl)
+	for _, f := range x.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			lhs, ok := as.Lhs[0].(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || fn.Sel.Name != "NewDelayQueue" {
+				return true
+			}
+			field := x.pkg.Info.Uses[lhs.Sel]
+			if field == nil {
+				return true
+			}
+			switch handler := call.Args[len(call.Args)-1].(type) {
+			case *ast.SelectorExpr:
+				if hobj := x.pkg.Info.Uses[handler.Sel]; hobj != nil {
+					if decl := x.funcs[hobj]; decl != nil {
+						out[field] = append(out[field], decl)
+					}
+				}
+			case *ast.FuncLit:
+				ast.Inspect(handler.Body, func(n ast.Node) bool {
+					if c, ok := n.(*ast.CallExpr); ok {
+						if decl := x.calleeDecl(c); decl != nil {
+							out[field] = append(out[field], decl)
+						}
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// postHandlers resolves a `x.field.Post(m)` call to the handlers
+// registered on the field's DelayQueue (nil if the call is anything else).
+func (x *extractor) postHandlers(call *ast.CallExpr) []*ast.FuncDecl {
+	fn, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || fn.Sel.Name != "Post" {
+		return nil
+	}
+	field, ok := fn.X.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj := x.pkg.Info.Uses[field.Sel]
+	if obj == nil {
+		return nil
+	}
+	return x.delayq[obj]
 }
 
 // calleeDecl resolves a call to a same-package func/method declaration.
@@ -503,35 +675,53 @@ func (x *extractor) calleeDecl(call *ast.CallExpr) *ast.FuncDecl {
 
 // --- annotations ---
 
-// annotations parses every //spandex:transition directive, keyed by the
-// receiver type of the method the directive appears in.
-func (x *extractor) annotations() (map[string][]Transition, error) {
+// annotations parses every //spandex:transition and //spandex:unreachable
+// directive, keyed by the receiver type of the method the directive
+// appears in.
+func (x *extractor) annotations() (map[string][]Transition, map[string][]Unreachable, error) {
 	out := make(map[string][]Transition)
+	unre := make(map[string][]Unreachable)
 	for _, f := range x.pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if !strings.HasPrefix(text, "spandex:transition") {
+				var isTrans bool
+				switch {
+				case strings.HasPrefix(text, "spandex:transition"):
+					isTrans = true
+				case strings.HasPrefix(text, "spandex:unreachable"):
+				default:
 					continue
 				}
-				unit := enclosingRecv(f, c.Pos())
+				unit := EnclosingRecv(f, c.Pos())
 				if unit == "" {
-					return nil, fmt.Errorf("%s: //spandex:transition outside a method body", x.pos(c.Pos()))
+					return nil, nil, fmt.Errorf("%s: spandex directive outside a method body", x.pos(c.Pos()))
 				}
-				t, err := parseAnnotation(strings.TrimPrefix(text, "spandex:transition"))
+				if isTrans {
+					t, err := parseAnnotation(strings.TrimPrefix(text, "spandex:transition"))
+					if err != nil {
+						return nil, nil, fmt.Errorf("%s: %v", x.pos(c.Pos()), err)
+					}
+					t.Pos = x.pos(c.Pos())
+					out[unit] = append(out[unit], t)
+					continue
+				}
+				u, err := parseUnreachable(strings.TrimPrefix(text, "spandex:unreachable"))
 				if err != nil {
-					return nil, fmt.Errorf("%s: %v", x.pos(c.Pos()), err)
+					return nil, nil, fmt.Errorf("%s: %v", x.pos(c.Pos()), err)
 				}
-				t.Pos = x.pos(c.Pos())
-				out[unit] = append(out[unit], t)
+				u.Pos = x.pos(c.Pos())
+				unre[unit] = append(unre[unit], u)
 			}
 		}
 	}
-	return out, nil
+	return out, unre, nil
 }
 
-// enclosingRecv names the receiver type of the method containing pos.
-func enclosingRecv(f *ast.File, pos token.Pos) string {
+// EnclosingRecv names the receiver type of the method containing pos
+// (empty when pos is not inside a method body). Exported for the msgflow
+// checker, which keys its own //spandex:flow directives the same way.
+func EnclosingRecv(f *ast.File, pos token.Pos) string {
 	for _, d := range f.Decls {
 		fd, ok := d.(*ast.FuncDecl)
 		if !ok || fd.Recv == nil {
@@ -583,6 +773,38 @@ func parseAnnotation(s string) (Transition, error) {
 	return t, nil
 }
 
+// parseUnreachable parses "<M1,M2> at=<S1|S2> <justification>". The
+// justification is mandatory: an unreachability claim without its argument
+// is unreviewable.
+func parseUnreachable(s string) (Unreachable, error) {
+	var u Unreachable
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return u, fmt.Errorf("spandex:unreachable needs a message list")
+	}
+	split := func(val string) []string {
+		return strings.FieldsFunc(val, func(r rune) bool { return strings.ContainsRune("|,", r) })
+	}
+	u.Msgs = split(fields[0])
+	if len(u.Msgs) == 0 || strings.ContainsRune(fields[0], '=') {
+		return u, fmt.Errorf("spandex:unreachable: first field must be the message list, got %q", fields[0])
+	}
+	if len(fields) < 2 || !strings.HasPrefix(fields[1], "at=") {
+		return u, fmt.Errorf("spandex:unreachable %s: at=<states> is required", fields[0])
+	}
+	u.At = split(strings.TrimPrefix(fields[1], "at="))
+	if len(u.At) == 0 {
+		return u, fmt.Errorf("spandex:unreachable %s: at=<states> is required", fields[0])
+	}
+	u.Why = strings.Join(fields[2:], " ")
+	if u.Why == "" {
+		return u, fmt.Errorf("spandex:unreachable %s: a justification is required after at=", fields[0])
+	}
+	sort.Strings(u.Msgs)
+	sort.Strings(u.At)
+	return u, nil
+}
+
 // --- serialization ---
 
 // JSON renders the graph canonically (stable field and slice order, two-
@@ -629,9 +851,15 @@ type DiffResult struct {
 	// Unknown are observed "State|Msg" pairs absent from the static graph:
 	// extraction (or annotation) bugs, and a CI failure.
 	Unknown []string
-	// Gaps are static (state, msg) pairs never observed: test-coverage
-	// holes, reported but not fatal.
+	// Contradicted are observed pairs the unit declares unreachable: the
+	// unreachability proof (or the protocol) is wrong, and a CI failure.
+	Contradicted []string
+	// Gaps are static (state, msg) pairs never observed and not declared
+	// unreachable: genuine test-coverage holes, reported but not fatal.
 	Gaps []string
+	// Proven are static pairs never observed but covered by a
+	// //spandex:unreachable declaration, with the declared argument.
+	Proven map[string]string
 	// Observed and Static count the distinct pairs on each side.
 	Observed, Static int
 }
@@ -652,6 +880,7 @@ func DiffCoverage(g *UnitGraph, observed map[string]uint64) DiffResult {
 		}
 	}
 	res := DiffResult{Observed: len(observed), Static: len(static)}
+	unre := g.UnreachablePairs()
 	seen := make(map[string]bool)
 	for key := range observed {
 		state, msg, ok := strings.Cut(key, "|")
@@ -659,6 +888,9 @@ func DiffCoverage(g *UnitGraph, observed map[string]uint64) DiffResult {
 		if !ok {
 			res.Unknown = append(res.Unknown, key)
 			continue
+		}
+		if unre[key] != nil {
+			res.Contradicted = append(res.Contradicted, key)
 		}
 		if static[key] {
 			seen[key] = true
@@ -670,11 +902,20 @@ func DiffCoverage(g *UnitGraph, observed map[string]uint64) DiffResult {
 		res.Unknown = append(res.Unknown, key)
 	}
 	for key := range static {
-		if !seen[key] {
-			res.Gaps = append(res.Gaps, key)
+		if seen[key] {
+			continue
 		}
+		if u := unre[key]; u != nil {
+			if res.Proven == nil {
+				res.Proven = make(map[string]string)
+			}
+			res.Proven[key] = u.Why
+			continue
+		}
+		res.Gaps = append(res.Gaps, key)
 	}
 	sort.Strings(res.Unknown)
+	sort.Strings(res.Contradicted)
 	sort.Strings(res.Gaps)
 	return res
 }

@@ -172,6 +172,12 @@ type LLC struct {
 	// dispq defers each delivered message by AccessLatency into dispatch
 	// (pooled; see noc.DelayQueue).
 	dispq *noc.DelayQueue
+
+	// allocWait holds lines whose fetch is parked because every frame in
+	// the target set is mid-transaction; txnResolved wakes them (see
+	// retryAllocWaiters). allocWakeup coalesces wakeup events.
+	allocWait   []memaddr.LineAddr
+	allocWakeup bool
 }
 
 // NewLLC creates a Spandex LLC endpoint.
@@ -290,6 +296,36 @@ func (l *LLC) HandleMessage(m *proto.Message) {
 
 // dispatch routes a message, queuing requests that hit a blocked line.
 func (l *LLC) dispatch(m *proto.Message) {
+	// Proofs for (state, message) pairs that can never occur, consumed by
+	// spandex-transgraph -diff (gap classification) and spandex-flow
+	// (completeness exceptions). "Plain SO" below means SO with no open
+	// transaction on the line.
+	//
+	//spandex:unreachable ReqV,ReqS,ReqWT,ReqO,ReqWTData,ReqOData,ReqWB,RspRvkO at=SO plain SO never exists at rest: Shared is only granted by line-granularity MESI ReqS, whose option-(1) revocation (SO+rvk) covers every owned word and resolves to S, writes clear sharing before granting ownership, and requests queue while the revocation is open
+	//spandex:unreachable InvAck,ReqWB,RspRvkO at=O+inv txnInv opens via invalidateSharers on a shared line, and a shared line at rest has no owned words (plain SO is unreachable), so a sharer invalidation always runs with base state V — O+inv never occurs
+	//spandex:unreachable ReqWB,RspRvkO at=SO+evict evict() only captures victims with no open transaction, and plain SO never exists at rest, so an eviction never starts from SO
+	//spandex:unreachable InvAck at=I|I+fetch|F+fetch|V|S|O|SO|O+rvk|SO+rvk|O+evict|SO+evict every Inv is solicited by the open txnInv/txnEvict on its line and counted in pendingAcks, and the transaction cannot resolve before the last ack arrives, so an InvAck always finds V+inv, O+inv or V+evict
+	//spandex:unreachable MemReadRsp at=I|I+fetch|V|S|O|SO|V+inv|O+inv|O+rvk|SO+rvk|V+evict|O+evict|SO+evict MemRead is issued exactly once per fetch, after the frame is installed (F+fetch), and a fetching line is never chosen as an eviction victim, so the response always finds F+fetch
+	//
+	// Flow facts for the whole-system checker (spandex-flow). Device
+	// requests queue behind any open transaction; completions never do.
+	// Each transaction suffix waits for the listed responses, supplied by
+	// the probes/reads sent when it opened. Forwards and revocations only
+	// target owner-capable device kinds (gpucoh never takes ownership),
+	// and the full-line MESI ReqS is only ever forwarded to a MESI TU —
+	// denovo owners are revoked instead (option 1).
+	//
+	//spandex:flow queue ReqV,ReqS,ReqWT,ReqO,ReqWTData,ReqOData at=I+fetch|F+fetch|V+inv|O+inv|O+rvk|SO+rvk|V+evict|O+evict|SO+evict
+	//spandex:flow wait +fetch awaits=MemReadRsp via=MemRead
+	//spandex:flow wait +inv awaits=InvAck via=Inv
+	//spandex:flow wait +rvk awaits=RspRvkO,ReqWB via=RvkO
+	//spandex:flow wait +evict awaits=RspRvkO,InvAck via=RvkO,Inv opener=any
+	//spandex:flow emit ReqV dst=core-mesitu,denovo-l1
+	//spandex:flow emit ReqS dst=core-mesitu
+	//spandex:flow emit ReqWT dst=core-mesitu,denovo-l1
+	//spandex:flow emit ReqO dst=core-mesitu,denovo-l1
+	//spandex:flow emit ReqOData dst=core-mesitu,denovo-l1
+	//spandex:flow emit RvkO dst=core-mesitu,denovo-l1
 	switch m.Type {
 	case proto.RspRvkO:
 		l.handleRspRvkO(m)
@@ -652,7 +688,7 @@ func (l *LLC) handleReqO(e *cache.Entry[llcLine], m *proto.Message) {
 }
 
 func (l *LLC) handleReqWTData(e *cache.Entry[llcLine], m *proto.Message) {
-	//spandex:transition ReqWTData from=S|SO to=V+inv|O+inv|V|O+rvk emits=Inv
+	//spandex:transition ReqWTData from=S|SO to=V+inv|O+inv|V emits=Inv,RspWTData
 	//spandex:transition ReqWTData from=O to=O+rvk emits=RvkO
 	//spandex:transition ReqWTData from=V to=V emits=RspWTData
 	st := &e.State
@@ -860,6 +896,7 @@ func (l *LLC) maybeCompleteRvk(line memaddr.LineAddr) {
 		return // still waiting on some word
 	}
 	delete(l.txns, line)
+	l.txnResolved()
 	if t.kind == txnEvict {
 		t.resume()
 		l.drain(t)
@@ -908,6 +945,7 @@ func (l *LLC) handleInvAck(m *proto.Message) {
 		return
 	}
 	delete(l.txns, m.Line)
+	l.txnResolved()
 	if t.kind == txnEvict {
 		t.resume()
 		l.drain(t)

@@ -4,12 +4,7 @@ import (
 	"spandex/internal/cache"
 	"spandex/internal/memaddr"
 	"spandex/internal/proto"
-	"spandex/internal/sim"
 )
-
-// victimRetry is the delay before re-attempting allocation when every frame
-// in the target set is tied up by in-flight transactions (rare).
-const victimRetry = 8 * sim.CPUCycle
 
 // startFetch begins allocating and fetching a missing line to serve m.
 // The request (and any later ones) queue on a txnFetch until data arrives.
@@ -36,8 +31,12 @@ func (l *LLC) startFetch(m *proto.Message) {
 	line := m.Line
 	victim := l.pickVictim(line)
 	if victim == nil {
-		// Every frame in the set is mid-transaction; retry shortly.
-		l.eng.Schedule(victimRetry, func() { l.retryAlloc(line) })
+		// Every frame in the set is mid-transaction: park the fetch until a
+		// transaction resolves (txnResolved wakes the list). Event-driven
+		// rather than timer-polled so progress never depends on retry
+		// timing — a blocked fetch is re-attempted exactly when something
+		// that could unblock it happened.
+		l.allocWait = append(l.allocWait, line)
 		return
 	}
 	if !victim.Valid {
@@ -49,22 +48,38 @@ func (l *LLC) startFetch(m *proto.Message) {
 	})
 }
 
-// retryAlloc re-attempts frame allocation for a pending fetch.
-func (l *LLC) retryAlloc(line memaddr.LineAddr) {
-	t, ok := l.txns[line]
-	if !ok || t.kind != txnFetch {
-		return
+// txnResolved is called after a transaction leaves l.txns: if any fetch is
+// parked waiting for a frame, re-attempt allocation once the current
+// handler finishes (a fresh event avoids reentering the LLC mid-handler).
+func (l *LLC) txnResolved() {
+	if len(l.allocWait) > 0 && !l.allocWakeup {
+		l.allocWakeup = true
+		l.eng.Schedule(0, l.retryAllocWaiters)
 	}
-	victim := l.pickVictim(line)
-	if victim == nil {
-		l.eng.Schedule(victimRetry, func() { l.retryAlloc(line) })
-		return
+}
+
+// retryAllocWaiters re-attempts frame allocation for every parked fetch,
+// in arrival order. Fetches whose set is still fully busy park again.
+func (l *LLC) retryAllocWaiters() {
+	l.allocWakeup = false
+	waiters := l.allocWait
+	l.allocWait = nil
+	for i, line := range waiters {
+		t, ok := l.txns[line]
+		if !ok || t.kind != txnFetch {
+			continue
+		}
+		victim := l.pickVictim(line)
+		if victim == nil {
+			l.allocWait = append(l.allocWait, waiters[i])
+			continue
+		}
+		if !victim.Valid {
+			l.installAndRead(victim, line)
+			continue
+		}
+		l.evict(victim, func() { l.installAndRead(victim, line) })
 	}
-	if !victim.Valid {
-		l.installAndRead(victim, line)
-		return
-	}
-	l.evict(victim, func() { l.installAndRead(victim, line) })
 }
 
 // pickVictim selects a replacement frame, never choosing a line with an
@@ -180,6 +195,7 @@ func (l *LLC) handleMemRsp(m *proto.Message) {
 		panic("core: memory response without fetch txn")
 	}
 	delete(l.txns, m.Line)
+	l.txnResolved()
 	if l.obs != nil {
 		l.txnOcc()
 	}

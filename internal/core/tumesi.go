@@ -318,6 +318,14 @@ func (tu *MESITU) HandleMessage(m *proto.Message) {
 }
 
 func (tu *MESITU) fromNet(m *proto.Message) {
+	// Flow facts (spandex-flow): external requests that need data are
+	// parked behind an in-flight grant (tuPending.deferred) or probe
+	// (tuProbe.afterward); both waits resolve through responses the TU
+	// consumes immediately — LLC grants and L1 probe completions.
+	//
+	//spandex:flow queue ReqV,ReqS,ReqWT,ReqO,ReqOData
+	//spandex:flow wait grant awaits=RspS,RspOData,RspV,NackV via=ReqS,ReqOData opener=any
+	//spandex:flow wait probe awaits=MDataS,MDataM,MWBData,MInvAck via=MFwdGetS,MFwdGetM,MInv opener=any
 	switch m.Type {
 	case proto.RspS:
 		tu.handleGrantPart(m, false)

@@ -9,6 +9,12 @@ import (
 // requests plus forwarded requests and probes for words it owns
 // (paper Table IV and §III-C race handling).
 func (l *L1) HandleMessage(m *proto.Message) {
+	// Flow facts (spandex-flow): external requests hitting a word with an
+	// outstanding miss are deferred until its data arrives; the responses
+	// that complete the miss are always consumed immediately.
+	//
+	//spandex:flow queue ReqV,ReqO,ReqOData,ReqWT
+	//spandex:flow wait pending awaits=RspV,NackV,RspO,RspOData,RspWTData,RspWB via=ReqV,ReqOData,ReqWB opener=any
 	switch m.Type {
 	case proto.RspV:
 		l.handleRspV(m)

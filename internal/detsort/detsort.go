@@ -23,3 +23,15 @@ func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
 	slices.Sort(keys)
 	return keys
 }
+
+// KeysFunc returns m's keys ordered by cmp, for maps whose key type is a
+// struct (composite keys cannot satisfy cmp.Ordered). cmp must be a total
+// order or the result is still nondeterministic.
+func KeysFunc[M ~map[K]V, K comparable, V any](m M, cmp func(a, b K) int) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, cmp)
+	return keys
+}

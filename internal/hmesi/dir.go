@@ -130,6 +130,12 @@ func (d *Directory) HandleMessage(m *proto.Message) {
 }
 
 func (d *Directory) dispatch(m *proto.Message) {
+	// Flow facts (spandex-flow): child requests queue behind a busy line;
+	// the open transaction resolves through memory fills, invalidation
+	// acks and owner write-backs, all of which are processed immediately.
+	//
+	//spandex:flow queue MGetS,MGetM
+	//spandex:flow wait busy awaits=MemReadRsp,MInvAck,MWBData via=MemRead,MInv,MFwdGetS,MFwdGetM opener=any
 	switch m.Type {
 	case proto.MWBData:
 		d.handleWBData(m)

@@ -184,6 +184,20 @@ func (l *GPUL2) HandleMessage(m *proto.Message) {
 }
 
 func (l *GPUL2) dispatch(m *proto.Message) {
+	// Flow facts (spandex-flow): child requests queue behind a busy line;
+	// L3 forwards that land while our own grant is in flight are parked
+	// on the transaction's deferred list. Both waits resolve through
+	// guaranteed-sinkable completions. Forwards and revocations only
+	// target the owner-capable child kind (gpucoh never takes ownership).
+	//
+	//spandex:flow queue ReqV,ReqWT,ReqWTData,ReqO,ReqOData,MFwdGetS,MFwdGetM
+	//spandex:flow wait grant awaits=MDataS,MDataE,MDataM via=MGetS,MGetM opener=any
+	//spandex:flow wait rvk awaits=RspRvkO via=RvkO opener=any
+	//spandex:flow emit ReqV dst=denovo-l1
+	//spandex:flow emit ReqWT dst=denovo-l1
+	//spandex:flow emit ReqO dst=denovo-l1
+	//spandex:flow emit ReqOData dst=denovo-l1
+	//spandex:flow emit RvkO dst=denovo-l1
 	switch m.Type {
 	// L3-facing responses and probes.
 	case proto.MDataS:

@@ -18,6 +18,7 @@ import (
 
 	"spandex/internal/device"
 	"spandex/internal/memaddr"
+	"spandex/internal/proto"
 )
 
 // Proto names an L1 protocol a scripted device speaks.
@@ -53,11 +54,12 @@ func Pairings() []Pairing {
 }
 
 // DeviceScript is one scripted device: its protocol and its (in-order)
-// operation sequence. Scripts are restricted to loads, stores and release
-// fences — fences are required after stores because every L1 buffers
-// writes lazily (drain happens under occupancy pressure or at a release),
-// so an unfenced store generates no protocol traffic to explore. The
-// data-value check derives each word's legal value set from the stores.
+// operation sequence. Scripts are restricted to loads, stores, fetch-adds
+// and release fences — fences are required after stores because every L1
+// buffers writes lazily (drain happens under occupancy pressure or at a
+// release), so an unfenced store generates no protocol traffic to explore.
+// The data-value check derives each word's legal value set from the stores
+// and the subset-sum closure of the fetch-adds.
 type DeviceScript struct {
 	Proto Proto
 	Ops   []device.Op
@@ -74,8 +76,9 @@ type Scenario struct {
 	Name    string
 	Devices []DeviceScript
 	Init    []InitVal
-	// LLCBytes/LLCWays size the LLC array; zero means 4 lines × 2 ways,
-	// plenty for the one- or two-line scenarios (no evictions).
+	// LLCBytes/LLCWays size the LLC array; zero means 8 lines × 2 ways,
+	// plenty for the one- or two-line scenarios (no evictions). The evict-*
+	// scenarios shrink this to a single line to force victimization.
 	LLCBytes, LLCWays int
 }
 
@@ -94,6 +97,17 @@ func store(a memaddr.Addr, v uint32) device.Op {
 // requests before the next operation issues.
 func fence() device.Op {
 	return device.Op{Kind: device.OpFence, Rel: true}
+}
+
+// fetchadd atomically adds v to a word and returns the old value (the GPU
+// path issues it as ReqWTData).
+func fetchadd(a memaddr.Addr, v uint32) device.Op {
+	return device.Op{Kind: device.OpAtomic, Atomic: proto.AtomicFetchAdd, Addr: a, Value: v}
+}
+
+// lineWord returns the address of word i of line n.
+func lineWord(n, i int) memaddr.Addr {
+	return memaddr.Addr(n*memaddr.LineBytes + i*4)
 }
 
 // Scenarios returns the standard scenario set for a pairing. All pairings
@@ -136,6 +150,18 @@ func Scenarios(p Pairing) []Scenario {
 			},
 		},
 	}
+	// Capacity pressure: a one-line LLC forces the GPU's second-line touch
+	// to evict whatever the CPU's traffic installed, covering the
+	// eviction-revocation handshake (O+evict → RspRvkO resolution) the
+	// no-eviction scenarios never reach.
+	scns = append(scns, Scenario{
+		Name:     "evict-owned",
+		LLCBytes: memaddr.LineBytes, LLCWays: 1,
+		Devices: []DeviceScript{
+			{Proto: cpu, Ops: []device.Op{store(lineWord(0, 0), 5), fence()}},
+			{Proto: gpu, Ops: []device.Op{load(lineWord(1, 0))}},
+		},
+	})
 	if cpu == ProtoMESI {
 		// Two MESI readers reach Shared state via ReqS option (1); the GPU
 		// write then drives the sharer-invalidation (Inv/InvAck) path the
@@ -146,6 +172,35 @@ func Scenarios(p Pairing) []Scenario {
 				{Proto: cpu, Ops: []device.Op{load(word(0))}},
 				{Proto: cpu, Ops: []device.Op{load(word(0))}},
 				{Proto: gpu, Ops: []device.Op{store(word(0), 9), fence(), load(word(0))}},
+			},
+		})
+	}
+	if cpu == ProtoMESI {
+		// Shared-line eviction: two MESI readers put line 0 in Shared, then
+		// the GPU's touch of line 1 evicts it from a one-line LLC — the
+		// sharer-invalidating eviction whose acks resolve at V+evict.
+		scns = append(scns, Scenario{
+			Name:     "evict-shared",
+			LLCBytes: memaddr.LineBytes, LLCWays: 1,
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{load(lineWord(0, 0))}},
+				{Proto: cpu, Ops: []device.Op{load(lineWord(0, 0))}},
+				{Proto: gpu, Ops: []device.Op{load(lineWord(1, 0))}},
+			},
+		})
+	}
+	if cpu == ProtoMESI && gpu == ProtoGPU {
+		// GPU atomic on a line two MESI CPUs hold Shared (false sharing of
+		// the atomic word with read data): the ReqWTData must invalidate the
+		// sharers before performing the RMW at the LLC — the S|ReqWTData
+		// row no other scenario or conformance case can produce (conform
+		// line-aligns its atomic region away from plain data).
+		scns = append(scns, Scenario{
+			Name: "shared-atomic",
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{load(word(0))}},
+				{Proto: cpu, Ops: []device.Op{load(word(0))}},
+				{Proto: gpu, Ops: []device.Op{fetchadd(word(1), 3), load(word(1))}},
 			},
 		})
 	}

@@ -98,8 +98,16 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage) *world {
 		id := proto.NodeID(i)
 		d := &mdev{id: id, name: fmt.Sprintf("%s%d", spec.Proto, i), ops: spec.Ops}
 		for _, op := range spec.Ops {
-			if op.Kind != device.OpLoad && op.Kind != device.OpStore && op.Kind != device.OpFence {
-				panic("mcheck: scripts are restricted to loads, stores and fences")
+			switch op.Kind {
+			case device.OpLoad, device.OpStore, device.OpFence:
+			case device.OpAtomic:
+				// Only fetch-add: its commutativity keeps the legal-value
+				// model below exact (any subset of the adds may have hit).
+				if op.Atomic != proto.AtomicFetchAdd {
+					panic("mcheck: atomic scripts are restricted to fetch-add")
+				}
+			default:
+				panic("mcheck: scripts are restricted to loads, stores, fetch-adds and fences")
 			}
 		}
 		switch spec.Proto {
@@ -149,6 +157,7 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage) *world {
 		w.mem.Poke(iv.Addr.Line(), line)
 		w.allow(iv.Addr, iv.Val)
 	}
+	adds := make(map[memaddr.Addr][]uint32)
 	for _, spec := range scn.Devices {
 		for _, op := range spec.Ops {
 			if op.Kind == device.OpFence {
@@ -158,9 +167,30 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage) *world {
 			if op.Kind == device.OpStore {
 				w.allow(op.Addr, op.Value)
 			}
+			if op.Kind == device.OpAtomic {
+				adds[op.Addr] = append(adds[op.Addr], op.Value)
+			}
+		}
+	}
+	// Close each fetch-add target's legal set under subset sums of the
+	// scripted deltas: a read (or an atomic's returned old value) may
+	// observe any base value with any subset of the adds applied.
+	for a, deltas := range adds {
+		for _, d := range deltas {
+			for _, v := range keysOf(w.allowed[a]) {
+				w.allow(a, v+d)
+			}
 		}
 	}
 	return w
+}
+
+func keysOf(set map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	return out
 }
 
 func (w *world) allow(a memaddr.Addr, v uint32) {
@@ -239,7 +269,9 @@ func (w *world) issue(di int) {
 	d.inflight = true
 	accepted := d.l1.Access(op, func(v uint32) {
 		d.inflight = false
-		if op.Kind == device.OpLoad {
+		// An atomic's return is the pre-op value: checked against the same
+		// legal set (it is closed under subsets of the scripted adds).
+		if op.Kind == device.OpLoad || op.Kind == device.OpAtomic {
 			if !w.allowed[op.Addr][v] {
 				w.dataViol = fmt.Sprintf(
 					"%s: op %d load of word %d returned %d, a value never written to that word",
@@ -268,10 +300,16 @@ func (w *world) issue(di int) {
 		return
 	}
 	d.next++
-	if op.Kind == device.OpStore {
+	switch op.Kind {
+	case device.OpStore:
 		w.trace = append(w.trace, fmt.Sprintf("%s: store w%d=%d", d.name, op.Addr.WordIndex(), op.Value))
-	} else {
+	case device.OpAtomic:
+		w.trace = append(w.trace, fmt.Sprintf("%s: fetchadd w%d+=%d", d.name, op.Addr.WordIndex(), op.Value))
+	case device.OpLoad:
 		w.trace = append(w.trace, fmt.Sprintf("%s: load w%d", d.name, op.Addr.WordIndex()))
+	default:
+		// Fences returned above; mcheck scripts contain no compute ops.
+		panic("mcheck: unexpected op kind " + op.Kind.String())
 	}
 }
 

@@ -7,6 +7,12 @@ import (
 
 // HandleMessage implements noc.Handler for MESI-native messages.
 func (l *L1) HandleMessage(m *proto.Message) {
+	// Flow facts (spandex-flow): forwards and invalidations that arrive
+	// before an outstanding miss's data are deferred until the grant
+	// lands; the grant itself is always consumed immediately.
+	//
+	//spandex:flow queue MFwdGetS,MFwdGetM,MInv
+	//spandex:flow wait grant awaits=MDataS,MDataE,MDataM via=MGetS,MGetM opener=any
 	switch m.Type {
 	case proto.MDataS:
 		l.handleData(m, S)

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"spandex/internal/detsort"
 	"spandex/internal/sim"
 )
 
@@ -147,12 +148,7 @@ func (s *ChromeSink) add(e chromeEvent) {
 // metadata, sorts events by timestamp and writes the JSON file.
 func (s *ChromeSink) Close(w io.Writer) error {
 	closeAll := func(open map[uint64]chromeOpen, prefix string) {
-		ids := make([]uint64, 0, len(open))
-		for id := range open {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-		for _, id := range ids {
+		for _, id := range detsort.Keys(open) {
 			o := open[id]
 			s.add(chromeEvent{Name: o.nm, Cat: o.cat, Ph: "e",
 				Ts: tsOf(s.last), Pid: o.pid, ID: fmt.Sprintf("%s%d", prefix, id)})
@@ -162,11 +158,7 @@ func (s *ChromeSink) Close(w io.Writer) error {
 	closeAll(s.openOp, "t")
 	closeAll(s.openBlk, "blk")
 
-	pids := make([]int, 0, len(s.pids))
-	for pid := range s.pids {
-		pids = append(pids, pid)
-	}
-	sort.Ints(pids)
+	pids := detsort.Keys(s.pids)
 	meta := make([]chromeEvent, 0, len(pids))
 	for _, pid := range pids {
 		name := s.names[pid]

@@ -1,8 +1,9 @@
 package obs
 
 import (
-	"sort"
+	"strings"
 
+	"spandex/internal/detsort"
 	"spandex/internal/proto"
 	"spandex/internal/sim"
 )
@@ -243,15 +244,11 @@ func (r *Recorder) Report() *LatencyReport {
 	}
 	rep.Unfinished = len(r.live)
 
-	keys := make([]occKey, 0, len(r.occ))
-	for k := range r.occ {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].node != keys[j].node {
-			return keys[i].node < keys[j].node
+	keys := detsort.KeysFunc(r.occ, func(a, b occKey) int {
+		if a.node != b.node {
+			return int(a.node) - int(b.node)
 		}
-		return keys[i].res < keys[j].res
+		return strings.Compare(a.res, b.res)
 	})
 	for _, k := range keys {
 		rep.Occupancy = append(rep.Occupancy, OccSeries{
