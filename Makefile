@@ -5,12 +5,13 @@ GO ?= go
 
 .PHONY: ci build vet fmt lint test race smoke check bench bench-json \
 	bench-gate clean \
-	transgraph transgraph-check mcheck mcheck-smoke mutants crosscheck \
+	transgraph transgraph-check mcheck mcheck-smoke mcheck-baseline \
+	mutants crosscheck \
 	trace-smoke trace-overhead fuzz fuzz-mutants corpus \
-	flow flow-check flow-mutants
+	flow flow-check flow-mutants indep indep-check
 
 ci: build vet fmt lint test race smoke check transgraph-check flow-check \
-	flow-mutants mcheck-smoke mutants trace-smoke fuzz fuzz-mutants
+	indep-check flow-mutants mcheck-smoke mutants trace-smoke fuzz fuzz-mutants
 
 build:
 	$(GO) build ./...
@@ -18,7 +19,8 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project analyzers (cmd/spandex-lint): determinism, protostate, mutafter.
+# Project analyzers (cmd/spandex-lint): determinism, protostate, mutafter,
+# poolret, annref.
 lint:
 	$(GO) run ./cmd/spandex-lint ./...
 
@@ -86,6 +88,18 @@ flow:
 flow-check:
 	$(GO) run ./cmd/spandex-flow -check
 
+# Regenerate the derived independence facts the model checker's
+# partial-order reduction consumes (docs/indep + internal/mcheck/
+# indep_tables.go).
+indep:
+	$(GO) run ./cmd/spandex-indep
+
+# Freshness gate: a protocol change that moves the derived guard /
+# settled-local / memSoleClient facts fails CI until the artifacts — and
+# the reduction's soundness assumptions — are regenerated and re-reviewed.
+indep-check:
+	$(GO) run ./cmd/spandex-indep -check
+
 # Static mutation detection: each seeded protocol bug, mirrored on the
 # flow graph, must surface as at least one violation.
 flow-mutants:
@@ -97,11 +111,19 @@ flow-mutants:
 mcheck:
 	$(GO) run ./cmd/spandex-mcheck
 
-# CI-budgeted model check (~2 min): the two largest pairings, then the
-# static-vs-dynamic coverage cross-check on what the runs observed.
+# CI-budgeted model check (~1 min): every pairing × scenario under the
+# full reduction, gated against the checked-in state/runtime baseline,
+# then the static-vs-dynamic coverage cross-check on what the runs
+# observed.
 mcheck-smoke:
-	$(GO) run ./cmd/spandex-mcheck -coverage-out /tmp/mcheck-cov.json
+	$(GO) run ./cmd/spandex-mcheck -coverage-out /tmp/mcheck-cov.json \
+		-json /tmp/mcheck-stats.json -baseline docs/mcheck/baseline.json
 	$(GO) run ./cmd/spandex-transgraph -diff /tmp/mcheck-cov.json
+
+# Refresh the checked-in mcheck state/runtime baseline (docs/mcheck/).
+# Run after a reviewed protocol or scenario change trips the gate.
+mcheck-baseline:
+	$(GO) run ./cmd/spandex-mcheck -json docs/mcheck/baseline.json
 
 # Observability smoke: export a Perfetto/Chrome timeline from a traced
 # run, re-validate the file (JSON loads, every async slice closed, ends

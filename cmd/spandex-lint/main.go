@@ -8,6 +8,8 @@
 //	               or end in a panicking default
 //	mutafter     — no mutating a *Message after Send/Schedule
 //	poolret      — no using a pooled object after Pool.Put/free* released it
+//	annref       — spandex:transition/unreachable/flow directives must
+//	               reference real message types and states
 //
 // Usage:
 //
@@ -27,6 +29,7 @@ import (
 	"strings"
 
 	"spandex/internal/analysis"
+	"spandex/internal/analysis/annref"
 	"spandex/internal/analysis/determinism"
 	"spandex/internal/analysis/mutafter"
 	"spandex/internal/analysis/poolret"
@@ -38,6 +41,7 @@ var suite = []*analysis.Analyzer{
 	protostate.Analyzer,
 	mutafter.Analyzer,
 	poolret.Analyzer,
+	annref.Analyzer,
 }
 
 func main() {

@@ -14,9 +14,21 @@
 //	spandex-mcheck -max-states 50000     # per-scenario state budget
 //	spandex-mcheck -coverage-out f.json  # dump observed (state,msg) pairs
 //	spandex-mcheck -trace                # print traces for violations only
+//	spandex-mcheck -json stats.json      # dump per-run state/reduction stats
+//	spandex-mcheck -baseline docs/mcheck/baseline.json
+//	                                     # fail on state-count/runtime growth
+//
+// The -baseline gate is the CI guard against silent state-space blowup:
+// a protocol or reduction change that grows any scenario's state count by
+// more than -tolerance (default 20%), or the suite's wall time by more
+// than -time-tolerance (default 50%, looser because runtimes vary across
+// hosts), fails the run until docs/mcheck/baseline.json is regenerated
+// (make mcheck-baseline) and the growth reviewed. Scenarios added or
+// removed relative to the baseline also fail it — the baseline must
+// follow the suite.
 //
 // Exit status is nonzero if any scenario reports a violation or fails to
-// complete within its state budget.
+// complete within its state budget, or the baseline gate trips.
 package main
 
 import (
@@ -24,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -36,6 +49,10 @@ func main() {
 	scenario := flag.String("scenario", "", "only one scenario name (default: all defined for the pairing)")
 	maxStates := flag.Int("max-states", 0, "per-scenario distinct-state budget (0 = default)")
 	covOut := flag.String("coverage-out", "", "write observed (LLC state, message) pairs as JSON")
+	jsonOut := flag.String("json", "", "write per-run exploration stats as JSON")
+	baseline := flag.String("baseline", "", "compare stats against this baseline JSON and fail on growth")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional per-run state-count growth vs baseline")
+	timeTolerance := flag.Float64("time-tolerance", 0.50, "allowed fractional total-runtime growth vs baseline")
 	flag.Parse()
 
 	die := func(format string, args ...interface{}) {
@@ -68,6 +85,7 @@ func main() {
 
 	failed := false
 	totalStates := 0
+	var stats suiteStats
 	start := time.Now()
 	for _, p := range pairings {
 		scns := mcheck.Scenarios(p)
@@ -82,8 +100,19 @@ func main() {
 			scns = []mcheck.Scenario{scn}
 		}
 		for _, scn := range scns {
+			t0 := time.Now()
 			res := mcheck.Explore(mcheck.Config{Scenario: scn, MaxStates: *maxStates, Coverage: cov})
 			totalStates += res.States
+			stats.Runs = append(stats.Runs, runStat{
+				Pairing:      p.String(),
+				Scenario:     scn.Name,
+				States:       res.States,
+				Transitions:  res.Transitions,
+				MaxDepth:     res.MaxDepth,
+				AmpleCommits: res.AmpleCommits,
+				SleepSkips:   res.SleepSkips,
+				Seconds:      time.Since(t0).Seconds(),
+			})
 			status := "ok"
 			if res.Violation != nil {
 				status = "VIOLATION"
@@ -102,7 +131,25 @@ func main() {
 			}
 		}
 	}
+	stats.TotalStates = totalStates
+	stats.TotalSeconds = time.Since(start).Seconds()
 	fmt.Printf("total: %d states in %s\n", totalStates, time.Since(start).Round(time.Millisecond))
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(&stats, "", "  ")
+		if err != nil {
+			die("marshal stats: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			die("write stats: %v", err)
+		}
+	}
+	if *baseline != "" {
+		if err := gate(&stats, *baseline, *tolerance, *timeTolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "spandex-mcheck: baseline gate: %v\n", err)
+			failed = true
+		}
+	}
 
 	if cov != nil {
 		data, err := json.MarshalIndent(cov.Snapshot(), "", "  ")
@@ -118,4 +165,76 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// runStat is one (pairing, scenario) exploration's stats. The state,
+// transition, depth and reduction counters are deterministic; Seconds is
+// informational per run and gated only in aggregate.
+type runStat struct {
+	Pairing      string  `json:"pairing"`
+	Scenario     string  `json:"scenario"`
+	States       int     `json:"states"`
+	Transitions  int     `json:"transitions"`
+	MaxDepth     int     `json:"max_depth"`
+	AmpleCommits int     `json:"ample_commits"`
+	SleepSkips   int     `json:"sleep_skips"`
+	Seconds      float64 `json:"seconds"`
+}
+
+type suiteStats struct {
+	Runs         []runStat `json:"runs"`
+	TotalStates  int       `json:"total_states"`
+	TotalSeconds float64   `json:"total_seconds"`
+}
+
+// gate compares the current suite stats against the checked-in baseline:
+// every baseline run must still exist, no run's state count may grow past
+// tol, no run may appear that the baseline lacks, and total wall time may
+// not grow past timeTol. Any trip reports every offender, not just the
+// first, so one regeneration review covers the whole diff.
+func gate(cur *suiteStats, path string, tol, timeTol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base suiteStats
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse %s: %v", path, err)
+	}
+	baseRuns := make(map[string]runStat, len(base.Runs))
+	for _, r := range base.Runs {
+		baseRuns[r.Pairing+"/"+r.Scenario] = r
+	}
+	var trips []string
+	for _, r := range cur.Runs {
+		key := r.Pairing + "/" + r.Scenario
+		b, ok := baseRuns[key]
+		if !ok {
+			trips = append(trips, fmt.Sprintf("%s: not in baseline (new scenario? run make mcheck-baseline)", key))
+			continue
+		}
+		delete(baseRuns, key)
+		if limit := float64(b.States) * (1 + tol); float64(r.States) > limit {
+			trips = append(trips, fmt.Sprintf("%s: %d states vs baseline %d (>%d%% growth)",
+				key, r.States, b.States, int(tol*100)))
+		}
+	}
+	leftover := make([]string, 0, len(baseRuns))
+	for key := range baseRuns {
+		leftover = append(leftover, key)
+	}
+	sort.Strings(leftover)
+	for _, key := range leftover {
+		trips = append(trips, fmt.Sprintf("%s: in baseline but not explored (scenario removed? run make mcheck-baseline)", key))
+	}
+	if limit := base.TotalSeconds * (1 + timeTol); cur.TotalSeconds > limit {
+		trips = append(trips, fmt.Sprintf("suite took %.1fs vs baseline %.1fs (>%d%% growth)",
+			cur.TotalSeconds, base.TotalSeconds, int(timeTol*100)))
+	}
+	if len(trips) > 0 {
+		return fmt.Errorf("%d trip(s):\n  %s", len(trips), strings.Join(trips, "\n  "))
+	}
+	fmt.Printf("baseline gate: %d runs within %d%% of %s (%.1fs vs %.1fs)\n",
+		len(cur.Runs), int(tol*100), path, cur.TotalSeconds, base.TotalSeconds)
+	return nil
 }

@@ -1,0 +1,12 @@
+package annref_test
+
+import (
+	"testing"
+
+	"spandex/internal/analysis/analysistest"
+	"spandex/internal/analysis/annref"
+)
+
+func TestAnnref(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), annref.Analyzer, "anns")
+}

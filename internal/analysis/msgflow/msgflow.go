@@ -127,6 +127,26 @@ var pairedReq = map[string][]string{
 	"MemReadRsp": {"MemRead"},
 }
 
+// Devices returns the Spandex network device units: the LLC's children in
+// the topology table. These are the units that hold a NodeID on the
+// Spandex network below the LLC (the MESI TU fronts its L1).
+func Devices() []string {
+	return append([]string(nil), topology["core-llc"].children...)
+}
+
+// Groups returns the topology groups a unit belongs to (nil for unknown
+// units).
+func Groups(unit string) []string {
+	return append([]string(nil), topology[unit].groups...)
+}
+
+// PairedRequests returns the request types whose requestor a response
+// message may be addressed to, per the pairedReq table (nil when msg is
+// not a requestor-addressed response).
+func PairedRequests(msg string) []string {
+	return append([]string(nil), pairedReq[msg]...)
+}
+
 // Edge is one whole-system flow edge: Src may emit Msg to Dst.
 type Edge struct {
 	Src   string `json:"src"`
@@ -158,6 +178,9 @@ type Unit struct {
 
 	graph *transgraph.UnitGraph
 }
+
+// Graph returns the unit's underlying per-unit transition graph.
+func (u *Unit) Graph() *transgraph.UnitGraph { return u.graph }
 
 // QueueSpec is one //spandex:flow queue directive: at the listed states
 // (or any state, when At is empty) the listed messages are deferred

@@ -895,6 +895,13 @@ func (l *LLC) maybeCompleteRvk(line memaddr.LineAddr) {
 	if e.State.ownedMask&t.rvkMask != 0 {
 		return // still waiting on some word
 	}
+	if t.pendingAcks > 0 {
+		// A sharer-invalidating eviction has no revoked words, so the
+		// ownedMask check above is vacuous; a stale non-owner ReqWB
+		// arriving mid-eviction must not resolve it out from under the
+		// outstanding InvAcks.
+		return
+	}
 	delete(l.txns, line)
 	l.txnResolved()
 	if t.kind == txnEvict {

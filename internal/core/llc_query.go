@@ -1,0 +1,100 @@
+package core
+
+import (
+	"spandex/internal/memaddr"
+	"spandex/internal/proto"
+)
+
+// Reduction-oracle queries consumed by internal/mcheck's partial-order
+// reduction (see DESIGN.md §10). All three are side-effect-free reads of
+// the live directory — they use Peek, never Lookup, so querying cannot
+// perturb replacement state — and answer for the instant they are called;
+// the model checker only evaluates them between actions, with the engine
+// drained.
+
+// LineSettled reports whether line is present with its data fully fetched
+// and no blocking transaction open on it — i.e. resting in one of the
+// settled states V, S, O, SO. Handling a settledLocal-classified request
+// against such a line touches only that line's state and emits no memory
+// traffic.
+func (l *LLC) LineSettled(line memaddr.LineAddr) bool {
+	if _, open := l.txns[line]; open {
+		return false
+	}
+	e := l.array.Peek(line)
+	return e != nil && !e.State.fetching
+}
+
+// ProbeTargets returns the bitset of device indices a request handled
+// against this line could currently probe, revoke, or forward to: the
+// line's sharers plus the owner of every owned word. Absent lines have no
+// targets.
+func (l *LLC) ProbeTargets(line memaddr.LineAddr) uint64 {
+	e := l.array.Peek(line)
+	if e == nil {
+		return 0
+	}
+	st := &e.State
+	bits := st.sharers
+	st.ownedMask.ForEach(func(i int) { bits |= 1 << uint(st.owner[i]) })
+	return bits
+}
+
+// AllocWaiting reports whether any line fetch is parked waiting for a
+// frame. While one is, resolving a transaction on *any* line can retry the
+// parked allocation and evict a victim elsewhere, so no handling is
+// line-local.
+func (l *LLC) AllocWaiting() bool { return len(l.allocWait) > 0 }
+
+// QueuedRequestorBits returns the bitset of device indices that appear as
+// the requestor (or sender) of a request parked inside an open
+// transaction — its origin or its waiting queue. Resolving the
+// transaction re-dispatches those requests, which can forward to owner
+// devices whose direct responses land on device→device FIFOs; a device's
+// action group is not persistent while a request of its sits parked here.
+// Origins are only meaningful on txnInv/txnRvk (transactions are
+// pool-recycled, so other kinds may carry a stale one).
+func (l *LLC) QueuedRequestorBits() uint64 {
+	var bits uint64
+	add := func(id proto.NodeID) {
+		if i := int(id); i >= 0 && i < 64 {
+			bits |= 1 << uint(i)
+		}
+	}
+	//spandex:maprange bit-OR accumulation is commutative; iteration order cannot change the result
+	for _, t := range l.txns {
+		if t.kind == txnInv || t.kind == txnRvk {
+			add(t.origin.Requestor)
+			add(t.origin.Src)
+		}
+		for i := range t.waiting {
+			add(t.waiting[i].Requestor)
+			add(t.waiting[i].Src)
+		}
+	}
+	return bits
+}
+
+// DirectoryMentions reports whether the directory records device dev
+// anywhere: as a sharer or a word owner of any resident line. While it
+// does, handling an unrelated request can probe, invalidate, or forward to
+// dev, emitting onto the LLC→dev FIFO.
+func (l *LLC) DirectoryMentions(dev int) bool {
+	found := false
+	l.array.ForEach(func(e *cacheEntry) {
+		if found {
+			return
+		}
+		st := &e.State
+		if dev < 64 && st.sharers&(1<<uint(dev)) != 0 {
+			found = true
+			return
+		}
+		st.ownedMask.ForEach(func(i int) {
+			if int(st.owner[i]) == dev {
+				found = true
+			}
+		})
+	})
+	return found
+}

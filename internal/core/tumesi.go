@@ -682,3 +682,35 @@ func (tu *MESITU) fromWBRecord(m *proto.Message, wb *tuWB) {
 		panic("core: TU WB-record external " + m.Type.String())
 	}
 }
+
+// HoldsExternalFor reports whether the TU is internally holding any
+// external whose eventual handling can emit a direct device→device
+// response to dev: a data-requiring forward deferred behind an in-flight
+// grant (tuPending.deferred), the original external of an in-flight
+// synthesized probe, or an external that queued behind such a probe. The
+// model checker's partial-order reduction consults this between actions —
+// while it holds, a delivery to *this* device can release a fresh message
+// onto a previously empty FIFO toward dev, so dev's action group is not
+// persistent (DESIGN.md §10).
+func (tu *MESITU) HoldsExternalFor(dev proto.NodeID) bool {
+	//spandex:maprange any-exists query; iteration order cannot change the boolean result
+	for _, p := range tu.pend {
+		for i := range p.deferred {
+			if p.deferred[i].Requestor == dev {
+				return true
+			}
+		}
+	}
+	//spandex:maprange any-exists query; iteration order cannot change the boolean result
+	for _, pr := range tu.probes {
+		if pr.hasOrig && pr.orig.Requestor == dev {
+			return true
+		}
+		for i := range pr.afterward {
+			if pr.afterward[i].Requestor == dev {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -405,3 +405,22 @@ func (l *L1) handleInv(m *proto.Message) {
 	}
 	l.sendV(proto.Message{Type: proto.InvAck, Dst: m.Src, Line: m.Line, Mask: m.Mask, Trace: m.Trace})
 }
+
+// HoldsExternalFor reports whether the L1 is holding any external request
+// slice deferred behind a pending atomic (deferToAtomic) whose eventual
+// response targets dev. The model checker's partial-order reduction
+// consults this between actions — while it holds, the delivery completing
+// the atomic at *this* device releases the deferred response onto a
+// possibly empty FIFO toward dev, so dev's action group is not persistent
+// (DESIGN.md §10).
+func (l *L1) HoldsExternalFor(dev proto.NodeID) bool {
+	//spandex:maprange any-exists query; iteration order cannot change the boolean result
+	for _, a := range l.atoms {
+		for i := range a.deferred {
+			if a.deferred[i].Requestor == dev {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"spandex/internal/proto"
 	"spandex/internal/stats"
 )
 
@@ -20,6 +21,9 @@ import (
 //     differ between interleavings without affecting protocol behaviour;
 //   - skips cache LRU bookkeeping (field names "lru"/"lastUse"), which
 //     counts accesses and would otherwise split logically equal states;
+//   - skips per-scenario configuration that is identical in every world of
+//     a scenario (the LLC's device registration tables, the scripted
+//     device names);
 //   - skips sim.Pool fields and collapses nil and empty slices: object
 //     pools and recycled backing arrays are allocator state, and which of
 //     two logically equal worlds happened to recycle a record is an
@@ -33,6 +37,20 @@ import (
 //   - hashes func values as nil/non-nil only (completion callbacks; which
 //     operation they belong to is captured by the device script cursors);
 //   - serializes map entries and sorts them, removing iteration order.
+//
+// Under Reduction.Canon the walk additionally canonicalizes two identity
+// artifacts (see world.fingerprint):
+//
+//   - the pending message pool is serialized per (src, dst) FIFO with the
+//     pairs sorted, not in flat send order — the network only ever
+//     delivers per-pair heads, so the interleaving of different pairs in
+//     the flat slice is history residue, not state;
+//   - interchangeable devices (same protocol, identical scripts) are
+//     renamed: the hash is minimized over every permutation within the
+//     scenario's device symmetry classes, translating each proto.NodeID
+//     value, the LLC directory's sharer bitset and per-word owner indices,
+//     and walking the devices in canonical order. Two states that differ
+//     only by a swap of identical devices then hash equal.
 //
 // The hash is FNV-1a over the canonical byte string. A 64-bit collision
 // would wrongly prune a reachable state; with the tiny state counts mcheck
@@ -56,11 +74,38 @@ var skipFields = map[string]bool{
 	"tick": true,
 }
 
+// skipStructFields drops per-scenario configuration that is bit-identical
+// in every world of a scenario and would otherwise defeat the symmetry
+// renaming: the LLC's registration tables list devices in registration
+// order, a device's display name embeds its original index, and its holds
+// query is a method value bound at construction (not data at all).
+var skipStructFields = map[string]map[string]bool{
+	"core.LLC":    {"devices": true, "devIdx": true, "isMESI": true},
+	"mcheck.mdev": {"name": true, "holds": true},
+}
+
 type hasher struct {
 	visited map[uintptr]int
+	// idmap, when non-nil, renames device identities: every proto.NodeID
+	// value v with 0 <= v < len(idmap) hashes as idmap[v], the LLC sharer
+	// bitset is bit-permuted and per-word owner indices are mapped.
+	// Device indices and NodeIDs coincide in mcheck worlds (devices are
+	// registered in id order), so one table serves both encodings.
+	idmap []int8
+}
+
+func (h *hasher) mapID(id int64) int64 {
+	if h.idmap != nil && id >= 0 && id < int64(len(h.idmap)) {
+		return int64(h.idmap[id])
+	}
+	return id
 }
 
 func (h *hasher) walk(v reflect.Value, buf *bytes.Buffer) {
+	if h.idmap != nil && v.Type().String() == "proto.NodeID" {
+		fmt.Fprintf(buf, "i%d", h.mapID(v.Int()))
+		return
+	}
 	switch v.Kind() {
 	case reflect.Invalid:
 		buf.WriteString("<inv>")
@@ -159,10 +204,12 @@ func (h *hasher) walk(v reflect.Value, buf *bytes.Buffer) {
 			h.walkWriteBuffer(v, buf)
 			return
 		}
+		skip := skipStructFields[t.String()]
+		llcLine := h.idmap != nil && t.String() == "core.llcLine"
 		fmt.Fprintf(buf, "t<%s>{", t.String())
 		for i := 0; i < t.NumField(); i++ {
 			f := t.Field(i)
-			if skipFields[f.Name] || f.Type.String() == "sim.Time" ||
+			if skipFields[f.Name] || skip[f.Name] || f.Type.String() == "sim.Time" ||
 				strings.HasPrefix(f.Type.String(), "sim.Pool[") {
 				continue
 			}
@@ -173,6 +220,31 @@ func (h *hasher) walk(v reflect.Value, buf *bytes.Buffer) {
 			}
 			buf.WriteString(f.Name)
 			buf.WriteByte('=')
+			if llcLine && f.Name == "sharers" {
+				// Bitset of device indices: permute the device bits.
+				old := v.Field(i).Uint()
+				var renamed uint64
+				for d := 0; d < len(h.idmap); d++ {
+					if old&(1<<d) != 0 {
+						renamed |= 1 << uint(h.idmap[d])
+					}
+				}
+				renamed |= old &^ (1<<uint(len(h.idmap)) - 1)
+				fmt.Fprintf(buf, "u%d", renamed)
+				buf.WriteByte(';')
+				continue
+			}
+			if llcLine && f.Name == "owner" {
+				// Per-word owner device indices (-1 = none): map each.
+				ow := v.Field(i)
+				buf.WriteString("a[")
+				for w := 0; w < ow.Len(); w++ {
+					fmt.Fprintf(buf, "i%d,", h.mapID(ow.Index(w).Int()))
+				}
+				buf.WriteByte(']')
+				buf.WriteByte(';')
+				continue
+			}
 			h.walk(v.Field(i), buf)
 			buf.WriteByte(';')
 		}
@@ -242,7 +314,17 @@ func (h *hasher) walkWriteBuffer(v reflect.Value, buf *bytes.Buffer) {
 	buf.WriteByte('}')
 }
 
-// structuralHash canonicalizes and hashes the given roots.
+// fnv folds a canonical byte string into the 64-bit FNV-1a hash.
+func fnv(b []byte) uint64 {
+	out := stats.FNVOffset()
+	for _, c := range b {
+		out = stats.FNVAdd(out, uint64(c))
+	}
+	return out
+}
+
+// structuralHash canonicalizes and hashes the given roots with no device
+// renaming — the Reduction.Canon=false (PR 3) representation.
 func structuralHash(roots ...interface{}) uint64 {
 	h := &hasher{visited: make(map[uintptr]int)}
 	var buf bytes.Buffer
@@ -250,9 +332,62 @@ func structuralHash(roots ...interface{}) uint64 {
 		h.walk(reflect.ValueOf(r), &buf)
 		buf.WriteByte('|')
 	}
-	out := stats.FNVOffset()
-	for _, b := range buf.Bytes() {
-		out = stats.FNVAdd(out, uint64(b))
+	return fnv(buf.Bytes())
+}
+
+// hashWithPerm computes the canonical hash of w under one device renaming:
+// idmap[i] is the canonical identity of device i, inv its inverse. The
+// pending pool is serialized per renamed (src, dst) FIFO with pairs
+// sorted, and devices are walked in canonical order, so two worlds equal
+// up to a renaming of interchangeable devices produce identical byte
+// strings.
+func (w *world) hashWithPerm(idmap []int8, inv []int8) uint64 {
+	h := &hasher{visited: make(map[uintptr]int), idmap: idmap}
+	var buf bytes.Buffer
+	h.walk(reflect.ValueOf(w.llc), &buf)
+	buf.WriteByte('|')
+	h.walk(reflect.ValueOf(w.mem), &buf)
+	buf.WriteByte('|')
+
+	// Pending, grouped per renamed (src, dst) FIFO in send order. The flat
+	// interleaving of different pairs is unobservable: only per-pair heads
+	// are ever deliverable.
+	type fifo struct {
+		src, dst int64
+		msgs     []*proto.Message
 	}
-	return out
+	var fifos []fifo
+	index := make(map[[2]int64]int)
+	for _, m := range w.pending {
+		key := [2]int64{h.mapID(int64(m.Src)), h.mapID(int64(m.Dst))}
+		i, ok := index[key]
+		if !ok {
+			i = len(fifos)
+			index[key] = i
+			fifos = append(fifos, fifo{src: key[0], dst: key[1]})
+		}
+		fifos[i].msgs = append(fifos[i].msgs, m)
+	}
+	sort.Slice(fifos, func(i, j int) bool {
+		if fifos[i].src != fifos[j].src {
+			return fifos[i].src < fifos[j].src
+		}
+		return fifos[i].dst < fifos[j].dst
+	})
+	for _, f := range fifos {
+		fmt.Fprintf(&buf, "q%d>%d[", f.src, f.dst)
+		for _, m := range f.msgs {
+			h.walk(reflect.ValueOf(m).Elem(), &buf)
+			buf.WriteByte(',')
+		}
+		buf.WriteByte(']')
+	}
+	buf.WriteByte('|')
+
+	// Devices in canonical order: position j holds the device renamed to j.
+	for j := range w.devs {
+		h.walk(reflect.ValueOf(w.devs[inv[j]]), &buf)
+		buf.WriteByte('|')
+	}
+	return fnv(buf.Bytes())
 }

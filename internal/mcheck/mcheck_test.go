@@ -12,6 +12,9 @@ import (
 func TestExploreCleanPairings(t *testing.T) {
 	for _, p := range Pairings() {
 		for _, scn := range Scenarios(p) {
+			if testing.Short() && scn.Heavy {
+				continue
+			}
 			res := Explore(Config{Scenario: scn})
 			t.Logf("%s/%s: %d states, %d transitions, depth %d",
 				p, scn.Name, res.States, res.Transitions, res.MaxDepth)

@@ -80,6 +80,15 @@ type Scenario struct {
 	// plenty for the one- or two-line scenarios (no evictions). The evict-*
 	// scenarios shrink this to a single line to force victimization.
 	LLCBytes, LLCWays int
+	// DevBytes/DevWays size every device L1; zero means 4 lines × 2 ways
+	// (no device-side evictions). The wb-* scenarios shrink this to a
+	// single line so device evictions race LLC revocations.
+	DevBytes, DevWays int
+	// Heavy marks scenarios whose exploration is expensive even fully
+	// reduced (thousands of states over deep replay chains). The -race CI
+	// lane (`go test -race -short`) skips them; the plain test suite and
+	// the CI mcheck-smoke coverage run still explore them.
+	Heavy bool
 }
 
 // word returns the address of word i of line 0.
@@ -215,6 +224,118 @@ func Scenarios(p Pairing) []Scenario {
 				{Proto: cpu, Ops: []device.Op{store(word(0), 5), fence()}},
 				{Proto: cpu, Ops: []device.Op{load(word(0))}},
 				{Proto: gpu, Ops: []device.Op{store(word(1), 3), fence(), load(word(1))}},
+			},
+		})
+	}
+	// Four-device shapes: feasible only under the partial-order and
+	// symmetry reductions — full interleaving exploration of these blows
+	// the state budget.
+	scns = append(scns,
+		Scenario{
+			// Mixed 2-CPU + 2-CU same-word race: four writers and readers
+			// on one word, two per protocol. The two devices of each
+			// protocol run symmetric scripts, so canonicalization folds
+			// their permutations.
+			Name: "samword4",
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{store(word(0), 1), fence()}},
+				{Proto: cpu, Ops: []device.Op{store(word(0), 2), fence()}},
+				{Proto: gpu, Ops: []device.Op{load(word(0))}},
+				{Proto: gpu, Ops: []device.Op{load(word(0))}},
+			},
+		},
+		Scenario{
+			// Two independent producer/consumer handoffs on disjoint lines:
+			// the cross-line action pairs are statically independent, so the
+			// ample-set reduction explores the two handoffs near-additively
+			// instead of multiplicatively.
+			Name: "mp22",
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{store(lineWord(0, 0), 42), fence(), store(lineWord(0, 1), 1), fence()}},
+				{Proto: cpu, Ops: []device.Op{store(lineWord(1, 0), 43), fence(), store(lineWord(1, 1), 1), fence()}},
+				{Proto: gpu, Ops: []device.Op{load(lineWord(0, 1)), load(lineWord(0, 0))}},
+				{Proto: gpu, Ops: []device.Op{load(lineWord(1, 1)), load(lineWord(1, 0))}},
+			},
+		},
+		Scenario{
+			// One writer fanning out to five identical readers (six devices):
+			// the readers are fully interchangeable, the stress case for the
+			// symmetry canonicalization.
+			Name: "fan6",
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{store(word(0), 7), fence()}},
+				{Proto: gpu, Ops: []device.Op{load(word(0))}},
+				{Proto: gpu, Ops: []device.Op{load(word(0))}},
+				{Proto: gpu, Ops: []device.Op{load(word(0))}},
+				{Proto: gpu, Ops: []device.Op{load(word(0))}},
+				{Proto: gpu, Ops: []device.Op{load(word(0))}},
+			},
+		},
+	)
+	// Device write-back racing LLC eviction. Device L1s evict at fill
+	// time, so the evicting fill must target a line that misses in the
+	// one-line L1 but does NOT conflict at the LLC: a two-set LLC maps
+	// lines 0 and 2 to set 0 and line 1 to set 1. The CPU's line-1 fill
+	// then evicts its owned line 0 (ReqWB in flight) while the LLC still
+	// records the ownership; the GPU's line-2 touch evicts LLC line 0
+	// (RvkO) concurrently. The crossing covers ReqWB arriving at an open
+	// eviction (O+evict|ReqWB) and the stale RspRvkO — answering a
+	// revocation the ReqWB already resolved — landing after the line is
+	// gone or mid-refetch (I|RspRvkO, F+fetch|RspRvkO; with a DeNovo GPU
+	// the GPU's own line-2 ownership blocks the refetch's victim eviction
+	// long enough for I+fetch|RspRvkO).
+	scns = append(scns, Scenario{
+		Name:     "wb-race",
+		LLCBytes: 2 * memaddr.LineBytes, LLCWays: 1,
+		DevBytes: memaddr.LineBytes, DevWays: 1,
+		Devices: []DeviceScript{
+			{Proto: cpu, Ops: []device.Op{store(lineWord(0, 0), 1), fence(), load(lineWord(1, 0))}},
+			{Proto: gpu, Ops: []device.Op{store(lineWord(2, 0), 4), fence(), load(lineWord(0, 1))}},
+		},
+	})
+	if cpu == ProtoMESI {
+		// Stale write-back outliving its ownership epoch: CPU0 owns line 0
+		// and its line-1 fill evicts it (full-line ReqWB in flight); CPU1's
+		// full-line ReqOData transfers the whole line away from CPU0 at
+		// forward time — no CPU0 input — and CPU1's own eviction
+		// write-back then clears the last owner. CPU0's ReqWB is still
+		// undelivered while line 0 passes through V, an LLC eviction (I,
+		// via the GPU's conflicting line-2 store) and a refetch
+		// (F+fetch, and I+fetch when a DeNovo GPU's line-2 ownership
+		// blocks the victim eviction) — the non-owner rows of the stale
+		// write-back contract.
+		scns = append(scns, Scenario{
+			Name:     "wb-stale",
+			Heavy:    true,
+			LLCBytes: 2 * memaddr.LineBytes, LLCWays: 1,
+			DevBytes: memaddr.LineBytes, DevWays: 1,
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{store(lineWord(0, 0), 1), fence(), load(lineWord(1, 0))}},
+				{Proto: cpu, Ops: []device.Op{store(lineWord(0, 1), 2), fence(), load(lineWord(1, 0))}},
+				{Proto: gpu, Ops: []device.Op{store(lineWord(2, 0), 4), fence(), load(lineWord(0, 2))}},
+			},
+		})
+	}
+	// Stale write-back meeting a shared line: CPU1's full-line ReqOData
+	// steals line 0 from CPU0 while CPU0's eviction ReqWB is in flight;
+	// CPU2's ReqS then demotes CPU1 to sharer (option 1), so the line is
+	// Shared with the stale ReqWB still undelivered (S|ReqWB). The GPU's
+	// write-through opens the sharer invalidation under it (V+inv|ReqWB)
+	// and its conflicting line-2 load the sharer-invalidating eviction
+	// (V+evict|ReqWB, V+evict|RspRvkO). Gated to the plain-GPU pairing:
+	// the DeNovo-GPU variant costs nearly 3x the states and observes no
+	// additional (state, msg) pairs.
+	if cpu == ProtoMESI && gpu == ProtoGPU {
+		scns = append(scns, Scenario{
+			Name:     "wb-share",
+			Heavy:    true,
+			LLCBytes: 2 * memaddr.LineBytes, LLCWays: 1,
+			DevBytes: memaddr.LineBytes, DevWays: 1,
+			Devices: []DeviceScript{
+				{Proto: cpu, Ops: []device.Op{store(lineWord(0, 0), 1), fence(), load(lineWord(1, 0))}},
+				{Proto: cpu, Ops: []device.Op{store(lineWord(0, 1), 2), fence()}},
+				{Proto: cpu, Ops: []device.Op{load(lineWord(0, 3))}},
+				{Proto: gpu, Ops: []device.Op{store(lineWord(0, 2), 3), fence(), load(lineWord(2, 0))}},
 			},
 		})
 	}

@@ -2,6 +2,7 @@ package mcheck
 
 import (
 	"fmt"
+	"reflect"
 
 	"spandex/internal/core"
 	"spandex/internal/denovo"
@@ -45,6 +46,21 @@ type world struct {
 	// dataViol and stuck record violations found inside an action.
 	dataViol string
 	stuck    string
+
+	// red selects the state-space reductions this world's fingerprints and
+	// action enumeration support.
+	red Reduction
+
+	// perms/invs enumerate the scenario's device symmetry group when
+	// red.Canon is set: every renaming of devices that maps each device to
+	// one with the same protocol and identical script. perms[k][i] is the
+	// canonical identity device i takes under renaming k; invs[k] is the
+	// inverse. perms[0] is the identity. curPerm records which renaming
+	// minimized the last fingerprint() call — the coordinate system sleep
+	// sets are stored in for that state.
+	perms   [][]int8
+	invs    [][]int8
+	curPerm int
 }
 
 // mdev is one scripted device: an L1 controller plus an in-order script
@@ -57,6 +73,11 @@ type mdev struct {
 	ops      []device.Op
 	next     int
 	inflight bool
+	// holds, when non-nil, reports whether this device's controller is
+	// internally holding a deferred external whose eventual direct
+	// response targets the given device (ampleOrder's persistence check).
+	// GPU-coherence devices never hold externals and leave it nil.
+	holds func(proto.NodeID) bool
 }
 
 func (d *mdev) finished() bool { return d.next == len(d.ops) && !d.inflight }
@@ -65,7 +86,7 @@ func (d *mdev) finished() bool { return d.next == len(d.ops) && !d.inflight }
 // deterministic, so replaying the same action sequence from a fresh world
 // reproduces the same state bit-for-bit — the property the DFS's
 // replay-based backtracking and the violation traces rely on.
-func newWorld(scn Scenario, cov *core.TransitionCoverage) *world {
+func newWorld(scn Scenario, cov *core.TransitionCoverage, red Reduction) *world {
 	n := len(scn.Devices)
 	llcID := proto.NodeID(n)
 	memID := proto.NodeID(n + 1)
@@ -74,6 +95,10 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage) *world {
 		eng:     sim.New(),
 		st:      stats.New(),
 		allowed: make(map[memaddr.Addr]map[uint32]bool),
+		red:     red,
+	}
+	if red.Canon {
+		w.perms, w.invs = symPerms(scn.Devices)
 	}
 	w.net = noc.New(w.eng, w.st, noc.Config{HopLatency: 1, TicksPerByte: 0, MeshWidth: 4}, n+2)
 	w.net.SetInterceptor(func(m *proto.Message) { w.pending = append(w.pending, m) })
@@ -85,6 +110,10 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage) *world {
 	w.llc = core.NewLLC(llcID, memID, w.eng, w.net, w.st, core.Config{
 		SizeBytes: llcBytes, Ways: llcWays, AccessLatency: 1,
 	})
+	devBytes, devWays := scn.DevBytes, scn.DevWays
+	if devBytes == 0 {
+		devBytes, devWays = 4*memaddr.LineBytes, 2
+	}
 	w.mem = dram.New(memID, w.eng, w.net, 1)
 	w.chk = core.NewChecker()
 	w.chk.Collect = true
@@ -114,7 +143,7 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage) *world {
 		case ProtoMESI:
 			tu := core.NewMESITU(id, w.eng, w.net, w.st, llcID, 1)
 			mc := mesi.DefaultConfig(llcID)
-			mc.SizeBytes, mc.Ways = 4*memaddr.LineBytes, 2
+			mc.SizeBytes, mc.Ways = devBytes, devWays
 			mc.MSHREntries, mc.StoreBufferEntries = 8, 8
 			mc.HitLatency = 1
 			l1 := mesi.New(id, w.eng, tu, w.st, mc)
@@ -123,10 +152,11 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage) *world {
 			w.chk.AttachDevice(id, tu)
 			tu.SetChecker(w.chk)
 			d.l1 = l1
+			d.holds = tu.HoldsExternalFor
 		case ProtoDeNovo:
 			tu := core.NewPassTU(id, w.eng, w.net, 1)
 			dc := denovo.DefaultConfig(llcID, false)
-			dc.SizeBytes, dc.Ways = 4*memaddr.LineBytes, 2
+			dc.SizeBytes, dc.Ways = devBytes, devWays
 			dc.MSHREntries, dc.WriteBufferEntries = 8, 8
 			dc.HitLatency = 1
 			l1 := denovo.New(id, w.eng, tu, w.st, dc)
@@ -134,10 +164,11 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage) *world {
 			w.llc.RegisterDevice(id, false)
 			w.chk.AttachDevice(id, l1)
 			d.l1 = l1
+			d.holds = l1.HoldsExternalFor
 		case ProtoGPU:
 			tu := core.NewPassTU(id, w.eng, w.net, 1)
 			gc := gpucoh.DefaultConfig(llcID)
-			gc.SizeBytes, gc.Ways = 4*memaddr.LineBytes, 2
+			gc.SizeBytes, gc.Ways = devBytes, devWays
 			gc.MSHREntries, gc.WriteBufferEntries = 8, 8
 			gc.HitLatency = 1
 			l1 := gpucoh.New(id, w.eng, tu, w.st, gc)
@@ -202,17 +233,18 @@ func (w *world) allow(a memaddr.Addr, v uint32) {
 	set[v] = true
 }
 
-// actions enumerates the enabled actions: device indices [0, len(devs))
-// for "issue next op", and len(devs)+k for "deliver pending[k]". Only the
-// oldest pending message of each (src, dst) pair is deliverable — the
-// network guarantees point-to-point FIFO ordering and the protocols'
-// race handling assumes it, so other orders are unreachable in real
-// executions and exploring them would report false violations.
-func (w *world) actions() []int {
-	var acts []int
+// enumActions enumerates the enabled actions: an issue of each ready
+// device's next op, and a delivery of the oldest pending message of each
+// (src, dst) pair. Only per-pair heads are deliverable — the network
+// guarantees point-to-point FIFO ordering and the protocols' race handling
+// assumes it, so other orders are unreachable in real executions and
+// exploring them would report false violations. Each action carries the
+// unit coordinates the reduction machinery reasons about (see reduce.go).
+func (w *world) enumActions() []action {
+	var acts []action
 	for i, d := range w.devs {
 		if !d.inflight && d.next < len(d.ops) {
-			acts = append(acts, i)
+			acts = append(acts, action{flat: i, issue: true, unit: int8(i), src: -1})
 		}
 	}
 	headSeen := make(map[[2]proto.NodeID]bool)
@@ -220,7 +252,9 @@ func (w *world) actions() []int {
 		pair := [2]proto.NodeID{m.Src, m.Dst}
 		if !headSeen[pair] {
 			headSeen[pair] = true
-			acts = append(acts, len(w.devs)+k)
+			acts = append(acts, action{
+				flat: len(w.devs) + k, unit: int8(m.Dst), src: int8(m.Src), msg: m,
+			})
 		}
 	}
 	return acts
@@ -326,14 +360,94 @@ func (w *world) deliver(k int) {
 // fingerprint canonicalizes the protocol-visible state: LLC (lines, txns,
 // queued requests), every device controller (through its TU, reached via
 // the l1's port back-reference), DRAM contents, script cursors, and the
-// pending message pool.
+// pending message pool. With red.Canon the hash is additionally minimized
+// over the device symmetry group, with pending serialized per (src, dst)
+// FIFO — two states equal up to a renaming of interchangeable devices (or
+// a reshuffle of unobservable cross-pair send order) then hash equal. The
+// renaming that won the minimization is recorded in curPerm so sleep sets
+// can be stored in the state's canonical coordinates.
 func (w *world) fingerprint() uint64 {
-	roots := make([]interface{}, 0, 3+len(w.devs))
-	roots = append(roots, w.llc, w.mem, w.pending)
-	for _, d := range w.devs {
-		roots = append(roots, d)
+	if !w.red.Canon {
+		roots := make([]interface{}, 0, 3+len(w.devs))
+		roots = append(roots, w.llc, w.mem, w.pending)
+		for _, d := range w.devs {
+			roots = append(roots, d)
+		}
+		return structuralHash(roots...)
 	}
-	return structuralHash(roots...)
+	best := uint64(0)
+	w.curPerm = 0
+	for pi := range w.perms {
+		h := w.hashWithPerm(w.perms[pi], w.invs[pi])
+		if pi == 0 || h < best {
+			best = h
+			w.curPerm = pi
+		}
+	}
+	return best
+}
+
+// canonMaps returns the renaming that canonicalized the last fingerprint()
+// call and its inverse, or (nil, nil) when state is already canonical (no
+// translation needed for action keys).
+func (w *world) canonMaps() (idmap, inv []int8) {
+	if !w.red.Canon || w.curPerm == 0 {
+		return nil, nil
+	}
+	return w.perms[w.curPerm], w.invs[w.curPerm]
+}
+
+// symPerms enumerates the device symmetry group of a scenario: all
+// renamings mapping each device to one of the same protocol with a
+// deep-equal script. Two such devices are fully interchangeable — they are
+// configured identically and their observable behaviour differs only by
+// their NodeID — so the system's dynamics commute with any renaming in
+// this group and orbit-minimizing the fingerprint merges states that
+// differ only by which twin did what. The identity is always perms[0].
+// The group's size is the product of the class sizes' factorials; scenario
+// authors keep classes small (≤4 twins ⇒ ≤24 renamings per hash).
+func symPerms(devs []DeviceScript) (perms, invs [][]int8) {
+	n := len(devs)
+	class := make([]int, n)
+	var reps []DeviceScript
+	for i, d := range devs {
+		class[i] = -1
+		for r, rep := range reps {
+			if rep.Proto == d.Proto && reflect.DeepEqual(rep.Ops, d.Ops) {
+				class[i] = r
+				break
+			}
+		}
+		if class[i] < 0 {
+			class[i] = len(reps)
+			reps = append(reps, d)
+		}
+	}
+	perm := make([]int8, n)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			p := append([]int8(nil), perm...)
+			inv := make([]int8, n)
+			for from, to := range p {
+				inv[to] = int8(from)
+			}
+			perms = append(perms, p)
+			invs = append(invs, inv)
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] && class[j] == class[i] {
+				used[j] = true
+				perm[i] = int8(j)
+				rec(i + 1)
+				used[j] = false
+			}
+		}
+	}
+	rec(0)
+	return perms, invs
 }
 
 // violation returns the first violation recorded in this state, if any.
