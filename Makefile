@@ -7,11 +7,12 @@ GO ?= go
 	bench-gate clean \
 	transgraph transgraph-check mcheck mcheck-smoke mcheck-baseline \
 	mutants crosscheck \
-	trace-smoke trace-overhead fuzz fuzz-mutants corpus \
+	trace-smoke trace-overhead metrics-smoke fuzz fuzz-mutants corpus \
 	flow flow-check flow-mutants indep indep-check
 
 ci: build vet fmt lint test race smoke check transgraph-check flow-check \
-	indep-check flow-mutants mcheck-smoke mutants trace-smoke fuzz fuzz-mutants
+	indep-check flow-mutants mcheck-smoke mutants trace-smoke metrics-smoke \
+	fuzz fuzz-mutants
 
 build:
 	$(GO) build ./...
@@ -137,6 +138,19 @@ trace-smoke:
 # the parent commit's wall time (instrumentation reduces to nil checks).
 trace-overhead:
 	./scripts/trace_overhead.sh
+
+# Metrics-engine smoke: run a cell with every metrics knob on, render the
+# summary and heatmap, export the JSONL dump, re-validate it, and check
+# two runs against each other with the summary differ (must report
+# bit-identical measurements).
+metrics-smoke:
+	$(GO) run ./cmd/spandex-metrics -workload indirection -config SDD
+	$(GO) run ./cmd/spandex-metrics -mode heatmap -workload indirection -config SDD
+	$(GO) run ./cmd/spandex-metrics -mode export -format jsonl -workload indirection -config SDD -o /tmp/spandex-metrics.jsonl
+	$(GO) run ./cmd/spandex-metrics -mode validate -in /tmp/spandex-metrics.jsonl
+	rm -f /tmp/spandex-summary.jsonl
+	$(GO) run ./cmd/spandex-trace -mode summarize -workload indirection -config SDD -summary-out /tmp/spandex-summary.jsonl
+	$(GO) run ./cmd/spandex-trace -mode summarize -workload indirection -config SDD -diff /tmp/spandex-summary.jsonl | grep -q "bit-identical"
 
 # Mutation detection: re-arm two seeded protocol bugs (drop invalidation
 # ack, skip RvkO forward) behind the spandexmut build tag and require the

@@ -1,0 +1,161 @@
+// Command spandex-metrics runs one (workload, config) cell with the
+// metrics engine enabled and renders the system-level telemetry the trace
+// tools don't show: per-link utilization timelines, LLC set conflicts and
+// queue occupancy, DRAM row traffic, and per-line sharing/contention
+// history with an address-space heatmap.
+//
+// Usage:
+//
+//	spandex-metrics -workload indirection -config SDD            # summary tables
+//	spandex-metrics -mode timeline                               # utilization sparklines
+//	spandex-metrics -mode lines -top 20                          # most contended lines
+//	spandex-metrics -mode heatmap                                # address-space heat (text)
+//	spandex-metrics -mode heatmap -format dot -o heat.dot        # Graphviz heatmap
+//	spandex-metrics -mode export -format jsonl -o metrics.jsonl  # machine-readable dump
+//	spandex-metrics -mode validate -in metrics.jsonl             # check an export
+//
+// Metrics collection is passive: the instrumented run's
+// Result.Fingerprint is bit-identical to an uninstrumented run's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"spandex"
+)
+
+func main() {
+	mode := flag.String("mode", "summary", "summary | timeline | lines | heatmap | export | validate")
+	workloadName := flag.String("workload", "indirection", "workload to run (see spandex-bench)")
+	configName := flag.String("config", "SDD", "cache configuration (Table V name)")
+	seed := flag.Uint64("seed", 42, "workload input seed")
+	fast := flag.Bool("fast", true, "use the shrunken FastParams system (full Table VI otherwise)")
+	out := flag.String("o", "", "output file (default stdout)")
+	in := flag.String("in", "", "input metrics file (validate mode)")
+	format := flag.String("format", "text", "heatmap: text|dot|csv; export: jsonl|csv")
+	top := flag.Int("top", 10, "lines mode: how many lines/sets/rows to show")
+	cols := flag.Int("cols", 64, "timeline/heatmap width in columns")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "spandex-metrics:", err)
+		os.Exit(1)
+	}
+
+	if *mode == "validate" {
+		if *in == "" {
+			die(fmt.Errorf("validate mode needs -in <metrics.jsonl>"))
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			die(err)
+		}
+		defer f.Close()
+		counts, err := spandex.ValidateMetricsJSONL(f)
+		if err != nil {
+			die(fmt.Errorf("%s: %w", *in, err))
+		}
+		kinds := make([]string, 0, len(counts))
+		total := 0
+		for k, n := range counts {
+			kinds = append(kinds, k)
+			total += n
+		}
+		sort.Strings(kinds)
+		fmt.Printf("%s: well-formed metrics export, %d records (", *in, total)
+		for i, k := range kinds {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("%s %d", k, counts[k])
+		}
+		fmt.Println(")")
+		return
+	}
+
+	w, err := spandex.WorkloadByName(*workloadName)
+	if err != nil {
+		die(err)
+	}
+	opt := spandex.Options{
+		ConfigName: *configName,
+		Seed:       *seed,
+		Metrics:    spandex.AllMetrics(),
+	}
+	if *fast {
+		p := spandex.FastParams()
+		opt.Params = &p
+	}
+	res, err := spandex.Run(w, opt)
+	if err != nil {
+		die(err)
+	}
+	rep := res.Metrics
+	if rep == nil {
+		die(fmt.Errorf("run produced no metrics report"))
+	}
+
+	var output io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				die(err)
+			}
+		}()
+		output = f
+	}
+
+	switch *mode {
+	case "summary":
+		fmt.Fprintf(output, "%s/%s seed %d  exec %.3f ms\n\n", *workloadName, *configName, *seed, res.ExecMillis())
+		rep.RenderSummary(output)
+
+	case "timeline":
+		fmt.Fprintf(output, "%s/%s utilization timelines (full run, %d cols)\n\n", *workloadName, *configName, *cols)
+		rep.RenderTimeline(output, *cols)
+
+	case "lines":
+		rep.RenderTopLines(output, *top)
+
+	case "heatmap":
+		switch *format {
+		case "text":
+			rep.RenderHeatmap(output, *cols)
+		case "dot":
+			if err := rep.WriteHeatmapDOT(output); err != nil {
+				die(err)
+			}
+		case "csv":
+			if err := rep.WriteHeatmapCSV(output); err != nil {
+				die(err)
+			}
+		default:
+			die(fmt.Errorf("unknown heatmap format %q (valid: text, dot, csv)", *format))
+		}
+
+	case "export":
+		switch *format {
+		case "jsonl", "text":
+			if err := rep.WriteJSONL(output); err != nil {
+				die(err)
+			}
+		case "csv":
+			if err := rep.WriteCSV(output); err != nil {
+				die(err)
+			}
+		default:
+			die(fmt.Errorf("unknown export format %q (valid: jsonl, csv)", *format))
+		}
+
+	default:
+		die(fmt.Errorf("unknown mode %q (valid: summary, timeline, lines, heatmap, export, validate)", *mode))
+	}
+}

@@ -7,6 +7,8 @@
 // Usage:
 //
 //	spandex-trace -workload indirection -config SDD             # summarize
+//	spandex-trace -summary-out base.jsonl                       # save a baseline summary
+//	spandex-trace -diff base.jsonl                              # compare against a baseline
 //	spandex-trace -mode export -o trace.json                    # Perfetto timeline
 //	spandex-trace -mode jsonl -o events.jsonl -addr 0x10000     # event stream
 //	spandex-trace -mode validate -in trace.json                 # check a trace file
@@ -38,6 +40,8 @@ func main() {
 	out := flag.String("o", "", "output file (jsonl/export modes; default stdout)")
 	in := flag.String("in", "", "input trace file (validate mode)")
 	addrFlag := flag.String("addr", "", "jsonl mode: keep only events touching this address's cache line (e.g. 0x10000)")
+	summaryOut := flag.String("summary-out", "", "summarize mode: append this run's measurement summary (JSONL) for later -diff")
+	diffPath := flag.String("diff", "", "summarize mode: diff this run against a summary JSONL written by -summary-out")
 	flag.Parse()
 
 	die := func(err error) {
@@ -94,6 +98,37 @@ func main() {
 			die(err)
 		}
 		fmt.Print(spandex.RenderLatency(res))
+		sum := spandex.Summarize(res, *seed)
+		if *diffPath != "" {
+			f, err := os.Open(*diffPath)
+			if err != nil {
+				die(err)
+			}
+			base, err := spandex.ReadSummaryJSONL(f)
+			f.Close()
+			if err != nil {
+				die(fmt.Errorf("%s: %w", *diffPath, err))
+			}
+			match, err := spandex.MatchSummary(base, *workloadName, *configName, *seed)
+			if err != nil {
+				die(fmt.Errorf("%s: %w", *diffPath, err))
+			}
+			fmt.Println()
+			fmt.Print(spandex.DiffSummaries(match, sum))
+		}
+		if *summaryOut != "" {
+			f, err := os.OpenFile(*summaryOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				die(err)
+			}
+			if err := spandex.WriteSummaryJSONL(f, sum); err != nil {
+				die(err)
+			}
+			if err := f.Close(); err != nil {
+				die(err)
+			}
+			fmt.Fprintf(os.Stderr, "spandex-trace: summary appended to %s\n", *summaryOut)
+		}
 
 	case "jsonl":
 		f := output()

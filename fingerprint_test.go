@@ -1,0 +1,69 @@
+package spandex
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFingerprintFieldPartition enforces the exclude-from-fingerprint
+// contract: every exported Result field must appear in exactly one of
+// fingerprintedResultFields / fingerprintExemptResultFields, and neither
+// map may name a field that no longer exists. Adding a Result field
+// without choosing a side fails here with instructions.
+func TestFingerprintFieldPartition(t *testing.T) {
+	rt := reflect.TypeOf(Result{})
+	seen := make(map[string]bool, rt.NumField())
+	for i := 0; i < rt.NumField(); i++ {
+		name := rt.Field(i).Name
+		seen[name] = true
+		_, fp := fingerprintedResultFields[name]
+		_, ex := fingerprintExemptResultFields[name]
+		switch {
+		case fp && ex:
+			t.Errorf("Result.%s is in both fingerprint partitions; pick one", name)
+		case !fp && !ex:
+			t.Errorf("Result.%s is in neither partition: add it to fingerprintedResultFields (and Fingerprint) or to fingerprintExemptResultFields with the reason it is excluded", name)
+		}
+	}
+	for name := range fingerprintedResultFields {
+		if !seen[name] {
+			t.Errorf("fingerprintedResultFields names %q, which is not a Result field", name)
+		}
+	}
+	for name := range fingerprintExemptResultFields {
+		if !seen[name] {
+			t.Errorf("fingerprintExemptResultFields names %q, which is not a Result field", name)
+		}
+	}
+}
+
+// TestFingerprintIgnoresExemptFields verifies the exemption holds at
+// runtime, not just in documentation: zeroing every exempt field of a
+// fully-instrumented run's Result leaves the fingerprint unchanged, and
+// the instrumented fingerprint matches a bare run's.
+func TestFingerprintIgnoresExemptFields(t *testing.T) {
+	traced, err := runObsCell(obsCell{"indirection", "SDD"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Latency == nil || traced.Metrics == nil {
+		t.Fatal("instrumented run missing latency/metrics reports")
+	}
+	stripped := traced
+	stripped.Events = 0
+	stripped.Violations = nil
+	stripped.ViolationsDropped = 0
+	stripped.Transitions = nil
+	stripped.Latency = nil
+	stripped.Metrics = nil
+	if stripped.Fingerprint() != traced.Fingerprint() {
+		t.Error("zeroing exempt fields changed the fingerprint — an exempt field leaked in")
+	}
+	bare, err := runObsCell(obsCell{"indirection", "SDD"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Fingerprint() != traced.Fingerprint() {
+		t.Error("bare and instrumented fingerprints differ")
+	}
+}

@@ -48,6 +48,9 @@ func NewArray[S any](sizeBytes, ways int) *Array[S] {
 // Sets returns the number of sets.
 func (a *Array[S]) Sets() int { return a.sets }
 
+// SetIndex returns the set a line maps to (telemetry and diagnostics).
+func (a *Array[S]) SetIndex(line memaddr.LineAddr) int { return a.setOf(line) }
+
 // Ways returns the associativity.
 func (a *Array[S]) Ways() int { return a.ways }
 

@@ -16,6 +16,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 
 	"spandex/internal/cache"
@@ -235,6 +236,43 @@ func (l *LLC) txnOcc() {
 		Node: l.ID, Res: "llc.txns", Arg: uint64(len(l.txns))})
 }
 
+// conflictEv/evictEv/revokeEv/ownerEv/sharerEv feed the metrics engine's
+// contention telemetry: set conflicts, evictions, revoked words, word-
+// ownership moves, and sharer-set churn. Same nil-guard convention.
+func (l *LLC) conflictEv(line memaddr.LineAddr) {
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvLLCConflict,
+		Node: l.ID, Addr: memaddr.Addr(line), Arg: uint64(l.array.SetIndex(line))})
+}
+
+func (l *LLC) evictEv(line memaddr.LineAddr) {
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvLLCEvict,
+		Node: l.ID, Addr: memaddr.Addr(line), Arg: uint64(l.array.SetIndex(line))})
+}
+
+func (l *LLC) revokeEv(line memaddr.LineAddr, words memaddr.WordMask) {
+	if words == 0 {
+		return
+	}
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvLLCRevoke,
+		Node: l.ID, Addr: memaddr.Addr(line), Arg: uint64(words.Count())})
+}
+
+func (l *LLC) ownerEv(line memaddr.LineAddr, words memaddr.WordMask) {
+	if words == 0 {
+		return
+	}
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvLineOwner,
+		Node: l.ID, Addr: memaddr.Addr(line), Arg: uint64(words.Count())})
+}
+
+func (l *LLC) sharerEv(line memaddr.LineAddr, flipped int) {
+	if flipped == 0 {
+		return
+	}
+	l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvLineSharer,
+		Node: l.ID, Addr: memaddr.Addr(line), Arg: uint64(flipped)})
+}
+
 // StuckReport describes every in-flight blocking transaction, one line
 // each: kind, line address, outstanding acks, unrevoked words, and the
 // queued request types. When a run aborts at MaxTime this is the state
@@ -292,6 +330,10 @@ func (l *LLC) dev(id proto.NodeID) int {
 // access latency and then processed atomically in arrival order.
 func (l *LLC) HandleMessage(m *proto.Message) {
 	l.dispq.Post(m)
+	if l.obs != nil {
+		l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvOccupancy,
+			Node: l.ID, Res: "llc.reqq", Arg: uint64(l.dispq.Depth())})
+	}
 }
 
 // dispatch routes a message, queuing requests that hit a blocked line.
@@ -477,6 +519,8 @@ func (l *LLC) forward(e *cache.Entry[llcLine], m *proto.Message, typ proto.MsgTy
 				l.obs.Emit(obs.Event{At: l.eng.Now(), Kind: obs.EvLLCForward,
 					Node: l.ID, Trace: m.Trace, Msg: &cp})
 			}
+		} else if l.obs != nil {
+			l.revokeEv(m.Line, ow.words)
 		}
 		l.sendV(fwd)
 		l.st.Inc("llc.forwards", 1)
@@ -542,6 +586,7 @@ func (l *LLC) handleReqS(e *cache.Entry[llcLine], m *proto.Message) {
 		return
 	}
 	l.st.Inc("llc.reqs.opt1", 1)
+	oldSharers := st.sharers
 	st.shared = true
 	st.sharers |= 1 << l.dev(m.Requestor)
 
@@ -550,6 +595,9 @@ func (l *LLC) handleReqS(e *cache.Entry[llcLine], m *proto.Message) {
 
 	ownedReq := m.Mask & st.ownedMask
 	if ownedReq == 0 {
+		if l.obs != nil {
+			l.sharerEv(m.Line, bits.OnesCount64(st.sharers&^oldSharers))
+		}
 		return
 	}
 	// Owned words block the line until ownership clears (Table III:
@@ -570,6 +618,9 @@ func (l *LLC) handleReqS(e *cache.Entry[llcLine], m *proto.Message) {
 	var owb ownerBuf
 	for _, ow := range ownersOf(st, mesiOwned, &owb) {
 		st.sharers |= 1 << ow.owner
+	}
+	if l.obs != nil {
+		l.sharerEv(m.Line, bits.OnesCount64(st.sharers&^oldSharers))
 	}
 	l.forward(e, m, proto.ReqS, mesiOwned)
 	rvkFwd := otherOwned
@@ -610,6 +661,9 @@ func (l *LLC) invalidateSharers(e *cache.Entry[llcLine], m *proto.Message) {
 	}
 	// The requestor's own copy (if it was a sharer) upgrades in place;
 	// the sharer set clears and the write re-processes once acks arrive.
+	if l.obs != nil {
+		l.sharerEv(m.Line, bits.OnesCount64(st.sharers))
+	}
 	st.sharers = 0
 	st.shared = false
 	if t.pendingAcks == 0 {
@@ -654,6 +708,9 @@ func (l *LLC) handleReqWT(e *cache.Entry[llcLine], m *proto.Message) {
 		st.dirty |= owned
 		st.ownedMask &^= owned
 		owned.ForEach(func(i int) { st.owner[i] = noOwner })
+		if l.obs != nil {
+			l.ownerEv(m.Line, owned)
+		}
 	}
 }
 
@@ -682,6 +739,9 @@ func (l *LLC) handleReqO(e *cache.Entry[llcLine], m *proto.Message) {
 	l.forward(e, m, proto.ReqO, transfer)
 	m.Mask.ForEach(func(i int) { st.owner[i] = reqIdx })
 	st.ownedMask |= m.Mask
+	if l.obs != nil {
+		l.ownerEv(m.Line, transfer|plain)
+	}
 	// Owned words' LLC copy is stale by definition; mark dirty so eviction
 	// write-back fetches from the owner first.
 	l.respond(m, proto.RspO, plain|self, false, e)
@@ -769,6 +829,9 @@ func (l *LLC) handleReqOData(e *cache.Entry[llcLine], m *proto.Message) {
 	l.forward(e, m, proto.ReqOData, transfer)
 	m.Mask.ForEach(func(i int) { st.owner[i] = reqIdx })
 	st.ownedMask |= m.Mask
+	if l.obs != nil {
+		l.ownerEv(m.Line, transfer|plain)
+	}
 	if plain|self != 0 {
 		l.respond(m, proto.RspOData, plain|self, true, e)
 	}
@@ -801,6 +864,9 @@ func (l *LLC) handleReqWB(m *proto.Message) {
 			st.dirty |= applied
 			st.ownedMask &^= applied
 			applied.ForEach(func(i int) { st.owner[i] = noOwner })
+			if l.obs != nil {
+				l.ownerEv(m.Line, applied)
+			}
 		} else {
 			l.st.Inc("llc.wb.nonowner", 1)
 		}
@@ -863,6 +929,9 @@ func (l *LLC) handleRspRvkO(m *proto.Message) {
 		st.dirty |= applied
 		st.ownedMask &^= applied
 		applied.ForEach(func(i int) { st.owner[i] = noOwner })
+		if l.obs != nil {
+			l.ownerEv(m.Line, applied)
+		}
 	}
 	l.maybeCompleteRvk(m.Line)
 	l.afterTransition(m.Line)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"spandex/internal/cache"
 	"spandex/internal/memaddr"
 	"spandex/internal/proto"
@@ -37,6 +39,9 @@ func (l *LLC) startFetch(m *proto.Message) {
 		// timing — a blocked fetch is re-attempted exactly when something
 		// that could unblock it happened.
 		l.allocWait = append(l.allocWait, line)
+		if l.obs != nil {
+			l.conflictEv(line)
+		}
 		return
 	}
 	if !victim.Valid {
@@ -98,6 +103,9 @@ func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
 	st := &victim.State
 	line := victim.Line
 	l.st.Inc("llc.evict", 1)
+	if l.obs != nil {
+		l.evictEv(line)
+	}
 
 	finish := func() {
 		e := l.array.Peek(line)
@@ -123,6 +131,9 @@ func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
 		t.rvkID = l.rvkSeq
 		var owb ownerBuf
 		for _, ow := range ownersOf(st, st.ownedMask, &owb) {
+			if l.obs != nil {
+				l.revokeEv(line, ow.words)
+			}
 			l.sendV(proto.Message{
 				Type: proto.RvkO, Dst: l.devices[ow.owner], Requestor: l.ID,
 				ReqID: t.rvkID, Line: line, Mask: ow.words,
@@ -142,6 +153,9 @@ func (l *LLC) evict(victim *cache.Entry[llcLine], resume func()) {
 				Type: proto.Inv, Dst: l.devices[i], Requestor: l.devices[i],
 				Line: line, Mask: memaddr.FullMask,
 			})
+		}
+		if l.obs != nil {
+			l.sharerEv(line, bits.OnesCount64(st.sharers))
 		}
 		st.shared = false
 		st.sharers = 0

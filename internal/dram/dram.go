@@ -8,6 +8,7 @@ import (
 	"spandex/internal/detsort"
 	"spandex/internal/memaddr"
 	"spandex/internal/noc"
+	"spandex/internal/obs"
 	"spandex/internal/proto"
 	"spandex/internal/sim"
 	"spandex/internal/stats"
@@ -21,6 +22,7 @@ type Memory struct {
 	net     *noc.Network
 	latency sim.Time
 	lines   map[memaddr.LineAddr]memaddr.LineData
+	obs     *obs.Recorder
 	pool    sim.Pool[readRsp]
 }
 
@@ -58,6 +60,11 @@ func New(id proto.NodeID, eng *sim.Engine, net *noc.Network, latency sim.Time) *
 	return m
 }
 
+// SetObserver installs the observability recorder; nil disables
+// instrumentation. HandleMessage emits EvDRAMAccess per access with the
+// data bytes moved in Arg.
+func (m *Memory) SetObserver(r *obs.Recorder) { m.obs = r }
+
 // HandleMessage implements noc.Handler.
 func (m *Memory) HandleMessage(msg *proto.Message) {
 	switch msg.Type {
@@ -66,11 +73,21 @@ func (m *Memory) HandleMessage(msg *proto.Message) {
 		r.mem = m
 		r.line, r.req, r.id = msg.Line, msg.Requestor, msg.ReqID
 		r.src, r.tr = msg.Src, msg.Trace
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{At: m.eng.Now(), Kind: obs.EvDRAMAccess,
+				Node: m.ID, Res: "rd", Addr: memaddr.Addr(msg.Line),
+				Arg: memaddr.LineBytes})
+		}
 		m.eng.ScheduleEvent(m.latency, r)
 	case proto.MemWrite:
 		cur := m.lines[msg.Line]
 		cur.Merge(&msg.Data, msg.Mask)
 		m.lines[msg.Line] = cur
+		if m.obs != nil {
+			m.obs.Emit(obs.Event{At: m.eng.Now(), Kind: obs.EvDRAMAccess,
+				Node: m.ID, Res: "wr", Addr: memaddr.Addr(msg.Line),
+				Arg: uint64(msg.Mask.Bytes())})
+		}
 	default:
 		panic("dram: unexpected message " + msg.Type.String())
 	}

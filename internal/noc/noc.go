@@ -102,10 +102,11 @@ func (d *deliverEvent) Fire() {
 // return — it is recycled immediately after — so handlers clone at
 // retention points (transaction origins, blocked-line queues).
 type DelayQueue struct {
-	eng  *sim.Engine
-	d    sim.Time
-	fn   func(*proto.Message)
-	pool sim.Pool[delayedMsg]
+	eng   *sim.Engine
+	d     sim.Time
+	fn    func(*proto.Message)
+	depth int
+	pool  sim.Pool[delayedMsg]
 }
 
 type delayedMsg struct {
@@ -115,6 +116,7 @@ type delayedMsg struct {
 
 func (e *delayedMsg) Fire() {
 	q := e.q
+	q.depth--
 	q.fn(&e.msg)
 	q.pool.Put(e)
 }
@@ -131,8 +133,13 @@ func (q *DelayQueue) Post(m *proto.Message) {
 	e := q.pool.Get()
 	e.q = q
 	e.msg = *m
+	q.depth++
 	q.eng.ScheduleEvent(q.d, e)
 }
+
+// Depth returns the number of messages posted but not yet dispatched —
+// the queue's instantaneous occupancy.
+func (q *DelayQueue) Depth() int { return q.depth }
 
 // New creates a network with n endpoints laid out row-major on the mesh.
 func New(eng *sim.Engine, st *stats.Stats, cfg Config, n int) *Network {
@@ -268,6 +275,16 @@ func (n *Network) Send(m *proto.Message) {
 	if n.obs != nil {
 		n.obs.Emit(obs.Event{At: now, Kind: obs.EvMsgSend, Node: m.Src,
 			Trace: m.Trace, Msg: &d.msg, Arg: uint64(deliver)})
+		// Link telemetry: queuing delay absorbed at a busy egress or
+		// ingress link (zero-backlog sends stay silent).
+		if start > now {
+			n.obs.Emit(obs.Event{At: now, Kind: obs.EvLinkBacklog,
+				Node: m.Src, Res: "egress", Arg: uint64(start - now)})
+		}
+		if deliver > arrive {
+			n.obs.Emit(obs.Event{At: now, Kind: obs.EvLinkBacklog,
+				Node: m.Dst, Res: "ingress", Arg: uint64(deliver - arrive)})
+		}
 	}
 	n.eng.ScheduleEventAt(deliver, d)
 }

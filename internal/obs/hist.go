@@ -16,13 +16,32 @@ type Hist struct {
 	Max     uint64
 }
 
-// Add records one latency observation.
+// Add records one latency observation. Values at or above 2^63 saturate
+// into the last bucket (whose quantile bound is capped by Max anyway).
 func (h *Hist) Add(v uint64) {
-	h.Buckets[bits.Len64(v)]++
+	b := bits.Len64(v)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.Buckets[b]++
 	h.Count++
 	h.Sum += v
 	if v > h.Max {
 		h.Max = v
+	}
+}
+
+// Merge folds another histogram into h: buckets, counts and sums add,
+// the maxima take the larger value. Merging preserves every quantile
+// bound the union of observations would produce.
+func (h *Hist) Merge(o *Hist) {
+	for b := range h.Buckets {
+		h.Buckets[b] += o.Buckets[b]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
 	}
 }
 
@@ -44,6 +63,11 @@ func (h *Hist) Quantile(q float64) uint64 {
 	for b := 0; b < histBuckets; b++ {
 		cum += h.Buckets[b]
 		if cum >= rank {
+			if b == histBuckets-1 {
+				// The last bucket saturates (it also holds values past
+				// 2^63); its only honest bound is the exact maximum.
+				return h.Max
+			}
 			hi := bucketUpper(b)
 			if hi > h.Max {
 				hi = h.Max

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistEmptyQuantiles(t *testing.T) {
+	var h Hist
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty hist Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	if h.Mean() != 0 {
+		t.Errorf("empty hist Mean = %v, want 0", h.Mean())
+	}
+}
+
+func TestHistSingleSample(t *testing.T) {
+	var h Hist
+	h.Add(1000)
+	// With one observation every quantile is that observation; the
+	// log-bucket bound is conservative but the exact Max caps it.
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 1000 {
+			t.Errorf("Quantile(%v) = %d, want 1000 (bucket bound capped by Max)", q, got)
+		}
+	}
+	if h.Mean() != 1000 {
+		t.Errorf("Mean = %v, want 1000", h.Mean())
+	}
+	if h.Count != 1 || h.Sum != 1000 || h.Max != 1000 {
+		t.Errorf("counters: count=%d sum=%d max=%d", h.Count, h.Sum, h.Max)
+	}
+}
+
+func TestHistZeroLatency(t *testing.T) {
+	var h Hist
+	h.Add(0)
+	h.Add(0)
+	if h.Buckets[0] != 2 {
+		t.Errorf("zero-latency samples not in bucket 0: %d", h.Buckets[0])
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile(0.5) = %d, want 0", got)
+	}
+}
+
+func TestHistMaxBucketSaturation(t *testing.T) {
+	var h Hist
+	// Values at and above 2^63 must saturate into the last bucket, not
+	// index out of range.
+	h.Add(math.MaxUint64)
+	h.Add(1 << 63)
+	if h.Buckets[histBuckets-1] != 2 {
+		t.Fatalf("huge values not saturated into last bucket: %d", h.Buckets[histBuckets-1])
+	}
+	if got := h.Quantile(1.0); got != math.MaxUint64 {
+		t.Errorf("Quantile(1.0) = %d, want MaxUint64 (exact max caps bound)", got)
+	}
+	if h.Max != math.MaxUint64 {
+		t.Errorf("Max = %d", h.Max)
+	}
+}
+
+func TestHistMergeDisjointRanges(t *testing.T) {
+	// a holds small latencies, b holds large ones — disjoint bucket
+	// ranges, so the merge must interleave correctly.
+	var a, b Hist
+	for i := 0; i < 90; i++ {
+		a.Add(10) // bucket 4
+	}
+	for i := 0; i < 10; i++ {
+		b.Add(1 << 20) // bucket 21
+	}
+	merged := a
+	merged.Merge(&b)
+
+	if merged.Count != 100 {
+		t.Fatalf("merged count = %d, want 100", merged.Count)
+	}
+	if want := uint64(90*10 + 10*(1<<20)); merged.Sum != want {
+		t.Errorf("merged sum = %d, want %d", merged.Sum, want)
+	}
+	if merged.Max != 1<<20 {
+		t.Errorf("merged max = %d, want %d", merged.Max, uint64(1<<20))
+	}
+	// p50 falls in a's bucket, p99 in b's.
+	if got := merged.Quantile(0.50); got != bucketUpper(4) {
+		t.Errorf("merged p50 = %d, want %d", got, bucketUpper(4))
+	}
+	if got := merged.Quantile(0.99); got != 1<<20 {
+		t.Errorf("merged p99 = %d, want %d (b's bucket, capped by max)", got, uint64(1<<20))
+	}
+
+	// Merge must equal adding every observation into one histogram.
+	var all Hist
+	for i := 0; i < 90; i++ {
+		all.Add(10)
+	}
+	for i := 0; i < 10; i++ {
+		all.Add(1 << 20)
+	}
+	if all != merged {
+		t.Error("merge differs from direct accumulation")
+	}
+}
+
+func TestHistMergeWithEmpty(t *testing.T) {
+	var a, empty Hist
+	a.Add(5)
+	a.Add(7)
+	want := a
+	a.Merge(&empty)
+	if a != want {
+		t.Error("merging an empty histogram changed the receiver")
+	}
+	empty.Merge(&a)
+	if empty != want {
+		t.Error("merging into an empty histogram lost observations")
+	}
+}

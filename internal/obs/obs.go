@@ -122,6 +122,28 @@ const (
 	// EvOccupancy: a resource's occupancy changed; Res names the
 	// resource, Arg is the new occupancy.
 	EvOccupancy
+	// EvLinkBacklog: a message queued behind a busy NoC link at send
+	// time; Node is the endpoint, Res is "egress" or "ingress", Arg is
+	// the queuing delay in ticks the message will absorb there.
+	EvLinkBacklog
+	// EvLLCConflict: a line fetch parked because every frame in its
+	// target set is mid-transaction; Addr is the line, Arg the set index.
+	EvLLCConflict
+	// EvLLCEvict: the LLC evicted a valid victim line; Addr is the
+	// victim, Arg the set index.
+	EvLLCEvict
+	// EvLLCRevoke: the LLC sent an ownership-revocation probe (RvkO);
+	// Addr is the line, Arg the number of words revoked.
+	EvLLCRevoke
+	// EvLineOwner: word ownership of a line moved between devices (or
+	// returned to the LLC); Addr is the line, Arg the word count.
+	EvLineOwner
+	// EvLineSharer: a line's sharer set changed; Addr is the line, Arg
+	// the number of sharer bits that flipped.
+	EvLineSharer
+	// EvDRAMAccess: DRAM served an access; Node is the memory endpoint,
+	// Res is "rd" or "wr", Addr the line, Arg the data bytes moved.
+	EvDRAMAccess
 
 	numEventKinds
 )
@@ -129,6 +151,8 @@ const (
 var eventNames = [numEventKinds]string{
 	"OpIssue", "OpDone", "MsgSend", "MsgDeliver",
 	"LLCBlock", "LLCUnblock", "LLCForward", "Occupancy",
+	"LinkBacklog", "LLCConflict", "LLCEvict", "LLCRevoke",
+	"LineOwner", "LineSharer", "DRAMAccess",
 }
 
 func (k EventKind) String() string {

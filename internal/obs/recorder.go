@@ -18,6 +18,9 @@ type Config struct {
 	Occupancy bool
 	// Sink receives every event (may be nil).
 	Sink Sink
+	// Metrics, when non-nil, receives every event into the system-level
+	// metrics registry (time series, contention tallies, line history).
+	Metrics *Metrics
 
 	// LLCNodes are the node ids whose delivery means "LLC service":
 	// the Spandex LLC, or the GPU L2 and the L3 directory in the
@@ -108,8 +111,14 @@ func New(cfg Config) *Recorder {
 	for _, id := range cfg.LLCNodes {
 		r.llc[id] = true
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.bind(r.llc, cfg.MemID)
+	}
 	return r
 }
+
+// Metrics returns the attached metrics registry (nil if none).
+func (r *Recorder) Metrics() *Metrics { return r.cfg.Metrics }
 
 // SetSink installs (or replaces) the recorder's event sink.
 func (r *Recorder) SetSink(s Sink) { r.cfg.Sink = s }
@@ -131,6 +140,9 @@ func (r *Recorder) NextTrace() uint64 {
 func (r *Recorder) Emit(ev Event) {
 	if r.cfg.Sink != nil {
 		r.cfg.Sink.Event(ev)
+	}
+	if r.cfg.Metrics != nil {
+		r.cfg.Metrics.observe(ev)
 	}
 	if ev.Kind == EvOccupancy {
 		if r.cfg.Occupancy {

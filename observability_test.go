@@ -31,9 +31,10 @@ func obsMatrix() []obsCell {
 	return cells
 }
 
-// runObsCell runs one cell. When traced, every Trace* knob is on — the
-// latency phase machine, occupancy sampling, and a JSONL sink streaming to
-// io.Discard so the full event-serialization path executes.
+// runObsCell runs one cell. When traced, every observability knob is on —
+// the latency phase machine, occupancy sampling, a JSONL sink streaming to
+// io.Discard so the full event-serialization path executes, and every
+// metrics collector.
 func runObsCell(cl obsCell, traced bool) (Result, error) {
 	w, err := WorkloadByName(cl.workload)
 	if err != nil {
@@ -45,6 +46,7 @@ func runObsCell(cl obsCell, traced bool) (Result, error) {
 		opt.TraceLatency = true
 		opt.TraceOccupancy = true
 		opt.TraceSink = NewJSONLTraceSink(io.Discard)
+		opt.Metrics = AllMetrics()
 	}
 	return Run(w, opt)
 }
@@ -96,6 +98,14 @@ func TestObserverNeutrality(t *testing.T) {
 		}
 		if bare[i].Latency != nil {
 			t.Errorf("%s/%s: bare run unexpectedly produced a latency report", cl.workload, cl.config)
+		}
+		if traced[i].Metrics == nil {
+			t.Errorf("%s/%s: traced run has no metrics report", cl.workload, cl.config)
+		} else if len(traced[i].Metrics.Links) == 0 {
+			t.Errorf("%s/%s: metrics report saw no link traffic", cl.workload, cl.config)
+		}
+		if bare[i].Metrics != nil {
+			t.Errorf("%s/%s: bare run unexpectedly produced a metrics report", cl.workload, cl.config)
 		}
 	}
 	// Serial spot-check: parallel execution of the traced runs above must
@@ -317,3 +327,28 @@ func benchTracing(b *testing.B, traced bool) {
 
 func BenchmarkRunTracingDisabled(b *testing.B) { benchTracing(b, false) }
 func BenchmarkRunTracingEnabled(b *testing.B)  { benchTracing(b, true) }
+
+// benchMetrics times the same cell with only the metrics engine toggled
+// (no latency machine, no sink), isolating its cost: the disabled case is
+// the near-zero-overhead guarantee (nil-check sites only), the enabled
+// case is what a metrics run opts into.
+func benchMetrics(b *testing.B, on bool) {
+	w, err := WorkloadByName("indirection")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := FastParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt := Options{ConfigName: "SDD", Params: &p, Seed: 7}
+		if on {
+			opt.Metrics = AllMetrics()
+		}
+		if _, err := Run(w, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunMetricsDisabled(b *testing.B) { benchMetrics(b, false) }
+func BenchmarkRunMetricsEnabled(b *testing.B)  { benchMetrics(b, true) }

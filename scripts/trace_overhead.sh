@@ -4,11 +4,13 @@
 # Two measurements land in the job log:
 #
 #  1. The in-tree BenchmarkRunTracingDisabled / BenchmarkRunTracingEnabled
-#     pair: what enabling every Trace* knob costs one headline cell.
+#     pair (what enabling every Trace* knob costs one headline cell) and
+#     the BenchmarkRunMetricsDisabled / BenchmarkRunMetricsEnabled pair
+#     (what the metrics engine costs when on).
 #  2. The headline sweep's wall time at HEAD versus the parent commit,
-#     both with tracing disabled (the default every user gets). This is
-#     the number the < 2% disabled-overhead target applies to: the
-#     instrumented sites must reduce to nil checks.
+#     both with tracing and metrics disabled (the default every user
+#     gets). This is the number the < 2% disabled-overhead target applies
+#     to: the instrumented sites must reduce to nil checks.
 #
 # The guard never fails the build — shared-runner noise makes a hard 2%
 # gate flaky — it reports for humans (and trend tooling) to watch.
@@ -32,6 +34,10 @@ run_ms() { # run_ms <bench-binary> -> best-of-3 wall ms for the headline sweep
 
 echo "== tracing disabled vs enabled (one cell, in-tree benchmarks) =="
 go test -run '^$' -bench BenchmarkRunTracing -benchtime 3x . || true
+echo
+
+echo "== metrics disabled vs enabled (one cell, in-tree benchmarks) =="
+go test -run '^$' -bench BenchmarkRunMetrics -benchtime 3x . || true
 echo
 
 if ! go build -o "$work/bench-head" ./cmd/spandex-bench; then

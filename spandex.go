@@ -131,6 +131,15 @@ type Options struct {
 	// simulation runs (see NewJSONLTraceSink and NewChromeTraceSink for
 	// ready-made exporters). Independent of TraceLatency/TraceOccupancy.
 	TraceSink TraceEventSink
+	// Metrics, when non-nil, enables the system-level metrics engine:
+	// deterministic cycle-bucketed time series (NoC utilization and
+	// queuing, LLC occupancy and contention, DRAM bandwidth and row
+	// counts) plus the per-line sharing history behind the heatmaps, all
+	// aggregated into Result.Metrics. Use AllMetrics() to enable every
+	// collector with default sizing. Like tracing, metrics observe and
+	// never perturb: Result.Fingerprint is bit-identical with any
+	// combination of collectors on or off (test-enforced).
+	Metrics *MetricsOptions
 }
 
 // Result reports one run's measurements.
@@ -174,6 +183,11 @@ type Result struct {
 	// fingerprint hashes simulated behaviour, and tracing must not change
 	// it.
 	Latency *LatencyReport
+	// Metrics is the system-level metrics report (Options.Metrics): time
+	// series, contention telemetry and the per-line sharing history. Like
+	// Latency it is excluded from Fingerprint — metrics observe simulated
+	// behaviour, they are not part of it.
+	Metrics *MetricsReport
 }
 
 // Violation is one failed coherence invariant with reproduction context.
@@ -255,11 +269,16 @@ func NewSystem(opt Options) (*System, error) {
 	case config.LLCHierarchicalMESI:
 		s.buildHierarchical(opt)
 	}
-	if opt.TraceLatency || opt.TraceOccupancy || opt.TraceSink != nil {
+	if opt.TraceLatency || opt.TraceOccupancy || opt.TraceSink != nil || opt.Metrics != nil {
+		var m *obs.Metrics
+		if opt.Metrics != nil {
+			m = obs.NewMetrics(*opt.Metrics)
+		}
 		s.installObserver(obs.Config{
 			Latency:   opt.TraceLatency,
 			Occupancy: opt.TraceOccupancy,
 			Sink:      opt.TraceSink,
+			Metrics:   m,
 		})
 	}
 	return s, nil
@@ -288,7 +307,11 @@ func (s *System) installObserver(cfg obs.Config) {
 	if cfg.Sink != nil {
 		s.nameNodes(cfg.Sink)
 	}
+	if cfg.Metrics != nil {
+		s.nameNodes(cfg.Metrics)
+	}
 	s.Net.SetObserver(s.obs)
+	s.Mem.SetObserver(s.obs)
 	if s.LLC != nil {
 		s.LLC.SetObserver(s.obs)
 	}
@@ -568,6 +591,9 @@ func (s *System) Run(maxTime sim.Time) (Result, error) {
 	}
 	if s.obs != nil {
 		res.Latency = s.obs.Report()
+		if m := s.obs.Metrics(); m != nil {
+			res.Metrics = m.Report()
+		}
 	}
 	if s.Checker != nil && len(s.Checker.Violations) > 0 {
 		res.Violations = append([]Violation(nil), s.Checker.Violations...)

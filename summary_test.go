@@ -1,0 +1,150 @@
+package spandex
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"spandex/internal/stats"
+)
+
+func sampleSummary() RunSummary {
+	s := RunSummary{
+		Workload: "indirection", Config: "SDD", Seed: 42,
+		Ops: 100, MemHash: 0xabc, Fingerprint: 0xdef,
+		Snapshot: stats.Snapshot{
+			ExecTime: 5000,
+			Counters: map[string]uint64{"llc.hit": 10, "llc.blocked": 3},
+		},
+	}
+	s.Snapshot.Traffic.Bytes[0] = 640
+	s.Snapshot.Traffic.Messages[0] = 10
+	return s
+}
+
+func TestSummaryJSONLRoundTrip(t *testing.T) {
+	a := sampleSummary()
+	b := sampleSummary()
+	b.Config = "GPU-coh"
+	b.Snapshot.Counters["llc.hit"] = 20
+
+	var buf bytes.Buffer
+	if err := WriteSummaryJSONL(&buf, a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSummaryJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d summaries, want 2", len(got))
+	}
+	if got[0].Workload != "indirection" || got[0].Snapshot.Counters["llc.hit"] != 10 ||
+		got[0].Snapshot.Traffic.Bytes[0] != 640 || got[0].Fingerprint != 0xdef {
+		t.Errorf("round-trip lost fields: %+v", got[0])
+	}
+	if got[1].Config != "GPU-coh" || got[1].Snapshot.Counters["llc.hit"] != 20 {
+		t.Errorf("second summary wrong: %+v", got[1])
+	}
+}
+
+func TestMatchSummary(t *testing.T) {
+	a := sampleSummary()
+	b := sampleSummary()
+	b.Config = "GPU-coh"
+	sums := []RunSummary{a, b}
+
+	got, err := MatchSummary(sums, "indirection", "GPU-coh", 42)
+	if err != nil || got.Config != "GPU-coh" {
+		t.Errorf("exact match: %+v, %v", got, err)
+	}
+	// Seed mismatch falls back to (workload, config).
+	got, err = MatchSummary(sums, "indirection", "SDD", 7)
+	if err != nil || got.Config != "SDD" {
+		t.Errorf("config match: %+v, %v", got, err)
+	}
+	// No match across several entries is an error naming what exists.
+	if _, err = MatchSummary(sums, "stencil", "MESI", 1); err == nil ||
+		!strings.Contains(err.Error(), "indirection/SDD") {
+		t.Errorf("mismatch error = %v", err)
+	}
+	// A single-entry file matches anything (the common baseline case).
+	if got, err = MatchSummary(sums[:1], "stencil", "MESI", 1); err != nil || got.Config != "SDD" {
+		t.Errorf("single-entry fallback: %+v, %v", got, err)
+	}
+}
+
+func TestDiffSummariesIdentical(t *testing.T) {
+	a := sampleSummary()
+	out := DiffSummaries(a, a)
+	if !strings.Contains(out, "bit-identical") {
+		t.Errorf("identical summaries should collapse:\n%s", out)
+	}
+}
+
+func TestDiffSummariesNamesCounters(t *testing.T) {
+	a := sampleSummary()
+	b := sampleSummary()
+	b.Snapshot.ExecTime = 6000
+	b.Snapshot.Counters["llc.hit"] = 25
+	b.Snapshot.Counters["tu.nack"] = 4 // present only in b
+	delete(b.Snapshot.Counters, "llc.blocked")
+	b.Snapshot.Traffic.Bytes[0] = 1000
+	b.Ops = 120
+
+	out := DiffSummaries(a, b)
+	for _, frag := range []string{
+		"first divergence: exec time differs: 5000 vs 6000",
+		"llc.hit", "+15",
+		"tu.nack", "+4",
+		"llc.blocked", "-3",
+		"ops", "+20",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("diff missing %q:\n%s", frag, out)
+		}
+	}
+	// Unchanged measurements must not appear as rows.
+	if strings.Contains(out, "memHash") {
+		t.Errorf("unchanged memHash rendered:\n%s", out)
+	}
+}
+
+// TestDiffSummariesViaSnapshotDiff pins the construction: both operands
+// diffed against their elementwise floor must reproduce the absolute
+// values (floor + delta), including counters monotone in neither
+// direction between the two runs.
+func TestDiffSummariesViaSnapshotDiff(t *testing.T) {
+	a := sampleSummary()
+	b := sampleSummary()
+	a.Snapshot.Counters["x"] = 9
+	b.Snapshot.Counters["x"] = 2 // b below a: would underflow a naive b.Diff(a)
+	out := DiffSummaries(a, b)
+	if !strings.Contains(out, "x") || !strings.Contains(out, "-7") {
+		t.Errorf("non-monotone counter mishandled:\n%s", out)
+	}
+}
+
+func TestSummarizeFromRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cell run")
+	}
+	res, err := runObsCell(obsCell{"indirection", "SDD"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(res, 42)
+	if sum.Workload != "indirection" || sum.Config != "SDD" || sum.Seed != 42 {
+		t.Errorf("identity: %+v", sum)
+	}
+	if sum.Fingerprint != res.Fingerprint() {
+		t.Error("summary fingerprint differs from result")
+	}
+	if sum.Snapshot.ExecTime != res.ExecTime || len(sum.Snapshot.Counters) == 0 {
+		t.Error("snapshot not captured")
+	}
+	if DiffSummaries(sum, Summarize(res, 42)) == "" ||
+		!strings.Contains(DiffSummaries(sum, Summarize(res, 42)), "bit-identical") {
+		t.Error("self-diff should be bit-identical")
+	}
+}

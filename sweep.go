@@ -142,11 +142,41 @@ func Aggregate(cells []Cell) stats.Snapshot {
 	return agg
 }
 
+// fingerprintedResultFields and fingerprintExemptResultFields partition
+// every Result field: a field is either folded into Fingerprint (value =
+// what it contributes) or deliberately excluded (value = why). The split
+// is the single source of truth for what "bit-identical runs" means —
+// TestFingerprintFieldPartition walks Result by reflection and fails when
+// a new field is added without choosing a side, so an observability
+// field can never silently leak into the fingerprint (or a measurement
+// silently escape it).
+var fingerprintedResultFields = map[string]string{
+	"Config":   "run identity: the Table V configuration name",
+	"Workload": "run identity: the workload name",
+	"ExecTime": "simulated behaviour: completion time",
+	"Traffic":  "simulated behaviour: per-class interconnect traffic",
+	"Counters": "simulated behaviour: protocol event counts",
+	"Ops":      "simulated behaviour: device operations executed",
+	"MemHash":  "simulated behaviour: final DRAM image",
+}
+
+var fingerprintExemptResultFields = map[string]string{
+	"Events":            "engine throughput denominator; pooling/event-structure changes alter it while the machine stays bit-identical",
+	"Violations":        "checker diagnostics, populated only when invariants already failed",
+	"ViolationsDropped": "checker diagnostics overflow count",
+	"Transitions":       "coverage recorder output; a diagnostic view of behaviour already hashed via Counters",
+	"Latency":           "observability: latency attribution observes the run, it is not part of it",
+	"Metrics":           "observability: the metrics registry observes the run, it is not part of it",
+}
+
 // Fingerprint returns a deterministic hash of everything a run measures:
 // workload and configuration names, execution time, the per-class traffic
 // breakdown, all protocol counters, operation count, and the final DRAM
-// image hash. Wall-clock time is deliberately excluded. Two runs of the
-// same cell are bit-identical iff their fingerprints match.
+// image hash. Wall-clock time and every observability product are
+// deliberately excluded — see fingerprintedResultFields /
+// fingerprintExemptResultFields for the full, test-enforced partition.
+// Two runs of the same cell are bit-identical iff their fingerprints
+// match.
 func (r Result) Fingerprint() uint64 {
 	h := stats.Snapshot{Traffic: r.Traffic, ExecTime: r.ExecTime, Counters: r.Counters}.Fingerprint()
 	h = stats.FNVAddString(h, r.Config)

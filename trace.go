@@ -32,10 +32,10 @@ func NewChromeTraceSink() *ChromeTraceSink { return obs.NewChromeSink() }
 // the same track with non-decreasing timestamps.
 func ValidateChromeTrace(r io.Reader) error { return obs.ValidateChromeTrace(r) }
 
-// nameNodes labels each simulated node on sinks that support naming (the
-// Chrome exporter), so timeline tracks read "cpu0"/"cu1"/"llc" instead of
-// bare node numbers.
-func (s *System) nameNodes(sink obs.Sink) {
+// nameNodes labels each simulated node on consumers that support naming
+// (the Chrome exporter, the metrics registry), so tracks and reports read
+// "cpu0"/"cu1"/"llc" instead of bare node numbers.
+func (s *System) nameNodes(sink any) {
 	n, ok := sink.(interface{ SetNodeName(int, string) })
 	if !ok {
 		return
