@@ -8,11 +8,11 @@ GO ?= go
 	transgraph transgraph-check mcheck mcheck-smoke mcheck-baseline \
 	mutants crosscheck \
 	trace-smoke trace-overhead metrics-smoke fuzz fuzz-mutants corpus \
-	flow flow-check flow-mutants indep indep-check
+	flow flow-check flow-mutants indep indep-check scale-smoke
 
 ci: build vet fmt lint test race smoke check transgraph-check flow-check \
 	indep-check flow-mutants mcheck-smoke mutants trace-smoke metrics-smoke \
-	fuzz fuzz-mutants
+	fuzz fuzz-mutants scale-smoke
 
 build:
 	$(GO) build ./...
@@ -152,6 +152,14 @@ metrics-smoke:
 	$(GO) run ./cmd/spandex-trace -mode summarize -workload indirection -config SDD -summary-out /tmp/spandex-summary.jsonl
 	$(GO) run ./cmd/spandex-trace -mode summarize -workload indirection -config SDD -diff /tmp/spandex-summary.jsonl | grep -q "bit-identical"
 
+# Scalability smoke: the N-device/banked-LLC/mesh test surface (64-device
+# serial-vs-parallel determinism, legacy 9x6 fingerprint pins, per-bank
+# determinism, topology timing-only), then a validated scalemix sweep of
+# one Spandex config across the 8..64-device ScaleParams points.
+scale-smoke:
+	$(GO) test -run 'TestScale|TestLegacyFingerprintsPinned|TestBankedDeterminism|TestTopologyChangesTimingOnly' .
+	$(GO) run ./cmd/spandex-bench -scale -scale-configs SDD -validate
+
 # Mutation detection: re-arm two seeded protocol bugs (drop invalidation
 # ack, skip RvkO forward) behind the spandexmut build tag and require the
 # model checker to catch each with a concrete interleaving trace.
@@ -168,7 +176,8 @@ mutants:
 fuzz:
 	$(GO) run ./cmd/spandex-fuzz -seeds 0:2000 -coverage-out /tmp/fuzz-cov.json
 	$(GO) run ./cmd/spandex-fuzz -seeds 0:500 -pressure -coverage-out /tmp/fuzz-pressure-cov.json
-	$(GO) run ./cmd/spandex-transgraph -diff /tmp/fuzz-cov.json,/tmp/fuzz-pressure-cov.json
+	$(GO) run ./cmd/spandex-fuzz -seeds 0:500 -banks 2 -pressure -coverage-out /tmp/fuzz-banked-cov.json
+	$(GO) run ./cmd/spandex-transgraph -diff /tmp/fuzz-cov.json,/tmp/fuzz-pressure-cov.json,/tmp/fuzz-banked-cov.json
 
 # Fuzzer mutation detection: with each seeded protocol bug armed, the
 # fuzzer must find, shrink, and deterministically replay a failing case

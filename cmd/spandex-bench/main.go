@@ -49,6 +49,10 @@ func main() {
 	perfCPU := flag.String("perf-cpuprofile", "", "perf mode: write a CPU profile covering all rounds")
 	perfMem := flag.String("perf-memprofile", "", "perf mode: write a heap profile after the last round")
 	gitSHA := flag.String("git-sha", "", "git short SHA recorded in the perf snapshot")
+	scale := flag.Bool("scale", false,
+		"run the scalability sweep: scalemix on growing mesh systems (8..64 requestors), print exec-time/traffic-vs-device-count table")
+	scaleConfigs := flag.String("scale-configs", "SDD,SMG", "scale mode: comma-separated configurations to sweep")
+	scalePhases := flag.Int("scale-phases", 0, "scale mode: scalemix phase count (0 = workload default)")
 	flag.Parse()
 
 	opt := spandex.Options{
@@ -62,6 +66,17 @@ func main() {
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "spandex-bench:", err)
 		os.Exit(1)
+	}
+
+	if *scale {
+		names, err := parseScaleConfigs(*scaleConfigs)
+		if err != nil {
+			die(err)
+		}
+		if err := runScale(names, *seed, *scalePhases, *validate); err != nil {
+			die(err)
+		}
+		return
 	}
 
 	if *perfOut != "" {

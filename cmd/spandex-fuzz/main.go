@@ -10,6 +10,7 @@
 //
 //	spandex-fuzz                          # fuzz the default seed range
 //	spandex-fuzz -seeds 100:600           # explicit half-open seed range
+//	spandex-fuzz -banks 2 -pressure       # bank-sharded LLC, tiny per-bank capacity
 //	spandex-fuzz -replay case.json        # replay a saved case
 //	spandex-fuzz -coverage-out cov.json   # record observed LLC transitions
 //	spandex-fuzz -mutate dropinvack       # (with -tags spandexmut) expect a
@@ -47,6 +48,8 @@ func main() {
 	noCheck := flag.Bool("no-check", false, "disable the per-transition invariant audit")
 	pressure := flag.Bool("pressure", false,
 		"shrink every cache to a few lines (conform.PressureParams) so evictions and write-backs dominate")
+	banks := flag.Int("banks", 0,
+		"shard the Spandex LLC into N address-interleaved banks on a mesh NoC (0 = flat; combines with -pressure for tiny per-bank capacity)")
 	covOut := flag.String("coverage-out", "",
 		"write the (LLC state, message) pairs observed across every run as JSON, for the spandex-transgraph cross-check")
 	mutate := flag.String("mutate", "", "arm a seeded protocol mutation (dropinvack, skiprvko); requires -tags spandexmut")
@@ -80,8 +83,15 @@ func main() {
 	}
 	gp := conform.GenParams{MaxThreads: *threads, MaxPhases: *phases, OpsPerPhase: *ops}
 	ro := conform.RunOpts{NoCheck: *noCheck}
-	if *pressure {
+	switch {
+	case *pressure && *banks > 0:
+		ro.Params = conform.BankedPressureParams()
+		ro.Params.LLCBanks = *banks
+	case *pressure:
 		ro.Params = conform.PressureParams()
+	case *banks > 0:
+		ro.Params = conform.BankedParams()
+		ro.Params.LLCBanks = *banks
 	}
 
 	if *mutate != "" {

@@ -318,6 +318,15 @@ func (c *emitCollector) dstRole(fd *ast.FuncDecl, lit *ast.CompositeLit, dst ast
 				return RoleChild, nil
 			}
 		}
+	case *ast.CallExpr:
+		// Bank-homing helpers: the line's home bank is still the unit's
+		// parent, just one of several interleaved instances of it.
+		if sel, ok := d.Fun.(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "parent", "HomeOf", "llcFor":
+				return RoleParent, nil
+			}
+		}
 	}
 	return "", fmt.Errorf("msgflow: %s: unclassifiable Dst expression", c.pos(lit.Pos()))
 }

@@ -27,8 +27,14 @@ type Entry[S any] struct {
 // hundreds of megabytes of untouched frames dominates construction cost.
 type Array[S any] struct {
 	sets, ways int
-	chunks     [][]Entry[S]
-	tick       uint64
+	// stride divides the line index before set selection. A bank of an
+	// address-interleaved multi-bank cache only ever sees lines whose index
+	// is congruent to its bank modulo the bank count; dividing by that
+	// count first spreads them over every set instead of a 1/stride
+	// subset. 0 and 1 both mean the ordinary single-bank mapping.
+	stride uint64
+	chunks [][]Entry[S]
+	tick   uint64
 }
 
 // NewArray builds an array with the given geometry. sizeBytes must be a
@@ -45,6 +51,16 @@ func NewArray[S any](sizeBytes, ways int) *Array[S] {
 	return &Array[S]{sets: sets, ways: ways, chunks: make([][]Entry[S], sets)}
 }
 
+// SetIndexStride makes set selection divide the line index by n first —
+// the mapping a bank of an n-way interleaved multi-bank cache needs (see
+// the stride field). Call before any line is installed.
+func (a *Array[S]) SetIndexStride(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("cache: negative set-index stride %d", n))
+	}
+	a.stride = uint64(n)
+}
+
 // Sets returns the number of sets.
 func (a *Array[S]) Sets() int { return a.sets }
 
@@ -55,7 +71,11 @@ func (a *Array[S]) SetIndex(line memaddr.LineAddr) int { return a.setOf(line) }
 func (a *Array[S]) Ways() int { return a.ways }
 
 func (a *Array[S]) setOf(line memaddr.LineAddr) int {
-	return int(uint64(line)>>memaddr.LineShift) & (a.sets - 1)
+	idx := uint64(line) >> memaddr.LineShift
+	if a.stride > 1 {
+		idx /= a.stride
+	}
+	return int(idx) & (a.sets - 1)
 }
 
 // set returns setOf(line)'s frames, allocating them on first touch.

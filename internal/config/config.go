@@ -5,6 +5,7 @@ package config
 import (
 	"fmt"
 
+	"spandex/internal/memaddr"
 	"spandex/internal/sim"
 )
 
@@ -88,6 +89,62 @@ func ByName(name string) (CacheConfig, error) {
 	return CacheConfig{}, fmt.Errorf("config: unknown configuration %q", name)
 }
 
+// DeviceClass names the kind of requestor a DeviceSpec instantiates. The
+// L1 protocol each class speaks still comes from the CacheConfig (Table V
+// column): every CPU-class device gets the configured CPU protocol, every
+// GPU-class device the configured GPU protocol.
+type DeviceClass uint8
+
+const (
+	// ClassCPU is a latency-sensitive core running one hardware thread.
+	ClassCPU DeviceClass = iota
+	// ClassGPU is a throughput CU running WarpsPerCU interleaved warps.
+	ClassGPU
+)
+
+func (c DeviceClass) String() string {
+	if c == ClassCPU {
+		return "cpu"
+	}
+	return "gpu"
+}
+
+// DeviceSpec is one homogeneous group of requestor devices. A system's
+// device list is a sequence of specs; NodeIDs are assigned in list order,
+// so [{CPU,8},{GPU,16}] reproduces the paper's fixed layout exactly.
+type DeviceSpec struct {
+	Class DeviceClass
+	Count int
+}
+
+// NoCTopology selects the interconnect model (see internal/noc).
+type NoCTopology uint8
+
+const (
+	// TopoDirect is the legacy point-to-point model: distance-dependent
+	// latency with per-endpoint link serialization only. The paper's 9×6
+	// evaluation matrix runs on this model; its results are bit-stable.
+	TopoDirect NoCTopology = iota
+	// TopoMesh is a switched 2D mesh: XY (dimension-ordered) routing with
+	// per-link occupancy, so through-traffic contends at every hop.
+	TopoMesh
+	// TopoRing is a switched bidirectional ring: shortest-direction
+	// routing with per-link occupancy.
+	TopoRing
+)
+
+func (t NoCTopology) String() string {
+	switch t {
+	case TopoDirect:
+		return "direct"
+	case TopoMesh:
+		return "mesh"
+	case TopoRing:
+		return "ring"
+	}
+	return fmt.Sprintf("NoCTopology(%d)", uint8(t))
+}
+
 // SystemParams mirrors the paper's Table VI. The published table's latency
 // values were corrupted in the source text, so representative 2018-era
 // values are used; only their ratios matter for the normalized results the
@@ -96,6 +153,24 @@ type SystemParams struct {
 	CPUCores   int
 	GPUCUs     int
 	WarpsPerCU int
+
+	// Devices generalizes the fixed CPUCores+GPUCUs pair to an arbitrary
+	// requestor list. When nil (every legacy configuration), the list is
+	// exactly [{ClassCPU, CPUCores}, {ClassGPU, GPUCUs}] — byte-identical
+	// behaviour to the pre-N-device simulator. When non-nil it wins and
+	// CPUCores/GPUCUs are ignored.
+	Devices []DeviceSpec
+
+	// LLCBanks shards the Spandex LLC into an address-interleaved array of
+	// banks, each with its own directory, MSHRs and request queue on its
+	// own NoC node. 0 or 1 means the paper's single flat LLC. Lines map to
+	// banks with proto.BankOf; capacity is split evenly across banks. The
+	// hierarchical baseline is never banked.
+	LLCBanks int
+
+	// Topology selects the interconnect model. TopoDirect (zero value) is
+	// the legacy point-to-point model every paper figure uses.
+	Topology NoCTopology
 
 	// L1 geometry (both CPU and GPU, paper: 32 KB, 8 banks, 8-way).
 	L1SizeBytes int
@@ -166,6 +241,108 @@ func FastParams() SystemParams {
 	p.SpandexLLCBytes = 256 * 1024
 	p.GPUL2Bytes = 128 * 1024
 	p.L3Bytes = 256 * 1024
+	return p
+}
+
+// DeviceList resolves the effective device list: Devices when set,
+// otherwise the legacy [{CPU, CPUCores}, {GPU, GPUCUs}] pair.
+func (p SystemParams) DeviceList() []DeviceSpec {
+	if len(p.Devices) > 0 {
+		return p.Devices
+	}
+	return []DeviceSpec{{ClassCPU, p.CPUCores}, {ClassGPU, p.GPUCUs}}
+}
+
+// NumCPUs counts CPU-class devices across the effective device list.
+func (p SystemParams) NumCPUs() int { return p.countClass(ClassCPU) }
+
+// NumGPUs counts GPU-class devices across the effective device list.
+func (p SystemParams) NumGPUs() int { return p.countClass(ClassGPU) }
+
+func (p SystemParams) countClass(c DeviceClass) int {
+	n := 0
+	for _, d := range p.DeviceList() {
+		if d.Class == c {
+			n += d.Count
+		}
+	}
+	return n
+}
+
+// NumDevices counts every requestor device.
+func (p SystemParams) NumDevices() int {
+	n := 0
+	for _, d := range p.DeviceList() {
+		n += d.Count
+	}
+	return n
+}
+
+// Banks returns the effective Spandex LLC bank count (at least 1).
+func (p SystemParams) Banks() int {
+	if p.LLCBanks <= 1 {
+		return 1
+	}
+	return p.LLCBanks
+}
+
+// Validate rejects inconsistent parameter combinations before a System is
+// assembled from them.
+func (p SystemParams) Validate() error {
+	for i, d := range p.DeviceList() {
+		if d.Count < 0 {
+			return fmt.Errorf("config: device spec %d has negative count %d", i, d.Count)
+		}
+		if d.Class != ClassCPU && d.Class != ClassGPU {
+			return fmt.Errorf("config: device spec %d has unknown class %d", i, d.Class)
+		}
+	}
+	if p.NumDevices() == 0 {
+		return fmt.Errorf("config: no requestor devices")
+	}
+	if n := p.NumDevices(); n > 64 {
+		return fmt.Errorf("config: %d requestor devices exceed the 64-device directory sharer-bitset cap", n)
+	}
+	if p.LLCBanks < 0 {
+		return fmt.Errorf("config: negative LLC bank count %d", p.LLCBanks)
+	}
+	if banks := p.Banks(); p.SpandexLLCBytes/banks < memaddr.LineBytes*p.SpandexLLCWays {
+		return fmt.Errorf("config: %d LLC banks leave under one set per bank (%d bytes / bank, %d ways)",
+			banks, p.SpandexLLCBytes/banks, p.SpandexLLCWays)
+	}
+	if p.Topology > TopoRing {
+		return fmt.Errorf("config: unknown NoC topology %d", p.Topology)
+	}
+	return nil
+}
+
+// ScaleParams builds a scaled system: nCPU CPU-class and nGPU GPU-class
+// requestors on a 2D-mesh NoC over a bank-sharded LLC. Bank count defaults
+// to one bank per 8 requestors (minimum 2 — a scaled system always
+// exercises the distributed directory) when banks <= 0. Per-device cache
+// geometry is kept small so very large device counts stay simulable.
+func ScaleParams(nCPU, nGPU, banks int) SystemParams {
+	p := DefaultParams()
+	p.Devices = []DeviceSpec{{ClassCPU, nCPU}, {ClassGPU, nGPU}}
+	p.CPUCores, p.GPUCUs = nCPU, nGPU // kept coherent for display only
+	p.WarpsPerCU = 2
+	if banks <= 0 {
+		banks = (nCPU + nGPU) / 8
+		if banks < 2 {
+			banks = 2
+		}
+	}
+	p.LLCBanks = banks
+	p.Topology = TopoMesh
+	// Mesh wide enough to keep the layout square-ish: devices + banks + mem.
+	n := nCPU + nGPU + banks + 1
+	w := 1
+	for w*w < n {
+		w++
+	}
+	p.NoCMeshWidth = w
+	p.L1SizeBytes = 16 * 1024
+	p.SpandexLLCBytes = 256 * 1024 * banks
 	return p
 }
 

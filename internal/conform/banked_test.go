@@ -1,0 +1,57 @@
+package conform
+
+import "testing"
+
+// TestBankedSweepConforms fuzzes the bank-sharded LLC on the mesh NoC: the
+// same generated DRF cases must behave observationally identically whether
+// their lines all resolve at one flat directory or interleave across two
+// independent banks. Because the hierarchical baseline (HMG/HMD) is never
+// banked, every cross-config comparison inside a report doubles as a
+// flat-vs-banked differential check.
+func TestBankedSweepConforms(t *testing.T) {
+	ro := RunOpts{Params: BankedParams()}
+	for seed := uint64(0); seed < 16; seed++ {
+		c := Generate(seed, GenParams{})
+		rep := CheckCase(c, nil, ro)
+		if rep.Failed() {
+			t.Fatalf("seed %d on banked LLC (%s):\n%v", seed, rep.Kind, rep.Err())
+		}
+	}
+}
+
+// TestBankedPressureSweepConforms combines banking with tiny per-bank
+// capacity (four lines per bank): directory evictions, revocations and
+// write-backs now race across two banks that cannot see each other's
+// transaction tables. This is the regime the bank-* mcheck scenarios
+// explore exhaustively at small scale; here the full simulator runs it
+// with real cache hierarchies and the differential oracle.
+func TestBankedPressureSweepConforms(t *testing.T) {
+	ro := RunOpts{Params: BankedPressureParams()}
+	for seed := uint64(0); seed < 16; seed++ {
+		c := Generate(seed, GenParams{})
+		rep := CheckCase(c, nil, ro)
+		if rep.Failed() {
+			t.Fatalf("seed %d on banked LLC under pressure (%s):\n%v", seed, rep.Kind, rep.Err())
+		}
+	}
+}
+
+// TestBankedRegressionCorpus replays the checked-in minimized reproducers
+// on the banked geometry: the races they pin were found on the flat LLC,
+// and their fixes must hold when the lines involved land on different
+// banks.
+func TestBankedRegressionCorpus(t *testing.T) {
+	for _, name := range []string{"seed-13-min", "seed-894-min", "seed-2712-min"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := LoadCaseFile("../../testdata/conform/" + name + ".json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := CheckCase(c, nil, RunOpts{Params: BankedPressureParams()}); rep.Failed() {
+				t.Fatalf("%s on banked LLC (%s):\n%v", name, rep.Kind, rep.Err())
+			}
+		})
+	}
+}

@@ -46,6 +46,31 @@ func PressureParams() *spandex.SystemParams {
 	return &p
 }
 
+// BankedParams returns the FastParams machine with the Spandex LLC sharded
+// into two address-interleaved banks on a mesh NoC. Every generated case
+// then spreads its layout across two independent directories, and the
+// oracle requires behaviour observationally identical to the flat LLC (the
+// hierarchical baseline is never banked, so the cross-config comparison is
+// itself a flat-vs-banked check).
+func BankedParams() *spandex.SystemParams {
+	p := spandex.FastParams()
+	p.LLCBanks = 2
+	p.Topology = spandex.TopoMesh
+	return &p
+}
+
+// BankedPressureParams combines the sharded LLC with eviction-dominated
+// geometry: two banks of four lines each (2 sets × 2 ways per bank), so
+// the per-bank directory is under constant replacement pressure and the
+// eviction/revocation/write-back races cross bank boundaries.
+func BankedPressureParams() *spandex.SystemParams {
+	p := PressureParams()
+	p.SpandexLLCBytes = 512
+	p.LLCBanks = 2
+	p.Topology = spandex.TopoMesh
+	return p
+}
+
 // Outcome is one case's observed behaviour on one configuration.
 type Outcome struct {
 	Config string

@@ -208,6 +208,11 @@ func (c *Checker) CheckQuiescent(l *LLC) error {
 		idx := int8(l.devIdx[id])
 		owned := c.probes[id].ProbeOwned()
 		for _, line := range detsort.Keys(owned) {
+			if !l.HomesLine(line) {
+				// Another bank of an interleaved LLC homes this line; its
+				// own CheckQuiescent call audits it.
+				continue
+			}
 			mask := owned[line]
 			owners := deviceOwned[line]
 			conflict := error(nil)

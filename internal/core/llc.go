@@ -137,6 +137,16 @@ type Config struct {
 	// (the default here), and this knob exists for the ablation the
 	// paper's discussion invites.
 	ReqSOption2 bool
+	// BankStride is the bank count of the address-interleaved LLC this
+	// instance is one bank of. A bank only ever sees lines whose index is
+	// congruent to its bank number mod the stride, so set selection
+	// divides the line index by it first (see cache.Array.SetIndexStride).
+	// 0 or 1 means a single flat LLC.
+	BankStride int
+	// BankIndex is this bank's position in the interleaved array (0 when
+	// BankStride <= 1). A line is homed here iff
+	// proto.BankOf(line, BankStride) == BankIndex.
+	BankIndex int
 }
 
 // LLC is the Spandex last-level cache and coherence point.
@@ -189,6 +199,7 @@ func NewLLC(id, memID proto.NodeID, eng *sim.Engine, net *noc.Network, st *stats
 		txns:   make(map[memaddr.LineAddr]*llcTxn),
 		devIdx: make(map[proto.NodeID]int),
 	}
+	l.array.SetIndexStride(cfg.BankStride)
 	l.dispq = noc.NewDelayQueue(eng, cfg.AccessLatency, l.dispatch)
 	net.Register(id, l)
 	return l
@@ -207,6 +218,12 @@ func (l *LLC) RegisterDevice(id proto.NodeID, isMESI bool) {
 	l.devIdx[id] = len(l.devices)
 	l.devices = append(l.devices, id)
 	l.isMESI = append(l.isMESI, isMESI)
+}
+
+// HomesLine reports whether this LLC instance is the target line's home
+// bank (always true for a flat single-bank LLC).
+func (l *LLC) HomesLine(line memaddr.LineAddr) bool {
+	return l.cfg.BankStride <= 1 || proto.BankOf(line, l.cfg.BankStride) == l.cfg.BankIndex
 }
 
 // SetChecker installs an invariant checker consulted on every transition.

@@ -32,6 +32,10 @@ type MESITU struct {
 	st  *stats.Stats
 
 	llcID proto.NodeID
+	// llcBanks routes each line to its home bank at NodeID
+	// llcID+BankOf(line) when the LLC is bank-sharded; <=1 keeps every
+	// line homed at llcID (the flat LLC).
+	llcBanks int
 	// Latency models the TU's single-cycle lookup in each direction
 	// (paper §III-F / §IV).
 	latency sim.Time
@@ -202,9 +206,14 @@ func (tu *MESITU) nextReq() uint64 {
 	return tu.reqSeq
 }
 
+// SetLLCBanks declares the LLC an interleaved array of n banks at
+// consecutive NodeIDs starting at the constructor's llcID. Call before
+// running; the default is the flat single-bank LLC.
+func (tu *MESITU) SetLLCBanks(n int) { tu.llcBanks = n }
+
 func (tu *MESITU) sendLLC(m *proto.Message) {
 	m.Src = tu.ID
-	m.Dst = tu.llcID
+	m.Dst = proto.HomeOf(tu.llcID, tu.llcBanks, m.Line)
 	tu.net.Send(m)
 }
 

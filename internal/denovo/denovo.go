@@ -35,6 +35,10 @@ type Config struct {
 	WriteBufferEntries int
 	HitLatency         sim.Time
 	ParentID           proto.NodeID
+	// ParentBanks makes the parent an address-interleaved bank array at
+	// NodeIDs ParentID..ParentID+ParentBanks-1; requests go to the target
+	// line's home bank. 0 or 1 is the flat single parent.
+	ParentBanks int
 	// AtomicsAtLLC sends atomics as ReqWT+data to be performed at the
 	// backing cache instead of obtaining ownership. The SDG configuration
 	// uses this for CPU caches to match the GPU's strategy and avoid
@@ -185,6 +189,12 @@ func (l *L1) sendV(m proto.Message) {
 	l.port.Send(&l.out)
 }
 
+// parent returns line's home node: ParentID for a flat parent, the
+// line's bank for an interleaved one (see Config.ParentBanks).
+func (l *L1) parent(line memaddr.LineAddr) proto.NodeID {
+	return proto.HomeOf(l.cfg.ParentID, l.cfg.ParentBanks, line)
+}
+
 func (l *L1) nextReq() uint64 {
 	l.reqSeq++
 	return l.reqSeq
@@ -238,7 +248,7 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 			// Extend the outstanding read (word granularity, Table II).
 			r.want |= addr.WordMaskOf()
 			l.sendV(proto.Message{
-				Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
+				Type: proto.ReqV, Dst: l.parent(la), Requestor: l.ID,
 				ReqID: r.reqID, Line: la, Mask: addr.WordMaskOf(),
 				Trace: l.curTrace,
 			})
@@ -258,7 +268,7 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 		l.mshrOcc()
 	}
 	l.sendV(proto.Message{
-		Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
+		Type: proto.ReqV, Dst: l.parent(la), Requestor: l.ID,
 		ReqID: r.reqID, Line: la, Mask: addr.WordMaskOf(), Trace: r.trace,
 	})
 	return true
@@ -328,7 +338,7 @@ func (l *L1) issueOwn(la memaddr.LineAddr) {
 	l.owns[la] = o
 	l.st.Inc("dnl1.reqo", 1)
 	l.sendV(proto.Message{
-		Type: proto.ReqO, Dst: l.cfg.ParentID, Requestor: l.ID,
+		Type: proto.ReqO, Dst: l.parent(la), Requestor: l.ID,
 		ReqID: o.reqID, Line: la, Mask: e.Mask,
 	})
 }
@@ -373,7 +383,7 @@ func (l *L1) atomic(op device.Op, done func(uint32)) bool {
 	}
 	l.st.Inc("dnl1.atomic_miss", 1)
 	l.sendV(proto.Message{
-		Type: typ, Dst: l.cfg.ParentID, Requestor: l.ID,
+		Type: typ, Dst: l.parent(la), Requestor: l.ID,
 		ReqID: id, Line: la, Mask: op.Addr.WordMaskOf(),
 		Atomic: op.Atomic, Operand: op.Value, Compare: op.Compare,
 		Trace: op.Trace,
@@ -476,7 +486,7 @@ func (l *L1) evict(frame *cache.Entry[line]) {
 		l.wbs[frame.Line] = wb
 		l.st.Inc("dnl1.wb_evict", 1)
 		l.sendV(proto.Message{
-			Type: proto.ReqWB, Dst: l.cfg.ParentID, Requestor: l.ID,
+			Type: proto.ReqWB, Dst: l.parent(frame.Line), Requestor: l.ID,
 			ReqID: l.nextReq(), Line: frame.Line, Mask: st.owned,
 			HasData: true, Data: st.data,
 		})

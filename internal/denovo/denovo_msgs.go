@@ -68,7 +68,7 @@ func (l *L1) handleNack(m *proto.Message) {
 		r.retried |= fresh
 		l.st.Inc("dnl1.nack_retry", 1)
 		l.sendV(proto.Message{
-			Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
+			Type: proto.ReqV, Dst: l.parent(m.Line), Requestor: l.ID,
 			ReqID: r.reqID, Line: m.Line, Mask: fresh, Trace: r.trace,
 		})
 	}
@@ -79,7 +79,7 @@ func (l *L1) handleNack(m *proto.Message) {
 		r.escalated |= escalate
 		l.st.Inc("dnl1.nack_escalate", 1)
 		l.sendV(proto.Message{
-			Type: proto.ReqOData, Dst: l.cfg.ParentID, Requestor: l.ID,
+			Type: proto.ReqOData, Dst: l.parent(m.Line), Requestor: l.ID,
 			ReqID: r.reqID, Line: m.Line, Mask: escalate, Trace: r.trace,
 		})
 	}

@@ -37,6 +37,10 @@ type Config struct {
 	HitLatency sim.Time
 	// ParentID is the backing cache (Spandex LLC or hierarchical GPU L2).
 	ParentID proto.NodeID
+	// ParentBanks makes the parent an address-interleaved bank array at
+	// NodeIDs ParentID..ParentID+ParentBanks-1; requests go to the target
+	// line's home bank. 0 or 1 is the flat single parent.
+	ParentBanks int
 }
 
 // DefaultConfig returns the paper's Table VI L1 parameters.
@@ -158,6 +162,12 @@ func (l *L1) sendV(m proto.Message) {
 	l.port.Send(&l.out)
 }
 
+// parent returns line's home node: ParentID for a flat parent, the
+// line's bank for an interleaved one (see Config.ParentBanks).
+func (l *L1) parent(line memaddr.LineAddr) proto.NodeID {
+	return proto.HomeOf(l.cfg.ParentID, l.cfg.ParentBanks, line)
+}
+
 func (l *L1) nextReq() uint64 {
 	l.reqSeq++
 	return l.reqSeq
@@ -220,7 +230,7 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 		l.mshrOcc()
 	}
 	l.sendV(proto.Message{
-		Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
+		Type: proto.ReqV, Dst: l.parent(la), Requestor: l.ID,
 		ReqID: m.reqID, Line: la, Mask: memaddr.FullMask, Trace: m.trace,
 	})
 	return true
@@ -279,7 +289,7 @@ func (l *L1) issueWT(la memaddr.LineAddr) {
 	l.wtIssued[la] = e.Mask
 	l.wtArrived[la] = 0
 	l.sendV(proto.Message{
-		Type: proto.ReqWT, Dst: l.cfg.ParentID, Requestor: l.ID,
+		Type: proto.ReqWT, Dst: l.parent(la), Requestor: l.ID,
 		ReqID: id, Line: la, Mask: e.Mask, HasData: true, Data: e.Data,
 	})
 	l.st.Inc("gpul1.wt", 1)
@@ -293,7 +303,7 @@ func (l *L1) atomic(op device.Op, done func(uint32)) bool {
 	id := l.nextReq()
 	l.atomics[id] = pendingAtomic{la: la, mask: op.Addr.WordMaskOf(), done: done}
 	l.sendV(proto.Message{
-		Type: proto.ReqWTData, Dst: l.cfg.ParentID, Requestor: l.ID,
+		Type: proto.ReqWTData, Dst: l.parent(la), Requestor: l.ID,
 		ReqID: id, Line: la, Mask: op.Addr.WordMaskOf(),
 		Atomic: op.Atomic, Operand: op.Value, Compare: op.Compare,
 		Trace: op.Trace,
@@ -389,7 +399,7 @@ func (l *L1) handleNack(m *proto.Message) {
 		e.retried |= fresh
 		l.st.Inc("gpul1.nack_retry", 1)
 		l.sendV(proto.Message{
-			Type: proto.ReqV, Dst: l.cfg.ParentID, Requestor: l.ID,
+			Type: proto.ReqV, Dst: l.parent(m.Line), Requestor: l.ID,
 			ReqID: e.reqID, Line: m.Line, Mask: fresh, Trace: e.trace,
 		})
 	}
@@ -397,7 +407,7 @@ func (l *L1) handleNack(m *proto.Message) {
 	escalate.ForEach(func(i int) {
 		l.st.Inc("gpul1.nack_escalate", 1)
 		l.sendV(proto.Message{
-			Type: proto.ReqWTData, Dst: l.cfg.ParentID, Requestor: l.ID,
+			Type: proto.ReqWTData, Dst: l.parent(m.Line), Requestor: l.ID,
 			ReqID: e.reqID, Line: m.Line, Mask: memaddr.MaskOf(i),
 			Atomic: proto.AtomicRead, Trace: e.trace,
 		})

@@ -344,8 +344,10 @@ func structuralHash(roots ...interface{}) uint64 {
 func (w *world) hashWithPerm(idmap []int8, inv []int8) uint64 {
 	h := &hasher{visited: make(map[uintptr]int), idmap: idmap}
 	var buf bytes.Buffer
-	h.walk(reflect.ValueOf(w.llc), &buf)
-	buf.WriteByte('|')
+	for _, llc := range w.llcs {
+		h.walk(reflect.ValueOf(llc), &buf)
+		buf.WriteByte('|')
+	}
 	h.walk(reflect.ValueOf(w.mem), &buf)
 	buf.WriteByte('|')
 

@@ -249,8 +249,11 @@ func (x *explorer) dfs(w *world, path []int, sleep map[actKey]struct{}) uint64 {
 				"no message in flight and no operation can issue, but scripts are unfinished: "+w.pendingOps(), w)
 			return fp
 		}
-		if err := w.chk.CheckQuiescent(w.llc); err != nil {
-			x.report("quiescence", err.Error(), w)
+		for _, llc := range w.llcs {
+			if err := w.chk.CheckQuiescent(llc); err != nil {
+				x.report("quiescence", err.Error(), w)
+				break
+			}
 		}
 		return fp
 	}

@@ -21,12 +21,14 @@ package mcheck
 // canonical per-pair serialization.
 
 import (
+	"spandex/internal/core"
 	"spandex/internal/proto"
 )
 
 // action is one enabled transition, in both the flat world.apply encoding
 // and the unit coordinates the reductions reason about. Unit indices
-// coincide with NodeIDs: devices are [0, n), the LLC is n, DRAM n+1.
+// coincide with NodeIDs: devices are [0, n), the LLC banks [n, n+B),
+// DRAM n+B (B = 1 for every flat scenario).
 type action struct {
 	// flat is the world.apply/replay encoding: a device index for issues,
 	// len(devs)+k for delivery of pending[k]. Valid for the exact state it
@@ -116,17 +118,21 @@ func (w *world) indep(a, b action) bool {
 	if a.unit != b.unit {
 		return true
 	}
-	switch int(a.unit) {
-	case len(w.devs): // LLC
-		return w.llcIndep(a.msg, b.msg)
-	case len(w.devs) + 1: // DRAM
-		// Distinct pending-to-DRAM heads are necessarily distinct lines'
-		// traffic from distinct sources; statically the LLC is DRAM's only
-		// client (memSoleClient), so two heads cannot coexist — this arm
-		// only fires for keys carried across states. Same line: a write
-		// reorders against a read's data. Different lines: memory words
-		// disjoint, and MemReadRsp emission order onto the single
-		// DRAM→LLC FIFO still matters when both are reads.
+	n := len(w.devs)
+	switch u := int(a.unit); {
+	case u >= n && u < n+len(w.llcs): // one LLC bank
+		return w.llcIndep(w.llcs[u-n], a.msg, b.msg)
+	case u == n+len(w.llcs): // DRAM
+		// Heads from different banks always commute: bank interleaving makes
+		// their lines disjoint, and each bank's MemReadRsp traffic rides its
+		// own DRAM→bank FIFO. Same-bank heads cannot coexist (per-pair FIFO)
+		// — this arm only fires for keys carried across states. Same line: a
+		// write reorders against a read's data. Different lines, same bank:
+		// memory words disjoint, but MemReadRsp emission order onto the
+		// shared DRAM→bank FIFO still matters when both are reads.
+		if a.msg.Src != b.msg.Src {
+			return true
+		}
 		if a.msg.Line == b.msg.Line {
 			return false
 		}
@@ -135,8 +141,8 @@ func (w *world) indep(a, b action) bool {
 	return false
 }
 
-// llcIndep refines same-destination dependence for two LLC deliveries on
-// different lines. Statically, *any* LLC handler may ripple into global
+// llcIndep refines same-destination dependence for two deliveries to the
+// same LLC bank on different lines. Statically, *any* LLC handler may ripple into global
 // structure — a miss allocates, allocation may evict a victim line, and
 // resolving any transaction retries parked fetches — so a sound static
 // line-locality set is empty. Instead settledLocalMsgTypes names the
@@ -148,28 +154,28 @@ func (w *world) indep(a, b action) bool {
 // possible emission targets — each message's requestor/sender plus the
 // current sharers and owners of its line — disjoint, so no send order on
 // a shared outgoing FIFO is at stake.
-func (w *world) llcIndep(a, b *proto.Message) bool {
+func (w *world) llcIndep(llc *core.LLC, a, b *proto.Message) bool {
 	if a.Line == b.Line {
 		return false
 	}
 	if !settledLocalMsgTypes[a.Type] || !settledLocalMsgTypes[b.Type] {
 		return false
 	}
-	if w.llc.AllocWaiting() {
+	if llc.AllocWaiting() {
 		return false
 	}
-	if !w.llc.LineSettled(a.Line) || !w.llc.LineSettled(b.Line) {
+	if !llc.LineSettled(a.Line) || !llc.LineSettled(b.Line) {
 		return false
 	}
-	return w.llcDestBits(a)&w.llcDestBits(b) == 0
+	return w.llcDestBits(llc, a)&w.llcDestBits(llc, b) == 0
 }
 
-// llcDestBits over-approximates the devices the LLC may message while
+// llcDestBits over-approximates the devices an LLC bank may message while
 // handling m at a settled line: the requestor (responses), the sender
 // (write-back acks), and every current sharer or owner of the line
 // (invalidations, revocations, forwards).
-func (w *world) llcDestBits(m *proto.Message) uint64 {
-	bits := w.llc.ProbeTargets(m.Line)
+func (w *world) llcDestBits(llc *core.LLC, m *proto.Message) uint64 {
+	bits := llc.ProbeTargets(m.Line)
 	if i := int(m.Requestor); i >= 0 && i < len(w.devs) {
 		bits |= 1 << uint(i)
 	}
@@ -202,32 +208,35 @@ func (w *world) llcDestBits(m *proto.Message) uint64 {
 //     (HoldsExternalFor). Any of these can reach an owner device whose
 //     direct response to u lands on a possibly empty device→u FIFO.
 //     These are disqualifying unconditionally.
-//  2. The LLC emitting to u. If the LLC→u FIFO is nonempty, every such
-//     emission queues behind a head already in u's group and creates no
-//     fresh action — condition 1 alone suffices. If it is empty, the LLC
-//     must be provably unable to emit to u: no pending message anywhere
-//     names u as requestor or sender (refd — its delivery could draw a
-//     response), no parked transaction request names u
-//     (QueuedRequestorBits again), and the directory holds no sharer or
-//     owner record of u (DirectoryMentions — an unrelated request could
-//     probe it). Under those, u's identity exists nowhere outside u, and
-//     only u's own actions can reintroduce it — outside execution keeps
-//     the property inductively.
+//  2. An LLC bank emitting to u. A bank whose bank→u FIFO is nonempty is
+//     harmless: every such emission queues behind a head already in u's
+//     group and creates no fresh action — condition 1 alone suffices. A
+//     bank whose FIFO to u is empty must be provably unable to emit to u:
+//     no pending message anywhere names u as requestor or sender (refd —
+//     its delivery could draw a response), no parked transaction request
+//     names u (QueuedRequestorBits again), and that bank's directory holds
+//     no sharer or owner record of u (DirectoryMentions — an unrelated
+//     request could probe it). Under those, u's identity exists nowhere
+//     outside u, and only u's own actions can reintroduce it — outside
+//     execution keeps the property inductively.
 //  3. Another device emitting to u spontaneously — impossible: devices
 //     emit device→device only when answering a forward, covered by 1.
 //
-// The LLC itself is never committable: it converses with everyone.
-// Among committable units DRAM wins (its group is a singleton and touches
-// no device), then the smallest device group, lowest index on ties.
+// The LLC banks themselves are never committable: they converse with
+// everyone. Among committable units DRAM wins (its group touches no
+// device — with banks it holds at most one head per bank, all mutually
+// commuting), then the smallest device group, lowest index on ties.
 func (w *world) ampleOrder(acts []action) ([]action, int) {
 	n := len(w.devs)
-	memUnit := int8(n + 1)
-	llcHead := make([]bool, n)
+	nb := len(w.llcs)
+	memUnit := int8(n + nb)
+	// llcHead[b*n+u]: the bank-b→device-u FIFO is nonempty.
+	llcHead := make([]bool, nb*n)
 	guarded := make([]bool, n)
 	refd := make([]bool, n)
 	for _, m := range w.pending {
-		if int(m.Src) == n && int(m.Dst) < n {
-			llcHead[m.Dst] = true
+		if b := int(m.Src) - n; b >= 0 && b < nb && int(m.Dst) < n {
+			llcHead[b*n+int(m.Dst)] = true
 		}
 		if guardMsgTypes[m.Type] && int(m.Requestor) >= 0 && int(m.Requestor) < n &&
 			m.Dst != m.Requestor {
@@ -240,7 +249,7 @@ func (w *world) ampleOrder(acts []action) ([]action, int) {
 			refd[s] = true
 		}
 	}
-	sizes := make([]int, n+2)
+	sizes := make([]int, n+nb+1)
 	for _, a := range acts {
 		sizes[a.unit]++
 	}
@@ -249,7 +258,10 @@ func (w *world) ampleOrder(acts []action) ([]action, int) {
 		best = memUnit
 	}
 	if best < 0 {
-		queued := w.llc.QueuedRequestorBits()
+		var queued uint64
+		for _, llc := range w.llcs {
+			queued |= llc.QueuedRequestorBits()
+		}
 		held := func(u int) bool {
 			for x, d := range w.devs {
 				if x != u && d.holds != nil && d.holds(proto.NodeID(u)) {
@@ -262,10 +274,17 @@ func (w *world) ampleOrder(acts []action) ([]action, int) {
 			if sizes[u] == 0 || guarded[u] || queued&(1<<uint(u)) != 0 {
 				continue
 			}
-			if !llcHead[u] && (refd[u] || w.llc.DirectoryMentions(u)) {
-				continue
+			okLLC := true
+			for b, llc := range w.llcs {
+				if llcHead[b*n+u] {
+					continue
+				}
+				if refd[u] || llc.DirectoryMentions(u) {
+					okLLC = false
+					break
+				}
 			}
-			if held(u) {
+			if !okLLC || held(u) {
 				continue
 			}
 			if best < 0 || sizes[u] < sizes[best] {

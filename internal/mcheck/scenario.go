@@ -76,10 +76,17 @@ type Scenario struct {
 	Name    string
 	Devices []DeviceScript
 	Init    []InitVal
-	// LLCBytes/LLCWays size the LLC array; zero means 8 lines × 2 ways,
-	// plenty for the one- or two-line scenarios (no evictions). The evict-*
-	// scenarios shrink this to a single line to force victimization.
+	// LLCBytes/LLCWays size the LLC array (per bank when LLCBanks > 1);
+	// zero means 8 lines × 2 ways, plenty for the one- or two-line
+	// scenarios (no evictions). The evict-* scenarios shrink this to a
+	// single line to force victimization.
 	LLCBytes, LLCWays int
+	// LLCBanks shards the LLC into address-interleaved banks on their own
+	// NoC nodes (proto.BankOf line homing, like the full simulator's
+	// bank-sharded LLC). 0 or 1 is the flat single LLC every pre-banking
+	// scenario uses. The bank-* scenarios set 2 to explore concurrent
+	// transactions on independent directories.
+	LLCBanks int
 	// DevBytes/DevWays size every device L1; zero means 4 lines × 2 ways
 	// (no device-side evictions). The wb-* scenarios shrink this to a
 	// single line so device evictions race LLC revocations.
@@ -291,6 +298,40 @@ func Scenarios(p Pairing) []Scenario {
 		Devices: []DeviceScript{
 			{Proto: cpu, Ops: []device.Op{store(lineWord(0, 0), 1), fence(), load(lineWord(1, 0))}},
 			{Proto: gpu, Ops: []device.Op{store(lineWord(2, 0), 4), fence(), load(lineWord(0, 1))}},
+		},
+	})
+	// Bank-crossing write-back race: with two banks, line 0 homes at bank
+	// 0 and line 1 at bank 1, so the CPU's line-1 fill (ReqV to bank 1)
+	// races its eviction write-back of owned line 0 (ReqWB to bank 0) on
+	// disjoint directories — no single-bank serialization hides the
+	// crossing. The GPU's line-2 store lands at bank 0 (2 mod 2) and, with
+	// a one-line bank, evicts line 0 there (RvkO toward the CPU) while the
+	// ReqWB is still in flight: the wb-race shape, but with the revocation
+	// and the write-back resolving on banks that cannot observe each
+	// other's transaction tables.
+	scns = append(scns, Scenario{
+		Name:     "bank-wb",
+		LLCBanks: 2,
+		LLCBytes: memaddr.LineBytes, LLCWays: 1,
+		DevBytes: memaddr.LineBytes, DevWays: 1,
+		Devices: []DeviceScript{
+			{Proto: cpu, Ops: []device.Op{store(lineWord(0, 0), 1), fence(), load(lineWord(1, 0))}},
+			{Proto: gpu, Ops: []device.Op{store(lineWord(2, 0), 4), fence(), load(lineWord(0, 1))}},
+		},
+	})
+	// Cross-bank ownership migration: the CPU acquires word ownership of
+	// line 0 (bank 0) and line 1 (bank 1); the GPU then writes through to a
+	// different word of line 0 (false sharing → RvkO at bank 0) while
+	// loading line 1 (owner forward at bank 1). Both banks concurrently run
+	// ownership-transfer transactions against the same two devices, in
+	// every delivery order — the directories must converge independently
+	// and the terminal quiescence audit must hold per bank.
+	scns = append(scns, Scenario{
+		Name:     "bank-migrate",
+		LLCBanks: 2,
+		Devices: []DeviceScript{
+			{Proto: cpu, Ops: []device.Op{store(lineWord(0, 0), 1), fence(), store(lineWord(1, 0), 2), fence()}},
+			{Proto: gpu, Ops: []device.Op{store(lineWord(0, 1), 3), fence(), load(lineWord(1, 0))}},
 		},
 	})
 	if cpu == ProtoMESI {

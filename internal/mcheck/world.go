@@ -24,10 +24,13 @@ import (
 // step: (deliver one message | issue one device op) plus every internal
 // event it triggers.
 type world struct {
-	eng  *sim.Engine
-	st   *stats.Stats
-	net  *noc.Network
-	llc  *core.LLC
+	eng *sim.Engine
+	st  *stats.Stats
+	net *noc.Network
+	// llcs holds the LLC banks at NodeIDs [len(devs), len(devs)+len(llcs)).
+	// A flat scenario (LLCBanks ≤ 1) has exactly one; a banked one has
+	// Scenario.LLCBanks, each homing the lines proto.BankOf maps to it.
+	llcs []*core.LLC
 	mem  *dram.Memory
 	chk  *core.Checker
 	devs []*mdev
@@ -88,8 +91,12 @@ func (d *mdev) finished() bool { return d.next == len(d.ops) && !d.inflight }
 // replay-based backtracking and the violation traces rely on.
 func newWorld(scn Scenario, cov *core.TransitionCoverage, red Reduction) *world {
 	n := len(scn.Devices)
-	llcID := proto.NodeID(n)
-	memID := proto.NodeID(n + 1)
+	banks := scn.LLCBanks
+	if banks < 1 {
+		banks = 1
+	}
+	llcID := proto.NodeID(n) // first bank; line l lives at proto.HomeOf(llcID, banks, l)
+	memID := proto.NodeID(n + banks)
 
 	w := &world{
 		eng:     sim.New(),
@@ -100,27 +107,31 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage, red Reduction) *world 
 	if red.Canon {
 		w.perms, w.invs = symPerms(scn.Devices)
 	}
-	w.net = noc.New(w.eng, w.st, noc.Config{HopLatency: 1, TicksPerByte: 0, MeshWidth: 4}, n+2)
+	w.net = noc.New(w.eng, w.st, noc.Config{HopLatency: 1, TicksPerByte: 0, MeshWidth: 4}, n+banks+1)
 	w.net.SetInterceptor(func(m *proto.Message) { w.pending = append(w.pending, m) })
 
 	llcBytes, llcWays := scn.LLCBytes, scn.LLCWays
 	if llcBytes == 0 {
 		llcBytes, llcWays = 8*memaddr.LineBytes, 2
 	}
-	w.llc = core.NewLLC(llcID, memID, w.eng, w.net, w.st, core.Config{
-		SizeBytes: llcBytes, Ways: llcWays, AccessLatency: 1,
-	})
-	devBytes, devWays := scn.DevBytes, scn.DevWays
-	if devBytes == 0 {
-		devBytes, devWays = 4*memaddr.LineBytes, 2
-	}
 	w.mem = dram.New(memID, w.eng, w.net, 1)
 	w.chk = core.NewChecker()
 	w.chk.Collect = true
 	w.chk.CheckEveryTransition = true
-	w.llc.SetChecker(w.chk)
-	if cov != nil {
-		w.llc.SetCoverage(cov)
+	for b := 0; b < banks; b++ {
+		llc := core.NewLLC(llcID+proto.NodeID(b), memID, w.eng, w.net, w.st, core.Config{
+			SizeBytes: llcBytes, Ways: llcWays, AccessLatency: 1,
+			BankStride: banks, BankIndex: b,
+		})
+		llc.SetChecker(w.chk)
+		if cov != nil {
+			llc.SetCoverage(cov)
+		}
+		w.llcs = append(w.llcs, llc)
+	}
+	devBytes, devWays := scn.DevBytes, scn.DevWays
+	if devBytes == 0 {
+		devBytes, devWays = 4*memaddr.LineBytes, 2
 	}
 
 	for i, spec := range scn.Devices {
@@ -139,16 +150,23 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage, red Reduction) *world 
 				panic("mcheck: scripts are restricted to loads, stores, fetch-adds and fences")
 			}
 		}
+		registerAll := func(isMESI bool) {
+			for _, llc := range w.llcs {
+				llc.RegisterDevice(id, isMESI)
+			}
+		}
 		switch spec.Proto {
 		case ProtoMESI:
 			tu := core.NewMESITU(id, w.eng, w.net, w.st, llcID, 1)
+			tu.SetLLCBanks(banks)
 			mc := mesi.DefaultConfig(llcID)
+			mc.ParentBanks = banks
 			mc.SizeBytes, mc.Ways = devBytes, devWays
 			mc.MSHREntries, mc.StoreBufferEntries = 8, 8
 			mc.HitLatency = 1
 			l1 := mesi.New(id, w.eng, tu, w.st, mc)
 			tu.Bind(l1)
-			w.llc.RegisterDevice(id, true)
+			registerAll(true)
 			w.chk.AttachDevice(id, tu)
 			tu.SetChecker(w.chk)
 			d.l1 = l1
@@ -156,24 +174,26 @@ func newWorld(scn Scenario, cov *core.TransitionCoverage, red Reduction) *world 
 		case ProtoDeNovo:
 			tu := core.NewPassTU(id, w.eng, w.net, 1)
 			dc := denovo.DefaultConfig(llcID, false)
+			dc.ParentBanks = banks
 			dc.SizeBytes, dc.Ways = devBytes, devWays
 			dc.MSHREntries, dc.WriteBufferEntries = 8, 8
 			dc.HitLatency = 1
 			l1 := denovo.New(id, w.eng, tu, w.st, dc)
 			tu.Bind(l1)
-			w.llc.RegisterDevice(id, false)
+			registerAll(false)
 			w.chk.AttachDevice(id, l1)
 			d.l1 = l1
 			d.holds = l1.HoldsExternalFor
 		case ProtoGPU:
 			tu := core.NewPassTU(id, w.eng, w.net, 1)
 			gc := gpucoh.DefaultConfig(llcID)
+			gc.ParentBanks = banks
 			gc.SizeBytes, gc.Ways = devBytes, devWays
 			gc.MSHREntries, gc.WriteBufferEntries = 8, 8
 			gc.HitLatency = 1
 			l1 := gpucoh.New(id, w.eng, tu, w.st, gc)
 			tu.Bind(l1)
-			w.llc.RegisterDevice(id, false)
+			registerAll(false)
 			w.chk.AttachDevice(id, l1)
 			d.l1 = l1
 		default:
@@ -368,8 +388,11 @@ func (w *world) deliver(k int) {
 // can be stored in the state's canonical coordinates.
 func (w *world) fingerprint() uint64 {
 	if !w.red.Canon {
-		roots := make([]interface{}, 0, 3+len(w.devs))
-		roots = append(roots, w.llc, w.mem, w.pending)
+		roots := make([]interface{}, 0, 2+len(w.llcs)+len(w.devs))
+		for _, llc := range w.llcs {
+			roots = append(roots, llc)
+		}
+		roots = append(roots, w.mem, w.pending)
 		for _, d := range w.devs {
 			roots = append(roots, d)
 		}

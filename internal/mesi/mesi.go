@@ -44,6 +44,10 @@ type Config struct {
 	StoreBufferEntries int
 	HitLatency         sim.Time
 	ParentID           proto.NodeID
+	// ParentBanks makes the parent an address-interleaved bank array at
+	// NodeIDs ParentID..ParentID+ParentBanks-1; requests go to the target
+	// line's home bank. 0 or 1 is the flat single parent.
+	ParentBanks int
 }
 
 // DefaultConfig returns the paper's Table VI CPU L1 parameters.
@@ -156,6 +160,12 @@ func (l *L1) sendV(m proto.Message) {
 	l.port.Send(&l.out)
 }
 
+// parent returns line's home node: ParentID for a flat parent, the
+// line's bank for an interleaved one (see Config.ParentBanks).
+func (l *L1) parent(line memaddr.LineAddr) proto.NodeID {
+	return proto.HomeOf(l.cfg.ParentID, l.cfg.ParentBanks, line)
+}
+
 func (l *L1) nextReq() uint64 {
 	l.reqSeq++
 	return l.reqSeq
@@ -210,7 +220,7 @@ func (l *L1) load(addr memaddr.Addr, done func(uint32)) bool {
 		l.mshrOcc()
 	}
 	l.sendV(proto.Message{
-		Type: proto.MGetS, Dst: l.cfg.ParentID, Requestor: l.ID,
+		Type: proto.MGetS, Dst: l.parent(la), Requestor: l.ID,
 		ReqID: me.reqID, Line: la, Mask: memaddr.FullMask, Trace: me.trace,
 	})
 	return true
@@ -287,7 +297,7 @@ func (l *L1) requestM(la memaddr.LineAddr, setup func(*missEntry)) {
 		l.mshrOcc()
 	}
 	l.sendV(proto.Message{
-		Type: proto.MGetM, Dst: l.cfg.ParentID, Requestor: l.ID,
+		Type: proto.MGetM, Dst: l.parent(la), Requestor: l.ID,
 		ReqID: me.reqID, Line: la, Mask: memaddr.FullMask, Trace: me.trace,
 	})
 }
@@ -408,7 +418,7 @@ func (l *L1) evict(frame *cache.Entry[line]) {
 		l.wbs[la] = &pendingWB{data: st.data, dirty: st.state == M}
 		l.st.Inc("mesil1.wb_evict", 1)
 		l.sendV(proto.Message{
-			Type: proto.MPutM, Dst: l.cfg.ParentID, Requestor: l.ID,
+			Type: proto.MPutM, Dst: l.parent(la), Requestor: l.ID,
 			ReqID: l.nextReq(), Line: la, Mask: memaddr.FullMask,
 			HasData: true, Data: st.data,
 		})

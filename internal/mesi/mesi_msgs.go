@@ -92,7 +92,7 @@ func (l *L1) handleData(m *proto.Message, grant State) {
 		me.reqID = l.nextReq()
 		l.st.Inc("mesil1.getm", 1)
 		l.sendV(proto.Message{
-			Type: proto.MGetM, Dst: l.cfg.ParentID, Requestor: l.ID,
+			Type: proto.MGetM, Dst: l.parent(m.Line), Requestor: l.ID,
 			ReqID: me.reqID, Line: m.Line, Mask: memaddr.FullMask,
 			Trace: me.trace,
 		})

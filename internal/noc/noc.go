@@ -1,13 +1,17 @@
-// Package noc models the on-chip interconnect: a 2D-mesh-distance latency
-// model with per-endpoint link bandwidth serialization and per-class
-// traffic accounting.
+// Package noc models the on-chip interconnect: per-endpoint link
+// bandwidth serialization, per-class traffic accounting, and a choice of
+// traversal models (Config.Topology) — the legacy point-to-point
+// distance model, or switched 2D-mesh / ring topologies where every
+// inter-router link serializes one message at a time and through-traffic
+// queues at each hop.
 //
 // The model is deliberately simpler than a flit-level NoC simulator (the
 // paper used Garnet) but preserves the two effects the evaluation depends
 // on: (1) every message pays a distance-dependent latency, so hierarchical
-// indirection costs extra hops, and (2) endpoints have finite link
-// bandwidth, so protocols that move more bytes (line-granularity RfO,
-// invalidation storms) suffer queuing delay at high request rates.
+// indirection costs extra hops, and (2) endpoints (and, in the switched
+// topologies, every link along the route) have finite bandwidth, so
+// protocols that move more bytes (line-granularity RfO, invalidation
+// storms) suffer queuing delay at high request rates.
 package noc
 
 import (
@@ -24,6 +28,25 @@ type Handler interface {
 	HandleMessage(m *proto.Message)
 }
 
+// Topology selects how messages traverse the interconnect.
+type Topology uint8
+
+const (
+	// TopoDirect is the original point-to-point model: every message pays
+	// a mesh-distance latency plus endpoint link serialization, but
+	// through-traffic never contends. The paper's 9×6 matrix runs on this
+	// model and its timing is bit-stable.
+	TopoDirect Topology = iota
+	// TopoMesh is a switched 2D mesh with XY (dimension-ordered) routing:
+	// each inter-router link serializes one message at a time, so
+	// through-traffic queues at every hop. Unloaded latency equals the
+	// direct model's, making the two comparable.
+	TopoMesh
+	// TopoRing is a switched bidirectional ring with shortest-direction
+	// routing (ties clockwise) and the same per-link contention model.
+	TopoRing
+)
+
 // Config sets the interconnect timing parameters.
 type Config struct {
 	// HopLatency is the per-hop router+wire latency in ticks.
@@ -32,6 +55,9 @@ type Config struct {
 	TicksPerByte sim.Time
 	// MeshWidth is the number of columns endpoints are laid out on.
 	MeshWidth int
+	// Topology selects the traversal model; the zero value is the legacy
+	// direct model.
+	Topology Topology
 }
 
 // DefaultConfig: 2-cycle (1 ns) hops, 32 B/CPU-cycle links, 6-wide mesh.
@@ -60,7 +86,12 @@ type Network struct {
 	eps []endpoint
 	// pairLast is a dense src-major matrix of last delivery times, indexed
 	// src*len(eps)+dst (a map here costs a hash per message send).
-	pairLast  []sim.Time
+	pairLast []sim.Time
+	// linkFree holds, for the switched topologies, the time each
+	// inter-router link finishes serializing its current message: mesh
+	// links index router*4+direction (E,W,N,S), ring links node*2+
+	// direction (cw,ccw). Empty under TopoDirect.
+	linkFree  []sim.Time
 	trace     func(at sim.Time, m *proto.Message)
 	intercept func(m *proto.Message)
 	obs       *obs.Recorder
@@ -152,6 +183,19 @@ func New(eng *sim.Engine, st *stats.Stats, cfg Config, n int) *Network {
 		nw.eps[i].x = i % cfg.MeshWidth
 		nw.eps[i].y = i / cfg.MeshWidth
 	}
+	switch cfg.Topology {
+	case TopoDirect:
+		// Point-to-point: no inter-router links to track.
+	case TopoMesh:
+		// Router grid covers the full last row even when endpoints only
+		// partially fill it: XY routes may cross routers with no endpoint.
+		rows := (n + cfg.MeshWidth - 1) / cfg.MeshWidth
+		nw.linkFree = make([]sim.Time, cfg.MeshWidth*rows*4)
+	case TopoRing:
+		nw.linkFree = make([]sim.Time, n*2)
+	default:
+		panic("noc: unknown topology")
+	}
 	return nw
 }
 
@@ -189,6 +233,89 @@ func (n *Network) hops(a, b proto.NodeID) sim.Time {
 		dy = -dy
 	}
 	return sim.Time(dx + dy + 1) // +1: local router traversal
+}
+
+// Mesh link directions (link index router*4+dir).
+const (
+	dirE = iota
+	dirW
+	dirN
+	dirS
+)
+
+// claimLink advances the head time t across one switched link: wait for
+// the link to finish its current message (emitting the wait as egress
+// backlog at the upstream router), then occupy it for the message's own
+// serialization time and pay the hop latency.
+func (n *Network) claimLink(link, upstream int, now, t, ser sim.Time) sim.Time {
+	if free := n.linkFree[link]; free > t {
+		if n.obs != nil {
+			n.obs.Emit(obs.Event{At: now, Kind: obs.EvLinkBacklog,
+				Node: proto.NodeID(upstream), Res: "egress", Arg: uint64(free - t)})
+		}
+		t = free
+	}
+	n.linkFree[link] = t + ser
+	return t + n.cfg.HopLatency
+}
+
+// routeMesh walks m's XY path (x dimension fully, then y), claiming each
+// inter-router link, and returns the arrival time at the destination —
+// one extra hop for ejection, so the unloaded latency matches the direct
+// model's ser + HopLatency*(dx+dy+1).
+func (n *Network) routeMesh(m *proto.Message, now, t, ser sim.Time) sim.Time {
+	w := n.cfg.MeshWidth
+	x, y := n.eps[m.Src].x, n.eps[m.Src].y
+	tx, ty := n.eps[m.Dst].x, n.eps[m.Dst].y
+	for x != tx || y != ty {
+		var dir, nx, ny int
+		switch {
+		case x < tx:
+			dir, nx, ny = dirE, x+1, y
+		case x > tx:
+			dir, nx, ny = dirW, x-1, y
+		case y < ty:
+			dir, nx, ny = dirS, x, y+1
+		default:
+			dir, nx, ny = dirN, x, y-1
+		}
+		router := y*w + x
+		t = n.claimLink(router*4+dir, router, now, t, ser)
+		x, y = nx, ny
+	}
+	return t + n.cfg.HopLatency
+}
+
+// routeRing walks m around the ring in the shortest direction (ties
+// clockwise, toward increasing node ids), claiming each link.
+func (n *Network) routeRing(m *proto.Message, now, t, ser sim.Time) sim.Time {
+	sz := len(n.eps)
+	fwd := int(m.Dst) - int(m.Src)
+	if fwd < 0 {
+		fwd += sz
+	}
+	cw := fwd <= sz-fwd
+	steps := fwd
+	if !cw {
+		steps = sz - fwd
+	}
+	cur := int(m.Src)
+	for i := 0; i < steps; i++ {
+		if cw {
+			t = n.claimLink(cur*2, cur, now, t, ser)
+			cur++
+			if cur == sz {
+				cur = 0
+			}
+		} else {
+			t = n.claimLink(cur*2+1, cur, now, t, ser)
+			cur--
+			if cur < 0 {
+				cur = sz - 1
+			}
+		}
+	}
+	return t + n.cfg.HopLatency
 }
 
 // Port is a message sink that stamps the sender. L1 controllers send
@@ -255,7 +382,17 @@ func (n *Network) Send(m *proto.Message) {
 	}
 	src.egressFree = start + ser
 
-	arrive := start + ser + n.cfg.HopLatency*n.hops(m.Src, m.Dst)
+	var arrive sim.Time
+	switch n.cfg.Topology {
+	case TopoDirect:
+		arrive = start + ser + n.cfg.HopLatency*n.hops(m.Src, m.Dst)
+	case TopoMesh:
+		arrive = n.routeMesh(m, now, start+ser, ser)
+	case TopoRing:
+		arrive = n.routeRing(m, now, start+ser, ser)
+	default:
+		panic("noc: unknown topology")
+	}
 
 	dst := &n.eps[m.Dst]
 	deliver := arrive

@@ -1,0 +1,25 @@
+package proto
+
+import "spandex/internal/memaddr"
+
+// Bank-sharded LLC addressing. A Spandex LLC may be split into an
+// address-interleaved array of banks occupying consecutive NodeIDs; every
+// requestor maps a line to its home bank with the same pure function, so
+// the directory for any line lives in exactly one place (the flat-
+// directory property the paper argues for, preserved under distribution).
+
+// BankOf returns the bank index line maps to among `banks`
+// address-interleaved banks: consecutive lines round-robin across banks.
+// With banks <= 1 every line maps to bank 0.
+func BankOf(line memaddr.LineAddr, banks int) int {
+	if banks <= 1 {
+		return 0
+	}
+	return int((uint64(line) >> memaddr.LineShift) % uint64(banks))
+}
+
+// HomeOf returns the NodeID of line's home bank for an LLC whose banks
+// occupy NodeIDs base .. base+banks-1.
+func HomeOf(base NodeID, banks int, line memaddr.LineAddr) NodeID {
+	return base + NodeID(BankOf(line, banks))
+}

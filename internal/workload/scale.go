@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"fmt"
+
+	"spandex/internal/device"
+	"spandex/internal/memaddr"
+)
+
+// ScaleMix is the scalability workload family: a barrier-phased,
+// data-race-free mix of the access patterns that stress a distributed
+// directory, sized to run on any device count (the paper's 24-requestor
+// machine up to the 64-requestor mesh configurations). Each phase every
+// thread
+//
+//  1. streams a store/load pass over its private chunk (per-device
+//     bandwidth, no sharing),
+//  2. strides reads across a read-only shared region (sharer-set growth
+//     at every LLC bank),
+//  3. reads then overwrites a migratory chunk that rotates to the next
+//     thread each phase (ownership migration across devices and banks),
+//  4. increments a global phase counter (atomic contention at one bank),
+//
+// then joins a global barrier. Chunk rotation is barrier-separated, so
+// the program is DRF; the final image is a pure function of the
+// parameters, giving a full validation oracle.
+type ScaleMix struct {
+	// ChunkWords sizes each private and migratory per-thread chunk.
+	ChunkWords int
+	// SharedWords sizes the read-only shared region.
+	SharedWords int
+	// Phases is the number of barrier-separated rounds.
+	Phases int
+}
+
+// DefaultScaleMix returns a size that keeps the full device-count sweep
+// affordable; spandex-bench -scale scales it up.
+func DefaultScaleMix() *ScaleMix {
+	return &ScaleMix{ChunkWords: 64, SharedWords: 256, Phases: 4}
+}
+
+// Meta implements Workload.
+func (w *ScaleMix) Meta() Meta {
+	return Meta{
+		Name:            "scalemix",
+		Suite:           "Scalability",
+		Pattern:         "private streaming + shared reads + rotating migratory chunks + global atomics",
+		Partitioning:    "data (rotating)",
+		Synchronization: "coarse-grain (barrier per phase)",
+		Sharing:         "mixed (flat shared region, migratory chunks)",
+		Locality:        "mixed (streamed private, strided shared)",
+		Params: fmt.Sprintf("chunk: %d words, shared: %d words, phases: %d",
+			w.ChunkWords, w.SharedWords, w.Phases),
+	}
+}
+
+// enc packs (phase, thread, word) into the value a migratory or private
+// write stores, so validation can recompute every final word.
+func scaleEnc(phase, thread, word int) uint32 {
+	return uint32(phase)<<20 | uint32(thread)<<10 | uint32(word) | 1<<30
+}
+
+// Build implements Workload.
+func (w *ScaleMix) Build(m Machine, seed uint64) *Program {
+	nThr := m.CPUThreads + m.GPUCUs*m.WarpsPerCU
+	lay := NewLayout()
+	private := lay.Lines(nThr * w.ChunkWords / memaddr.WordsPerLine)
+	migr := lay.Lines(nThr * w.ChunkWords / memaddr.WordsPerLine)
+	shared := lay.Words(w.SharedWords)
+	counter := lay.Lines(1)
+	bar := Barrier{Counter: lay.Words(16), Gen: lay.Words(16), N: uint32(nThr)}
+
+	prog := &Program{}
+	for i := 0; i < w.SharedWords; i++ {
+		prog.Init = append(prog.Init, WordInit{Word(shared, i), uint32(i) ^ uint32(seed)})
+	}
+	// Migratory chunks start as phase "-1" writes by their home thread, so
+	// the phase-0 read pass has defined values.
+	for tid := 0; tid < nThr; tid++ {
+		for k := 0; k < w.ChunkWords; k++ {
+			prog.Init = append(prog.Init,
+				WordInit{Word(migr, tid*w.ChunkWords+k), scaleEnc(0, tid, k) ^ 0xffff})
+		}
+	}
+
+	body := func(tid int) func(*Thread) {
+		return func(t *Thread) {
+			var sink uint32
+			for p := 0; p < w.Phases; p++ {
+				// 1. Private streaming: store then read back.
+				for k := 0; k < w.ChunkWords; k++ {
+					t.Store(Word(private, tid*w.ChunkWords+k), scaleEnc(p, tid, k))
+				}
+				for k := 0; k < w.ChunkWords; k++ {
+					sink ^= t.Load(Word(private, tid*w.ChunkWords+k))
+				}
+				// 2. Strided shared reads (one word per line).
+				for k := 0; k < w.ChunkWords; k++ {
+					sink ^= t.Load(Word(shared, strideIndex(k, w.SharedWords)))
+				}
+				// 3. Migratory: read the rotated chunk's previous contents,
+				// then overwrite it. Rotation is barrier-separated, so the
+				// chunk's last writer finished a phase ago.
+				c := (tid + p) % nThr
+				for k := 0; k < w.ChunkWords; k++ {
+					sink ^= t.Load(Word(migr, c*w.ChunkWords+k))
+				}
+				for k := 0; k < w.ChunkWords; k++ {
+					t.Store(Word(migr, c*w.ChunkWords+k), scaleEnc(p, tid, k))
+				}
+				// 4. Global atomic tick.
+				t.FetchAdd(counter, 1, false, true)
+				t.Wait(bar)
+			}
+			// Keep sink live so the loads cannot be elided by refactoring.
+			t.Compute(sink & 1)
+		}
+	}
+
+	tid := 0
+	for i := 0; i < m.CPUThreads; i++ {
+		prog.CPU = append(prog.CPU, Go(body(tid)))
+		tid++
+	}
+	for cu := 0; cu < m.GPUCUs; cu++ {
+		var warps []device.OpStream
+		for wp := 0; wp < m.WarpsPerCU; wp++ {
+			warps = append(warps, Go(body(tid)))
+			tid++
+		}
+		prog.GPU = append(prog.GPU, warps)
+	}
+
+	prog.Validate = func(read func(memaddr.Addr) uint32) error {
+		if got := read(counter); got != uint32(nThr*w.Phases) {
+			return fmt.Errorf("scalemix: counter = %d, want %d", got, nThr*w.Phases)
+		}
+		for i := 0; i < w.SharedWords; i += 7 {
+			if got, want := read(Word(shared, i)), uint32(i)^uint32(seed); got != want {
+				return fmt.Errorf("scalemix: shared[%d] = %d, want %d", i, got, want)
+			}
+		}
+		last := w.Phases - 1
+		for tid := 0; tid < nThr; tid++ {
+			// Chunk c's final writer in phase `last` is thread (c-last) mod n.
+			writer := ((tid-last)%nThr + nThr) % nThr
+			for k := 0; k < w.ChunkWords; k += 5 {
+				if got, want := read(Word(migr, tid*w.ChunkWords+k)), scaleEnc(last, writer, k); got != want {
+					return fmt.Errorf("scalemix: migr chunk %d word %d = %#x, want %#x", tid, k, got, want)
+				}
+				if got, want := read(Word(private, tid*w.ChunkWords+k)), scaleEnc(last, tid, k); got != want {
+					return fmt.Errorf("scalemix: private chunk %d word %d = %#x, want %#x", tid, k, got, want)
+				}
+			}
+		}
+		return nil
+	}
+	return prog
+}
+
+func init() { Register(DefaultScaleMix()) }

@@ -1,0 +1,146 @@
+package spandex_test
+
+import (
+	"runtime"
+	"testing"
+
+	spandex "spandex"
+	"spandex/internal/config"
+)
+
+// legacyPins records the litmus-on-FastParams fingerprint of every Table V
+// configuration as measured before the N-device / bank-sharded-LLC /
+// switched-NoC refactor. The generalized code paths must reproduce the
+// legacy machine bit-for-bit: any change here means the paper's 9×6
+// matrix results moved.
+var legacyPins = map[string]uint64{
+	"HMG": 0x08e228fd41b1dca4,
+	"HMD": 0x796664bf9f35750b,
+	"SMG": 0xb18ec5ed9c4c982e,
+	"SMD": 0x9fc9c4e07ef49742,
+	"SDG": 0xc47bb89c0443bca9,
+	"SDD": 0x732c53de8f36ec11,
+}
+
+func TestLegacyFingerprintsPinned(t *testing.T) {
+	w, err := spandex.WorkloadByName("litmus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range spandex.Configurations() {
+		p := spandex.FastParams()
+		res, err := spandex.Run(w, spandex.Options{Config: cfg, Params: &p})
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if got, want := res.Fingerprint(), legacyPins[cfg.Name]; got != want {
+			t.Errorf("%s: fingerprint %#016x, want pinned %#016x (legacy behaviour changed)",
+				cfg.Name, got, want)
+		}
+	}
+}
+
+// scale64Params is the 64-requestor acceptance configuration: 16 CPUs +
+// 48 CUs on a 2D mesh over a bank-sharded LLC (8 banks at the default
+// one-per-8-requestors ratio).
+func scale64Params() config.SystemParams {
+	return config.ScaleParams(16, 48, 0)
+}
+
+func TestScaleDeterminismSerialVsParallel(t *testing.T) {
+	p := scale64Params()
+	opt := spandex.Options{Params: &p}
+	configs := []string{"SDD", "SMG"}
+	workloads := []string{"scalemix"}
+
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	var base []spandex.Cell
+	for _, workers := range workerCounts {
+		cells := spandex.RunMatrix(nil, workloads, configs, opt, spandex.MatrixOptions{Workers: workers})
+		for _, c := range cells {
+			if c.Err != nil {
+				t.Fatalf("workers=%d %s/%s: %v", workers, c.Workload, c.Config, c.Err)
+			}
+		}
+		if base == nil {
+			base = cells
+			continue
+		}
+		for i, c := range cells {
+			got, want := c.Result.Fingerprint(), base[i].Result.Fingerprint()
+			if got != want {
+				t.Errorf("workers=%d %s/%s: fingerprint %#x, want %#x (serial)",
+					workers, c.Workload, c.Config, got, want)
+			}
+		}
+	}
+}
+
+func TestScaleRunValidates(t *testing.T) {
+	p := scale64Params()
+	w, err := spandex.WorkloadByName("scalemix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := spandex.Run(w, spandex.Options{
+		ConfigName: "SDD", Params: &p, Validate: true, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops == 0 || res.ExecTime == 0 {
+		t.Fatalf("empty result: %+v", res)
+	}
+}
+
+// TestBankedFingerprintStableAcrossBankCounts is a regression anchor: the
+// same workload on 1, 2 and 4 banks runs to completion with the oracle
+// green, and each bank count is individually deterministic.
+func TestBankedDeterminismPerBankCount(t *testing.T) {
+	w, err := spandex.WorkloadByName("scalemix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, banks := range []int{1, 2, 4} {
+		p := spandex.FastParams()
+		p.LLCBanks = banks
+		opt := spandex.Options{ConfigName: "SDD", Params: &p, Validate: true}
+		a, err := spandex.Run(w, opt)
+		if err != nil {
+			t.Fatalf("banks=%d: %v", banks, err)
+		}
+		b, err := spandex.Run(w, opt)
+		if err != nil {
+			t.Fatalf("banks=%d rerun: %v", banks, err)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("banks=%d: nondeterministic fingerprint", banks)
+		}
+	}
+}
+
+// TestTopologyChangesTimingOnly: switching the NoC model must never
+// change the final memory image — only timing (and, through timing,
+// barrier-poll operation counts).
+func TestTopologyChangesTimingOnly(t *testing.T) {
+	w, err := spandex.WorkloadByName("scalemix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var memHash uint64
+	for i, topo := range []config.NoCTopology{config.TopoDirect, config.TopoMesh, config.TopoRing} {
+		p := spandex.FastParams()
+		p.Topology = topo
+		res, err := spandex.Run(w, spandex.Options{ConfigName: "SMD", Params: &p, Validate: true})
+		if err != nil {
+			t.Fatalf("topology %v: %v", topo, err)
+		}
+		if i == 0 {
+			memHash = res.MemHash
+			continue
+		}
+		if res.MemHash != memHash {
+			t.Errorf("topology %v: memory image diverged", topo)
+		}
+	}
+}

@@ -6,12 +6,19 @@
 # margin. Leaves /tmp/bench_now.json plus CPU and heap profiles behind
 # for artifact upload.
 #
-# BENCH_*.json names sort chronologically (BENCH_<yyyymmdd>_<shortsha>),
-# so the lexicographically last file is the newest baseline.
+# The newest baseline is the snapshot most recently added to git history
+# (the <shortsha> part of BENCH_<yyyymmdd>_<shortsha> makes same-day
+# names sort arbitrarily, so lexicographic order alone is only a
+# fallback for non-git checkouts; CI checks the repo out with full
+# history for this job).
 set -eu
 cd "$(dirname "$0")/.."
 
-base=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+base=$(git log --format= --name-only --diff-filter=A -- 'BENCH_*.json' 2>/dev/null |
+	grep '^BENCH_.*\.json$' | head -n 1 || true)
+if [ -z "$base" ] || [ ! -f "$base" ]; then
+	base=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
+fi
 if [ -z "$base" ]; then
 	echo "bench_gate: no BENCH_*.json baseline checked in" >&2
 	exit 1

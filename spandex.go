@@ -46,6 +46,13 @@ type (
 	CacheConfig = config.CacheConfig
 	// SystemParams sets sizes and latencies (Table VI).
 	SystemParams = config.SystemParams
+	// DeviceSpec is one homogeneous group of requestor devices
+	// (SystemParams.Devices).
+	DeviceSpec = config.DeviceSpec
+	// DeviceClass names the kind of requestor a DeviceSpec instantiates.
+	DeviceClass = config.DeviceClass
+	// NoCTopology selects the interconnect model (SystemParams.Topology).
+	NoCTopology = config.NoCTopology
 	// Workload builds runnable programs.
 	Workload = workload.Workload
 	// Program is a built per-thread program.
@@ -74,6 +81,23 @@ func DefaultParams() SystemParams { return config.DefaultParams() }
 
 // FastParams returns a shrunken system for quick tests.
 func FastParams() SystemParams { return config.FastParams() }
+
+// Re-exported device-class and topology selectors.
+const (
+	ClassCPU = config.ClassCPU
+	ClassGPU = config.ClassGPU
+
+	TopoDirect = config.TopoDirect
+	TopoMesh   = config.TopoMesh
+	TopoRing   = config.TopoRing
+)
+
+// ScaleParams builds a scaled system: nCPU CPU-class and nGPU GPU-class
+// requestors on a 2D-mesh NoC over a bank-sharded LLC (banks <= 0 picks
+// one bank per 8 requestors, minimum 2).
+func ScaleParams(nCPU, nGPU, banks int) SystemParams {
+	return config.ScaleParams(nCPU, nGPU, banks)
+}
 
 // WorkloadByName resolves a registered workload ("indirection", "bc", …).
 func WorkloadByName(name string) (Workload, error) { return workload.ByName(name) }
@@ -208,8 +232,10 @@ type System struct {
 	cfg    CacheConfig
 	params SystemParams
 
-	// Spandex organization.
+	// Spandex organization. LLC is bank 0; Banks lists every bank of the
+	// address-interleaved LLC array (length 1 for the paper's flat LLC).
 	LLC      *core.LLC
+	Banks    []*core.LLC
 	Checker  *core.Checker
 	Coverage *core.TransitionCoverage
 	// Hierarchical organization.
@@ -218,6 +244,12 @@ type System struct {
 
 	CPUL1s []device.L1Cache
 	GPUL1s []device.L1Cache
+
+	// cpuIDs/gpuIDs are the NodeIDs of the CPU- and GPU-class devices in
+	// construction order (CPUL1s[i] is node cpuIDs[i]); with a legacy
+	// device list these are 0..CPUCores-1 and CPUCores..CPUCores+GPUCUs-1.
+	cpuIDs []proto.NodeID
+	gpuIDs []proto.NodeID
 
 	cores    []*device.CPUCore
 	cus      []*device.GPUCU
@@ -244,6 +276,9 @@ func NewSystem(opt Options) (*System, error) {
 	if cfg.LLC == config.LLCHierarchicalMESI && cfg.CPU != config.CPUMESI {
 		return nil, fmt.Errorf("spandex: the hierarchical MESI LLC only supports MESI CPU caches (paper §IV-A)")
 	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
 
 	s := &System{
 		Engine: sim.New(),
@@ -252,15 +287,27 @@ func NewSystem(opt Options) (*System, error) {
 		params: params,
 	}
 
-	nDev := params.CPUCores + params.GPUCUs
-	extra := 2 // LLC + memory
+	nDev := params.NumDevices()
+	extra := params.Banks() + 1 // LLC banks + memory
 	if cfg.LLC == config.LLCHierarchicalMESI {
-		extra = 3 // GPU L2 + L3 + memory
+		extra = 3 // GPU L2 + L3 + memory (never banked)
+	}
+	var topo noc.Topology
+	switch params.Topology {
+	case config.TopoDirect:
+		topo = noc.TopoDirect
+	case config.TopoMesh:
+		topo = noc.TopoMesh
+	case config.TopoRing:
+		topo = noc.TopoRing
+	default:
+		panic("spandex: unknown topology") // unreachable: Params.Validate ran
 	}
 	s.Net = noc.New(s.Engine, s.Stats, noc.Config{
 		HopLatency:   sim.CPUCycles(params.NoCHopCycles),
 		TicksPerByte: params.NoCTicksPerByte(),
 		MeshWidth:    params.NoCMeshWidth,
+		Topology:     topo,
 	}, nDev+extra)
 
 	switch cfg.LLC {
@@ -293,15 +340,18 @@ type l1Observable interface{ SetObserver(*obs.Recorder) }
 // purely passive: it never schedules events, touches stats, or alters any
 // message, so an instrumented run is cycle-identical to a bare one.
 func (s *System) installObserver(cfg obs.Config) {
-	nDev := s.params.CPUCores + s.params.GPUCUs
+	nDev := s.params.NumDevices()
 	if s.cfg.LLC == config.LLCHierarchicalMESI {
 		// GPU L2 and the L3 directory both act as "the LLC" for phase
 		// attribution; memory is one node further.
 		cfg.LLCNodes = []proto.NodeID{proto.NodeID(nDev), proto.NodeID(nDev + 1)}
 		cfg.MemID = proto.NodeID(nDev + 2)
 	} else {
-		cfg.LLCNodes = []proto.NodeID{proto.NodeID(nDev)}
-		cfg.MemID = proto.NodeID(nDev + 1)
+		banks := s.params.Banks()
+		for b := 0; b < banks; b++ {
+			cfg.LLCNodes = append(cfg.LLCNodes, proto.NodeID(nDev+b))
+		}
+		cfg.MemID = proto.NodeID(nDev + banks)
 	}
 	s.obs = obs.New(cfg)
 	if cfg.Sink != nil {
@@ -312,8 +362,8 @@ func (s *System) installObserver(cfg obs.Config) {
 	}
 	s.Net.SetObserver(s.obs)
 	s.Mem.SetObserver(s.obs)
-	if s.LLC != nil {
-		s.LLC.SetObserver(s.obs)
+	for _, bank := range s.Banks {
+		bank.SetObserver(s.obs)
 	}
 	for _, l1 := range s.CPUL1s {
 		if o, ok := l1.(l1Observable); ok {
@@ -338,41 +388,60 @@ func (s *System) ensureObserver() *obs.Recorder {
 
 func (s *System) buildSpandex(opt Options) {
 	p := s.params
-	nDev := p.CPUCores + p.GPUCUs
+	nDev := p.NumDevices()
+	banks := p.Banks()
 	llcID := proto.NodeID(nDev)
-	memID := proto.NodeID(nDev + 1)
+	memID := proto.NodeID(nDev + banks)
 
-	s.LLC = core.NewLLC(llcID, memID, s.Engine, s.Net, s.Stats, core.Config{
-		SizeBytes:     p.SpandexLLCBytes,
-		Ways:          p.SpandexLLCWays,
-		AccessLatency: sim.CPUCycles(p.L2HitCycles),
-		ReqSOption2:   opt.ReqSOption2,
-	})
+	for b := 0; b < banks; b++ {
+		bank := core.NewLLC(llcID+proto.NodeID(b), memID, s.Engine, s.Net, s.Stats, core.Config{
+			SizeBytes:     p.SpandexLLCBytes / banks,
+			Ways:          p.SpandexLLCWays,
+			AccessLatency: sim.CPUCycles(p.L2HitCycles),
+			ReqSOption2:   opt.ReqSOption2,
+			BankStride:    banks,
+			BankIndex:     b,
+		})
+		s.Banks = append(s.Banks, bank)
+	}
+	s.LLC = s.Banks[0]
 	s.Mem = dram.New(memID, s.Engine, s.Net, sim.CPUCycles(p.MemLatencyCycles))
 	if opt.CheckInvariants || opt.CheckEveryTransition {
 		s.Checker = core.NewChecker()
 		// Collect instead of panicking so violations reach Result.Violations
-		// with the run's measurements intact.
+		// with the run's measurements intact. One checker spans every bank:
+		// lines are partitioned across banks, so per-line records never
+		// collide, and device bookkeeping is naturally shared.
 		s.Checker.Collect = true
 		s.Checker.CheckEveryTransition = opt.CheckEveryTransition
-		s.LLC.SetChecker(s.Checker)
+		for _, bank := range s.Banks {
+			bank.SetChecker(s.Checker)
+		}
 	}
 	if opt.RecordTransitions || opt.CheckEveryTransition {
 		s.Coverage = core.NewTransitionCoverage()
-		s.LLC.SetCoverage(s.Coverage)
+		for _, bank := range s.Banks {
+			bank.SetCoverage(s.Coverage)
+		}
 	}
 
-	for i := 0; i < p.CPUCores; i++ {
-		id := proto.NodeID(i)
+	registerAll := func(id proto.NodeID, isMESI bool) {
+		for _, bank := range s.Banks {
+			bank.RegisterDevice(id, isMESI)
+		}
+	}
+	buildCPU := func(id proto.NodeID) {
 		switch s.cfg.CPU {
 		case config.CPUMESI:
 			tu := core.NewMESITU(id, s.Engine, s.Net, s.Stats, llcID, p.TUTicks())
+			tu.SetLLCBanks(banks)
 			mc := mesi.DefaultConfig(llcID)
+			mc.ParentBanks = banks
 			mc.SizeBytes, mc.Ways = p.L1SizeBytes, p.L1Ways
 			mc.MSHREntries, mc.StoreBufferEntries = p.MSHREntries, p.StoreBufferEntries
 			l1 := mesi.New(id, s.Engine, tu, s.Stats, mc)
 			tu.Bind(l1)
-			s.LLC.RegisterDevice(id, true)
+			registerAll(id, true)
 			if s.Checker != nil {
 				s.Checker.AttachDevice(id, tu)
 				tu.SetChecker(s.Checker)
@@ -381,6 +450,7 @@ func (s *System) buildSpandex(opt Options) {
 		case config.CPUDeNovo:
 			tu := core.NewPassTU(id, s.Engine, s.Net, p.TUTicks())
 			dc := denovo.DefaultConfig(llcID, false)
+			dc.ParentBanks = banks
 			dc.SizeBytes, dc.Ways = p.L1SizeBytes, p.L1Ways
 			dc.MSHREntries, dc.WriteBufferEntries = p.MSHREntries, p.StoreBufferEntries
 			// SDG: CPU atomics are performed at the LLC (ReqWT+data) to
@@ -389,46 +459,61 @@ func (s *System) buildSpandex(opt Options) {
 			dc.AtomicsAtLLC = s.cfg.GPU == config.GPUCoherence
 			l1 := denovo.New(id, s.Engine, tu, s.Stats, dc)
 			tu.Bind(l1)
-			s.LLC.RegisterDevice(id, false)
+			registerAll(id, false)
 			if s.Checker != nil {
 				s.Checker.AttachDevice(id, l1)
 			}
 			s.CPUL1s = append(s.CPUL1s, l1)
 		}
 	}
-	for i := 0; i < p.GPUCUs; i++ {
-		id := proto.NodeID(p.CPUCores + i)
+	buildGPU := func(id proto.NodeID) {
 		tu := core.NewPassTU(id, s.Engine, s.Net, p.TUTicks())
 		switch s.cfg.GPU {
 		case config.GPUCoherence:
 			gc := gpucoh.DefaultConfig(llcID)
+			gc.ParentBanks = banks
 			gc.SizeBytes, gc.Ways = p.L1SizeBytes, p.L1Ways
 			gc.MSHREntries, gc.WriteBufferEntries = p.MSHREntries, p.StoreBufferEntries
 			l1 := gpucoh.New(id, s.Engine, tu, s.Stats, gc)
 			tu.Bind(l1)
-			s.LLC.RegisterDevice(id, false)
+			registerAll(id, false)
 			if s.Checker != nil {
 				s.Checker.AttachDevice(id, l1)
 			}
 			s.GPUL1s = append(s.GPUL1s, l1)
 		case config.GPUDeNovo:
 			dc := denovo.DefaultConfig(llcID, true)
+			dc.ParentBanks = banks
 			dc.SizeBytes, dc.Ways = p.L1SizeBytes, p.L1Ways
 			dc.MSHREntries, dc.WriteBufferEntries = p.MSHREntries, p.StoreBufferEntries
 			l1 := denovo.New(id, s.Engine, tu, s.Stats, dc)
 			tu.Bind(l1)
-			s.LLC.RegisterDevice(id, false)
+			registerAll(id, false)
 			if s.Checker != nil {
 				s.Checker.AttachDevice(id, l1)
 			}
 			s.GPUL1s = append(s.GPUL1s, l1)
 		}
 	}
+	id := proto.NodeID(0)
+	for _, spec := range p.DeviceList() {
+		for k := 0; k < spec.Count; k++ {
+			switch spec.Class {
+			case config.ClassCPU:
+				buildCPU(id)
+				s.cpuIDs = append(s.cpuIDs, id)
+			case config.ClassGPU:
+				buildGPU(id)
+				s.gpuIDs = append(s.gpuIDs, id)
+			}
+			id++
+		}
+	}
 }
 
 func (s *System) buildHierarchical(opt Options) {
 	p := s.params
-	nDev := p.CPUCores + p.GPUCUs
+	nDev := p.NumDevices()
 	l2ID := proto.NodeID(nDev)
 	dirID := proto.NodeID(nDev + 1)
 	memID := proto.NodeID(nDev + 2)
@@ -447,8 +532,7 @@ func (s *System) buildHierarchical(opt Options) {
 	})
 	s.Dir.RegisterDevice(l2ID)
 
-	for i := 0; i < p.CPUCores; i++ {
-		id := proto.NodeID(i)
+	buildCPU := func(id proto.NodeID) {
 		mc := mesi.DefaultConfig(dirID)
 		mc.SizeBytes, mc.Ways = p.L1SizeBytes, p.L1Ways
 		mc.MSHREntries, mc.StoreBufferEntries = p.MSHREntries, p.StoreBufferEntries
@@ -457,8 +541,7 @@ func (s *System) buildHierarchical(opt Options) {
 		s.Dir.RegisterDevice(id)
 		s.CPUL1s = append(s.CPUL1s, l1)
 	}
-	for i := 0; i < p.GPUCUs; i++ {
-		id := proto.NodeID(p.CPUCores + i)
+	buildGPU := func(id proto.NodeID) {
 		switch s.cfg.GPU {
 		case config.GPUCoherence:
 			gc := gpucoh.DefaultConfig(l2ID)
@@ -475,15 +558,29 @@ func (s *System) buildHierarchical(opt Options) {
 			s.Net.Register(id, l1)
 			s.GPUL1s = append(s.GPUL1s, l1)
 		}
-		s.GPUL2.RegisterChild(proto.NodeID(p.CPUCores + i))
+		s.GPUL2.RegisterChild(id)
+	}
+	id := proto.NodeID(0)
+	for _, spec := range p.DeviceList() {
+		for k := 0; k < spec.Count; k++ {
+			switch spec.Class {
+			case config.ClassCPU:
+				buildCPU(id)
+				s.cpuIDs = append(s.cpuIDs, id)
+			case config.ClassGPU:
+				buildGPU(id)
+				s.gpuIDs = append(s.gpuIDs, id)
+			}
+			id++
+		}
 	}
 }
 
 // Machine reports the shape workloads should be built for.
 func (s *System) Machine() Machine {
 	return Machine{
-		CPUThreads: s.params.CPUCores,
-		GPUCUs:     s.params.GPUCUs,
+		CPUThreads: s.params.NumCPUs(),
+		GPUCUs:     s.params.NumGPUs(),
 		WarpsPerCU: s.params.WarpsPerCU,
 		L1Bytes:    s.params.L1SizeBytes,
 	}
@@ -492,7 +589,7 @@ func (s *System) Machine() Machine {
 // Attach binds a program's op streams to the machine's cores and seeds
 // its initial data into memory.
 func (s *System) Attach(prog *Program) error {
-	if len(prog.CPU) > s.params.CPUCores || len(prog.GPU) > s.params.GPUCUs {
+	if len(prog.CPU) > len(s.CPUL1s) || len(prog.GPU) > len(s.GPUL1s) {
 		return fmt.Errorf("spandex: program shaped for a larger machine")
 	}
 	for _, init := range prog.Init {
@@ -513,7 +610,7 @@ func (s *System) Attach(prog *Program) error {
 		s.liveDevs++
 		c := device.NewCPUCore(fmt.Sprintf("cpu%d", i), s.Engine, s.CPUL1s[i], stream, done)
 		if s.obs != nil {
-			c.SetObserver(s.obs, proto.NodeID(i))
+			c.SetObserver(s.obs, s.cpuIDs[i])
 		}
 		s.cores = append(s.cores, c)
 	}
@@ -530,7 +627,7 @@ func (s *System) Attach(prog *Program) error {
 		s.liveDevs++
 		cu := device.NewGPUCU(fmt.Sprintf("cu%d", i), s.Engine, s.GPUL1s[i], streams, done)
 		if s.obs != nil {
-			cu.SetObserver(s.obs, proto.NodeID(s.params.CPUCores+i))
+			cu.SetObserver(s.obs, s.gpuIDs[i])
 		}
 		s.cus = append(s.cus, cu)
 	}
@@ -550,9 +647,9 @@ func (s *System) Run(maxTime sim.Time) (Result, error) {
 	}
 	if !s.Engine.RunUntil(maxTime) {
 		stuck := ""
-		if s.LLC != nil {
-			if r := s.LLC.StuckReport(); r != "" {
-				stuck = "; stuck LLC transactions:\n" + r
+		for _, bank := range s.Banks {
+			if r := bank.StuckReport(); r != "" {
+				stuck += "; stuck LLC transactions:\n" + r
 			}
 		}
 		return Result{}, fmt.Errorf("spandex: %s run exceeded %d ticks (possible deadlock or undersized MaxTime); %d threads unfinished%s",
@@ -562,8 +659,10 @@ func (s *System) Run(maxTime sim.Time) (Result, error) {
 		return Result{}, fmt.Errorf("spandex: event queue drained with %d threads unfinished (protocol deadlock)", s.liveDevs)
 	}
 	if s.Checker != nil {
-		if err := s.Checker.CheckQuiescent(s.LLC); err != nil {
-			return Result{}, err
+		for _, bank := range s.Banks {
+			if err := s.Checker.CheckQuiescent(bank); err != nil {
+				return Result{}, err
+			}
 		}
 	}
 	var ops uint64

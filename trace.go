@@ -41,19 +41,26 @@ func (s *System) nameNodes(sink any) {
 		return
 	}
 	p := s.params
-	for i := 0; i < p.CPUCores; i++ {
-		n.SetNodeName(i, fmt.Sprintf("cpu%d", i))
+	for i, id := range s.cpuIDs {
+		n.SetNodeName(int(id), fmt.Sprintf("cpu%d", i))
 	}
-	for i := 0; i < p.GPUCUs; i++ {
-		n.SetNodeName(p.CPUCores+i, fmt.Sprintf("cu%d", i))
+	for i, id := range s.gpuIDs {
+		n.SetNodeName(int(id), fmt.Sprintf("cu%d", i))
 	}
-	nDev := p.CPUCores + p.GPUCUs
+	nDev := p.NumDevices()
 	if s.cfg.LLC == config.LLCHierarchicalMESI {
 		n.SetNodeName(nDev, "gpuL2")
 		n.SetNodeName(nDev+1, "dir")
 		n.SetNodeName(nDev+2, "mem")
 	} else {
-		n.SetNodeName(nDev, "llc")
-		n.SetNodeName(nDev+1, "mem")
+		banks := p.Banks()
+		if banks == 1 {
+			n.SetNodeName(nDev, "llc")
+		} else {
+			for b := 0; b < banks; b++ {
+				n.SetNodeName(nDev+b, fmt.Sprintf("llc%d", b))
+			}
+		}
+		n.SetNodeName(nDev+banks, "mem")
 	}
 }
